@@ -1,0 +1,327 @@
+//! Shared helpers for fixed-batch schedulers.
+//!
+//! Every baseline runs each job at its submitted global batch `B₀`, split
+//! evenly over however many GPUs the scheduler grants. These helpers
+//! implement gang placement (prefer contiguous GPU ranges for locality)
+//! and the batch split, shared by all five baselines.
+
+use ones_cluster::GpuId;
+use ones_schedcore::{ClusterView, Schedule};
+use ones_workload::JobId;
+
+/// Picks `count` GPUs from the idle set of `schedule`, preferring a
+/// contiguous id range (same-node locality), else falling back to the
+/// lowest ids. Returns `None` when fewer than `count` GPUs are idle
+/// (gang scheduling: all-or-nothing).
+#[must_use]
+pub fn pick_gang(schedule: &Schedule, count: u32) -> Option<Vec<GpuId>> {
+    let idle = schedule.idle_gpus();
+    if (idle.len() as u32) < count {
+        return None;
+    }
+    let c = count as usize;
+    // Look for a window of consecutive ids.
+    for w in idle.windows(c) {
+        if w.last().unwrap().0 - w.first().unwrap().0 == count - 1 {
+            return Some(w.to_vec());
+        }
+    }
+    Some(idle.into_iter().take(c).collect())
+}
+
+/// Assigns `job` its submitted batch split evenly over `gpus`.
+///
+/// Returns false (leaving the schedule untouched) if the batch cannot be
+/// split that way (more workers than samples, or per-worker share over the
+/// memory limit — the latter cannot happen for Table 2 workloads).
+pub fn assign_fixed_batch(
+    view: &ClusterView<'_>,
+    schedule: &mut Schedule,
+    job: JobId,
+    gpus: &[GpuId],
+) -> bool {
+    let Some(status) = view.jobs.get(&job) else {
+        return false;
+    };
+    let batch = status.spec.submit_batch;
+    let c = gpus.len() as u32;
+    if c == 0 || batch < c {
+        return false;
+    }
+    let max_local = status.spec.profile().max_local_batch;
+    let base = batch / c;
+    let rem = batch % c;
+    if base + u32::from(rem > 0) > max_local {
+        return false;
+    }
+    for (i, &g) in gpus.iter().enumerate() {
+        schedule.assign(g, job, base + u32::from((i as u32) < rem));
+    }
+    true
+}
+
+/// The GPU count a fixed-size scheduler uses for a job: the user request,
+/// capped so the per-worker share stays ≥ 1 sample.
+#[must_use]
+pub fn effective_request(view: &ClusterView<'_>, job: JobId) -> u32 {
+    view.jobs
+        .get(&job)
+        .map_or(1, |j| j.spec.requested_gpus.min(j.spec.submit_batch).max(1))
+}
+
+/// Sticky priority allocation: decides which jobs run by scanning
+/// `order` (highest priority first, gang all-or-nothing with backfill),
+/// then builds the schedule so that **jobs already running with the same
+/// GPU count keep their exact placement** — a preemptive scheduler that
+/// reshuffled every worker on every event would pay a checkpoint-restart
+/// per job per event, which no real system does.
+///
+/// Running jobs that have not yet completed an epoch under their current
+/// allocation are protected from preemption (a minimum service quantum;
+/// without it, starvation promotions make preemption-happy schedulers
+/// thrash: each preemption costs a checkpoint restart and resets the
+/// victim's epoch, so no job ever finishes an epoch).
+///
+/// `order` holds `(job, wanted GPU count)` pairs.
+#[must_use]
+pub fn allocate_sticky(
+    view: &ClusterView<'_>,
+    order: &[(JobId, u32)],
+) -> Schedule {
+    let total = view.spec.total_gpus();
+    // Pass 0: the minimum-quantum set keeps its capacity unconditionally.
+    let locked: Vec<JobId> = view
+        .running_jobs()
+        .iter()
+        .filter(|j| j.epochs_in_current_schedule == 0)
+        .map(|j| j.id())
+        .collect();
+    let mut remaining = total;
+    let mut admitted: Vec<(JobId, u32)> = Vec::new();
+    for &job in &locked {
+        let have = view.deployed.gpu_count(job);
+        if have > 0 && have <= remaining {
+            admitted.push((job, have));
+            remaining -= have;
+        }
+    }
+    // Pass 1: admission by capacity, in priority order, backfilling.
+    for &(job, want) in order {
+        if locked.contains(&job) {
+            continue;
+        }
+        if want <= remaining && want > 0 {
+            admitted.push((job, want));
+            remaining -= want;
+        }
+    }
+    // Pass 2: sticky placements for admitted jobs already running at the
+    // same size.
+    let mut schedule = Schedule::empty(total);
+    let mut moved: Vec<(JobId, u32)> = Vec::new();
+    for &(job, want) in &admitted {
+        if view.deployed.gpu_count(job) == want {
+            for (i, slot) in view.deployed.slots().iter().enumerate() {
+                if let Some(s) = slot.filter(|s| s.job == job) {
+                    schedule.assign(ones_cluster::GpuId(i as u32), s.job, s.local_batch);
+                }
+            }
+        } else {
+            moved.push((job, want));
+        }
+    }
+    // Pass 3: place moved/new jobs into the free GPUs.
+    for (job, want) in moved {
+        if let Some(gang) = pick_gang(&schedule, want) {
+            assign_fixed_batch(view, &mut schedule, job, &gang);
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Fixture shared by the baseline test modules.
+
+    use ones_cluster::ClusterSpec;
+    use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind, PerfModel};
+    use ones_schedcore::{ClusterView, JobPhase, JobStatus, Schedule};
+    use ones_simcore::SimTime;
+    use ones_workload::{JobId, JobSpec};
+    use std::collections::BTreeMap;
+
+    pub struct Harness {
+        pub spec: ClusterSpec,
+        pub perf: PerfModel,
+        pub jobs: BTreeMap<JobId, JobStatus>,
+        pub deployed: Schedule,
+        pub now: f64,
+    }
+
+    impl Harness {
+        pub fn new(nodes: u32, gpus_per_node: u32) -> Self {
+            let spec = ClusterSpec::new(nodes, gpus_per_node);
+            Harness {
+                spec,
+                perf: PerfModel::new(spec),
+                jobs: BTreeMap::new(),
+                deployed: Schedule::empty(spec.total_gpus()),
+                now: 0.0,
+            }
+        }
+
+        pub fn submit(&mut self, id: u64, requested: u32) -> JobId {
+            let jid = JobId(id);
+            let spec = JobSpec {
+                id: jid,
+                name: format!("j{id}"),
+                model: ModelKind::ResNet18,
+                dataset: DatasetKind::Cifar10,
+                dataset_size: 20_000,
+                submit_batch: 256,
+                max_safe_batch: 4096,
+                requested_gpus: requested,
+                arrival_secs: self.now,
+                kill_after_secs: None,
+                convergence: ConvergenceModel {
+                    reference_batch: 256,
+                    ..ConvergenceModel::example()
+                },
+            };
+            self.jobs
+                .insert(jid, JobStatus::submitted(spec, SimTime::from_secs(self.now)));
+            jid
+        }
+
+        pub fn view(&self) -> ClusterView<'_> {
+            ClusterView {
+                now: SimTime::from_secs(self.now),
+                spec: &self.spec,
+                perf: &self.perf,
+                jobs: &self.jobs,
+                deployed: &self.deployed,
+            }
+        }
+
+        pub fn deploy(&mut self, s: Schedule) {
+            for job in self.jobs.values_mut() {
+                let id = job.spec.id;
+                if s.is_running(id) {
+                    job.phase = JobPhase::Running;
+                    job.first_start.get_or_insert(SimTime::from_secs(self.now));
+                    job.current_batch = s.global_batch(id);
+                    job.current_gpus = s.gpu_count(id);
+                } else if job.phase == JobPhase::Running {
+                    job.phase = JobPhase::Waiting;
+                    job.current_batch = 0;
+                    job.current_gpus = 0;
+                }
+            }
+            self.deployed = s;
+        }
+
+        pub fn complete(&mut self, id: u64) {
+            self.deployed.evict(JobId(id));
+            let j = self.jobs.get_mut(&JobId(id)).unwrap();
+            j.phase = JobPhase::Completed;
+            j.completion = Some(SimTime::from_secs(self.now));
+            j.current_batch = 0;
+            j.current_gpus = 0;
+        }
+
+        pub fn add_service(&mut self, id: u64, gpu_seconds: f64, epochs: u32) {
+            let j = self.jobs.get_mut(&JobId(id)).unwrap();
+            j.gpu_service += gpu_seconds;
+            j.exec_time += gpu_seconds / f64::from(j.current_gpus.max(1));
+            j.epochs_done += epochs;
+            j.samples_processed += f64::from(epochs) * j.spec.dataset_size as f64;
+            let conv = j.spec.convergence;
+            j.current_loss = conv.loss_at(f64::from(j.epochs_done));
+            j.current_accuracy = conv.accuracy_at(f64::from(j.epochs_done));
+            j.throughput = 3000.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::Harness;
+    use super::*;
+
+    #[test]
+    fn gang_prefers_contiguous_ranges() {
+        let h = {
+            let mut h = Harness::new(2, 4);
+            h.submit(0, 2);
+            h
+        };
+        let mut s = Schedule::empty(8);
+        // Occupy GPUs 1 and 2, leaving 0, 3..7 idle.
+        s.assign(GpuId(1), JobId(9), 1);
+        s.assign(GpuId(2), JobId(9), 1);
+        let gang = pick_gang(&s, 3).unwrap();
+        assert_eq!(gang, vec![GpuId(3), GpuId(4), GpuId(5)]);
+        drop(h);
+    }
+
+    #[test]
+    fn gang_fails_when_insufficient() {
+        let s = Schedule::empty(4);
+        assert!(pick_gang(&s, 5).is_none());
+        assert_eq!(pick_gang(&s, 4).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn gang_falls_back_to_scattered() {
+        let mut s = Schedule::empty(4);
+        s.assign(GpuId(1), JobId(9), 1);
+        // Idle: 0, 2, 3 -> no 3-window of consecutive ids incl 0.. (2,3 is
+        // only 2 wide). Fallback takes the lowest ids.
+        let gang = pick_gang(&s, 3).unwrap();
+        assert_eq!(gang, vec![GpuId(0), GpuId(2), GpuId(3)]);
+    }
+
+    #[test]
+    fn fixed_batch_split_is_even() {
+        let mut h = Harness::new(2, 4);
+        let j = h.submit(0, 3);
+        let view = h.view();
+        let mut s = Schedule::empty(8);
+        assert!(assign_fixed_batch(
+            &view,
+            &mut s,
+            j,
+            &[GpuId(0), GpuId(1), GpuId(2)]
+        ));
+        assert_eq!(s.global_batch(j), 256);
+        let b = s.local_batches(j);
+        assert_eq!(b, vec![86, 85, 85]);
+    }
+
+    #[test]
+    fn fixed_batch_rejects_bad_splits() {
+        let mut h = Harness::new(2, 4);
+        let j = h.submit(0, 1);
+        let view = h.view();
+        let mut s = Schedule::empty(8);
+        assert!(!assign_fixed_batch(&view, &mut s, j, &[]));
+        assert!(!assign_fixed_batch(&view, &mut s, JobId(77), &[GpuId(0)]));
+        // More workers than samples in the batch.
+        let gpus: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let mut h2 = Harness::new(2, 4);
+        let j2 = h2.submit(1, 8);
+        h2.jobs.get_mut(&j2).unwrap().spec.submit_batch = 4;
+        let view2 = h2.view();
+        assert!(!assign_fixed_batch(&view2, &mut s, j2, &gpus));
+    }
+
+    #[test]
+    fn effective_request_caps_at_batch() {
+        let mut h = Harness::new(2, 4);
+        let j = h.submit(0, 8);
+        h.jobs.get_mut(&j).unwrap().spec.submit_batch = 4;
+        let view = h.view();
+        assert_eq!(effective_request(&view, j), 4);
+        assert_eq!(effective_request(&view, JobId(42)), 1);
+    }
+}

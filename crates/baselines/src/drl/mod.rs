@@ -1,0 +1,289 @@
+//! DRL baseline: an experience-driven policy-gradient scheduler in the
+//! style of Chic (Gong et al., reference 8 of the paper — the paper's DRL baseline, adapted to
+//! all-reduce training as §4.1 describes).
+//!
+//! The agent decides *one job at a time* ("only one job can be rescheduled
+//! at each time"): whenever a job arrives or completes, the head of the
+//! waiting queue is offered to the policy network, which picks a GPU count
+//! from {1, 2, 4, 8}. Jobs are **never preempted** (Table 3) — once
+//! started they run to completion at the chosen size and their submitted
+//! batch. If the chosen gang does not fit, the job keeps waiting for the
+//! next completion.
+//!
+//! The policy is a small MLP trained online with REINFORCE: on each job
+//! completion the (state, action) pair recorded at its start receives a
+//! reward of −log(JCT), advantage-normalised by a running baseline. This
+//! mirrors Chic's experience-driven formulation without requiring an
+//! offline trace corpus.
+
+pub mod mlp;
+
+use crate::common::{assign_fixed_batch, pick_gang};
+use mlp::Mlp;
+use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_simcore::DetRng;
+use ones_workload::JobId;
+use std::collections::BTreeMap;
+
+/// GPU-count actions available to the policy.
+pub const ACTIONS: [u32; 4] = [1, 2, 4, 8];
+
+/// DRL agent tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrlConfig {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// REINFORCE learning rate.
+    pub learning_rate: f64,
+    /// Exponential-decay factor of the reward baseline.
+    pub baseline_decay: f64,
+}
+
+impl Default for DrlConfig {
+    fn default() -> Self {
+        DrlConfig {
+            hidden: 16,
+            learning_rate: 0.01,
+            baseline_decay: 0.9,
+        }
+    }
+}
+
+/// The DRL scheduler.
+pub struct DrlScheduler {
+    config: DrlConfig,
+    policy: Mlp,
+    rng: DetRng,
+    /// (state, action index) recorded when each running job started.
+    decisions: BTreeMap<JobId, (Vec<f64>, usize)>,
+    /// Running reward baseline.
+    baseline: f64,
+    baseline_initialised: bool,
+}
+
+impl DrlScheduler {
+    /// Creates the agent; all randomness forks from `rng`.
+    #[must_use]
+    pub fn new(config: DrlConfig, rng: &DetRng) -> Self {
+        let mut net_rng = rng.fork("drl-init");
+        DrlScheduler {
+            config,
+            policy: Mlp::new(6, config.hidden, ACTIONS.len(), &mut net_rng),
+            rng: rng.fork("drl-actions"),
+            decisions: BTreeMap::new(),
+            baseline: 0.0,
+            baseline_initialised: false,
+        }
+    }
+
+    /// State features for one candidate job in the current cluster.
+    fn features(view: &ClusterView<'_>, job: &JobStatus) -> Vec<f64> {
+        let total = f64::from(view.spec.total_gpus());
+        let idle = f64::from(view.deployed.idle_count());
+        let waiting = view.waiting_jobs().len() as f64;
+        vec![
+            f64::from(job.spec.requested_gpus) / 8.0,
+            (job.spec.dataset_size as f64).ln() / 12.0,
+            (job.spec.profile().params as f64).ln() / 20.0,
+            idle / total,
+            (waiting / 10.0).min(2.0),
+            f64::from(job.spec.submit_batch) / 1024.0,
+        ]
+    }
+
+    /// Samples an action index from the policy.
+    fn act(&mut self, features: &[f64], max_gpus: u32) -> usize {
+        let mut probs = self.policy.policy(features);
+        // Mask actions larger than the cluster (they could never run).
+        for (i, &a) in ACTIONS.iter().enumerate() {
+            if a > max_gpus {
+                probs[i] = 0.0;
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if sum <= 0.0 {
+            return 0;
+        }
+        let u = self.rng.uniform() * sum;
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    /// REINFORCE update from a completed job's JCT.
+    fn learn(&mut self, job: JobId, jct: f64) {
+        let Some((state, action)) = self.decisions.remove(&job) else {
+            return;
+        };
+        let reward = -(jct.max(1.0)).ln();
+        if !self.baseline_initialised {
+            self.baseline = reward;
+            self.baseline_initialised = true;
+        }
+        let advantage = reward - self.baseline;
+        self.baseline = self.config.baseline_decay * self.baseline
+            + (1.0 - self.config.baseline_decay) * reward;
+        self.policy
+            .reinforce_step(&state, action, advantage, self.config.learning_rate);
+    }
+
+    /// Pending decisions (exposed for tests).
+    #[must_use]
+    pub fn pending_decisions(&self) -> usize {
+        self.decisions.len()
+    }
+}
+
+impl Scheduler for DrlScheduler {
+    fn name(&self) -> &'static str {
+        "DRL"
+    }
+
+    fn mechanism(&self) -> ScalingMechanism {
+        ScalingMechanism::CheckpointRestart
+    }
+
+    fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        if let SchedEvent::JobCompleted(id) = event {
+            if let Some(jct) = view.jobs.get(&id).and_then(JobStatus::jct) {
+                self.learn(id, jct);
+            }
+        }
+        if matches!(event, SchedEvent::EpochEnded(_) | SchedEvent::Tick) {
+            return None;
+        }
+        // Offer waiting jobs (FIFO) to the policy, starting each one whose
+        // chosen gang fits; stop at the first that does not (no
+        // preemption, one decision at a time — but completions can free
+        // several gangs at once, so loop).
+        let mut schedule = view.deployed.clone();
+        let mut changed = false;
+        let mut waiting: Vec<&JobStatus> = view.waiting_jobs();
+        waiting.sort_by_key(|j| j.arrival);
+        for job in waiting {
+            let feats = Self::features(view, job);
+            let action = self.act(&feats, view.spec.total_gpus());
+            let want = ACTIONS[action].min(job.spec.submit_batch);
+            match pick_gang(&schedule, want) {
+                Some(gang) if assign_fixed_batch(view, &mut schedule, job.id(), &gang) => {
+                    self.decisions.insert(job.id(), (feats, action));
+                    changed = true;
+                }
+                _ => break,
+            }
+        }
+        changed.then_some(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::Harness;
+    use ones_simcore::SimTime;
+
+    fn agent() -> DrlScheduler {
+        DrlScheduler::new(DrlConfig::default(), &DetRng::seed(3))
+    }
+
+    #[test]
+    fn starts_jobs_with_policy_chosen_sizes() {
+        let mut h = Harness::new(2, 4);
+        let mut d = agent();
+        let a = h.submit(0, 2);
+        let out = d.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
+        let c = out.gpu_count(a);
+        assert!(ACTIONS.contains(&c), "size {c} not an action");
+        assert_eq!(d.pending_decisions(), 1);
+    }
+
+    #[test]
+    fn never_preempts_running_jobs() {
+        let mut h = Harness::new(1, 4);
+        let mut d = agent();
+        let a = h.submit(0, 4);
+        let out = d.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
+        h.deploy(out.clone());
+        let placed = out.placement(a);
+        // New arrivals must not move job a's workers.
+        let b = h.submit(1, 1);
+        if let Some(next) = d.on_event(SchedEvent::JobArrived(b), &h.view()) {
+            assert_eq!(next.placement(a), placed, "DRL must not preempt");
+        }
+    }
+
+    #[test]
+    fn completion_triggers_learning() {
+        let mut h = Harness::new(1, 4);
+        let mut d = agent();
+        let a = h.submit(0, 1);
+        let out = d.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
+        h.deploy(out);
+        assert_eq!(d.pending_decisions(), 1);
+        h.now = 300.0;
+        h.complete(0);
+        let _ = d.on_event(SchedEvent::JobCompleted(a), &h.view());
+        assert_eq!(d.pending_decisions(), 0, "decision consumed by learning");
+    }
+
+    #[test]
+    fn queue_drains_on_completion() {
+        let mut h = Harness::new(1, 4);
+        let mut d = agent();
+        // Fill the cluster so the next job has to wait.
+        let a = h.submit(0, 4);
+        let mut out = None;
+        for _ in 0..4 {
+            // The policy may pick sizes < 4; keep admitting until full or
+            // no change.
+            match d.on_event(SchedEvent::JobArrived(a), &h.view()) {
+                Some(s) => {
+                    out = Some(s.clone());
+                    h.deploy(s);
+                }
+                None => break,
+            }
+        }
+        assert!(out.is_some());
+        let b = h.submit(1, 2);
+        let before_idle = h.deployed.idle_count();
+        let res = d.on_event(SchedEvent::JobArrived(b), &h.view());
+        if before_idle == 0 {
+            assert!(res.is_none(), "no room -> job must wait");
+        }
+        // Completion frees the gang; the waiting job starts.
+        h.now = 100.0;
+        h.complete(0);
+        let next = d.on_event(SchedEvent::JobCompleted(a), &h.view());
+        if let Some(s) = next {
+            assert!(s.is_running(b));
+        }
+    }
+
+    #[test]
+    fn rewards_shift_the_policy() {
+        let mut d = agent();
+        let mut h = Harness::new(2, 4);
+        let a = h.submit(0, 2);
+        let feats = DrlScheduler::features(&h.view(), &h.jobs[&a]);
+        let before = d.policy.policy(&feats);
+        // Simulate: action 3 (8 GPUs) earned terrible JCTs repeatedly.
+        for i in 0..30 {
+            d.decisions.insert(JobId(100 + i), (feats.clone(), 3));
+            d.learn(JobId(100 + i), 10_000.0);
+            d.decisions.insert(JobId(200 + i), (feats.clone(), 0));
+            d.learn(JobId(200 + i), 10.0);
+        }
+        let after = d.policy.policy(&feats);
+        assert!(
+            after[3] < before[3] && after[0] > before[0],
+            "policy should avoid the bad action: {before:?} -> {after:?}"
+        );
+        let _ = SimTime::ZERO;
+    }
+}

@@ -1,0 +1,118 @@
+//! FIFO gang scheduler.
+//!
+//! The simplest reference policy: jobs start in arrival order, each with
+//! its requested GPU count, whenever a gang of idle GPUs is available; no
+//! preemption, no elasticity. Used by ablation benches as the
+//! no-intelligence floor.
+
+use crate::common::{assign_fixed_batch, effective_request, pick_gang};
+use ones_schedcore::{ClusterView, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+
+/// First-in-first-out gang scheduler.
+#[derive(Debug, Default)]
+pub struct Fifo;
+
+impl Fifo {
+    /// Creates the scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Fifo
+    }
+}
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn mechanism(&self) -> ScalingMechanism {
+        ScalingMechanism::CheckpointRestart
+    }
+
+    fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        // Only react when the set of runnable jobs or free GPUs changes.
+        if matches!(event, SchedEvent::EpochEnded(_)) {
+            return None;
+        }
+        let mut schedule = view.deployed.clone();
+        let mut changed = false;
+        // Strict FIFO: stop at the first job whose gang does not fit.
+        let mut waiting = view.waiting_jobs();
+        waiting.sort_by_key(|j| j.arrival);
+        for job in waiting {
+            let want = effective_request(view, job.id());
+            match pick_gang(&schedule, want) {
+                Some(gang) => {
+                    if assign_fixed_batch(view, &mut schedule, job.id(), &gang) {
+                        changed = true;
+                    }
+                }
+                None => break,
+            }
+        }
+        changed.then_some(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::Harness;
+    use ones_workload::JobId;
+
+    #[test]
+    fn starts_jobs_in_arrival_order() {
+        let mut h = Harness::new(1, 4);
+        let mut f = Fifo::new();
+        let a = h.submit(0, 2);
+        let s = f.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
+        h.deploy(s);
+        assert_eq!(h.deployed.gpu_count(a), 2);
+        let b = h.submit(1, 2);
+        let s = f.on_event(SchedEvent::JobArrived(b), &h.view()).unwrap();
+        h.deploy(s);
+        assert_eq!(h.deployed.gpu_count(b), 2);
+    }
+
+    #[test]
+    fn head_of_line_blocking_is_strict() {
+        let mut h = Harness::new(1, 4);
+        let mut f = Fifo::new();
+        let a = h.submit(0, 4);
+        let s = f.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
+        h.deploy(s);
+        // Big job 1 (needs 4) can't fit; small job 2 behind it must NOT
+        // jump the queue under strict FIFO.
+        let b = h.submit(1, 4);
+        assert!(f.on_event(SchedEvent::JobArrived(b), &h.view()).is_none());
+        let c = h.submit(2, 1);
+        assert!(f.on_event(SchedEvent::JobArrived(c), &h.view()).is_none());
+        // When the head job completes, both pending jobs start.
+        h.complete(0);
+        let s = f
+            .on_event(SchedEvent::JobCompleted(a), &h.view())
+            .expect("completion frees the gang");
+        assert!(s.is_running(b));
+        // b takes 4 GPUs on a 4-GPU cluster; c still waits.
+        assert!(!s.is_running(c));
+    }
+
+    #[test]
+    fn epoch_events_are_ignored() {
+        let mut h = Harness::new(1, 4);
+        let mut f = Fifo::new();
+        let a = h.submit(0, 1);
+        let s = f.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
+        h.deploy(s);
+        assert!(f.on_event(SchedEvent::EpochEnded(a), &h.view()).is_none());
+    }
+
+    #[test]
+    fn identity() {
+        let f = Fifo::new();
+        assert_eq!(f.name(), "FIFO");
+        assert_eq!(f.mechanism(), ScalingMechanism::CheckpointRestart);
+        assert!(!f.scales_batch_sizes());
+        let _ = JobId(0);
+    }
+}

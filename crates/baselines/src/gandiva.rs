@@ -1,0 +1,177 @@
+//! Gandiva-style time-slicing scheduler (Xiao et al., OSDI '18 — §5
+//! related work; implemented as an extension baseline).
+//!
+//! Gandiva treats GPUs as a time-shared resource: when demand exceeds
+//! capacity, jobs of the same size class round-robin over the GPUs on a
+//! fixed quantum, suspended and resumed through host memory in about a
+//! second (far cheaper than checkpoint migration). It is *introspective* —
+//! it continuously packs jobs for locality — but it neither predicts job
+//! lengths nor adapts sizes or batches.
+//!
+//! The implementation rotates a cursor over the incomplete jobs each
+//! quantum and allocates gangs in rotated order with sticky placement, so
+//! every job periodically gets its turn regardless of length (fairness
+//! rather than JCT-optimality — exactly Gandiva's design point).
+
+use crate::common::{allocate_sticky, effective_request};
+use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Gandiva tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GandivaConfig {
+    /// Time-slice quantum, seconds (Gandiva uses minute-scale slices).
+    pub quantum: f64,
+}
+
+impl Default for GandivaConfig {
+    fn default() -> Self {
+        GandivaConfig { quantum: 60.0 }
+    }
+}
+
+/// The Gandiva scheduler.
+#[derive(Debug)]
+pub struct Gandiva {
+    config: GandivaConfig,
+    /// Round-robin cursor advanced each quantum.
+    cursor: usize,
+}
+
+impl Gandiva {
+    /// Creates the scheduler with a 60-second quantum.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(GandivaConfig::default())
+    }
+
+    /// Creates the scheduler with an explicit quantum.
+    #[must_use]
+    pub fn with_config(config: GandivaConfig) -> Self {
+        assert!(config.quantum > 0.0, "quantum must be positive");
+        Gandiva { config, cursor: 0 }
+    }
+
+    fn plan(&self, view: &ClusterView<'_>) -> Schedule {
+        let mut jobs: Vec<&JobStatus> = view
+            .jobs
+            .values()
+            .filter(|j| !j.is_completed())
+            .collect();
+        jobs.sort_by_key(|j| j.id());
+        if !jobs.is_empty() {
+            let offset = self.cursor % jobs.len();
+            jobs.rotate_left(offset);
+        }
+        let wants: Vec<(ones_workload::JobId, u32)> = jobs
+            .iter()
+            .map(|j| (j.id(), effective_request(view, j.id())))
+            .collect();
+        allocate_sticky(view, &wants)
+    }
+}
+
+impl Default for Gandiva {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for Gandiva {
+    fn name(&self) -> &'static str {
+        "Gandiva"
+    }
+
+    fn mechanism(&self) -> ScalingMechanism {
+        ScalingMechanism::SuspendResume
+    }
+
+    fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        if matches!(event, SchedEvent::Tick) {
+            // A quantum elapsed: rotate priorities so suspended jobs get
+            // their turn.
+            self.cursor = self.cursor.wrapping_add(1);
+        }
+        let schedule = self.plan(view);
+        (&schedule != view.deployed).then_some(schedule)
+    }
+
+    fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
+        Some(now + self.config.quantum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::Harness;
+    use ones_workload::JobId;
+
+    #[test]
+    fn admits_jobs_up_to_capacity() {
+        let mut h = Harness::new(1, 4);
+        let mut g = Gandiva::new();
+        let a = h.submit(0, 2);
+        let b = h.submit(1, 2);
+        let out = g.on_event(SchedEvent::JobArrived(b), &h.view()).unwrap();
+        assert!(out.is_running(a) && out.is_running(b));
+        assert_eq!(out.idle_count(), 0);
+    }
+
+    #[test]
+    fn rotation_time_shares_an_oversubscribed_cluster() {
+        let mut h = Harness::new(1, 4);
+        let mut g = Gandiva::new();
+        // Three 4-GPU jobs on a 4-GPU cluster: only one runs per quantum.
+        let ids: Vec<JobId> = (0..3).map(|i| h.submit(i, 4)).collect();
+        let out = g.on_event(SchedEvent::JobArrived(ids[2]), &h.view()).unwrap();
+        h.deploy(out);
+        let mut seen: Vec<JobId> = vec![];
+        for id in &ids {
+            if h.deployed.is_running(*id) {
+                seen.push(*id);
+            }
+        }
+        assert_eq!(seen.len(), 1, "exactly one gang fits");
+        // Grant the running job its epoch so the quantum may preempt it,
+        // then rotate through several quanta: every job must run at least
+        // once.
+        let mut ran: std::collections::BTreeSet<JobId> = seen.into_iter().collect();
+        for round in 0..6 {
+            for id in &ids {
+                if h.deployed.is_running(*id) {
+                    h.jobs.get_mut(id).unwrap().epochs_in_current_schedule = 1;
+                }
+            }
+            h.now = 60.0 * f64::from(round + 1);
+            if let Some(next) = g.on_event(SchedEvent::Tick, &h.view()) {
+                h.deploy(next);
+            }
+            for id in &ids {
+                if h.deployed.is_running(*id) {
+                    ran.insert(*id);
+                }
+            }
+        }
+        assert_eq!(ran.len(), 3, "rotation starved a job: {ran:?}");
+    }
+
+    #[test]
+    fn identity_and_quantum() {
+        let g = Gandiva::new();
+        assert_eq!(g.name(), "Gandiva");
+        assert_eq!(g.mechanism(), ScalingMechanism::SuspendResume);
+        assert!(!g.scales_batch_sizes());
+        assert_eq!(
+            g.next_wakeup(SimTime::from_secs(100.0)).unwrap(),
+            SimTime::from_secs(160.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_quantum_rejected() {
+        let _ = Gandiva::with_config(GandivaConfig { quantum: 0.0 });
+    }
+}

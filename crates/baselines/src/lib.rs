@@ -1,0 +1,35 @@
+//! # ones-baselines — the comparison schedulers of §4.1
+//!
+//! Faithful re-implementations of the schedulers ONES is evaluated against
+//! (Table 3), plus two reference policies used for ablations:
+//!
+//! | Scheduler | Strategy | Preemption | Elastic size | Elastic batch |
+//! |-----------|----------|------------|--------------|---------------|
+//! | [`tiresias::Tiresias`] | greedy (discretised 2D-LAS MLFQ) | yes | no | no |
+//! | [`optimus::Optimus`]   | greedy (marginal-gain, 10-min interval) | yes | yes | no |
+//! | [`drl::DrlScheduler`]  | learned (REINFORCE policy) | no | yes | no |
+//! | [`fifo::Fifo`]         | FIFO gang scheduling | no | no | no |
+//! | [`gandiva::Gandiva`]   | time-slicing round-robin (suspend/resume) | yes | no | no |
+//! | [`slaq::Slaq`]         | quality-driven greedy (loss-gradient ranking) | yes | yes | no |
+//! | [`srtf::SrtfOracle`]   | oracle SRTF (ground-truth remaining time) | yes | no | no |
+//!
+//! All baselines run jobs at their *submitted* batch size (no linear LR
+//! re-scaling is ever needed) and re-configure via checkpoint restart —
+//! the two properties whose absence ONES exploits.
+
+pub mod common;
+pub mod drl;
+pub mod fifo;
+pub mod gandiva;
+pub mod optimus;
+pub mod slaq;
+pub mod srtf;
+pub mod tiresias;
+
+pub use drl::DrlScheduler;
+pub use fifo::Fifo;
+pub use gandiva::Gandiva;
+pub use optimus::Optimus;
+pub use slaq::Slaq;
+pub use srtf::SrtfOracle;
+pub use tiresias::Tiresias;

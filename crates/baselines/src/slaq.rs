@@ -1,0 +1,255 @@
+//! SLAQ-style quality-driven scheduler (Zhang et al., SoCC '17 — §5
+//! related work; implemented as an extension baseline).
+//!
+//! SLAQ allocates resources to maximise the aggregate *quality improvement*
+//! across jobs: each interval it estimates how much each job's loss would
+//! drop per added worker (from an online fit of its recent loss curve) and
+//! greedily gives GPUs to the steepest improvers. Young jobs — whose loss
+//! falls fastest — therefore soak up resources, while converged-ish jobs
+//! are starved down to a minimum share. Fixed batch size, elastic worker
+//! count, checkpoint-based re-configuration.
+
+use crate::common::assign_fixed_batch;
+use ones_cluster::GpuId;
+use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_simcore::SimTime;
+use ones_workload::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// SLAQ tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaqConfig {
+    /// Re-planning interval, seconds (SLAQ re-plans on a short loop).
+    pub interval: f64,
+    /// Loss-improvement assumed for jobs with fewer than 2 observations
+    /// (keeps fresh jobs attractive).
+    pub cold_start_gradient: f64,
+}
+
+impl Default for SlaqConfig {
+    fn default() -> Self {
+        SlaqConfig {
+            interval: 120.0,
+            cold_start_gradient: 0.1,
+        }
+    }
+}
+
+/// The SLAQ scheduler.
+#[derive(Debug)]
+pub struct Slaq {
+    config: SlaqConfig,
+    /// Recent (epoch, loss) observations per job.
+    loss_history: BTreeMap<JobId, Vec<(f64, f64)>>,
+    next_tick: Option<SimTime>,
+}
+
+impl Slaq {
+    /// Creates the scheduler with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(SlaqConfig::default())
+    }
+
+    /// Creates the scheduler with explicit configuration.
+    #[must_use]
+    pub fn with_config(config: SlaqConfig) -> Self {
+        assert!(config.interval > 0.0, "interval must be positive");
+        Slaq {
+            config,
+            loss_history: BTreeMap::new(),
+            next_tick: None,
+        }
+    }
+
+    /// Estimated loss improvement per epoch for a job, from its recent
+    /// history (the steeper, the more attractive).
+    #[must_use]
+    pub fn quality_gradient(&self, job: &JobStatus) -> f64 {
+        let Some(history) = self.loss_history.get(&job.id()) else {
+            return self.config.cold_start_gradient;
+        };
+        if history.len() < 2 {
+            return self.config.cold_start_gradient;
+        }
+        // Slope over the last few observations, clamped non-negative.
+        let tail = &history[history.len().saturating_sub(5)..];
+        let first = tail.first().expect("non-empty");
+        let last = tail.last().expect("non-empty");
+        let depochs = (last.0 - first.0).max(1e-9);
+        ((first.1 - last.1) / depochs).max(0.0)
+    }
+
+    fn plan(&self, view: &ClusterView<'_>) -> Schedule {
+        // Rank jobs by quality gradient, then allocate greedily: one GPU
+        // each first (fairness floor), then extra GPUs to the steepest
+        // improvers up to their request.
+        let mut jobs: Vec<&JobStatus> = view
+            .jobs
+            .values()
+            .filter(|j| !j.is_completed())
+            .collect();
+        jobs.sort_by(|a, b| {
+            self.quality_gradient(b)
+                .partial_cmp(&self.quality_gradient(a))
+                .expect("gradients are finite")
+        });
+        let total = view.spec.total_gpus();
+        let mut alloc: Vec<(JobId, u32)> = Vec::new();
+        let mut free = total;
+        for j in &jobs {
+            if free == 0 {
+                break;
+            }
+            alloc.push((j.id(), 1));
+            free -= 1;
+        }
+        // Second pass: top up the steepest improvers toward their request.
+        for j in &jobs {
+            if free == 0 {
+                break;
+            }
+            if let Some(entry) = alloc.iter_mut().find(|(id, _)| *id == j.id()) {
+                let want = j.spec.requested_gpus.min(j.spec.submit_batch);
+                let extra = want.saturating_sub(entry.1).min(free);
+                entry.1 += extra;
+                free -= extra;
+            }
+        }
+        // Pack contiguously in allocation order.
+        let mut schedule = Schedule::empty(total);
+        let mut next_gpu = 0u32;
+        for (job, count) in alloc {
+            if count == 0 {
+                continue;
+            }
+            let gpus: Vec<GpuId> = (next_gpu..next_gpu + count).map(GpuId).collect();
+            if assign_fixed_batch(view, &mut schedule, job, &gpus) {
+                next_gpu += count;
+            }
+        }
+        schedule.aligned_with(view.deployed)
+    }
+}
+
+impl Default for Slaq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for Slaq {
+    fn name(&self) -> &'static str {
+        "SLAQ"
+    }
+
+    fn mechanism(&self) -> ScalingMechanism {
+        ScalingMechanism::CheckpointRestart
+    }
+
+    fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        if self.next_tick.is_none() {
+            self.next_tick = Some(view.now + self.config.interval);
+        }
+        match event {
+            SchedEvent::EpochEnded(id) => {
+                if let Some(job) = view.jobs.get(&id) {
+                    let h = self.loss_history.entry(id).or_default();
+                    h.push((f64::from(job.epochs_done), job.current_loss));
+                    if h.len() > 32 {
+                        h.remove(0);
+                    }
+                }
+                None
+            }
+            SchedEvent::JobCompleted(id) => {
+                self.loss_history.remove(&id);
+                let schedule = self.plan(view);
+                (&schedule != view.deployed).then_some(schedule)
+            }
+            SchedEvent::JobArrived(_) => {
+                let schedule = self.plan(view);
+                (&schedule != view.deployed).then_some(schedule)
+            }
+            SchedEvent::Tick => {
+                self.next_tick = Some(view.now + self.config.interval);
+                let schedule = self.plan(view);
+                (&schedule != view.deployed).then_some(schedule)
+            }
+        }
+    }
+
+    fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
+        self.next_tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::Harness;
+
+    #[test]
+    fn fresh_jobs_get_admitted_immediately() {
+        let mut h = Harness::new(1, 4);
+        let mut s = Slaq::new();
+        let a = h.submit(0, 2);
+        let out = s.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
+        assert!(out.is_running(a));
+    }
+
+    #[test]
+    fn steep_improvers_outrank_plateaued_jobs() {
+        let mut h = Harness::new(1, 4);
+        let mut s = Slaq::new();
+        let a = h.submit(0, 4);
+        let b = h.submit(1, 4);
+        // Job a plateaued (flat loss), job b improving fast.
+        s.loss_history
+            .insert(a, vec![(1.0, 1.0), (2.0, 0.99), (3.0, 0.985)]);
+        s.loss_history
+            .insert(b, vec![(1.0, 2.0), (2.0, 1.2), (3.0, 0.6)]);
+        assert!(s.quality_gradient(&h.jobs[&b]) > s.quality_gradient(&h.jobs[&a]));
+        // Fairness floor gives both one GPU; the improver takes the rest.
+        h.jobs.get_mut(&a).unwrap().epochs_in_current_schedule = 1;
+        let out = s.on_event(SchedEvent::Tick, &h.view()).unwrap();
+        assert!(out.is_running(b));
+        assert!(
+            out.gpu_count(b) > out.gpu_count(a),
+            "improver got {} GPUs vs plateaued {}",
+            out.gpu_count(b),
+            out.gpu_count(a)
+        );
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut h = Harness::new(1, 4);
+        let mut s = Slaq::new();
+        let a = h.submit(0, 1);
+        h.deploy(s.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap());
+        for e in 1..=50 {
+            h.add_service(0, 5.0, 1);
+            let _ = s.on_event(SchedEvent::EpochEnded(a), &h.view());
+            assert!(s.loss_history[&a].len() <= 32, "unbounded at epoch {e}");
+        }
+    }
+
+    #[test]
+    fn identity() {
+        let s = Slaq::new();
+        assert_eq!(s.name(), "SLAQ");
+        assert_eq!(s.mechanism(), ScalingMechanism::CheckpointRestart);
+        assert!(!s.scales_batch_sizes());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = Slaq::with_config(SlaqConfig {
+            interval: 0.0,
+            ..SlaqConfig::default()
+        });
+    }
+}

@@ -1,0 +1,140 @@
+//! Oracle SRTF: shortest remaining processing time first with ground-truth
+//! remaining times.
+//!
+//! **This scheduler cheats.** It reads the simulator-only convergence model
+//! inside each job's spec to compute the true remaining time — something no
+//! real scheduler can do. It exists purely as an ablation upper-ish bound
+//! for fixed-size scheduling: how much of ONES's win comes from prediction
+//! quality versus from batch-size elasticity.
+
+use crate::common::effective_request;
+use ones_dlperf::ConvergenceState;
+use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+
+/// Preemptive oracle shortest-remaining-time-first gang scheduler.
+#[derive(Debug, Default)]
+pub struct SrtfOracle;
+
+impl SrtfOracle {
+    /// Creates the scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        SrtfOracle
+    }
+
+    /// Ground-truth remaining seconds of a job at its submitted batch on
+    /// its requested GPUs (oracle access to the convergence model).
+    fn true_remaining_secs(view: &ClusterView<'_>, job: &JobStatus) -> f64 {
+        // Reconstruct the convergence state from processed epochs. Jobs run
+        // at their submitted batch under every fixed-batch scheduler, so
+        // the reconstruction is exact.
+        let mut conv = ConvergenceState::new(job.spec.convergence);
+        for _ in 0..job.epochs_done {
+            conv.advance_epoch(job.spec.submit_batch, true);
+        }
+        let remaining_epochs = conv.remaining_epochs_at(job.spec.submit_batch);
+        let c = effective_request(view, job.id());
+        let placement = ones_cluster::Placement::contiguous(0, c);
+        let profile = job.spec.profile();
+        let batches: Vec<u32> = {
+            let base = job.spec.submit_batch / c;
+            let rem = job.spec.submit_batch % c;
+            (0..c).map(|i| base + u32::from(i < rem)).collect()
+        };
+        let epoch_time =
+            view.perf
+                .epoch_time(&profile, job.spec.dataset_size, &batches, &placement);
+        remaining_epochs * epoch_time
+    }
+}
+
+impl Scheduler for SrtfOracle {
+    fn name(&self) -> &'static str {
+        "SRTF-oracle"
+    }
+
+    fn mechanism(&self) -> ScalingMechanism {
+        ScalingMechanism::CheckpointRestart
+    }
+
+    fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        if matches!(event, SchedEvent::Tick) {
+            return None;
+        }
+        // Rebuild the whole assignment from scratch in remaining-time
+        // order (preemptive SRTF), gang per job, backfilling past jobs
+        // that do not fit.
+        let mut order: Vec<&JobStatus> = view
+            .jobs
+            .values()
+            .filter(|j| !j.is_completed())
+            .collect();
+        order.sort_by(|a, b| {
+            Self::true_remaining_secs(view, a)
+                .partial_cmp(&Self::true_remaining_secs(view, b))
+                .expect("remaining times are finite")
+        });
+        let wants: Vec<(ones_workload::JobId, u32)> = order
+            .iter()
+            .map(|j| (j.id(), effective_request(view, j.id())))
+            .collect();
+        let schedule = crate::common::allocate_sticky(view, &wants);
+        (&schedule != view.deployed).then_some(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::Harness;
+
+    #[test]
+    fn shorter_job_preempts_longer() {
+        let mut h = Harness::new(1, 4);
+        let mut s = SrtfOracle::new();
+        // Job 0 needs the whole cluster and is long.
+        let a = h.submit(0, 4);
+        let out = s.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
+        h.deploy(out);
+        assert!(h.deployed.is_running(a));
+        h.jobs.get_mut(&a).unwrap().epochs_in_current_schedule = 1;
+        // Job 1 is nearly done (few epochs left): oracle must preempt 0.
+        let b = h.submit(1, 4);
+        h.deploy(h.deployed.clone());
+        {
+            let j = h.jobs.get_mut(&b).unwrap();
+            j.epochs_done = 38; // close to convergence for example() model
+            j.samples_processed = 38.0 * 20_000.0;
+        }
+        let out = s.on_event(SchedEvent::JobArrived(b), &h.view()).unwrap();
+        assert!(out.is_running(b), "short job must run");
+        assert!(!out.is_running(a), "long job must be preempted");
+    }
+
+    #[test]
+    fn fills_cluster_with_backfill() {
+        let mut h = Harness::new(1, 4);
+        let mut s = SrtfOracle::new();
+        let a = h.submit(0, 2);
+        let b = h.submit(1, 4); // much longer job: sorts last under SRTF
+        h.jobs.get_mut(&b).unwrap().spec.dataset_size = 400_000;
+        let c = h.submit(2, 2);
+        let out = s.on_event(SchedEvent::JobArrived(c), &h.view()).unwrap();
+        assert!(out.is_running(a) && out.is_running(c));
+        assert!(!out.is_running(b), "long 4-GPU job must wait");
+        assert_eq!(out.idle_count(), 0);
+    }
+
+    #[test]
+    fn no_change_returns_none() {
+        let mut h = Harness::new(1, 4);
+        let mut s = SrtfOracle::new();
+        let a = h.submit(0, 1);
+        let out = s.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
+        h.deploy(out);
+        // Same state, same plan: no redeployment.
+        assert!(s
+            .on_event(SchedEvent::EpochEnded(a), &h.view())
+            .is_none());
+    }
+}

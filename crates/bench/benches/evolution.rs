@@ -1,0 +1,96 @@
+//! Criterion micro-bench: one evolutionary generation on a 64-GPU cluster
+//! with varying live-job counts — the ONES scheduler's hot loop (§3.2
+//! claims evolutionary search has "relatively fast iterative speed"; this
+//! bench quantifies it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ones_cluster::ClusterSpec;
+use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind, PerfModel};
+use ones_evo::{EvoConfig, EvoContext, EvolutionarySearch};
+use ones_schedcore::{ClusterView, JobPhase, JobStatus, Schedule};
+use ones_simcore::{DetRng, SimTime};
+use ones_stats::Beta;
+use ones_workload::{JobId, JobSpec};
+use std::collections::BTreeMap;
+
+struct Fixture {
+    spec: ClusterSpec,
+    perf: PerfModel,
+    jobs: BTreeMap<JobId, JobStatus>,
+    deployed: Schedule,
+    limits: BTreeMap<JobId, u32>,
+    betas: BTreeMap<JobId, Beta>,
+}
+
+fn fixture(n_jobs: u64) -> Fixture {
+    let spec = ClusterSpec::longhorn();
+    let mut jobs = BTreeMap::new();
+    let mut limits = BTreeMap::new();
+    let mut betas = BTreeMap::new();
+    for i in 0..n_jobs {
+        let js = JobSpec {
+            id: JobId(i),
+            name: format!("j{i}"),
+            model: ModelKind::ResNet18,
+            dataset: DatasetKind::Cifar10,
+            dataset_size: 20_000,
+            submit_batch: 256,
+            max_safe_batch: 4096,
+            requested_gpus: 2,
+            arrival_secs: i as f64,
+            kill_after_secs: None,
+            convergence: ConvergenceModel {
+                reference_batch: 256,
+                ..ConvergenceModel::example()
+            },
+        };
+        let mut status = JobStatus::submitted(js, SimTime::from_secs(i as f64));
+        if i % 2 == 0 {
+            status.phase = JobPhase::Running;
+            status.first_start = Some(SimTime::from_secs(i as f64));
+            status.epochs_done = (i % 20) as u32 + 1;
+            status.samples_processed = f64::from(status.epochs_done) * 20_000.0;
+            status.epochs_in_current_schedule = 1;
+        }
+        limits.insert(JobId(i), 512);
+        betas.insert(JobId(i), Beta::new(1.0 + i as f64 % 9.0, 20.0));
+        jobs.insert(JobId(i), status);
+    }
+    Fixture {
+        spec,
+        perf: PerfModel::new(spec),
+        jobs,
+        deployed: Schedule::empty(64),
+        limits,
+        betas,
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evolution_generation_64gpu");
+    group.sample_size(20);
+    for n_jobs in [8u64, 32, 64] {
+        let fx = fixture(n_jobs);
+        group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &fx, |b, fx| {
+            let view = ClusterView {
+                now: SimTime::from_secs(1000.0),
+                spec: &fx.spec,
+                perf: &fx.perf,
+                jobs: &fx.jobs,
+                deployed: &fx.deployed,
+            };
+            let ctx = EvoContext {
+                view: &view,
+                limits: &fx.limits,
+                betas: &fx.betas,
+            };
+            let mut search =
+                EvolutionarySearch::new(EvoConfig::for_cluster(64), DetRng::seed(1));
+            b.iter(|| std::hint::black_box(search.generation(&ctx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

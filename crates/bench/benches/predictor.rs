@@ -1,0 +1,76 @@
+//! Criterion micro-bench: the online progress predictor — per-completion
+//! refit (bounded least squares) and per-query Beta prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind};
+use ones_predictor::{FeatureSnapshot, PredictorConfig, ProgressPredictor};
+use ones_schedcore::JobStatus;
+use ones_simcore::{DetRng, SimTime};
+use ones_workload::{JobId, JobSpec};
+
+fn make_status(i: u64) -> JobStatus {
+    let spec = JobSpec {
+        id: JobId(i),
+        name: format!("j{i}"),
+        model: ModelKind::ResNet18,
+        dataset: DatasetKind::Cifar10,
+        dataset_size: 20_000 + i * 500,
+        submit_batch: 256,
+        max_safe_batch: 4096,
+        requested_gpus: 1,
+        arrival_secs: 0.0,
+        kill_after_secs: None,
+        convergence: ConvergenceModel {
+            reference_batch: 256,
+            progress_scale: 6.0 + (i % 5) as f64,
+            ..ConvergenceModel::example()
+        },
+    };
+    let mut s = JobStatus::submitted(spec, SimTime::ZERO);
+    s.epochs_done = 10;
+    s.samples_processed = 10.0 * s.spec.dataset_size as f64;
+    s.current_loss = s.initial_loss * 0.4;
+    s.current_accuracy = 0.7;
+    s
+}
+
+fn history(i: u64) -> Vec<FeatureSnapshot> {
+    let mut s = make_status(i);
+    (1..=30u32)
+        .map(|e| {
+            s.epochs_done = e;
+            s.samples_processed = f64::from(e) * s.spec.dataset_size as f64;
+            s.current_loss = s.initial_loss * (-(f64::from(e)) / 10.0).exp();
+            s.current_accuracy = 0.9 * (1.0 - (-(f64::from(e)) / 10.0).exp());
+            FeatureSnapshot::capture(&s)
+        })
+        .collect()
+}
+
+fn bench_refit(c: &mut Criterion) {
+    c.bench_function("predictor_observe_completion_refit", |b| {
+        let mut p = ProgressPredictor::new(PredictorConfig::default(), DetRng::seed(1));
+        // Warm the training set so every iteration refits on a full table.
+        for i in 0..40 {
+            p.observe_completion(&history(i), 30);
+        }
+        let h = history(99);
+        b.iter(|| {
+            p.observe_completion(std::hint::black_box(&h), 30);
+        });
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut p = ProgressPredictor::new(PredictorConfig::default(), DetRng::seed(2));
+    for i in 0..40 {
+        p.observe_completion(&history(i), 30);
+    }
+    let status = make_status(7);
+    c.bench_function("predictor_predict_beta", |b| {
+        b.iter(|| std::hint::black_box(p.predict(&status)));
+    });
+}
+
+criterion_group!(benches, bench_refit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion macro-bench: end-to-end simulation of a small trace under
+//! each scheduler — measures the whole reproduction pipeline (workload
+//! generation, event loop, scheduling, convergence model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ones_cluster::ClusterSpec;
+use ones_dlperf::PerfModel;
+use ones_simcore::DetRng;
+use ones_simulator::{SchedulerKind, SimConfig, Simulation};
+use ones_workload::{Trace, TraceConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let trace = Trace::generate(TraceConfig {
+        num_jobs: 10,
+        arrival_rate: 1.0 / 20.0,
+        seed: 5,
+        kill_fraction: 0.0,
+    });
+    let spec = ClusterSpec::longhorn_subset(16);
+    let mut group = c.benchmark_group("simulate_10_jobs_16gpu");
+    group.sample_size(10);
+    for kind in [
+        SchedulerKind::Fifo,
+        SchedulerKind::Tiresias,
+        SchedulerKind::Optimus,
+        SchedulerKind::Drl,
+        SchedulerKind::Ones,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let scheduler = kind.build(&spec, &trace, &DetRng::seed(3));
+                    let sim = Simulation::new(
+                        PerfModel::new(spec),
+                        &trace,
+                        scheduler,
+                        SimConfig::default(),
+                    );
+                    std::hint::black_box(sim.run().makespan)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

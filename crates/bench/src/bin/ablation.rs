@@ -1,0 +1,61 @@
+//! Ablation study (beyond the paper): which of ONES's ingredients buys
+//! what? Runs the Table 2 trace under ONES and four crippled variants —
+//! greedy single-candidate search, no progress predictor, no reorder
+//! operation, checkpoint-restart execution — and prints the per-variant
+//! cost of the missing piece.
+//!
+//! ```text
+//! cargo run --release -p ones-bench --bin ablation \
+//!     [--jobs 60] [--gpus 64] [--seed 42] [--rate-secs 30]
+//! ```
+
+use ones_bench::{print_header, Args};
+use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_workload::TraceConfig;
+
+fn main() {
+    let args = Args::parse();
+    let trace = TraceConfig {
+        num_jobs: args.get_usize("jobs", 60),
+        arrival_rate: 1.0 / args.get_f64("rate-secs", 30.0),
+        seed: args.get_u64("seed", 42),
+        kill_fraction: 0.0,
+    };
+    let gpus = args.get_u32("gpus", 64);
+
+    let configs: Vec<ExperimentConfig> = SchedulerKind::ABLATIONS
+        .iter()
+        .map(|&scheduler| ExperimentConfig {
+            gpus,
+            trace,
+            scheduler,
+            sched_seed: args.get_u64("sched-seed", 1),
+            drl_pretrain_episodes: 0,
+        })
+        .collect();
+    let results = run_sweep(&configs);
+    let full = &results[0];
+
+    print_header("ONES ablations — cost of removing each ingredient");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>10} {:>12}",
+        "variant", "avg JCT", "avg exec", "avg queue", "overhead", "vs ONES"
+    );
+    for r in &results {
+        let delta = 100.0 * (r.metrics.mean_jct() / full.metrics.mean_jct() - 1.0);
+        println!(
+            "{:<16} {:>9.1} {:>9.1} {:>9.1} {:>10.0} {:>11.1}%",
+            r.config.scheduler.name(),
+            r.metrics.mean_jct(),
+            r.metrics.mean_exec(),
+            r.metrics.mean_queue(),
+            r.total_overhead,
+            delta
+        );
+    }
+    println!(
+        "\nReading: positive 'vs ONES' percentages are the JCT penalty paid\n\
+         for removing that ingredient (population-based search, the online\n\
+         predictor, the reorder operation, elastic NCCL scaling)."
+    );
+}

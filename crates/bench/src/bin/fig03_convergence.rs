@@ -1,0 +1,50 @@
+//! Figure 3: training accuracy over epochs with a **fixed local batch of
+//! 256** on 1/2/4/8 GPUs — i.e. global batch 256·c — *without* learning-
+//! rate re-scaling. More GPUs ⇒ bigger global batch ⇒ visibly slower
+//! convergence, especially beyond 2 GPUs.
+//!
+//! ```text
+//! cargo run --release -p ones-bench --bin fig03_convergence [--epochs 60]
+//! ```
+
+use ones_bench::{print_header, Args};
+use ones_dlperf::{ConvergenceModel, ConvergenceState};
+
+fn main() {
+    let args = Args::parse();
+    let epochs = args.get_u32("epochs", 60);
+
+    // ResNet50/CIFAR10-style job with reference batch 256.
+    let model = ConvergenceModel {
+        reference_batch: 256,
+        noise_scale: 4096.0,
+        ..ConvergenceModel::example()
+    };
+
+    let gpu_counts = [1u32, 2, 4, 8];
+    let mut states: Vec<ConvergenceState> =
+        gpu_counts.iter().map(|_| ConvergenceState::new(model)).collect();
+
+    print_header("Figure 3 — accuracy vs epochs, fixed local batch 256 (no LR scaling)");
+    print!("{:>6}", "epoch");
+    for c in gpu_counts {
+        print!("  {:>7}", format!("{c}gpu"));
+    }
+    println!();
+    for epoch in 1..=epochs {
+        for (state, &c) in states.iter_mut().zip(&gpu_counts) {
+            state.advance_epoch(256 * c, false);
+        }
+        if epoch % 5 == 0 || epoch == 1 {
+            print!("{epoch:>6}");
+            for state in &states {
+                print!("  {:>7.3}", state.accuracy());
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nPaper shape: convergence slows as the GPU count (hence global\n\
+         batch) grows; the degradation is pronounced beyond 2 GPUs."
+    );
+}

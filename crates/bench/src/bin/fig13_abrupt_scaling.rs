@@ -1,0 +1,43 @@
+//! Figure 13: scaling the batch size abruptly from 256 to 4096 at epoch
+//! 30 (ResNet50 on CIFAR10) produces a sudden spike in the training loss,
+//! followed by a slow recovery. A control run that stays at 256 is printed
+//! alongside.
+//!
+//! ```text
+//! cargo run --release -p ones-bench --bin fig13_abrupt_scaling [--epochs 90]
+//! ```
+
+use ones_bench::{print_header, Args};
+use ones_dlperf::{ConvergenceModel, ConvergenceState};
+
+fn main() {
+    let args = Args::parse();
+    let epochs = args.get_u32("epochs", 90);
+
+    let model = ConvergenceModel {
+        reference_batch: 256,
+        noise_scale: 4096.0,
+        ..ConvergenceModel::example()
+    };
+    let mut scaled = ConvergenceState::new(model);
+    let mut control = ConvergenceState::new(model);
+
+    print_header("Figure 13 — loss when scaling 256 -> 4096 at epoch 30");
+    println!("{:>6} {:>12} {:>12}", "epoch", "scaled", "control");
+    for epoch in 1..=epochs {
+        if epoch == 30 {
+            let destroyed = scaled.on_batch_change(4096);
+            println!("     -- abrupt jump: {destroyed:.2} reference epochs of progress destroyed --");
+        }
+        let batch = if epoch >= 30 { 4096 } else { 256 };
+        scaled.advance_epoch(batch, true);
+        control.advance_epoch(256, true);
+        if epoch % 3 == 0 || (29..=36).contains(&epoch) {
+            println!("{epoch:>6} {:>12.4} {:>12.4}", scaled.loss(), control.loss());
+        }
+    }
+    println!(
+        "\nPaper shape: the scaled run's loss jumps at epoch 30 and needs\n\
+         many epochs to return to the control trajectory."
+    );
+}

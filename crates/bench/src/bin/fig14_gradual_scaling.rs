@@ -1,0 +1,61 @@
+//! Figure 14: scaling the batch size *gradually* — 256 for the first 30
+//! epochs, 1024 for the next 30, 4096 for the last 30 — keeps the training
+//! loss smooth (contrast with Figure 13's abrupt jump). Each stage
+//! transition is itself applied as a sequence of doublings, which is
+//! exactly how the ONES scale-up policy grows the limit.
+//!
+//! ```text
+//! cargo run --release -p ones-bench --bin fig14_gradual_scaling
+//! ```
+
+use ones_bench::print_header;
+use ones_dlperf::{ConvergenceModel, ConvergenceState};
+
+fn main() {
+    let model = ConvergenceModel {
+        reference_batch: 256,
+        noise_scale: 4096.0,
+        ..ConvergenceModel::example()
+    };
+    let mut gradual = ConvergenceState::new(model);
+    let mut abrupt = ConvergenceState::new(model);
+
+    print_header("Figure 14 — loss under gradual scaling 256 -> 1024 -> 4096");
+    println!("{:>6} {:>8} {:>12} {:>12}", "epoch", "batch", "gradual", "abrupt-ref");
+    let mut total_destroyed_gradual = 0.0;
+    for epoch in 1..=90u32 {
+        let stage_batch = match epoch {
+            1..=30 => 256,
+            31..=60 => 1024,
+            _ => 4096,
+        };
+        // Gradual path: enter each stage through doublings (256->512->1024,
+        // 1024->2048->4096), one per event — penalty-free by Figure 14.
+        if epoch == 31 {
+            total_destroyed_gradual += gradual.on_batch_change(512);
+            total_destroyed_gradual += gradual.on_batch_change(1024);
+        }
+        if epoch == 61 {
+            total_destroyed_gradual += gradual.on_batch_change(2048);
+            total_destroyed_gradual += gradual.on_batch_change(4096);
+        }
+        // Abrupt reference: jump straight to the stage batch.
+        if epoch == 31 || epoch == 61 {
+            let _ = abrupt.on_batch_change(stage_batch);
+        }
+        gradual.advance_epoch(stage_batch, true);
+        abrupt.advance_epoch(stage_batch, true);
+        if epoch % 5 == 0 || epoch == 31 || epoch == 61 {
+            println!(
+                "{epoch:>6} {stage_batch:>8} {:>12.4} {:>12.4}",
+                gradual.loss(),
+                abrupt.loss()
+            );
+        }
+    }
+    println!(
+        "\nGradual doublings destroyed {total_destroyed_gradual:.2} reference epochs of progress\n\
+         (Figure 14: none); the abrupt reference spikes at each stage\n\
+         boundary instead."
+    );
+}

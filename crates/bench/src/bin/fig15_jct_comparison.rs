@@ -1,0 +1,135 @@
+//! Figure 15 (a–i): scheduling performance of ONES vs DRL, Tiresias and
+//! Optimus on the Table 2 trace at 64 GPUs — average / box-plot / CDF of
+//! job completion time, execution time and queueing time.
+//!
+//! ```text
+//! cargo run --release -p ones-bench --bin fig15_jct_comparison \
+//!     [--jobs 120] [--gpus 64] [--seed 42] [--rate-secs 30]
+//! ```
+
+use ones_bench::{cdf_at_grid, print_header, Args};
+use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_stats::BoxPlot;
+use ones_workload::TraceConfig;
+
+fn main() {
+    let args = Args::parse();
+    let trace = TraceConfig {
+        num_jobs: args.get_usize("jobs", 120),
+        arrival_rate: 1.0 / args.get_f64("rate-secs", 30.0),
+        seed: args.get_u64("seed", 42),
+        kill_fraction: 0.0,
+    };
+    let gpus = args.get_u32("gpus", 64);
+
+    let configs: Vec<ExperimentConfig> = SchedulerKind::PAPER
+        .iter()
+        .map(|&scheduler| ExperimentConfig {
+            gpus,
+            trace,
+            scheduler,
+            sched_seed: args.get_u64("sched-seed", 1),
+            drl_pretrain_episodes: 3,
+        })
+        .collect();
+    let results = run_sweep(&configs);
+
+    // (a–c) averages.
+    print_header("Figure 15a–c — average times (seconds)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "scheduler", "avg JCT", "avg exec", "avg queue"
+    );
+    for r in &results {
+        println!(
+            "{:<10} {:>10.1} {:>12.1} {:>12.1}",
+            r.config.scheduler.name(),
+            r.metrics.mean_jct(),
+            r.metrics.mean_exec(),
+            r.metrics.mean_queue()
+        );
+    }
+    let ones = &results[0];
+    for r in &results[1..] {
+        let red = 100.0 * (1.0 - ones.metrics.mean_jct() / r.metrics.mean_jct());
+        println!(
+            "ONES reduces average JCT vs {} by {red:.1}%",
+            r.config.scheduler.name()
+        );
+    }
+
+    // (d–f) box plots.
+    print_header("Figure 15d–f — box plots (q1 / median / q3 / whiskers)");
+    for (metric, pick) in [
+        ("JCT", 0usize),
+        ("execution", 1),
+        ("queueing", 2),
+    ] {
+        println!("-- {metric} --");
+        for r in &results {
+            let data = match pick {
+                0 => &r.metrics.jct,
+                1 => &r.metrics.exec,
+                _ => &r.metrics.queue,
+            };
+            let b = BoxPlot::of(data);
+            println!(
+                "{:<10} lo={:>8.1} q1={:>8.1} med={:>8.1} q3={:>8.1} hi={:>8.1} outliers={}",
+                r.config.scheduler.name(),
+                b.whisker_lo,
+                b.q1,
+                b.median,
+                b.q3,
+                b.whisker_hi,
+                b.outliers.len()
+            );
+        }
+    }
+
+    // (g–i) cumulative frequency curves on a shared grid.
+    let grid = [50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0];
+    print_header("Figure 15g–i — cumulative frequency at time thresholds (s)");
+    for (metric, pick) in [
+        ("JCT", 0usize),
+        ("execution", 1),
+        ("queueing", 2),
+    ] {
+        println!("-- {metric} --");
+        print!("{:<10}", "threshold");
+        for g in grid {
+            print!(" {g:>7.0}");
+        }
+        println!();
+        for r in &results {
+            let (cj, ce, cq) = r.metrics.cdfs();
+            let curve: Vec<(f64, f64)> = match pick {
+                0 => cj,
+                1 => ce,
+                _ => cq,
+            };
+            print!("{:<10}", r.config.scheduler.name());
+            for f in cdf_at_grid(&curve, &grid) {
+                print!(" {f:>7.2}");
+            }
+            println!();
+        }
+    }
+
+    print_header("§4.2 headline fractions");
+    for r in &results {
+        println!(
+            "{:<10} fraction of jobs completed within 200 s: {:.0}%",
+            r.config.scheduler.name(),
+            100.0 * r.metrics.fraction_within(200.0)
+        );
+    }
+
+    print_header("GPU utilisation (busy GPU-seconds / capacity)");
+    for r in &results {
+        println!(
+            "{:<10} {:.1}%",
+            r.config.scheduler.name(),
+            100.0 * r.gpu_utilization
+        );
+    }
+}

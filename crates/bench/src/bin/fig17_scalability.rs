@@ -1,0 +1,87 @@
+//! Figures 17 & 18: scheduling scalability — average JCT and queueing
+//! time for every scheduler at 16/32/48/64 GPUs, plus ONES's relative
+//! improvement over each baseline per cluster size (Figure 18).
+//!
+//! ```text
+//! cargo run --release -p ones-bench --bin fig17_scalability \
+//!     [--jobs 120] [--seed 42] [--rate-secs 30]
+//! ```
+
+use ones_bench::{print_header, Args};
+use ones_simulator::{run_sweep, ExperimentConfig, ExperimentResult, SchedulerKind};
+use ones_workload::TraceConfig;
+
+fn main() {
+    let args = Args::parse();
+    let trace = TraceConfig {
+        num_jobs: args.get_usize("jobs", 120),
+        arrival_rate: 1.0 / args.get_f64("rate-secs", 30.0),
+        seed: args.get_u64("seed", 42),
+        kill_fraction: 0.0,
+    };
+    let sizes = [16u32, 32, 48, 64];
+
+    let configs: Vec<ExperimentConfig> = sizes
+        .iter()
+        .flat_map(|&gpus| {
+            SchedulerKind::PAPER.iter().map(move |&scheduler| ExperimentConfig {
+                gpus,
+                trace,
+                scheduler,
+                sched_seed: 1,
+                drl_pretrain_episodes: 3,
+            })
+        })
+        .collect();
+    let results = run_sweep(&configs);
+    let find = |gpus: u32, s: SchedulerKind| -> &ExperimentResult {
+        results
+            .iter()
+            .find(|r| r.config.gpus == gpus && r.config.scheduler == s)
+            .expect("swept")
+    };
+
+    print_header("Figure 17 — average JCT (s) vs cluster size");
+    print!("{:<10}", "scheduler");
+    for g in sizes {
+        print!(" {:>9}", format!("{g} GPUs"));
+    }
+    println!();
+    for s in SchedulerKind::PAPER {
+        print!("{:<10}", s.name());
+        for g in sizes {
+            print!(" {:>9.1}", find(g, s).metrics.mean_jct());
+        }
+        println!();
+    }
+
+    print_header("Figure 17 — average queueing time (s) vs cluster size");
+    for s in SchedulerKind::PAPER {
+        print!("{:<10}", s.name());
+        for g in sizes {
+            print!(" {:>9.1}", find(g, s).metrics.mean_queue());
+        }
+        println!();
+    }
+
+    print_header("Figure 18 — ONES improvement in average JCT (%)");
+    print!("{:<12}", "vs");
+    for g in sizes {
+        print!(" {:>9}", format!("{g} GPUs"));
+    }
+    println!();
+    for s in [SchedulerKind::Drl, SchedulerKind::Tiresias, SchedulerKind::Optimus] {
+        print!("{:<12}", s.name());
+        for g in sizes {
+            let ones = find(g, SchedulerKind::Ones).metrics.mean_jct();
+            let base = find(g, s).metrics.mean_jct();
+            print!(" {:>8.1}%", 100.0 * (1.0 - ones / base));
+        }
+        println!();
+    }
+    println!(
+        "\nPaper shape: average JCT falls roughly linearly with cluster\n\
+         size for every scheduler, and ONES's improvement widens as more\n\
+         GPUs give its elasticity more room."
+    );
+}

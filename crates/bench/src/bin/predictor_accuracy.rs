@@ -1,0 +1,112 @@
+//! Predictor-accuracy study (beyond the paper's figures, validating
+//! §3.2.1): mean absolute error of the remaining-epoch prediction as the
+//! predictor accumulates completed jobs, for both β-model backends (the
+//! fast linear default and the paper's named GPR).
+//!
+//! ```text
+//! cargo run --release -p ones-bench --bin predictor_accuracy [--seed 42]
+//! ```
+
+use ones_bench::{print_header, Args};
+use ones_dlperf::ConvergenceState;
+use ones_predictor::{BetaModel, FeatureSnapshot, PredictorConfig, ProgressPredictor};
+use ones_schedcore::JobStatus;
+use ones_simcore::{DetRng, SimTime};
+use ones_workload::{table2_catalog, JobId, JobSpec, WorkloadTemplate};
+
+/// Builds a fresh job from a catalog template.
+fn job_from(template: &WorkloadTemplate, id: u64) -> JobStatus {
+    let spec = JobSpec {
+        id: JobId(id),
+        name: template.name(),
+        model: template.model,
+        dataset: template.dataset,
+        dataset_size: template.dataset_size,
+        submit_batch: template.default_batch,
+        max_safe_batch: (template.convergence.noise_scale as u32).max(template.default_batch),
+        requested_gpus: 1,
+        arrival_secs: 0.0,
+        kill_after_secs: None,
+        convergence: template.convergence,
+    };
+    JobStatus::submitted(spec, SimTime::ZERO)
+}
+
+/// Trains the job at its reference batch, returning the epoch log.
+fn run_job(status: &mut JobStatus) -> (Vec<FeatureSnapshot>, u32) {
+    let mut conv = ConvergenceState::new(status.spec.convergence);
+    let mut log = Vec::new();
+    while !conv.converged() {
+        conv.advance_epoch(status.spec.submit_batch, true);
+        status.epochs_done = conv.epochs_done();
+        status.samples_processed =
+            f64::from(conv.epochs_done()) * status.spec.dataset_size as f64;
+        status.current_loss = conv.loss();
+        status.current_accuracy = conv.accuracy();
+        log.push(FeatureSnapshot::capture(status));
+    }
+    (log, conv.epochs_done())
+}
+
+/// Mean absolute remaining-epoch error over probe jobs queried mid-run.
+fn probe_error(predictor: &ProgressPredictor, catalog: &[WorkloadTemplate], seed: u64) -> f64 {
+    let mut rng = DetRng::seed(seed).fork("probe");
+    let mut total = 0.0;
+    let mut count = 0;
+    for k in 0..20u64 {
+        let template = &catalog[rng.index(catalog.len())];
+        let mut status = job_from(template, 10_000 + k);
+        let mut conv = ConvergenceState::new(status.spec.convergence);
+        let probe_epoch = 5 + rng.index(10) as u32;
+        for _ in 0..probe_epoch {
+            conv.advance_epoch(status.spec.submit_batch, true);
+        }
+        status.epochs_done = probe_epoch;
+        status.samples_processed =
+            f64::from(probe_epoch) * status.spec.dataset_size as f64;
+        status.current_loss = conv.loss();
+        status.current_accuracy = conv.accuracy();
+        let predicted = predictor.predict_remaining_epochs(&status);
+        let truth = conv.remaining_epochs_at(status.spec.submit_batch);
+        total += (predicted - truth).abs();
+        count += 1;
+    }
+    total / f64::from(count)
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.get_u64("seed", 42);
+    let catalog = table2_catalog();
+    let checkpoints = [0usize, 5, 10, 20, 40];
+
+    print_header("Remaining-epoch prediction MAE vs completions observed");
+    println!("{:<14} {:>12} {:>12}", "completions", "linear", "GPR");
+    for &n in &checkpoints {
+        let mut row = Vec::new();
+        for model in [BetaModel::Linear, BetaModel::GaussianProcess] {
+            let mut predictor = ProgressPredictor::new(
+                PredictorConfig {
+                    model,
+                    capacity: 256,
+                    ..PredictorConfig::default()
+                },
+                DetRng::seed(seed),
+            );
+            let mut pick = DetRng::seed(seed).fork("train");
+            for i in 0..n {
+                let template = &catalog[pick.index(catalog.len())];
+                let mut status = job_from(template, i as u64);
+                let (log, total) = run_job(&mut status);
+                predictor.observe_completion(&log, total);
+            }
+            row.push(probe_error(&predictor, &catalog, seed));
+        }
+        println!("{n:<14} {:>12.2} {:>12.2}", row[0], row[1]);
+    }
+    println!(
+        "\nReading: with no completions both backends fall back to the\n\
+         cold-start prior; error drops steeply over the first handful of\n\
+         completed jobs (the online-learning claim of §3.2.1)."
+    );
+}

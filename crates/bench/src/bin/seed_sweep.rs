@@ -1,0 +1,68 @@
+//! Seed-sensitivity study: re-runs the Figure 15 comparison across several
+//! trace seeds and reports the mean ± sd of ONES's JCT reduction against
+//! each baseline — backing EXPERIMENTS.md's claim that seeds move absolute
+//! numbers but not orderings.
+//!
+//! ```text
+//! cargo run --release -p ones-bench --bin seed_sweep \
+//!     [--jobs 60] [--gpus 64] [--seeds 3]
+//! ```
+
+use ones_bench::{print_header, Args};
+use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_stats::desc;
+use ones_workload::TraceConfig;
+
+fn main() {
+    let args = Args::parse();
+    let jobs = args.get_usize("jobs", 60);
+    let gpus = args.get_u32("gpus", 64);
+    let n_seeds = args.get_u64("seeds", 3);
+
+    let configs: Vec<ExperimentConfig> = (0..n_seeds)
+        .flat_map(|s| {
+            SchedulerKind::PAPER.iter().map(move |&scheduler| ExperimentConfig {
+                gpus,
+                trace: TraceConfig {
+                    num_jobs: jobs,
+                    arrival_rate: 1.0 / 30.0,
+                    seed: 42 + s,
+                    kill_fraction: 0.0,
+                },
+                scheduler,
+                sched_seed: 1,
+                drl_pretrain_episodes: 2,
+            })
+        })
+        .collect();
+    let results = run_sweep(&configs);
+
+    print_header("ONES JCT reduction vs baseline, across trace seeds");
+    println!("{:<12} {:>12} {:>10} {:>16}", "vs", "mean", "sd", "ONES always wins");
+    for base in [SchedulerKind::Drl, SchedulerKind::Tiresias, SchedulerKind::Optimus] {
+        let mut reductions = Vec::new();
+        let mut always = true;
+        for s in 0..n_seeds {
+            let seed = 42 + s;
+            let jct = |k: SchedulerKind| {
+                results
+                    .iter()
+                    .find(|r| r.config.scheduler == k && r.config.trace.seed == seed)
+                    .expect("swept")
+                    .metrics
+                    .mean_jct()
+            };
+            let ones = jct(SchedulerKind::Ones);
+            let b = jct(base);
+            reductions.push(100.0 * (1.0 - ones / b));
+            always &= ones < b;
+        }
+        println!(
+            "{:<12} {:>11.1}% {:>9.1}% {:>16}",
+            base.name(),
+            desc::mean(&reductions),
+            desc::std_dev(&reductions),
+            if always { "yes" } else { "NO" }
+        );
+    }
+}

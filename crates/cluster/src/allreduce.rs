@@ -1,0 +1,256 @@
+//! Ring all-reduce cost model.
+//!
+//! Data-parallel training synchronises gradients once per step with an
+//! all-reduce over the job's workers (the paper uses NCCL, §1). We model the
+//! standard ring algorithm under the α–β cost model:
+//!
+//! ```text
+//! T = 2 (n − 1) · α_link  +  2 (n − 1)/n · bytes / B_eff
+//! ```
+//!
+//! where `n` is the worker count, `α_link` the per-hop latency of the
+//! slowest link in the ring, and `B_eff` the per-flow bandwidth of the
+//! bottleneck link. When the ring crosses nodes, the bottleneck is the
+//! inter-node fabric; if one node's workers form `k` disjoint runs in the
+//! ring, its NIC carries `k` concurrent flows and per-flow bandwidth drops
+//! by `k` — this is what makes the *reorder* operation profitable.
+
+use crate::placement::Placement;
+use crate::topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// All-reduce cost model bound to a cluster fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllReduceModel {
+    spec: ClusterSpec,
+}
+
+impl AllReduceModel {
+    /// Binds the model to a cluster.
+    #[must_use]
+    pub fn new(spec: ClusterSpec) -> Self {
+        AllReduceModel { spec }
+    }
+
+    /// The underlying cluster spec.
+    #[must_use]
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Time in seconds for one ring all-reduce of `bytes` gradient bytes
+    /// over `placement`. Returns 0 for 0 or 1 workers (no synchronisation).
+    #[must_use]
+    pub fn time(&self, placement: &Placement, bytes: f64) -> f64 {
+        allreduce_time(&self.spec, placement, bytes)
+    }
+
+    /// Time for a parameter broadcast of `bytes` from one worker to the
+    /// rest (used when new workers join during elastic scaling, §3.3.1):
+    /// modelled as a pipelined chain transfer.
+    #[must_use]
+    pub fn broadcast_time(&self, placement: &Placement, bytes: f64) -> f64 {
+        let n = placement.len();
+        if n <= 1 || bytes <= 0.0 {
+            return 0.0;
+        }
+        let (lat, bw) = bottleneck(&self.spec, placement);
+        // Pipelined ring broadcast: latency per hop + full payload once
+        // through the bottleneck.
+        (n - 1) as f64 * lat + bytes / bw
+    }
+}
+
+impl AllReduceModel {
+    /// Time for a binary-tree all-reduce (reduce up + broadcast down) of
+    /// `bytes` over `placement`. Trees pay `O(log n)` latency hops but move
+    /// the full payload at every level, so they beat rings only for small
+    /// messages or very large worker counts where the ring's `2(n−1)`
+    /// latency terms dominate.
+    #[must_use]
+    pub fn tree_time(&self, placement: &Placement, bytes: f64) -> f64 {
+        tree_allreduce_time(&self.spec, placement, bytes)
+    }
+
+    /// The cheaper of ring and tree for this transfer — what NCCL's
+    /// algorithm selection approximates.
+    #[must_use]
+    pub fn best_time(&self, placement: &Placement, bytes: f64) -> f64 {
+        self.time(placement, bytes)
+            .min(self.tree_time(placement, bytes))
+    }
+}
+
+/// Free-function form of [`AllReduceModel::tree_time`].
+#[must_use]
+pub fn tree_allreduce_time(spec: &ClusterSpec, placement: &Placement, bytes: f64) -> f64 {
+    assert!(bytes >= 0.0, "negative message size");
+    let n = placement.len();
+    if n <= 1 || bytes == 0.0 {
+        return 0.0;
+    }
+    let levels = (n as f64).log2().ceil().max(1.0);
+    let (lat, bw) = bottleneck(spec, placement);
+    // Reduce + broadcast: 2·levels hops, each carrying the full payload.
+    2.0 * levels * (lat + bytes / bw)
+}
+
+/// Bottleneck `(latency, per-flow bandwidth)` of a ring over `placement`.
+fn bottleneck(spec: &ClusterSpec, placement: &Placement) -> (f64, f64) {
+    let ic = spec.interconnect;
+    if placement.nodes_spanned(spec) <= 1 {
+        (ic.intra_node_lat, ic.intra_node_bw)
+    } else {
+        let runs = placement.max_runs_per_node(spec).max(1) as f64;
+        (ic.inter_node_lat, ic.inter_node_bw / runs)
+    }
+}
+
+/// Free-function form of [`AllReduceModel::time`].
+///
+/// # Example
+/// ```
+/// use ones_cluster::{allreduce_time, ClusterSpec, Placement};
+///
+/// let spec = ClusterSpec::longhorn();
+/// let single = Placement::contiguous(0, 1);
+/// let four = Placement::contiguous(0, 4);
+/// let grad_bytes = 100.0e6; // ~25M-parameter model in f32
+/// assert_eq!(allreduce_time(&spec, &single, grad_bytes), 0.0);
+/// assert!(allreduce_time(&spec, &four, grad_bytes) > 0.0);
+/// ```
+#[must_use]
+pub fn allreduce_time(spec: &ClusterSpec, placement: &Placement, bytes: f64) -> f64 {
+    assert!(bytes >= 0.0, "negative message size");
+    let n = placement.len();
+    if n <= 1 || bytes == 0.0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let (lat, bw) = bottleneck(spec, placement);
+    2.0 * (nf - 1.0) * lat + 2.0 * (nf - 1.0) / nf * bytes / bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::GpuId;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::new(4, 4)
+    }
+
+    fn p(ids: &[u32]) -> Placement {
+        Placement::new(ids.iter().map(|&i| GpuId(i)).collect())
+    }
+
+    const MB100: f64 = 100.0e6;
+
+    #[test]
+    fn single_worker_costs_nothing() {
+        assert_eq!(allreduce_time(&spec(), &p(&[0]), MB100), 0.0);
+        assert_eq!(allreduce_time(&spec(), &Placement::empty(), MB100), 0.0);
+        assert_eq!(allreduce_time(&spec(), &p(&[0, 1]), 0.0), 0.0);
+    }
+
+    #[test]
+    fn cost_grows_with_workers() {
+        let s = spec();
+        let t2 = allreduce_time(&s, &p(&[0, 1]), MB100);
+        let t4 = allreduce_time(&s, &p(&[0, 1, 2, 3]), MB100);
+        assert!(t4 > t2, "t4={t4}, t2={t2}");
+    }
+
+    #[test]
+    fn bandwidth_term_saturates() {
+        // 2(n-1)/n -> 2, so cost at large n is bounded by ~2·bytes/bw + latency.
+        let s = ClusterSpec::new(1, 64);
+        let t8 = allreduce_time(&s, &Placement::contiguous(0, 8), MB100);
+        let t64 = allreduce_time(&s, &Placement::contiguous(0, 64), MB100);
+        assert!(t64 < 2.0 * t8, "saturation violated: t8={t8}, t64={t64}");
+    }
+
+    #[test]
+    fn crossing_nodes_is_slower() {
+        let s = spec();
+        let intra = allreduce_time(&s, &p(&[0, 1, 2, 3]), MB100);
+        let inter = allreduce_time(&s, &p(&[0, 1, 2, 4]), MB100);
+        assert!(
+            inter > 2.0 * intra,
+            "inter-node all-reduce should be much slower: intra={intra}, inter={inter}"
+        );
+    }
+
+    #[test]
+    fn fragmented_placement_is_slower_than_packed() {
+        let s = spec();
+        // 8 workers over 2 nodes: packed (0-7) vs interleaved (even ids).
+        let packed = p(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let interleaved = p(&[0, 2, 4, 6, 8, 10, 12, 14]);
+        let t_packed = allreduce_time(&s, &packed, MB100);
+        let t_inter = allreduce_time(&s, &interleaved, MB100);
+        assert!(
+            t_inter > t_packed,
+            "reorder should pay off: packed={t_packed}, interleaved={t_inter}"
+        );
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_bytes_at_fixed_n() {
+        let s = spec();
+        let pl = p(&[0, 1, 2, 3]);
+        let t1 = allreduce_time(&s, &pl, MB100);
+        let t2 = allreduce_time(&s, &pl, 2.0 * MB100);
+        // Latency terms are tiny compared to 100 MB payloads.
+        assert!((t2 / t1 - 2.0).abs() < 0.05, "ratio {}", t2 / t1);
+    }
+
+    #[test]
+    fn broadcast_cheaper_than_allreduce_at_scale() {
+        let s = spec();
+        let m = AllReduceModel::new(s);
+        let pl = p(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let bcast = m.broadcast_time(&pl, MB100);
+        let ar = m.time(&pl, MB100);
+        assert!(bcast > 0.0);
+        assert!(bcast < ar, "bcast={bcast}, allreduce={ar}");
+        assert_eq!(m.broadcast_time(&p(&[0]), MB100), 0.0);
+    }
+
+    #[test]
+    fn model_accessors() {
+        let m = AllReduceModel::new(spec());
+        assert_eq!(m.spec().total_gpus(), 16);
+    }
+
+    #[test]
+    fn tree_beats_ring_for_tiny_messages_at_scale() {
+        // 64 workers, 4 KiB message: ring pays 2·63 latency hops, tree
+        // only 2·6.
+        let s = ClusterSpec::new(16, 4);
+        let m = AllReduceModel::new(s);
+        let pl = Placement::contiguous(0, 64);
+        let tiny = 4096.0;
+        assert!(m.tree_time(&pl, tiny) < m.time(&pl, tiny));
+        assert_eq!(m.best_time(&pl, tiny), m.tree_time(&pl, tiny));
+    }
+
+    #[test]
+    fn ring_beats_tree_for_large_messages() {
+        // The ring pipelines the payload (2(n−1)/n·bytes ≈ 2·bytes total);
+        // the tree re-sends the full payload at every level.
+        let s = spec();
+        let m = AllReduceModel::new(s);
+        let pl = p(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(m.time(&pl, MB100) < m.tree_time(&pl, MB100));
+        assert_eq!(m.best_time(&pl, MB100), m.time(&pl, MB100));
+    }
+
+    #[test]
+    fn tree_time_degenerate_cases() {
+        let m = AllReduceModel::new(spec());
+        assert_eq!(m.tree_time(&p(&[0]), MB100), 0.0);
+        assert_eq!(m.tree_time(&p(&[0, 1]), 0.0), 0.0);
+        assert!(m.tree_time(&p(&[0, 1]), MB100) > 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # ones-cluster — GPU cluster topology and communication model
+//!
+//! Models the paper's testbed: TACC Longhorn, 16 nodes × 4 NVIDIA V100,
+//! NVLink inside a node and Mellanox EDR InfiniBand between nodes (§4.1).
+//! The substitution for real hardware (see DESIGN.md §1) is an analytic
+//! model with three parts:
+//!
+//! * [`topology`] — node/GPU identifiers, cluster shapes, and the
+//!   [`topology::ClusterSpec`] describing capacity and link speeds,
+//! * [`placement`] — which GPUs a job's workers occupy, plus the locality
+//!   metrics (nodes spanned, contiguous runs per node) that the *reorder*
+//!   evolution operation improves,
+//! * [`allreduce`] — an α–β (latency–bandwidth) ring all-reduce cost model
+//!   that yields the sub-linear scaling of distributed training the
+//!   scheduler must reason about.
+
+pub mod allreduce;
+pub mod placement;
+pub mod topology;
+
+pub use allreduce::{allreduce_time, AllReduceModel};
+pub use placement::Placement;
+pub use topology::{ClusterSpec, GpuId, Interconnect, NodeId};

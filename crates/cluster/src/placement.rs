@@ -1,0 +1,231 @@
+//! Worker placement and locality metrics.
+//!
+//! A [`Placement`] is the set of GPUs a job's workers occupy. Its locality
+//! determines communication cost: a ring all-reduce over workers scattered
+//! across many nodes crosses the (slow, shared) inter-node fabric more
+//! often. The evolutionary *reorder* operation (§3.2.2, Figure 10) exists
+//! precisely to pack each job's workers contiguously; the metrics here
+//! ([`Placement::nodes_spanned`], [`Placement::max_runs_per_node`]) quantify
+//! what it improves.
+
+use crate::topology::{ClusterSpec, GpuId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A sorted, duplicate-free set of GPUs assigned to one job.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Placement {
+    gpus: Vec<GpuId>,
+}
+
+impl Placement {
+    /// Builds a placement from arbitrary GPU ids (sorted and deduplicated).
+    #[must_use]
+    pub fn new(mut gpus: Vec<GpuId>) -> Self {
+        gpus.sort_unstable();
+        gpus.dedup();
+        Placement { gpus }
+    }
+
+    /// The empty placement (job not running).
+    #[must_use]
+    pub fn empty() -> Self {
+        Placement::default()
+    }
+
+    /// A contiguous placement starting at GPU `first` with `count` workers.
+    #[must_use]
+    pub fn contiguous(first: u32, count: u32) -> Self {
+        Placement {
+            gpus: (first..first + count).map(GpuId).collect(),
+        }
+    }
+
+    /// The GPUs, sorted ascending.
+    #[must_use]
+    pub fn gpus(&self) -> &[GpuId] {
+        &self.gpus
+    }
+
+    /// Number of workers `c_j`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Whether the job holds no GPUs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+
+    /// Whether the placement contains a GPU.
+    #[must_use]
+    pub fn contains(&self, gpu: GpuId) -> bool {
+        self.gpus.binary_search(&gpu).is_ok()
+    }
+
+    /// Number of distinct nodes the workers span.
+    #[must_use]
+    pub fn nodes_spanned(&self, spec: &ClusterSpec) -> usize {
+        let mut nodes: Vec<NodeId> = self.gpus.iter().map(|&g| spec.node_of(g)).collect();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    /// Per-node worker counts.
+    #[must_use]
+    pub fn workers_per_node(&self, spec: &ClusterSpec) -> BTreeMap<NodeId, usize> {
+        let mut map = BTreeMap::new();
+        for &g in &self.gpus {
+            *map.entry(spec.node_of(g)).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Number of *contiguous runs* of this placement's GPUs on the node
+    /// where that count is highest.
+    ///
+    /// In a ring all-reduce ordered by GPU id, every run boundary is a pair
+    /// of ring links that traverses the node's NIC. A node whose workers
+    /// form `k` disjoint runs therefore pushes `k` concurrent flows through
+    /// one NIC, dividing per-flow bandwidth by `k`. Packing workers
+    /// contiguously (the *reorder* operation) brings this to 1.
+    #[must_use]
+    pub fn max_runs_per_node(&self, spec: &ClusterSpec) -> usize {
+        let mut runs: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut prev: Option<GpuId> = None;
+        for &g in &self.gpus {
+            let node = spec.node_of(g);
+            let contiguous_same_node = prev.is_some_and(|p| p.0 + 1 == g.0 && spec.node_of(p) == node);
+            if !contiguous_same_node {
+                *runs.entry(node).or_insert(0) += 1;
+            } else {
+                runs.entry(node).or_insert(0);
+            }
+            prev = Some(g);
+        }
+        runs.values().copied().max().unwrap_or(0)
+    }
+
+    /// Locality score in (0, 1]: 1 for a single-node contiguous placement,
+    /// decreasing with fragmentation. Used by tests and diagnostics.
+    #[must_use]
+    pub fn locality_score(&self, spec: &ClusterSpec) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        let runs = self.max_runs_per_node(spec).max(1);
+        let span = self.nodes_spanned(spec);
+        let min_span = self.len().div_ceil(spec.gpus_per_node as usize);
+        (min_span as f64 / span as f64) / runs as f64
+    }
+
+    /// Union with another placement.
+    #[must_use]
+    pub fn union(&self, other: &Placement) -> Placement {
+        let mut gpus = self.gpus.clone();
+        gpus.extend_from_slice(&other.gpus);
+        Placement::new(gpus)
+    }
+}
+
+impl FromIterator<GpuId> for Placement {
+    fn from_iter<T: IntoIterator<Item = GpuId>>(iter: T) -> Self {
+        Placement::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::new(4, 4) // 16 GPUs
+    }
+
+    fn p(ids: &[u32]) -> Placement {
+        Placement::new(ids.iter().map(|&i| GpuId(i)).collect())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let pl = p(&[3, 1, 3, 2]);
+        assert_eq!(pl.gpus(), &[GpuId(1), GpuId(2), GpuId(3)]);
+        assert_eq!(pl.len(), 3);
+        assert!(pl.contains(GpuId(2)));
+        assert!(!pl.contains(GpuId(0)));
+    }
+
+    #[test]
+    fn contiguous_constructor() {
+        let pl = Placement::contiguous(4, 3);
+        assert_eq!(pl.gpus(), &[GpuId(4), GpuId(5), GpuId(6)]);
+    }
+
+    #[test]
+    fn nodes_spanned_counts_distinct_nodes() {
+        let s = spec();
+        assert_eq!(p(&[0, 1, 2, 3]).nodes_spanned(&s), 1);
+        assert_eq!(p(&[0, 4]).nodes_spanned(&s), 2);
+        assert_eq!(p(&[0, 5, 10, 15]).nodes_spanned(&s), 4);
+        assert_eq!(Placement::empty().nodes_spanned(&s), 0);
+    }
+
+    #[test]
+    fn contiguous_single_node_has_one_run() {
+        let s = spec();
+        assert_eq!(p(&[0, 1, 2, 3]).max_runs_per_node(&s), 1);
+        assert_eq!(p(&[4, 5]).max_runs_per_node(&s), 1);
+    }
+
+    #[test]
+    fn scattered_workers_have_multiple_runs() {
+        let s = spec();
+        // GPUs 0 and 2 on node 0: two disjoint runs.
+        assert_eq!(p(&[0, 2]).max_runs_per_node(&s), 2);
+        // GPUs 0, 1 contiguous + 3: runs = 2 on node 0.
+        assert_eq!(p(&[0, 1, 3]).max_runs_per_node(&s), 2);
+    }
+
+    #[test]
+    fn runs_do_not_join_across_node_boundary() {
+        let s = spec();
+        // GPUs 3 and 4 are id-adjacent but on different nodes: one run each.
+        assert_eq!(p(&[3, 4]).max_runs_per_node(&s), 1);
+        assert_eq!(p(&[3, 4]).nodes_spanned(&s), 2);
+    }
+
+    #[test]
+    fn locality_score_prefers_packed() {
+        let s = spec();
+        let packed = p(&[0, 1, 2, 3]);
+        let spread = p(&[0, 4, 8, 12]);
+        let fragmented = p(&[0, 2, 4, 6]);
+        assert!(packed.locality_score(&s) > spread.locality_score(&s));
+        assert!(packed.locality_score(&s) > fragmented.locality_score(&s));
+        assert_eq!(packed.locality_score(&s), 1.0);
+    }
+
+    #[test]
+    fn workers_per_node_counts() {
+        let s = spec();
+        let counts = p(&[0, 1, 4, 8, 9, 10]).workers_per_node(&s);
+        assert_eq!(counts[&NodeId(0)], 2);
+        assert_eq!(counts[&NodeId(1)], 1);
+        assert_eq!(counts[&NodeId(2)], 3);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = p(&[0, 1]);
+        let b = p(&[1, 2]);
+        assert_eq!(a.union(&b).gpus(), &[GpuId(0), GpuId(1), GpuId(2)]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let pl: Placement = (0..3).map(GpuId).collect();
+        assert_eq!(pl.len(), 3);
+    }
+}

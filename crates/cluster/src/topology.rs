@@ -1,0 +1,216 @@
+//! Cluster shapes, device identifiers and link speeds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a single GPU device. GPUs are numbered densely from 0 in
+/// node order: GPU `g` lives on node `g / gpus_per_node`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GpuId(pub u32);
+
+/// Identifier of a server node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Link speeds of the cluster fabric.
+///
+/// Bandwidths are bytes/second of achievable payload throughput per flow;
+/// latencies are one-way seconds per pipeline stage. Defaults approximate
+/// Longhorn: NVLink 2.0 inside a node, EDR InfiniBand (100 Gb/s) between
+/// nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Achievable intra-node (NVLink) bandwidth per flow, bytes/s.
+    pub intra_node_bw: f64,
+    /// Achievable inter-node (InfiniBand) bandwidth per flow, bytes/s.
+    pub inter_node_bw: f64,
+    /// Intra-node hop latency, seconds.
+    pub intra_node_lat: f64,
+    /// Inter-node hop latency, seconds.
+    pub inter_node_lat: f64,
+}
+
+impl Default for Interconnect {
+    fn default() -> Self {
+        Interconnect {
+            intra_node_bw: 60.0e9,  // NVLink 2.0 effective ~60 GB/s
+            inter_node_bw: 10.0e9,  // EDR IB 100 Gb/s ≈ 12.5 GB/s raw, ~10 effective
+            intra_node_lat: 5.0e-6, // 5 µs
+            inter_node_lat: 15.0e-6, // 15 µs incl. NIC traversal
+        }
+    }
+}
+
+/// Static description of a GPU cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of server nodes.
+    pub nodes: u32,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+    /// Fabric link speeds.
+    pub interconnect: Interconnect,
+}
+
+impl ClusterSpec {
+    /// A cluster of `nodes` × `gpus_per_node` with default Longhorn-like
+    /// links.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(nodes: u32, gpus_per_node: u32) -> Self {
+        assert!(nodes > 0 && gpus_per_node > 0, "cluster must be non-empty");
+        ClusterSpec {
+            nodes,
+            gpus_per_node,
+            interconnect: Interconnect::default(),
+        }
+    }
+
+    /// The paper's testbed: 16 nodes × 4 V100 = 64 GPUs (§4.1).
+    #[must_use]
+    pub fn longhorn() -> Self {
+        ClusterSpec::new(16, 4)
+    }
+
+    /// A Longhorn-like cluster truncated to `gpus` total GPUs (used by the
+    /// §4.4 scalability sweep: 16, 32, 48, 64 GPUs).
+    ///
+    /// # Panics
+    /// Panics unless `gpus` is a positive multiple of 4.
+    #[must_use]
+    pub fn longhorn_subset(gpus: u32) -> Self {
+        assert!(gpus > 0 && gpus.is_multiple_of(4), "Longhorn subsets come in whole nodes");
+        ClusterSpec::new(gpus / 4, 4)
+    }
+
+    /// Total number of GPUs.
+    #[must_use]
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// The node hosting a GPU.
+    ///
+    /// # Panics
+    /// Panics if the GPU id is out of range.
+    #[must_use]
+    pub fn node_of(&self, gpu: GpuId) -> NodeId {
+        assert!(
+            gpu.0 < self.total_gpus(),
+            "GPU {gpu} out of range for a {}-GPU cluster",
+            self.total_gpus()
+        );
+        NodeId(gpu.0 / self.gpus_per_node)
+    }
+
+    /// All GPU ids on a node.
+    #[must_use]
+    pub fn gpus_on(&self, node: NodeId) -> Vec<GpuId> {
+        assert!(node.0 < self.nodes, "node {node} out of range");
+        let base = node.0 * self.gpus_per_node;
+        (base..base + self.gpus_per_node).map(GpuId).collect()
+    }
+
+    /// Iterator over all GPU ids.
+    pub fn all_gpus(&self) -> impl Iterator<Item = GpuId> {
+        (0..self.total_gpus()).map(GpuId)
+    }
+
+    /// Whether two GPUs share a node.
+    #[must_use]
+    pub fn same_node(&self, a: GpuId, b: GpuId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longhorn_is_sixteen_by_four() {
+        let c = ClusterSpec::longhorn();
+        assert_eq!(c.total_gpus(), 64);
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.gpus_per_node, 4);
+    }
+
+    #[test]
+    fn node_mapping_is_dense() {
+        let c = ClusterSpec::new(3, 4);
+        assert_eq!(c.node_of(GpuId(0)), NodeId(0));
+        assert_eq!(c.node_of(GpuId(3)), NodeId(0));
+        assert_eq!(c.node_of(GpuId(4)), NodeId(1));
+        assert_eq!(c.node_of(GpuId(11)), NodeId(2));
+    }
+
+    #[test]
+    fn gpus_on_node_are_contiguous() {
+        let c = ClusterSpec::new(2, 4);
+        assert_eq!(
+            c.gpus_on(NodeId(1)),
+            vec![GpuId(4), GpuId(5), GpuId(6), GpuId(7)]
+        );
+    }
+
+    #[test]
+    fn all_gpus_enumerates_everything() {
+        let c = ClusterSpec::new(2, 3);
+        let ids: Vec<u32> = c.all_gpus().map(|g| g.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn same_node_detects_locality() {
+        let c = ClusterSpec::new(2, 2);
+        assert!(c.same_node(GpuId(0), GpuId(1)));
+        assert!(!c.same_node(GpuId(1), GpuId(2)));
+    }
+
+    #[test]
+    fn subset_scales_in_whole_nodes() {
+        for gpus in [16, 32, 48, 64] {
+            let c = ClusterSpec::longhorn_subset(gpus);
+            assert_eq!(c.total_gpus(), gpus);
+            assert_eq!(c.gpus_per_node, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole nodes")]
+    fn ragged_subset_rejected() {
+        let _ = ClusterSpec::longhorn_subset(18);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_gpu_rejected() {
+        let c = ClusterSpec::new(1, 4);
+        let _ = c.node_of(GpuId(4));
+    }
+
+    #[test]
+    fn default_links_favour_intra_node() {
+        let i = Interconnect::default();
+        assert!(i.intra_node_bw > i.inter_node_bw);
+        assert!(i.intra_node_lat < i.inter_node_lat);
+    }
+}

@@ -1,0 +1,451 @@
+//! Statistical-efficiency convergence model.
+//!
+//! Real DL training converges after a number of epochs that depends on the
+//! batch-size *trajectory*. We model a job's state as an accumulated
+//! **effective progress** `p`, measured in *reference epochs* — epochs at
+//! the job's submitted batch size `B₀` with a correctly scaled learning
+//! rate. One wall epoch at global batch `B` contributes
+//!
+//! ```text
+//! η(B) = (1 + B₀/B_n) / (1 + B/B_n)          (LR linearly scaled)
+//! ```
+//!
+//! the gradient-noise-scale shape of Hoffer et al. / Smith et al. cited in
+//! §3.3.2: batches below the noise scale `B_n` are sample-efficient, larger
+//! batches waste samples. Without LR scaling, large batches are penalised
+//! much harder (reproducing Figure 3). An *abrupt* batch-size jump of more
+//! than one doubling destroys part of the accumulated progress (the loss
+//! spike of Figure 13); a gradual ×2-per-event trajectory does not
+//! (Figure 14) — which is exactly why ONES's scale-up policy doubles the
+//! limit `R` instead of jumping.
+//!
+//! Loss and accuracy are deterministic functions of `p`, so the observable
+//! effect of a destroyed-progress spike is a loss jump followed by a
+//! recovery phase, just like the paper's plots.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-job convergence parameters (ground truth inside the simulator; the
+/// schedulers never see these — they only observe loss/accuracy/epochs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceModel {
+    /// The user-submitted reference global batch size B₀.
+    pub reference_batch: u32,
+    /// Gradient noise scale `B_n`: the batch size beyond which sample
+    /// efficiency halves.
+    pub noise_scale: f64,
+    /// Initial training loss L₀ (before the first step).
+    pub initial_loss: f64,
+    /// Asymptotic loss L_∞.
+    pub final_loss: f64,
+    /// Best reachable validation accuracy A_max.
+    pub max_accuracy: f64,
+    /// Target validation accuracy (job ends after `patience` consecutive
+    /// epochs at or above it, §4.1).
+    pub target_accuracy: f64,
+    /// Progress (reference epochs) at which accuracy reaches ~63 % of
+    /// A_max; controls the convergence speed.
+    pub progress_scale: f64,
+    /// Reference epochs of progress destroyed per *extra* octave of an
+    /// abrupt batch-size jump (beyond the first, penalty-free doubling).
+    pub spike_penalty_per_octave: f64,
+    /// Consecutive above-target epochs required to declare convergence.
+    pub patience: u32,
+    /// Penalty exponent for scaling the batch without scaling the learning
+    /// rate (Figure 3): efficiency is multiplied by (B₀/B)^unscaled_lr_penalty
+    /// when B > B₀.
+    pub unscaled_lr_penalty: f64,
+}
+
+impl ConvergenceModel {
+    /// A reasonable CNN-like default used by tests and examples:
+    /// B₀ = 256, noise scale 2048, target 0.90 of max 0.94.
+    #[must_use]
+    pub fn example() -> Self {
+        ConvergenceModel {
+            reference_batch: 256,
+            noise_scale: 2048.0,
+            initial_loss: 2.5,
+            final_loss: 0.05,
+            max_accuracy: 0.94,
+            target_accuracy: 0.90,
+            progress_scale: 12.0,
+            spike_penalty_per_octave: 2.0,
+            patience: 10,
+            unscaled_lr_penalty: 0.75,
+        }
+    }
+
+    /// Efficiency η(B) of one epoch at global batch `B` relative to a
+    /// reference epoch.
+    ///
+    /// With linear LR scaling (§3.3.2's Goyal/Smith regime, what ONES
+    /// always applies): per-epoch progress is preserved up to the gradient
+    /// noise scale `B_n`, then falls off with the GNS shape `2/(1 + B/B_n)`
+    /// — batches inside the safe range are free, extreme batches still
+    /// waste samples.
+    ///
+    /// Without LR scaling (Figure 3's fixed-local-batch regime): the raw
+    /// GNS sample-efficiency `(B_n + B₀)/(B_n + B)` applies from the
+    /// reference batch onwards, multiplied by an extra
+    /// `(B₀/B)^unscaled_lr_penalty` — large batches with an unscaled
+    /// learning rate converge markedly slower.
+    #[must_use]
+    pub fn efficiency(&self, batch: u32, lr_scaled: bool) -> f64 {
+        assert!(batch > 0, "batch must be positive");
+        let b = f64::from(batch);
+        let b0 = f64::from(self.reference_batch);
+        let bn = self.noise_scale;
+        if lr_scaled {
+            let eff = |x: f64| if x <= bn { 1.0 } else { 2.0 / (1.0 + x / bn) };
+            eff(b) / eff(b0)
+        } else {
+            let mut eta = (bn + b0) / (bn + b);
+            if b > b0 {
+                eta *= (b0 / b).powf(self.unscaled_lr_penalty);
+            } else {
+                eta = eta.min(1.0);
+            }
+            eta
+        }
+    }
+
+    /// Training loss as a function of effective progress.
+    #[must_use]
+    pub fn loss_at(&self, progress: f64) -> f64 {
+        let p = progress.max(0.0);
+        self.final_loss + (self.initial_loss - self.final_loss) * (-p / self.progress_scale).exp()
+    }
+
+    /// Validation accuracy as a function of effective progress.
+    #[must_use]
+    pub fn accuracy_at(&self, progress: f64) -> f64 {
+        let p = progress.max(0.0);
+        self.max_accuracy * (1.0 - (-p / self.progress_scale).exp())
+    }
+
+    /// Progress at which accuracy first reaches the target.
+    ///
+    /// # Panics
+    /// Panics if the target is unreachable (≥ A_max).
+    #[must_use]
+    pub fn progress_to_target(&self) -> f64 {
+        assert!(
+            self.target_accuracy < self.max_accuracy,
+            "target accuracy {} unreachable (max {})",
+            self.target_accuracy,
+            self.max_accuracy
+        );
+        -self.progress_scale * (1.0 - self.target_accuracy / self.max_accuracy).ln()
+    }
+
+    /// Total *reference epochs* a job needs from scratch: progress to reach
+    /// the target plus the patience window.
+    #[must_use]
+    pub fn total_reference_epochs(&self) -> f64 {
+        self.progress_to_target() + f64::from(self.patience)
+    }
+
+    /// Progress destroyed by an abrupt batch change `old → new`.
+    ///
+    /// The first doubling (or any decrease) is free; each extra octave of
+    /// increase costs [`ConvergenceModel::spike_penalty_per_octave`]
+    /// reference epochs.
+    #[must_use]
+    pub fn scaling_penalty(&self, old_batch: u32, new_batch: u32) -> f64 {
+        assert!(old_batch > 0 && new_batch > 0);
+        if new_batch <= old_batch * 2 {
+            return 0.0;
+        }
+        let octaves = (f64::from(new_batch) / f64::from(old_batch)).log2();
+        self.spike_penalty_per_octave * (octaves - 1.0)
+    }
+}
+
+/// Mutable convergence state of one running job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceState {
+    model: ConvergenceModel,
+    progress: f64,
+    epochs_done: u32,
+    consec_above_target: u32,
+    last_batch: Option<u32>,
+}
+
+impl ConvergenceState {
+    /// Fresh state for a job about to start training.
+    #[must_use]
+    pub fn new(model: ConvergenceModel) -> Self {
+        ConvergenceState {
+            model,
+            progress: 0.0,
+            epochs_done: 0,
+            consec_above_target: 0,
+            last_batch: None,
+        }
+    }
+
+    /// The underlying (ground-truth) model.
+    #[must_use]
+    pub fn model(&self) -> &ConvergenceModel {
+        &self.model
+    }
+
+    /// Accumulated effective progress in reference epochs.
+    #[must_use]
+    pub fn progress(&self) -> f64 {
+        self.progress
+    }
+
+    /// Wall epochs completed.
+    #[must_use]
+    pub fn epochs_done(&self) -> u32 {
+        self.epochs_done
+    }
+
+    /// Current training loss.
+    #[must_use]
+    pub fn loss(&self) -> f64 {
+        self.model.loss_at(self.progress)
+    }
+
+    /// Current validation accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.model.accuracy_at(self.progress)
+    }
+
+    /// Whether the job has converged (patience satisfied).
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.consec_above_target >= self.model.patience
+    }
+
+    /// Registers a batch-size change *before* the next epoch. Abrupt jumps
+    /// destroy progress (Figure 13); gradual doubling is free (Figure 14).
+    /// Returns the progress destroyed.
+    pub fn on_batch_change(&mut self, new_batch: u32) -> f64 {
+        let penalty = match self.last_batch {
+            Some(old) if old != new_batch => self.model.scaling_penalty(old, new_batch),
+            _ => 0.0,
+        };
+        if penalty > 0.0 {
+            self.progress = (self.progress - penalty).max(0.0);
+            // A genuine loss spike also breaks an accuracy plateau streak.
+            self.consec_above_target = 0;
+        }
+        self.last_batch = Some(new_batch);
+        penalty
+    }
+
+    /// Advances one full wall epoch at global batch `batch`.
+    ///
+    /// `lr_scaled` is true when the executor applied linear LR scaling for
+    /// this batch size (ONES always does; Figure 3's fixed-local-batch
+    /// baseline does not).
+    pub fn advance_epoch(&mut self, batch: u32, lr_scaled: bool) {
+        self.advance_fraction(batch, lr_scaled, 1.0);
+    }
+
+    /// Advances a fraction of an epoch (used when a job is preempted
+    /// mid-epoch: progress is pro-rated by samples actually processed).
+    pub fn advance_fraction(&mut self, batch: u32, lr_scaled: bool, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        if self.last_batch != Some(batch) {
+            self.on_batch_change(batch);
+        }
+        self.progress += self.model.efficiency(batch, lr_scaled) * fraction;
+        if fraction >= 1.0 {
+            self.epochs_done += 1;
+            if self.accuracy() >= self.model.target_accuracy {
+                self.consec_above_target += 1;
+            } else {
+                self.consec_above_target = 0;
+            }
+        }
+    }
+
+    /// Ground-truth remaining wall epochs if the job keeps running at
+    /// `batch` (with scaled LR) until convergence.
+    #[must_use]
+    pub fn remaining_epochs_at(&self, batch: u32) -> f64 {
+        let eta = self.model.efficiency(batch, true);
+        let to_target = (self.model.progress_to_target() - self.progress).max(0.0) / eta;
+        let patience_left = f64::from(self.model.patience - self.consec_above_target.min(self.model.patience));
+        to_target + patience_left
+    }
+
+    /// Ground-truth completion fraction ρ ∈ (0, 1]: progress relative to
+    /// the total reference-epoch requirement.
+    #[must_use]
+    pub fn completion_fraction(&self) -> f64 {
+        (self.progress / self.model.total_reference_epochs()).clamp(1e-6, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ConvergenceState {
+        ConvergenceState::new(ConvergenceModel::example())
+    }
+
+    #[test]
+    fn efficiency_is_one_at_reference_batch() {
+        let m = ConvergenceModel::example();
+        assert!((m.efficiency(256, true) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_flat_in_safe_range_then_decays() {
+        let m = ConvergenceModel::example(); // B_n = 2048
+        // LR-scaled training is progress-equivalent within the safe range
+        // (the §3.3.2 assumption ONES relies on).
+        assert_eq!(m.efficiency(128, true), 1.0);
+        assert_eq!(m.efficiency(256, true), 1.0);
+        assert_eq!(m.efficiency(2048, true), 1.0);
+        // Beyond the gradient noise scale, diminishing returns.
+        assert!(m.efficiency(4096, true) < 1.0);
+        assert!(m.efficiency(4096, true) > m.efficiency(8192, true));
+        assert!(m.efficiency(8192, true) < 0.5);
+    }
+
+    #[test]
+    fn figure3_unscaled_lr_much_worse() {
+        let m = ConvergenceModel::example();
+        // Fixed local batch 256 on 8 GPUs -> global 2048 without LR scaling.
+        let scaled = m.efficiency(2048, true);
+        let unscaled = m.efficiency(2048, false);
+        assert!(unscaled < 0.5 * scaled, "scaled={scaled}, unscaled={unscaled}");
+        // No penalty below the reference batch.
+        assert_eq!(m.efficiency(128, false), m.efficiency(128, true));
+    }
+
+    #[test]
+    fn loss_decreases_and_accuracy_increases_with_progress() {
+        let m = ConvergenceModel::example();
+        assert!(m.loss_at(0.0) > m.loss_at(10.0));
+        assert!(m.loss_at(10.0) > m.loss_at(50.0));
+        assert!((m.loss_at(0.0) - m.initial_loss).abs() < 1e-9);
+        assert!(m.accuracy_at(0.0) < 1e-9);
+        assert!(m.accuracy_at(10.0) < m.accuracy_at(50.0));
+        assert!(m.accuracy_at(1e6) <= m.max_accuracy);
+    }
+
+    #[test]
+    fn progress_to_target_consistent_with_accuracy() {
+        let m = ConvergenceModel::example();
+        let p = m.progress_to_target();
+        assert!((m.accuracy_at(p) - m.target_accuracy).abs() < 1e-9);
+        assert!(m.total_reference_epochs() > p);
+    }
+
+    #[test]
+    fn converges_after_patience_window() {
+        let mut s = state();
+        let p_needed = s.model().progress_to_target().ceil() as u32;
+        for _ in 0..p_needed {
+            s.advance_epoch(256, true);
+            assert!(!s.converged());
+        }
+        // Now above target; needs `patience` more epochs.
+        let mut extra = 0;
+        while !s.converged() {
+            s.advance_epoch(256, true);
+            extra += 1;
+            assert!(extra <= 11, "patience window overrun");
+        }
+        assert!(extra >= 9);
+        assert!(s.accuracy() >= s.model().target_accuracy);
+    }
+
+    #[test]
+    fn figure13_abrupt_jump_spikes_loss() {
+        let mut s = state();
+        for _ in 0..30 {
+            s.advance_epoch(256, true);
+        }
+        let loss_before = s.loss();
+        let destroyed = s.on_batch_change(4096); // 4 octaves
+        assert!(destroyed > 0.0, "abrupt jump must destroy progress");
+        let loss_after = s.loss();
+        assert!(
+            loss_after > loss_before * 1.2,
+            "loss should spike: {loss_before} -> {loss_after}"
+        );
+        // Training recovers with further epochs.
+        for _ in 0..20 {
+            s.advance_epoch(4096, true);
+        }
+        assert!(s.loss() < loss_after);
+    }
+
+    #[test]
+    fn figure14_gradual_doubling_is_free() {
+        let mut s = state();
+        for _ in 0..30 {
+            s.advance_epoch(256, true);
+        }
+        assert_eq!(s.on_batch_change(512), 0.0);
+        assert_eq!(s.on_batch_change(1024), 0.0);
+        assert_eq!(s.on_batch_change(2048), 0.0);
+        assert_eq!(s.on_batch_change(4096), 0.0);
+        // And a gradual path reaches 4096 with strictly more progress than
+        // an abrupt one.
+        let mut abrupt = state();
+        for _ in 0..30 {
+            abrupt.advance_epoch(256, true);
+        }
+        abrupt.on_batch_change(4096);
+        assert!(s.progress() > abrupt.progress());
+    }
+
+    #[test]
+    fn scaling_down_is_free() {
+        let m = ConvergenceModel::example();
+        assert_eq!(m.scaling_penalty(1024, 256), 0.0);
+        assert_eq!(m.scaling_penalty(256, 256), 0.0);
+        assert_eq!(m.scaling_penalty(256, 512), 0.0);
+        assert!(m.scaling_penalty(256, 1024) > 0.0);
+    }
+
+    #[test]
+    fn remaining_epochs_shrink_as_training_proceeds() {
+        let mut s = state();
+        let r0 = s.remaining_epochs_at(256);
+        for _ in 0..10 {
+            s.advance_epoch(256, true);
+        }
+        let r1 = s.remaining_epochs_at(256);
+        assert!(r1 < r0 - 9.0, "r0={r0}, r1={r1}");
+        // Bigger batch -> more wall epochs remaining.
+        assert!(s.remaining_epochs_at(4096) > s.remaining_epochs_at(256));
+    }
+
+    #[test]
+    fn completion_fraction_monotone_and_bounded() {
+        let mut s = state();
+        let mut prev = s.completion_fraction();
+        assert!(prev > 0.0);
+        for _ in 0..100 {
+            s.advance_epoch(256, true);
+            let f = s.completion_fraction();
+            assert!(f >= prev);
+            assert!(f <= 1.0);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn partial_epoch_prorates_progress() {
+        let mut a = state();
+        let mut b = state();
+        a.advance_epoch(256, true);
+        b.advance_fraction(256, true, 0.5);
+        assert!((b.progress() - a.progress() / 2.0).abs() < 1e-12);
+        // Partial epochs do not count as completed wall epochs.
+        assert_eq!(b.epochs_done(), 0);
+        assert_eq!(a.epochs_done(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ones-dlperf — deep-learning job performance & convergence models
+//!
+//! The paper's evaluation trains real PyTorch jobs (AlexNet, ResNet, VGG,
+//! GoogleNet, Inception, BERT) on V100 GPUs. This crate replaces the real
+//! training with analytic models that reproduce every *phenomenon* the
+//! scheduler interacts with:
+//!
+//! * [`models`] — a profile per model family: parameter count (hence
+//!   gradient and checkpoint bytes), per-sample compute time on a V100,
+//!   fixed per-step overhead, and the largest local batch that fits in
+//!   16 GB of HBM.
+//! * [`throughput`] — step-time and throughput as a function of per-GPU
+//!   local batches and placement, combining compute with the ring
+//!   all-reduce model from `ones-cluster`. Reproduces Figure 2: with a
+//!   fixed global batch, adding workers first helps then hurts; growing the
+//!   batch with the workers keeps throughput rising.
+//! * [`convergence`] — a statistical-efficiency model of training progress:
+//!   large batches need more epochs (gradient-noise-scale shape, Figure 3),
+//!   linear learning-rate scaling restores equivalence (§3.3.2), abrupt
+//!   batch-size jumps inject a loss spike that costs recovery epochs
+//!   (Figure 13) while gradual doubling does not (Figure 14).
+
+pub mod convergence;
+pub mod lr;
+pub mod memory;
+pub mod models;
+pub mod throughput;
+
+pub use convergence::{ConvergenceModel, ConvergenceState};
+pub use lr::LrPolicy;
+pub use memory::{memory_limited_batch, MemoryFootprint};
+pub use models::{DatasetKind, ModelKind, ModelProfile};
+pub use throughput::PerfModel;

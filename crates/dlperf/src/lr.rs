@@ -1,0 +1,114 @@
+//! Learning-rate management for elastic batch sizes (§3.3.2).
+//!
+//! ONES "jointly manages the batch size and learning rate of each job
+//! according to their initial values based on linear scaling". This module
+//! makes that worker-side rule an explicit, testable artefact: the
+//! [`LrPolicy`] computes the learning rate a worker should apply for any
+//! current global batch, including the gradual warm-up that production
+//! linear-scaling recipes (Goyal et al., the paper's reference 9) prescribe after a
+//! batch increase to avoid the very loss spikes Figure 13 shows.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear LR scaling with post-scaling warm-up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrPolicy {
+    /// The user's base learning rate η₀ at the reference batch B₀.
+    pub base_lr: f64,
+    /// The reference batch B₀.
+    pub base_batch: u32,
+    /// Steps over which a *raised* LR ramps from the old value to the new
+    /// target after a batch increase (0 = jump immediately).
+    pub warmup_steps: u32,
+}
+
+impl LrPolicy {
+    /// Creates the policy for a job's submitted configuration.
+    ///
+    /// # Panics
+    /// Panics on non-positive base LR or zero base batch.
+    #[must_use]
+    pub fn new(base_lr: f64, base_batch: u32) -> Self {
+        assert!(base_lr > 0.0, "base learning rate must be positive");
+        assert!(base_batch > 0, "base batch must be positive");
+        LrPolicy {
+            base_lr,
+            base_batch,
+            warmup_steps: 200,
+        }
+    }
+
+    /// The steady-state learning rate for a global batch `b`: the linear
+    /// scaling rule η = η₀ · B/B₀.
+    #[must_use]
+    pub fn target_lr(&self, batch: u32) -> f64 {
+        assert!(batch > 0, "batch must be positive");
+        self.base_lr * f64::from(batch) / f64::from(self.base_batch)
+    }
+
+    /// The learning rate `steps_since_scale` steps after the batch changed
+    /// from `old_batch` to `new_batch`: ramps linearly from the old target
+    /// to the new one when the batch grew (warm-up); drops immediately when
+    /// it shrank (a lower LR is always safe).
+    #[must_use]
+    pub fn lr_after_scaling(&self, old_batch: u32, new_batch: u32, steps_since_scale: u32) -> f64 {
+        let from = self.target_lr(old_batch);
+        let to = self.target_lr(new_batch);
+        if to <= from || self.warmup_steps == 0 {
+            return to;
+        }
+        let progress =
+            (f64::from(steps_since_scale) / f64::from(self.warmup_steps)).clamp(0.0, 1.0);
+        from + (to - from) * progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> LrPolicy {
+        LrPolicy::new(0.1, 256)
+    }
+
+    #[test]
+    fn linear_scaling_rule() {
+        let p = policy();
+        assert!((p.target_lr(256) - 0.1).abs() < 1e-12);
+        assert!((p.target_lr(512) - 0.2).abs() < 1e-12);
+        assert!((p.target_lr(2048) - 0.8).abs() < 1e-12);
+        assert!((p.target_lr(128) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_ramps_up_and_caps_at_target() {
+        let p = policy();
+        let start = p.lr_after_scaling(256, 1024, 0);
+        let mid = p.lr_after_scaling(256, 1024, 100);
+        let end = p.lr_after_scaling(256, 1024, 200);
+        let past = p.lr_after_scaling(256, 1024, 9999);
+        assert!((start - 0.1).abs() < 1e-12, "warm-up starts at the old LR");
+        assert!(start < mid && mid < end, "{start} {mid} {end}");
+        assert!((end - p.target_lr(1024)).abs() < 1e-12);
+        assert_eq!(end, past);
+    }
+
+    #[test]
+    fn scaling_down_drops_immediately() {
+        let p = policy();
+        assert!((p.lr_after_scaling(1024, 256, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_warmup_jumps() {
+        let mut p = policy();
+        p.warmup_steps = 0;
+        assert!((p.lr_after_scaling(256, 1024, 0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_base_rejected() {
+        let _ = LrPolicy::new(0.0, 256);
+    }
+}

@@ -1,0 +1,170 @@
+//! GPU memory model.
+//!
+//! A worker's footprint on a 16 GB V100 is weights + gradients + optimiser
+//! state (batch-independent) plus activations (linear in the local batch).
+//! This module makes the memory budget explicit so the hard-coded
+//! `max_local_batch` caps in [`crate::models`] are *checked* against a
+//! physical model instead of being folklore, and so schedulers/tests can
+//! query headroom for arbitrary batches.
+
+use crate::models::{ModelKind, ModelProfile};
+use serde::{Deserialize, Serialize};
+
+/// V100 HBM2 capacity, bytes.
+pub const V100_MEMORY_BYTES: f64 = 16.0e9;
+
+/// Fraction of HBM usable by the framework (CUDA context, fragmentation,
+/// NCCL buffers eat the rest).
+pub const USABLE_FRACTION: f64 = 0.92;
+
+/// Per-model activation memory per sample at the family's reference input
+/// resolution, bytes. Public folklore figures (fp32 training, no
+/// checkpointing): activation-heavy CNNs like VGG dwarf their parameter
+/// memory; transformer activations scale with sequence length.
+#[must_use]
+pub fn activation_bytes_per_sample(kind: ModelKind) -> f64 {
+    match kind {
+        ModelKind::AlexNet => 5.0e6,
+        ModelKind::ResNet18 => 24.0e6,
+        ModelKind::ResNet50 => 48.0e6,
+        ModelKind::Vgg16 => 95.0e6,
+        ModelKind::GoogleNet => 22.0e6,
+        ModelKind::InceptionV3 => 45.0e6,
+        ModelKind::BertBase => 180.0e6, // seq 128
+    }
+}
+
+/// Memory footprint of one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Weights + gradients + optimiser state, bytes (batch-independent).
+    pub static_bytes: f64,
+    /// Activations for the given local batch, bytes.
+    pub activation_bytes: f64,
+}
+
+impl MemoryFootprint {
+    /// Footprint of `profile` training with local batch `b` at a given
+    /// activation scale (dataset resolution relative to the family's
+    /// reference — CIFAR at 32×32 uses ~1/11 of ImageNet's activations,
+    /// mirroring [`crate::models::DatasetKind::compute_scale`]).
+    #[must_use]
+    pub fn of(profile: &ModelProfile, local_batch: u32, activation_scale: f64) -> Self {
+        let params = profile.params as f64;
+        MemoryFootprint {
+            // weights (4 B) + gradients (4 B) + optimiser state.
+            static_bytes: params * (8.0 + profile.optimizer_bytes_per_param),
+            activation_bytes: f64::from(local_batch)
+                * activation_bytes_per_sample(profile.kind)
+                * activation_scale,
+        }
+    }
+
+    /// Total bytes.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.static_bytes + self.activation_bytes
+    }
+
+    /// Whether this worker fits on a V100.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.total() <= V100_MEMORY_BYTES * USABLE_FRACTION
+    }
+}
+
+/// Largest local batch the memory model admits for a profile (at the given
+/// activation scale).
+#[must_use]
+pub fn memory_limited_batch(profile: &ModelProfile, activation_scale: f64) -> u32 {
+    let budget = V100_MEMORY_BYTES * USABLE_FRACTION
+        - MemoryFootprint::of(profile, 1, activation_scale).static_bytes;
+    if budget <= 0.0 {
+        return 0;
+    }
+    let per_sample = activation_bytes_per_sample(profile.kind) * activation_scale;
+    (budget / per_sample) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::DatasetKind;
+
+    #[test]
+    fn every_reference_cap_fits_the_memory_model() {
+        // The hard-coded max_local_batch of every family must be admitted
+        // by the physical model at the reference resolution.
+        for kind in ModelKind::ALL {
+            let p = kind.profile();
+            let fp = MemoryFootprint::of(&p, p.max_local_batch, 1.0);
+            assert!(
+                fp.fits(),
+                "{kind}: cap {} needs {:.1} GB",
+                p.max_local_batch,
+                fp.total() / 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn cifar_caps_fit_at_reduced_activation_scale() {
+        for kind in [ModelKind::ResNet18, ModelKind::Vgg16, ModelKind::GoogleNet] {
+            let p = kind.profile().for_dataset(DatasetKind::Cifar10);
+            let fp = MemoryFootprint::of(&p, p.max_local_batch, 0.09);
+            assert!(
+                fp.fits(),
+                "{kind}/CIFAR: cap {} needs {:.1} GB",
+                p.max_local_batch,
+                fp.total() / 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn footprint_grows_linearly_with_batch() {
+        let p = ModelKind::ResNet50.profile();
+        let a = MemoryFootprint::of(&p, 64, 1.0);
+        let b = MemoryFootprint::of(&p, 128, 1.0);
+        assert_eq!(a.static_bytes, b.static_bytes);
+        assert!((b.activation_bytes / a.activation_bytes - 2.0).abs() < 1e-12);
+        assert!(b.total() > a.total());
+    }
+
+    #[test]
+    fn memory_limited_batch_brackets_the_caps() {
+        for kind in ModelKind::ALL {
+            let p = kind.profile();
+            let limit = memory_limited_batch(&p, 1.0);
+            assert!(
+                limit >= p.max_local_batch,
+                "{kind}: model admits {limit} < configured cap {}",
+                p.max_local_batch
+            );
+            // The configured cap is not absurdly conservative either
+            // (within ~8x of the physical bound).
+            assert!(
+                limit <= p.max_local_batch * 8,
+                "{kind}: configured cap {} wastes memory (model admits {limit})",
+                p.max_local_batch
+            );
+        }
+    }
+
+    #[test]
+    fn doubled_batch_beyond_the_physical_limit_does_not_fit() {
+        for kind in ModelKind::ALL {
+            let p = kind.profile();
+            let limit = memory_limited_batch(&p, 1.0);
+            let fp = MemoryFootprint::of(&p, limit * 2 + 1, 1.0);
+            assert!(!fp.fits(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn vgg_activations_dominate_its_statics() {
+        let p = ModelKind::Vgg16.profile();
+        let fp = MemoryFootprint::of(&p, p.max_local_batch, 1.0);
+        assert!(fp.activation_bytes > fp.static_bytes);
+    }
+}

@@ -1,0 +1,317 @@
+//! Model zoo profiles.
+//!
+//! One [`ModelProfile`] per neural-network family used in the paper's trace
+//! (Table 2). Numbers are public, order-of-magnitude-faithful V100 figures:
+//! parameter counts from the original papers, per-sample step time from
+//! widely reported V100 fp32 training throughputs, and memory-limited
+//! maximum local batch sizes for 16 GB HBM2. Absolute accuracy is not
+//! required (we reproduce shapes, not testbed seconds); *relative* ordering
+//! across models is what drives scheduling behaviour and Figure 16.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The datasets in the paper's workload trace (Table 2). The dataset
+/// determines input resolution (hence per-sample compute time and the
+/// memory-limited maximum batch), while the model family determines
+/// parameter count (hence communication volume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// ImageNet subsets at 224×224 (the reference resolution).
+    ImageNet,
+    /// CIFAR10 at 32×32: ~11× cheaper per sample, ~4× larger batches fit.
+    Cifar10,
+    /// GLUE CoLA (sentence acceptability), sequence length ~64.
+    Cola,
+    /// GLUE MRPC (paraphrase detection), sequence length ~128.
+    Mrpc,
+    /// GLUE SST-2 (sentiment), sequence length ~64.
+    Sst2,
+}
+
+impl DatasetKind {
+    /// Multiplier on per-sample compute time relative to the family's
+    /// reference profile.
+    #[must_use]
+    pub fn compute_scale(self) -> f64 {
+        match self {
+            DatasetKind::ImageNet => 1.0,
+            DatasetKind::Cifar10 => 0.09,
+            DatasetKind::Mrpc => 1.0,
+            DatasetKind::Cola | DatasetKind::Sst2 => 0.55,
+        }
+    }
+
+    /// Multiplier on the memory-limited maximum local batch.
+    #[must_use]
+    pub fn batch_scale(self) -> u32 {
+        match self {
+            DatasetKind::ImageNet | DatasetKind::Mrpc => 1,
+            DatasetKind::Cifar10 => 4,
+            DatasetKind::Cola | DatasetKind::Sst2 => 2,
+        }
+    }
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DatasetKind::ImageNet => "ImageNet",
+            DatasetKind::Cifar10 => "CIFAR10",
+            DatasetKind::Cola => "CoLA",
+            DatasetKind::Mrpc => "MRPC",
+            DatasetKind::Sst2 => "SST-2",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The neural-network families in the paper's workload trace (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// AlexNet on ImageNet subsets.
+    AlexNet,
+    /// ResNet-18 on CIFAR10.
+    ResNet18,
+    /// ResNet-50 on ImageNet subsets.
+    ResNet50,
+    /// VGG-16 on ImageNet subsets and CIFAR10.
+    Vgg16,
+    /// GoogleNet on CIFAR10.
+    GoogleNet,
+    /// Inception-V3 on ImageNet subsets.
+    InceptionV3,
+    /// Pre-trained BERT-base fine-tuning on GLUE tasks (CoLA/MRPC/SST-2).
+    BertBase,
+}
+
+impl ModelKind {
+    /// Every model family, in a stable order.
+    pub const ALL: [ModelKind; 7] = [
+        ModelKind::AlexNet,
+        ModelKind::ResNet18,
+        ModelKind::ResNet50,
+        ModelKind::Vgg16,
+        ModelKind::GoogleNet,
+        ModelKind::InceptionV3,
+        ModelKind::BertBase,
+    ];
+
+    /// The static profile for this family.
+    #[must_use]
+    pub fn profile(self) -> ModelProfile {
+        use ModelKind::*;
+        match self {
+            AlexNet => ModelProfile {
+                kind: self,
+                params: 61_000_000,
+                time_per_sample: 0.30e-3,
+                step_overhead: 8.0e-3,
+                max_local_batch: 1024,
+                optimizer_bytes_per_param: 8.0, // SGD + momentum
+            },
+            ResNet18 => ModelProfile {
+                kind: self,
+                params: 11_700_000,
+                time_per_sample: 0.90e-3,
+                step_overhead: 8.0e-3,
+                max_local_batch: 512,
+                optimizer_bytes_per_param: 8.0,
+            },
+            ResNet50 => ModelProfile {
+                kind: self,
+                params: 25_600_000,
+                time_per_sample: 2.8e-3,
+                step_overhead: 10.0e-3,
+                max_local_batch: 256,
+                optimizer_bytes_per_param: 8.0,
+            },
+            Vgg16 => ModelProfile {
+                kind: self,
+                params: 138_000_000,
+                time_per_sample: 4.5e-3,
+                step_overhead: 10.0e-3,
+                max_local_batch: 128,
+                optimizer_bytes_per_param: 8.0,
+            },
+            GoogleNet => ModelProfile {
+                kind: self,
+                params: 6_600_000,
+                time_per_sample: 1.2e-3,
+                step_overhead: 8.0e-3,
+                max_local_batch: 512,
+                optimizer_bytes_per_param: 8.0,
+            },
+            InceptionV3 => ModelProfile {
+                kind: self,
+                params: 23_800_000,
+                time_per_sample: 3.3e-3,
+                step_overhead: 10.0e-3,
+                max_local_batch: 256,
+                optimizer_bytes_per_param: 8.0,
+            },
+            BertBase => ModelProfile {
+                kind: self,
+                params: 110_000_000,
+                time_per_sample: 15.0e-3,
+                step_overhead: 12.0e-3,
+                max_local_batch: 64,
+                optimizer_bytes_per_param: 16.0, // Adam: m + v in fp32
+            },
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ModelKind::AlexNet => "AlexNet",
+            ModelKind::ResNet18 => "ResNet18",
+            ModelKind::ResNet50 => "ResNet50",
+            ModelKind::Vgg16 => "VGG16",
+            ModelKind::GoogleNet => "GoogleNet",
+            ModelKind::InceptionV3 => "InceptionV3",
+            ModelKind::BertBase => "BERT",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Static performance profile of a model family on one V100.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Which family this profiles.
+    pub kind: ModelKind,
+    /// Trainable parameter count.
+    pub params: u64,
+    /// Compute time per training sample (forward + backward) at full
+    /// utilisation, seconds.
+    pub time_per_sample: f64,
+    /// Fixed per-step overhead (kernel launches, data loading, optimiser),
+    /// seconds.
+    pub step_overhead: f64,
+    /// Largest local batch that fits in 16 GB HBM.
+    pub max_local_batch: u32,
+    /// Optimiser state bytes per parameter (8 for SGD+momentum fp32,
+    /// 16 for Adam).
+    pub optimizer_bytes_per_param: f64,
+}
+
+impl ModelProfile {
+    /// Adjusts the family's reference profile for a dataset: per-sample
+    /// compute scales with input resolution, and smaller inputs let larger
+    /// local batches fit in memory.
+    #[must_use]
+    pub fn for_dataset(mut self, dataset: DatasetKind) -> ModelProfile {
+        self.time_per_sample *= dataset.compute_scale();
+        self.max_local_batch *= dataset.batch_scale();
+        self
+    }
+
+    /// Gradient bytes exchanged per all-reduce (fp32).
+    #[must_use]
+    pub fn grad_bytes(&self) -> f64 {
+        self.params as f64 * 4.0
+    }
+
+    /// Checkpoint size in bytes: weights + optimiser state.
+    #[must_use]
+    pub fn checkpoint_bytes(&self) -> f64 {
+        self.params as f64 * (4.0 + self.optimizer_bytes_per_param)
+    }
+
+    /// Pure compute time for one step with local batch `b` (no
+    /// communication), seconds.
+    ///
+    /// # Panics
+    /// Panics if `b` is zero or exceeds the memory-limited maximum.
+    #[must_use]
+    pub fn compute_time(&self, b: u32) -> f64 {
+        assert!(b > 0, "local batch must be positive");
+        assert!(
+            b <= self.max_local_batch,
+            "{}: local batch {b} exceeds memory limit {}",
+            self.kind,
+            self.max_local_batch
+        );
+        self.step_overhead + f64::from(b) * self.time_per_sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_are_sane() {
+        for kind in ModelKind::ALL {
+            let p = kind.profile();
+            assert_eq!(p.kind, kind);
+            assert!(p.params > 1_000_000, "{kind}");
+            assert!(p.time_per_sample > 0.0 && p.time_per_sample < 0.1, "{kind}");
+            assert!(p.step_overhead > 0.0 && p.step_overhead < 0.1, "{kind}");
+            assert!(p.max_local_batch >= 32, "{kind}");
+            assert!(p.grad_bytes() > 0.0);
+            assert!(p.checkpoint_bytes() > p.grad_bytes());
+        }
+    }
+
+    #[test]
+    fn vgg_is_biggest_cnn_and_bert_is_slowest() {
+        let vgg = ModelKind::Vgg16.profile();
+        let bert = ModelKind::BertBase.profile();
+        for kind in ModelKind::ALL {
+            let p = kind.profile();
+            if kind != ModelKind::Vgg16 {
+                assert!(p.params <= vgg.params || kind == ModelKind::BertBase);
+            }
+            assert!(p.time_per_sample <= bert.time_per_sample, "{kind}");
+        }
+    }
+
+    #[test]
+    fn compute_time_is_affine_in_batch() {
+        let p = ModelKind::ResNet50.profile();
+        let t64 = p.compute_time(64);
+        let t128 = p.compute_time(128);
+        let slope = (t128 - t64) / 64.0;
+        assert!((slope - p.time_per_sample).abs() < 1e-12);
+        assert!((p.compute_time(1) - p.step_overhead - p.time_per_sample).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_sample_efficiency_improves_with_batch() {
+        // Larger batches amortise the fixed overhead.
+        let p = ModelKind::ResNet50.profile();
+        let eff = |b: u32| f64::from(b) / p.compute_time(b);
+        assert!(eff(256) > eff(64));
+        assert!(eff(64) > eff(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory limit")]
+    fn over_memory_batch_rejected() {
+        let _ = ModelKind::BertBase.profile().compute_time(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_rejected() {
+        let _ = ModelKind::AlexNet.profile().compute_time(0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelKind::ResNet50.to_string(), "ResNet50");
+        assert_eq!(ModelKind::BertBase.to_string(), "BERT");
+    }
+
+    #[test]
+    fn bert_uses_adam_state() {
+        let bert = ModelKind::BertBase.profile();
+        let resnet = ModelKind::ResNet50.profile();
+        assert!(bert.optimizer_bytes_per_param > resnet.optimizer_bytes_per_param);
+        // BERT checkpoint = 110M * 20 B = 2.2 GB.
+        assert!((bert.checkpoint_bytes() - 2.2e9).abs() < 0.1e9);
+    }
+}

@@ -1,0 +1,269 @@
+//! Step-time and throughput model.
+//!
+//! One data-parallel training step processes each worker's local batch in
+//! parallel, then synchronises gradients with a ring all-reduce. Workers
+//! proceed in lock-step, so the step is gated by the *largest* local batch:
+//!
+//! ```text
+//! t_step = max_i (overhead + b_i · t_sample)  +  t_allreduce(grad_bytes, placement)
+//! ```
+//!
+//! Throughput is `X = B / t_step` with `B = Σ b_i` (paper Eq 2). The model
+//! reproduces Figure 2's two regimes:
+//! * fixed global batch, growing workers → shrinking local batches stop
+//!   amortising the fixed overhead while communication grows, so throughput
+//!   peaks around 2 workers then falls;
+//! * batch grown with the workers (elastic) → throughput keeps rising.
+
+use crate::models::ModelProfile;
+use ones_cluster::{AllReduceModel, ClusterSpec, Placement};
+use serde::{Deserialize, Serialize};
+
+/// Throughput model bound to a cluster fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    allreduce: AllReduceModel,
+}
+
+impl PerfModel {
+    /// Binds the model to a cluster.
+    #[must_use]
+    pub fn new(spec: ClusterSpec) -> Self {
+        PerfModel {
+            allreduce: AllReduceModel::new(spec),
+        }
+    }
+
+    /// The all-reduce sub-model.
+    #[must_use]
+    pub fn allreduce(&self) -> &AllReduceModel {
+        &self.allreduce
+    }
+
+    /// The cluster spec.
+    #[must_use]
+    pub fn spec(&self) -> &ClusterSpec {
+        self.allreduce.spec()
+    }
+
+    /// Time of one training step, seconds.
+    ///
+    /// `local_batches[i]` is the local batch of the worker on
+    /// `placement.gpus()[i]`; the two slices must have equal length.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, empty placement, or any zero /
+    /// over-memory local batch.
+    #[must_use]
+    pub fn step_time(
+        &self,
+        profile: &ModelProfile,
+        local_batches: &[u32],
+        placement: &Placement,
+    ) -> f64 {
+        assert_eq!(
+            local_batches.len(),
+            placement.len(),
+            "one local batch per worker"
+        );
+        assert!(!placement.is_empty(), "step_time of an unplaced job");
+        let compute = local_batches
+            .iter()
+            .map(|&b| profile.compute_time(b))
+            .fold(0.0, f64::max);
+        let comm = self.allreduce.time(placement, profile.grad_bytes());
+        compute + comm
+    }
+
+    /// Samples per second for the given configuration.
+    #[must_use]
+    pub fn throughput(
+        &self,
+        profile: &ModelProfile,
+        local_batches: &[u32],
+        placement: &Placement,
+    ) -> f64 {
+        let global: u32 = local_batches.iter().sum();
+        assert!(global > 0, "throughput of an empty batch");
+        f64::from(global) / self.step_time(profile, local_batches, placement)
+    }
+
+    /// Time to process one epoch of `dataset_size` samples, seconds.
+    ///
+    /// The final partial step is charged like a full step (its compute is
+    /// gated by overheads, not batch fill).
+    #[must_use]
+    pub fn epoch_time(
+        &self,
+        profile: &ModelProfile,
+        dataset_size: u64,
+        local_batches: &[u32],
+        placement: &Placement,
+    ) -> f64 {
+        assert!(dataset_size > 0, "empty dataset");
+        let global: u64 = local_batches.iter().map(|&b| u64::from(b)).sum();
+        assert!(global > 0);
+        let steps = dataset_size.div_ceil(global);
+        steps as f64 * self.step_time(profile, local_batches, placement)
+    }
+
+    /// Convenience: evenly split a global batch over `placement`, clamped
+    /// to the model's memory limit. Returns `None` if `B` cannot fit (more
+    /// than `max_local_batch` per worker) or the placement is empty.
+    #[must_use]
+    pub fn split_batch(
+        profile: &ModelProfile,
+        global_batch: u32,
+        placement: &Placement,
+    ) -> Option<Vec<u32>> {
+        let c = placement.len() as u32;
+        if c == 0 || global_batch == 0 {
+            return None;
+        }
+        let base = global_batch / c;
+        let rem = global_batch % c;
+        let batches: Vec<u32> = (0..c).map(|i| base + u32::from(i < rem)).collect();
+        if batches.iter().any(|&b| b == 0 || b > profile.max_local_batch) {
+            return None;
+        }
+        Some(batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{DatasetKind, ModelKind};
+    use ones_cluster::GpuId;
+
+    fn model() -> PerfModel {
+        PerfModel::new(ClusterSpec::longhorn())
+    }
+
+    fn pl(ids: &[u32]) -> Placement {
+        Placement::new(ids.iter().map(|&i| GpuId(i)).collect())
+    }
+
+    #[test]
+    fn figure2_fixed_global_batch_saturates() {
+        // ResNet50 on CIFAR10 (the paper's Figure 2 setup), fixed global
+        // batch 256 split over 1..8 workers.
+        let m = model();
+        let prof = ModelKind::ResNet50.profile().for_dataset(DatasetKind::Cifar10);
+        let xs: Vec<f64> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&c| {
+                let place = Placement::contiguous(0, c);
+                let batches = PerfModel::split_batch(&prof, 256, &place).unwrap();
+                m.throughput(&prof, &batches, &place)
+            })
+            .collect();
+        // Throughput must not keep scaling linearly, and it drops once the
+        // ring crosses the node boundary (8 workers on 4-GPU nodes).
+        assert!(xs[3] < 4.0 * xs[0], "no saturation: {xs:?}");
+        let peak = xs.iter().cloned().fold(0.0, f64::max);
+        assert!(xs[3] < peak, "8-worker fixed-batch should be past the peak: {xs:?}");
+    }
+
+    #[test]
+    fn figure2_elastic_batch_keeps_scaling() {
+        // Elastic: batch grows 256 -> 2048 with workers 1 -> 8.
+        let m = model();
+        let prof = ModelKind::ResNet50.profile().for_dataset(DatasetKind::Cifar10);
+        let xs: Vec<f64> = [(1u32, 256u32), (2, 512), (4, 1024), (8, 2048)]
+            .iter()
+            .map(|&(c, b)| {
+                let place = Placement::contiguous(0, c);
+                let batches = PerfModel::split_batch(&prof, b, &place).unwrap();
+                m.throughput(&prof, &batches, &place)
+            })
+            .collect();
+        for w in xs.windows(2) {
+            assert!(w[1] > w[0], "elastic throughput should keep rising: {xs:?}");
+        }
+        // And it beats the fixed-batch configuration at 8 workers.
+        let place8 = Placement::contiguous(0, 8);
+        let fixed = m.throughput(
+            &prof,
+            &PerfModel::split_batch(&prof, 256, &place8).unwrap(),
+            &place8,
+        );
+        assert!(xs[3] > 2.0 * fixed);
+    }
+
+    #[test]
+    fn step_gated_by_largest_local_batch() {
+        let m = model();
+        let prof = ModelKind::ResNet50.profile();
+        let place = pl(&[0, 1]);
+        let balanced = m.step_time(&prof, &[64, 64], &place);
+        let skewed = m.step_time(&prof, &[120, 8], &place);
+        assert!(skewed > balanced);
+    }
+
+    #[test]
+    fn communication_penalises_cross_node() {
+        let m = model();
+        let prof = ModelKind::Vgg16.profile(); // big gradients
+        let intra = m.step_time(&prof, &[64; 4], &pl(&[0, 1, 2, 3]));
+        let inter = m.step_time(&prof, &[64; 4], &pl(&[0, 4, 8, 12]));
+        assert!(inter > intra);
+    }
+
+    #[test]
+    fn epoch_time_counts_partial_steps() {
+        let m = model();
+        let prof = ModelKind::ResNet18.profile();
+        let place = pl(&[0]);
+        // 1000 samples at B=256 -> 4 steps (3 full + 1 partial).
+        let t = m.epoch_time(&prof, 1000, &[256], &place);
+        let step = m.step_time(&prof, &[256], &place);
+        assert!((t - 4.0 * step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_batch_even_and_remainder() {
+        let prof = ModelKind::ResNet50.profile();
+        let place = pl(&[0, 1, 2]);
+        assert_eq!(
+            PerfModel::split_batch(&prof, 96, &place).unwrap(),
+            vec![32, 32, 32]
+        );
+        assert_eq!(
+            PerfModel::split_batch(&prof, 100, &place).unwrap(),
+            vec![34, 33, 33]
+        );
+    }
+
+    #[test]
+    fn split_batch_respects_memory_limit() {
+        let prof = ModelKind::BertBase.profile(); // max 64 per GPU
+        let one = pl(&[0]);
+        assert!(PerfModel::split_batch(&prof, 65, &one).is_none());
+        assert!(PerfModel::split_batch(&prof, 64, &one).is_some());
+        assert!(PerfModel::split_batch(&prof, 0, &one).is_none());
+        assert!(PerfModel::split_batch(&prof, 8, &Placement::empty()).is_none());
+        // B smaller than worker count -> zero local batches are invalid.
+        assert!(PerfModel::split_batch(&prof, 2, &pl(&[0, 1, 2])).is_none());
+    }
+
+    #[test]
+    fn throughput_positive_and_finite() {
+        let m = model();
+        for kind in ModelKind::ALL {
+            let prof = kind.profile();
+            let place = pl(&[0, 1]);
+            let b = prof.max_local_batch / 2;
+            let x = m.throughput(&prof, &[b, b], &place);
+            assert!(x.is_finite() && x > 0.0, "{kind}: {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one local batch per worker")]
+    fn mismatched_batches_rejected() {
+        let m = model();
+        let prof = ModelKind::AlexNet.profile();
+        let _ = m.step_time(&prof, &[32, 32], &pl(&[0]));
+    }
+}

@@ -1,0 +1,33 @@
+//! # ones-evo — the online evolutionary search (§3.2)
+//!
+//! The heart of ONES: a population of candidate schedules (genomes, one
+//! `(job, local batch)` slot per GPU — Figure 1) evolved continuously
+//! against live cluster state.
+//!
+//! * [`context`] — [`context::EvoContext`]: everything a generation needs
+//!   (job telemetry, batch-size limits `R_j`, Beta progress predictions,
+//!   the throughput model) plus shared helpers for batch assignment and
+//!   SRUF utilisation estimates.
+//! * [`scoring`] — Eq 8 candidate scores and Algorithm 1 probability
+//!   sampling: one ρ-sample per job per iteration, shared by every
+//!   candidate, smallest score wins.
+//! * [`ops`] — the four evolution operations of §3.2.2: *refresh*
+//!   (reconcile with live state, free finished GPUs, scale down
+//!   over-limit jobs, place new arrivals, fill idle GPUs), *uniform
+//!   crossover* (Figure 8), *uniform mutation* (Figure 9) and *reorder*
+//!   (Figure 10).
+//! * [`search`] — the generation loop of Figure 5: derive `G'_i` from
+//!   `G_i`, select the top-K into `G_{i+1}`, surface the best candidate
+//!   `S_*`.
+//!
+//! Candidate scoring inside a generation is embarrassingly parallel and
+//! uses rayon when the population is large.
+
+pub mod context;
+pub mod ops;
+pub mod scoring;
+pub mod search;
+
+pub use context::EvoContext;
+pub use scoring::{score_schedule, sample_rhos};
+pub use search::{EvoConfig, EvolutionarySearch};

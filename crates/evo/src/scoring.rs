@@ -1,0 +1,235 @@
+//! SRUF scoring (Eq 8) and Algorithm 1 probability sampling.
+//!
+//! The paper's objective is *smallest remaining utilisation first*: pick
+//! the schedule minimising `Σ_j T_j(B_j) · c_j` (Eq 3) with
+//! `T_j = Y_j / X_j` (Eq 5) and `Y_j = Y_processed (1/ρ_j − 1)` (Eq 7).
+//! Algorithm 1 draws one ρ_j per job from its Beta prediction, scores every
+//! candidate with that shared sample, and selects the smallest score.
+
+use crate::context::EvoContext;
+use ones_schedcore::Schedule;
+use ones_simcore::DetRng;
+use ones_workload::JobId;
+use std::collections::BTreeMap;
+
+/// Lower clamp on sampled completion fractions: `1/ρ` has a divergent mean
+/// when α clamps to 1, and a single astronomically small ρ would otherwise
+/// dominate every score in the generation.
+pub const MIN_RHO: f64 = 0.005;
+
+/// Draws one completion-fraction sample per job (Algorithm 1 lines 1–3).
+#[must_use]
+pub fn sample_rhos(ctx: &EvoContext<'_>, rng: &mut DetRng) -> BTreeMap<JobId, f64> {
+    ctx.schedulable()
+        .iter()
+        .map(|j| {
+            let rho = ctx.beta(j.id()).sample(rng).max(MIN_RHO);
+            (j.id(), rho)
+        })
+        .collect()
+}
+
+/// Scores one candidate (Eq 8, lower is better):
+/// `Σ_{j ∈ running(S)} (Y_processed_j · c_j / X_j) (1/ρ_j − 1)`.
+///
+/// Jobs absent from `rhos` (e.g. completed between sampling and scoring)
+/// contribute nothing.
+#[must_use]
+pub fn score_schedule(
+    ctx: &EvoContext<'_>,
+    schedule: &Schedule,
+    rhos: &BTreeMap<JobId, f64>,
+) -> f64 {
+    let mut total = 0.0;
+    for (job, (_batch, gpus)) in schedule.running_jobs() {
+        let Some(&rho) = rhos.get(&job) else {
+            continue;
+        };
+        let x = ctx.throughput_in(schedule, job);
+        if x <= 0.0 {
+            continue;
+        }
+        let remaining = ctx.remaining_workload(job, rho);
+        total += remaining * f64::from(gpus) / x;
+    }
+    total
+}
+
+/// Algorithm 1: scores every candidate against one shared ρ-sample and
+/// returns the index of the best (smallest-score) candidate.
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+#[must_use]
+pub fn select_best(
+    ctx: &EvoContext<'_>,
+    candidates: &[Schedule],
+    rng: &mut DetRng,
+) -> usize {
+    assert!(!candidates.is_empty(), "Algorithm 1 needs candidates");
+    let rhos = sample_rhos(ctx, rng);
+    let scores = score_all(ctx, candidates, &rhos);
+    scores
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("scores are finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty candidates")
+}
+
+/// Scores all candidates with a shared ρ-sample, in parallel for large
+/// populations (the scheduler's hot loop; see the hpc guides on
+/// `par_iter`).
+#[must_use]
+pub fn score_all(
+    ctx: &EvoContext<'_>,
+    candidates: &[Schedule],
+    rhos: &BTreeMap<JobId, f64>,
+) -> Vec<f64> {
+    use rayon::prelude::*;
+    if candidates.len() >= 32 {
+        candidates
+            .par_iter()
+            .map(|s| score_schedule(ctx, s, rhos))
+            .collect()
+    } else {
+        candidates
+            .iter()
+            .map(|s| score_schedule(ctx, s, rhos))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::testutil::*;
+    use ones_cluster::GpuId;
+
+    #[test]
+    fn empty_schedule_scores_zero() {
+        let fx = Fixture::new(2);
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut rng = DetRng::seed(1);
+        let rhos = sample_rhos(&c, &mut rng);
+        assert_eq!(score_schedule(&c, &Schedule::empty(8), &rhos), 0.0);
+    }
+
+    #[test]
+    fn rho_samples_cover_all_jobs_and_are_clamped() {
+        let fx = Fixture::new(5);
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut rng = DetRng::seed(2);
+        let rhos = sample_rhos(&c, &mut rng);
+        assert_eq!(rhos.len(), 5);
+        for &r in rhos.values() {
+            assert!((MIN_RHO..1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn nearly_done_job_scores_below_fresh_job() {
+        // Same placement; the job predicted nearly complete has a far
+        // smaller remaining utilisation (SRUF prefers it).
+        let mut fx = Fixture::new(2);
+        fx.start_job(0, 30);
+        fx.start_job(1, 30);
+        fx.betas.insert(ones_workload::JobId(0), ones_stats::Beta::new(30.0, 1.0)); // almost done
+        fx.betas.insert(ones_workload::JobId(1), ones_stats::Beta::new(1.0, 30.0)); // barely started
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut rng = DetRng::seed(3);
+        let rhos = sample_rhos(&c, &mut rng);
+
+        let mut near = Schedule::empty(8);
+        near.assign(GpuId(0), ones_workload::JobId(0), 256);
+        let mut fresh = Schedule::empty(8);
+        fresh.assign(GpuId(0), ones_workload::JobId(1), 256);
+
+        assert!(
+            score_schedule(&c, &near, &rhos) < score_schedule(&c, &fresh, &rhos),
+            "SRUF must prefer the nearly-finished job"
+        );
+    }
+
+    #[test]
+    fn select_best_picks_lowest_score() {
+        let mut fx = Fixture::new(2);
+        fx.start_job(0, 30);
+        fx.start_job(1, 30);
+        fx.betas.insert(ones_workload::JobId(0), ones_stats::Beta::new(50.0, 1.0));
+        fx.betas.insert(ones_workload::JobId(1), ones_stats::Beta::new(1.0, 50.0));
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+
+        let mut near = Schedule::empty(8);
+        near.assign(GpuId(0), ones_workload::JobId(0), 256);
+        let mut fresh = Schedule::empty(8);
+        fresh.assign(GpuId(0), ones_workload::JobId(1), 256);
+
+        // The near-complete-job schedule should win under almost any sample.
+        let mut wins = 0;
+        for seed in 0..20 {
+            let mut rng = DetRng::seed(seed);
+            if select_best(&c, &[fresh.clone(), near.clone()], &mut rng) == 1 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 16, "near-complete won only {wins}/20");
+    }
+
+    #[test]
+    fn more_gpus_for_same_job_can_cost_more_utilisation() {
+        // SRUF (vs SRPT) exists because T·c grows when extra GPUs give
+        // sub-linear speedup. An 8-GPU (2-node) allocation must score worse
+        // than 1 GPU for a communication-bound small job.
+        let mut fx = Fixture::new(1);
+        fx.start_job(0, 10);
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut rng = DetRng::seed(7);
+        let rhos = sample_rhos(&c, &mut rng);
+
+        let mut one = Schedule::empty(8);
+        c.assign_evenly(&mut one, ones_workload::JobId(0), &[GpuId(0)]);
+        let mut eight = Schedule::empty(8);
+        c.assign_evenly(
+            &mut eight,
+            ones_workload::JobId(0),
+            &(0..8).map(GpuId).collect::<Vec<_>>(),
+        );
+        let s1 = score_schedule(&c, &one, &rhos);
+        let s8 = score_schedule(&c, &eight, &rhos);
+        assert!(
+            s8 > s1,
+            "8 GPUs at fixed batch should waste utilisation: s1={s1}, s8={s8}"
+        );
+    }
+
+    #[test]
+    fn score_all_matches_sequential() {
+        let mut fx = Fixture::new(4);
+        for i in 0..4 {
+            fx.start_job(i, 5);
+        }
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut rng = DetRng::seed(11);
+        let rhos = sample_rhos(&c, &mut rng);
+        // 40 candidates to exercise the parallel path.
+        let mut candidates = Vec::new();
+        for k in 0..40u32 {
+            let mut s = Schedule::empty(8);
+            s.assign(GpuId(k % 8), ones_workload::JobId(u64::from(k % 4)), 128);
+            candidates.push(s);
+        }
+        let par = score_all(&c, &candidates, &rhos);
+        let seq: Vec<f64> = candidates
+            .iter()
+            .map(|s| score_schedule(&c, s, &rhos))
+            .collect();
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,297 @@
+//! The generation loop (Figure 5).
+//!
+//! `G_0` → derive `G'_i` (refresh + crossover + mutation + reorder) →
+//! select the top-K by Algorithm 1 scoring → `G_{i+1}`, surfacing the best
+//! candidate `S_*` for deployment. The population persists across scheduler
+//! invocations, which is what makes the search *online*: every new event
+//! (arrival, epoch end, completion) evolves the existing population against
+//! fresh telemetry instead of re-planning from scratch.
+
+use crate::context::EvoContext;
+use crate::ops;
+use crate::scoring;
+use ones_schedcore::Schedule;
+use ones_simcore::DetRng;
+use ones_workload::JobId;
+
+/// Evolutionary search tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvoConfig {
+    /// Population size K. The paper suggests K = |C| (one candidate per
+    /// GPU).
+    pub population: usize,
+    /// Mutation rate θ: per-job preemption probability in the uniform
+    /// mutation operation.
+    pub mutation_rate: f64,
+    /// Crossover pairs drawn per generation (the paper uses K pairs).
+    pub crossover_pairs: usize,
+    /// Apply the *reorder* operation (Figure 10) to derived candidates.
+    /// Disabled only by the ablation harness.
+    pub reorder: bool,
+}
+
+impl EvoConfig {
+    /// The paper's suggested configuration for a cluster of `gpus` devices.
+    #[must_use]
+    pub fn for_cluster(gpus: u32) -> Self {
+        EvoConfig {
+            population: gpus as usize,
+            mutation_rate: 0.2,
+            crossover_pairs: gpus as usize,
+            reorder: true,
+        }
+    }
+}
+
+/// The persistent online evolutionary search.
+#[derive(Debug, Clone)]
+pub struct EvolutionarySearch {
+    config: EvoConfig,
+    population: Vec<Schedule>,
+    rng: DetRng,
+    generations: u64,
+}
+
+impl EvolutionarySearch {
+    /// Creates a search with an empty population (initialised lazily on the
+    /// first generation, when jobs exist).
+    #[must_use]
+    pub fn new(config: EvoConfig, rng: DetRng) -> Self {
+        assert!(config.population > 0, "population must be positive");
+        EvolutionarySearch {
+            config,
+            population: Vec::new(),
+            rng,
+            generations: 0,
+        }
+    }
+
+    /// Generations evolved so far.
+    #[must_use]
+    pub fn generations(&self) -> u64 {
+        self.generations
+    }
+
+    /// Current population (empty before the first generation).
+    #[must_use]
+    pub fn population(&self) -> &[Schedule] {
+        &self.population
+    }
+
+    /// Runs one generation and returns the best candidate `S_*`.
+    ///
+    /// With no schedulable jobs this returns the empty schedule.
+    pub fn generation(&mut self, ctx: &EvoContext<'_>) -> Schedule {
+        let gpus = ctx.view.spec.total_gpus();
+        if ctx.schedulable().is_empty() {
+            self.population.clear();
+            return Schedule::empty(gpus);
+        }
+        self.generations += 1;
+        if self.population.is_empty() {
+            self.initialize(ctx);
+        }
+
+        // Refresh every member against live state (this is also where new
+        // arrivals enter every candidate).
+        let refreshed: Vec<Schedule> = self
+            .population
+            .iter()
+            .map(|s| ops::refresh(ctx, s, &mut self.rng))
+            .collect();
+
+        // Derive children: K crossover pairs -> 2K children, K mutants.
+        let mut children: Vec<Schedule> = Vec::with_capacity(self.config.crossover_pairs * 3);
+        for _ in 0..self.config.crossover_pairs {
+            let a = &refreshed[self.rng.index(refreshed.len())];
+            let b = &refreshed[self.rng.index(refreshed.len())];
+            let (c1, c2) = ops::crossover(a, b, &mut self.rng);
+            children.push(c1);
+            children.push(c2);
+        }
+        for _ in 0..self.config.population {
+            let parent = &refreshed[self.rng.index(refreshed.len())];
+            children.push(ops::mutate(ctx, parent, self.config.mutation_rate, &mut self.rng));
+        }
+
+        // Legalise every candidate: cap batches at R_j, fill idle GPUs so
+        // the Eq 4 full-utilisation constraint holds (a child that merely
+        // dropped a job would otherwise score better by having fewer SRUF
+        // terms), and reorder for locality (Figure 10).
+        let mut pool: Vec<Schedule> = refreshed;
+        for mut c in children {
+            ctx.enforce_limits(&mut c);
+            ops::fill_idle(ctx, &mut c, &mut self.rng);
+            pool.push(if self.config.reorder { c.reordered() } else { c });
+        }
+
+        // Selection: Algorithm 1 sampling, keep the K best.
+        let rhos = scoring::sample_rhos(ctx, &mut self.rng);
+        let scores = scoring::score_all(ctx, &pool, &rhos);
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .expect("scores are finite")
+        });
+        let best = pool[order[0]].clone();
+        self.population = order
+            .into_iter()
+            .take(self.config.population)
+            .map(|i| pool[i].clone())
+            .collect();
+        best
+    }
+
+    /// Initial population `G_0`: each candidate assigns a random job to
+    /// each GPU (then legalised), per §3.2.2 *Initialization*.
+    fn initialize(&mut self, ctx: &EvoContext<'_>) {
+        let jobs: Vec<JobId> = ctx.schedulable().iter().map(|j| j.id()).collect();
+        let gpus = ctx.view.spec.total_gpus();
+        self.population = (0..self.config.population)
+            .map(|_| {
+                let mut s = Schedule::empty(gpus);
+                for g in ctx.view.spec.all_gpus() {
+                    let job = jobs[self.rng.index(jobs.len())];
+                    let b = ctx
+                        .limit(job)
+                        .min(ctx.profile(job).max_local_batch)
+                        .max(1);
+                    s.assign(g, job, b);
+                }
+                ctx.enforce_limits(&mut s);
+                s.reordered()
+            })
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::testutil::*;
+    use ones_schedcore::JobPhase;
+
+    fn search(gpus: u32) -> EvolutionarySearch {
+        EvolutionarySearch::new(EvoConfig::for_cluster(gpus), DetRng::seed(17))
+    }
+
+    #[test]
+    fn empty_cluster_returns_empty_schedule() {
+        let fx = Fixture::new(1);
+        let mut fx = fx;
+        fx.jobs.get_mut(&JobId(0)).unwrap().phase = JobPhase::Completed;
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut s = search(8);
+        let best = s.generation(&c);
+        assert_eq!(best.idle_count(), 8);
+        assert!(s.population().is_empty());
+    }
+
+    #[test]
+    fn generation_places_all_jobs_when_cluster_is_large_enough() {
+        let fx = Fixture::new(4);
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut s = search(8);
+        let best = s.generation(&c);
+        for i in 0..4 {
+            assert!(best.is_running(JobId(i)), "job {i} missing from S_*");
+            assert!(best.global_batch(JobId(i)) <= c.limit(JobId(i)));
+        }
+        assert_eq!(s.population().len(), 8);
+        assert_eq!(s.generations(), 1);
+    }
+
+    #[test]
+    fn population_survives_and_improves_across_generations() {
+        let mut fx = Fixture::new(6);
+        for i in 0..6 {
+            fx.start_job(i, (i * 5) as u32 + 1);
+        }
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut s = search(8);
+        let rhos_rng = &mut DetRng::seed(99);
+        let rhos = crate::scoring::sample_rhos(&c, rhos_rng);
+        let first = s.generation(&c);
+        let first_score = crate::scoring::score_schedule(&c, &first, &rhos);
+        let mut last_score = first_score;
+        for _ in 0..5 {
+            let best = s.generation(&c);
+            last_score = crate::scoring::score_schedule(&c, &best, &rhos);
+        }
+        // Evolution should not make the fixed-sample score drastically
+        // worse; usually it improves.
+        assert!(
+            last_score <= first_score * 1.5,
+            "search diverged: {first_score} -> {last_score}"
+        );
+        assert_eq!(s.generations(), 6);
+    }
+
+    #[test]
+    fn every_member_respects_limits_and_memory() {
+        let mut fx = Fixture::new(5);
+        for i in 0..5 {
+            fx.limits.insert(JobId(i), 64 << i);
+        }
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut s = search(8);
+        for _ in 0..4 {
+            let _ = s.generation(&c);
+        }
+        for member in s.population() {
+            member
+                .validate(&fx.spec, |j| {
+                    fx.jobs
+                        .get(&j)
+                        .map_or(0, |st| st.spec.profile().max_local_batch)
+                })
+                .expect("member violates memory limits");
+            for (job, (batch, _)) in member.running_jobs() {
+                assert!(
+                    batch <= c.limit(job),
+                    "{job} over limit: {batch} > {}",
+                    c.limit(job)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn completed_jobs_leave_the_population() {
+        let mut fx = Fixture::new(3);
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut s = search(8);
+        let _ = s.generation(&c);
+        let _ = view;
+        // Complete job 1 and evolve again.
+        fx.jobs.get_mut(&JobId(1)).unwrap().phase = JobPhase::Completed;
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let best = s.generation(&c);
+        assert!(!best.is_running(JobId(1)));
+        for member in s.population() {
+            assert!(!member.is_running(JobId(1)));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let fx = Fixture::new(4);
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut s1 = search(8);
+        let mut s2 = search(8);
+        for _ in 0..3 {
+            assert_eq!(s1.generation(&c), s2.generation(&c));
+        }
+    }
+
+    use ones_simcore::DetRng;
+    use ones_workload::JobId;
+}

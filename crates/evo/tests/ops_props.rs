@@ -1,0 +1,207 @@
+//! Property-based tests for the evolution operations: whatever random
+//! genomes and live state they are given, the operators must emit legal
+//! schedules (memory limits, batch limits, no phantom jobs) — illegal
+//! candidates would be rejected by the simulator's deploy validation and
+//! crash the scheduler.
+
+use ones_cluster::{ClusterSpec, GpuId};
+use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind, PerfModel};
+use ones_evo::{ops, EvoConfig, EvoContext, EvolutionarySearch};
+use ones_schedcore::{ClusterView, JobPhase, JobStatus, Schedule};
+use ones_simcore::{DetRng, SimTime};
+use ones_stats::Beta;
+use ones_workload::{JobId, JobSpec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const GPUS: u32 = 8;
+
+struct Fixture {
+    spec: ClusterSpec,
+    perf: PerfModel,
+    jobs: BTreeMap<JobId, JobStatus>,
+    deployed: Schedule,
+    limits: BTreeMap<JobId, u32>,
+    betas: BTreeMap<JobId, Beta>,
+}
+
+fn fixture(n_jobs: u64, running_mask: u64, epochs: &[u32]) -> Fixture {
+    let spec = ClusterSpec::new(2, 4);
+    let mut jobs = BTreeMap::new();
+    let mut limits = BTreeMap::new();
+    let mut betas = BTreeMap::new();
+    for i in 0..n_jobs {
+        let js = JobSpec {
+            id: JobId(i),
+            name: format!("j{i}"),
+            model: ModelKind::ResNet18,
+            dataset: DatasetKind::Cifar10,
+            dataset_size: 20_000,
+            submit_batch: 256,
+            max_safe_batch: 4096,
+            requested_gpus: 1,
+            arrival_secs: i as f64,
+            kill_after_secs: None,
+            convergence: ConvergenceModel {
+                reference_batch: 256,
+                ..ConvergenceModel::example()
+            },
+        };
+        let mut st = JobStatus::submitted(js, SimTime::from_secs(i as f64));
+        if running_mask & (1 << i) != 0 {
+            let e = epochs[(i as usize) % epochs.len()];
+            st.phase = JobPhase::Running;
+            st.first_start = Some(SimTime::from_secs(i as f64));
+            st.epochs_done = e;
+            st.samples_processed = f64::from(e) * 20_000.0;
+            st.exec_time = f64::from(e) * 8.0;
+        }
+        limits.insert(JobId(i), 256 << (i % 4));
+        betas.insert(JobId(i), Beta::new(1.0 + (i % 7) as f64, 3.0 + (i % 11) as f64));
+        jobs.insert(JobId(i), st);
+    }
+    Fixture {
+        spec,
+        perf: PerfModel::new(spec),
+        jobs,
+        deployed: Schedule::empty(GPUS),
+        limits,
+        betas,
+    }
+}
+
+/// A random (possibly illegal w.r.t. limits) genome over the fixture jobs.
+fn genome(slots: &[Option<(u64, u32)>]) -> Schedule {
+    let mut s = Schedule::empty(GPUS);
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some((job, batch)) = slot {
+            s.assign(GpuId(i as u32), JobId(*job), (*batch).max(1));
+        }
+    }
+    s
+}
+
+fn assert_legal(fx: &Fixture, s: &Schedule) -> Result<(), TestCaseError> {
+    s.validate(&fx.spec, |j| {
+        fx.jobs
+            .get(&j)
+            .map_or(0, |st| st.spec.profile().max_local_batch)
+    })
+    .map_err(TestCaseError::fail)?;
+    for (job, (batch, _)) in s.running_jobs() {
+        prop_assert!(fx.jobs.contains_key(&job), "phantom job {job}");
+        prop_assert!(
+            batch <= *fx.limits.get(&job).unwrap_or(&u32::MAX),
+            "{job} over its limit"
+        );
+        prop_assert!(
+            !fx.jobs[&job].is_completed(),
+            "{job} is completed but scheduled"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// refresh() always emits a legal schedule, whatever stale genome it
+    /// starts from.
+    #[test]
+    fn refresh_always_legal(
+        slots in proptest::collection::vec(
+            proptest::option::of((0u64..6, 1u32..4096)), GPUS as usize),
+        running_mask in 0u64..64,
+        seed in 0u64..1000,
+    ) {
+        let fx = fixture(6, running_mask, &[1, 3, 9]);
+        let view = ClusterView {
+            now: SimTime::from_secs(500.0),
+            spec: &fx.spec,
+            perf: &fx.perf,
+            jobs: &fx.jobs,
+            deployed: &fx.deployed,
+        };
+        let ctx = EvoContext { view: &view, limits: &fx.limits, betas: &fx.betas };
+        let stale = genome(&slots);
+        let mut rng = DetRng::seed(seed);
+        let refreshed = ops::refresh(&ctx, &stale, &mut rng);
+        assert_legal(&fx, &refreshed)?;
+    }
+
+    /// crossover children partition their parents' slots exactly.
+    #[test]
+    fn crossover_partitions_parents(
+        a_slots in proptest::collection::vec(
+            proptest::option::of((0u64..6, 1u32..512)), GPUS as usize),
+        b_slots in proptest::collection::vec(
+            proptest::option::of((0u64..6, 1u32..512)), GPUS as usize),
+        seed in 0u64..1000,
+    ) {
+        let a = genome(&a_slots);
+        let b = genome(&b_slots);
+        let mut rng = DetRng::seed(seed);
+        let (c1, c2) = ops::crossover(&a, &b, &mut rng);
+        for g in 0..GPUS {
+            let gpu = GpuId(g);
+            let child = [c1.slot(gpu), c2.slot(gpu)];
+            let parent = [a.slot(gpu), b.slot(gpu)];
+            let direct = child[0] == parent[0] && child[1] == parent[1];
+            let swapped = child[0] == parent[1] && child[1] == parent[0];
+            prop_assert!(direct || swapped, "gpu {g}: slots invented or lost");
+        }
+    }
+
+    /// mutate() emits legal schedules at any rate.
+    #[test]
+    fn mutate_always_legal(
+        slots in proptest::collection::vec(
+            proptest::option::of((0u64..6, 1u32..256)), GPUS as usize),
+        rate in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let fx = fixture(6, 0b111111, &[2, 5]);
+        let view = ClusterView {
+            now: SimTime::from_secs(500.0),
+            spec: &fx.spec,
+            perf: &fx.perf,
+            jobs: &fx.jobs,
+            deployed: &fx.deployed,
+        };
+        let ctx = EvoContext { view: &view, limits: &fx.limits, betas: &fx.betas };
+        let mut rng = DetRng::seed(seed);
+        let mutated = ops::mutate(&ctx, &genome(&slots), rate, &mut rng);
+        // Mutation fills via resume/scale-up which respect limits; the
+        // input genome itself may be over-limit, so only check structure +
+        // no phantom/completed jobs here plus memory validity.
+        mutated
+            .validate(&fx.spec, |j| {
+                fx.jobs.get(&j).map_or(0, |st| st.spec.profile().max_local_batch)
+            })
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// A full generation emits only legal members, for arbitrary live
+    /// state.
+    #[test]
+    fn generation_population_always_legal(
+        running_mask in 0u64..64,
+        seed in 0u64..500,
+    ) {
+        let fx = fixture(6, running_mask, &[1, 2, 8, 20]);
+        let view = ClusterView {
+            now: SimTime::from_secs(300.0),
+            spec: &fx.spec,
+            perf: &fx.perf,
+            jobs: &fx.jobs,
+            deployed: &fx.deployed,
+        };
+        let ctx = EvoContext { view: &view, limits: &fx.limits, betas: &fx.betas };
+        let mut search = EvolutionarySearch::new(EvoConfig::for_cluster(GPUS), DetRng::seed(seed));
+        let best = search.generation(&ctx);
+        assert_legal(&fx, &best)?;
+        for member in search.population() {
+            assert_legal(&fx, member)?;
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ones-sched — the ONES scheduler (§3)
+//!
+//! Puts the pieces together into the paper's online evolutionary scheduler:
+//!
+//! * [`policies`] — the batch-size limit `R_j` state machine of §3.3.2:
+//!   *start* (single-GPU warm-up), *resume* (halve on rejection to prevent
+//!   starvation), *scale-up* (double after each epoch) and *scale-down*
+//!   (convoy-effect penalty `R' = ⌈2R / ⌈σ·T_processed + 1⌉⌉` with σ = λ).
+//! * [`scaling`] — cost models for the two re-configuration mechanisms of
+//!   §3.3.1 / Figure 16: ONES's elastic NCCL scaling (pause at a step
+//!   boundary, resize, reconnect, broadcast parameters — ~1 s) versus
+//!   checkpoint-based migration (save, restart, rebuild the data pipeline,
+//!   reload weights onto the GPU — tens of seconds).
+//! * [`scheduler`] — [`scheduler::OnesScheduler`]: the central scheduler of
+//!   Figure 4, wiring the evolutionary search (`ones-evo`), the online
+//!   progress predictor (`ones-predictor`) and the limit policies into the
+//!   event-driven [`ones_schedcore::Scheduler`] interface, with the paper's
+//!   update rule (deploy `S_*` once every running job has finished at least
+//!   one epoch under the current schedule, or immediately when the change
+//!   is non-disruptive).
+
+pub mod policies;
+pub mod scaling;
+pub mod scheduler;
+
+pub use policies::{BatchLimits, PolicyConfig};
+pub use scaling::ScalingCostModel;
+pub use scheduler::{OnesConfig, OnesScheduler};

@@ -1,0 +1,314 @@
+//! Batch-size limit policies (§3.3.2).
+//!
+//! ONES never lets the evolutionary search choose arbitrary batch sizes:
+//! every job carries a dynamic limit `R_j` that the search must respect
+//! (`B_j ≤ R_j`), and `R_j` evolves by four rules:
+//!
+//! * **Start** — on arrival a job is limited to what fits on a *single*
+//!   GPU until it completes a warm-up epoch.
+//! * **Scale-up** — after each completed epoch a running job may double:
+//!   `R' = 2R`. Doubling (one octave per event) is exactly the gradual
+//!   trajectory Figure 14 shows to be convergence-safe.
+//! * **Scale-down** — long-running jobs are penalised to prevent the
+//!   convoy effect: `R' = ⌈2R / ⌈σ·T_processed + 1⌉⌉` with σ set to the
+//!   average job arrival rate λ, so jobs older than the mean inter-arrival
+//!   gap 1/λ stop growing and begin shrinking.
+//! * **Resume** — a waiting job may ask for at most the limit it had when
+//!   preempted; each time a schedule update leaves it waiting, the limit is
+//!   halved, shrinking its footprint until it fits (starvation guard).
+
+use ones_workload::{JobId, JobSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Policy tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Convoy-effect factor σ (the paper suggests σ = λ, the mean job
+    /// arrival rate in jobs/second).
+    pub sigma: f64,
+    /// Epochs a fresh job must complete before its limit may grow past a
+    /// single GPU ("a few warm-up steps").
+    pub warmup_epochs: u32,
+    /// Hard floor for any limit.
+    pub min_batch: u32,
+    /// Cap on growth: R never exceeds `max_batch_factor x submitted batch`
+    /// (four doublings by default — the range the large-batch literature
+    /// the paper cites [Goyal, Smith, You] validates) nor half the
+    /// dataset.
+    pub max_batch_factor: u32,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            sigma: 1.0 / 30.0,
+            warmup_epochs: 1,
+            min_batch: 8,
+            max_batch_factor: 16,
+        }
+    }
+}
+
+/// The per-job limit table `R_j`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchLimits {
+    config: PolicyConfig,
+    limits: BTreeMap<JobId, u32>,
+    /// Per-job floor: the submitted batch (capped to one GPU). Elasticity
+    /// explores *upward* from the user's configuration; scale-down and
+    /// rejection never push a job below what its owner asked for.
+    floors: BTreeMap<JobId, u32>,
+    /// Per-job growth ceiling (see [`PolicyConfig::max_batch_factor`]).
+    caps: BTreeMap<JobId, u32>,
+}
+
+impl BatchLimits {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(config: PolicyConfig) -> Self {
+        BatchLimits {
+            config,
+            limits: BTreeMap::new(),
+            floors: BTreeMap::new(),
+            caps: BTreeMap::new(),
+        }
+    }
+
+    fn floor(&self, job: JobId) -> u32 {
+        self.floors
+            .get(&job)
+            .copied()
+            .unwrap_or(self.config.min_batch)
+    }
+
+    /// Read-only view of the table (what the evolutionary search consumes).
+    #[must_use]
+    pub fn table(&self) -> &BTreeMap<JobId, u32> {
+        &self.limits
+    }
+
+    /// Current limit of a job (0 if unknown).
+    #[must_use]
+    pub fn get(&self, job: JobId) -> u32 {
+        self.limits.get(&job).copied().unwrap_or(0)
+    }
+
+    /// **Start** policy: register an arriving job, capped to a single GPU.
+    pub fn on_arrival(&mut self, spec: &JobSpec) {
+        let single_gpu = spec.profile().max_local_batch;
+        let r = spec.submit_batch.min(single_gpu).max(self.config.min_batch);
+        self.limits.insert(spec.id, r);
+        self.floors.insert(spec.id, r);
+        let cap = (spec.submit_batch * self.config.max_batch_factor)
+            .min(spec.max_safe_batch)
+            .min((spec.dataset_size / 2).max(1) as u32)
+            .max(r);
+        self.caps.insert(spec.id, cap);
+    }
+
+    /// **Scale-up / scale-down** policy, applied after each completed
+    /// epoch of a running job: `R' = ⌈2R / ⌈σ·T_processed + 1⌉⌉`, which
+    /// doubles young jobs and throttles then shrinks old ones. During the
+    /// warm-up window the limit stays single-GPU.
+    ///
+    /// `exec_time` is the job's processed (running) time in seconds;
+    /// `epochs_done` its completed epochs; `memory_cap` the hard maximum
+    /// the cluster could ever serve (max local batch × cluster GPUs).
+    pub fn on_epoch_end(
+        &mut self,
+        job: JobId,
+        epochs_done: u32,
+        exec_time: f64,
+        memory_cap: u32,
+        contended: bool,
+    ) {
+        let Some(&r) = self.limits.get(&job) else {
+            return;
+        };
+        if epochs_done < self.config.warmup_epochs {
+            return; // still warming up on its single GPU
+        }
+        // The paper writes R' = ⌈2R/⌈σT+1⌉⌉; taken literally, ⌈σT+1⌉ = 2
+        // for any T > 0 and young jobs could never double. The stated
+        // intent is "to penalize jobs that are longer than the average
+        // arrival time interval 1/λ", which requires ⌊σT⌋+1: doubling
+        // while T < 1/λ, frozen in [1/λ, 2/λ), shrinking beyond.
+        //
+        // The convoy effect the penalty prevents — long jobs hogging GPUs
+        // while others queue — only exists under contention, so the
+        // penalty is gated on waiting jobs being present; an old job alone
+        // in an idle cluster may keep its resources.
+        let denom = if contended {
+            (self.config.sigma * exec_time).floor() + 1.0
+        } else {
+            1.0
+        };
+        let next = ((2.0 * f64::from(r)) / denom).ceil() as u32;
+        let floor = self.floor(job);
+        let cap = self
+            .caps
+            .get(&job)
+            .copied()
+            .unwrap_or(memory_cap)
+            .min(memory_cap)
+            .max(floor);
+        self.limits.insert(job, next.clamp(floor, cap));
+    }
+
+    /// **Resume** policy: a waiting job was left out of the deployed
+    /// schedule again; halve its limit so it eventually fits.
+    pub fn on_rejected(&mut self, job: JobId) {
+        let floor = self.floor(job);
+        if let Some(r) = self.limits.get_mut(&job) {
+            *r = (*r / 2).max(floor);
+        }
+    }
+
+    /// A job completed: drop its limit entry.
+    pub fn on_completed(&mut self, job: JobId) {
+        self.limits.remove(&job);
+        self.floors.remove(&job);
+        self.caps.remove(&job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind};
+
+    fn spec(id: u64, batch: u32) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            name: format!("j{id}"),
+            model: ModelKind::ResNet50,
+            dataset: DatasetKind::ImageNet,
+            dataset_size: 10_000,
+            submit_batch: batch,
+            max_safe_batch: batch * 64,
+            requested_gpus: 2,
+            arrival_secs: 0.0,
+            kill_after_secs: None,
+            convergence: ConvergenceModel {
+                reference_batch: batch,
+                ..ConvergenceModel::example()
+            },
+        }
+    }
+
+    fn limits() -> BatchLimits {
+        BatchLimits::new(PolicyConfig {
+            sigma: 0.01,
+            warmup_epochs: 1,
+            min_batch: 8,
+            max_batch_factor: 64,
+        })
+    }
+
+    #[test]
+    fn start_caps_to_single_gpu() {
+        let mut l = limits();
+        // ResNet50/ImageNet max local batch is 256; submit 512.
+        l.on_arrival(&spec(0, 512));
+        assert_eq!(l.get(JobId(0)), 256);
+        // A small submission keeps its own batch.
+        l.on_arrival(&spec(1, 128));
+        assert_eq!(l.get(JobId(1)), 128);
+    }
+
+    #[test]
+    fn scale_up_doubles_young_jobs() {
+        let mut l = limits();
+        l.on_arrival(&spec(0, 256));
+        // Young job (tiny exec time): denominator 1, pure doubling.
+        l.on_epoch_end(JobId(0), 1, 1.0, 16_384, true);
+        assert_eq!(l.get(JobId(0)), 512);
+        l.on_epoch_end(JobId(0), 2, 2.0, 16_384, true);
+        assert_eq!(l.get(JobId(0)), 1024);
+    }
+
+    #[test]
+    fn warmup_freezes_the_limit() {
+        let mut l = BatchLimits::new(PolicyConfig {
+            warmup_epochs: 3,
+            sigma: 0.01,
+            min_batch: 8,
+            max_batch_factor: 64,
+        });
+        l.on_arrival(&spec(0, 256));
+        l.on_epoch_end(JobId(0), 1, 1.0, 16_384, true);
+        l.on_epoch_end(JobId(0), 2, 2.0, 16_384, true);
+        assert_eq!(l.get(JobId(0)), 256, "no growth during warm-up");
+        l.on_epoch_end(JobId(0), 3, 3.0, 16_384, true);
+        assert_eq!(l.get(JobId(0)), 512);
+    }
+
+    #[test]
+    fn convoy_penalty_shrinks_old_jobs() {
+        let mut l = limits(); // sigma = 0.01 -> 1/sigma = 100 s
+        l.on_arrival(&spec(0, 256));
+        // Grow the limit first so shrinkage is observable above the floor.
+        l.on_epoch_end(JobId(0), 1, 1.0, 16_384, true);
+        l.on_epoch_end(JobId(0), 2, 2.0, 16_384, true);
+        assert_eq!(l.get(JobId(0)), 1024);
+        // Old job: T_processed = 500 s, denominator = floor(5)+1 = 6.
+        l.on_epoch_end(JobId(0), 10, 500.0, 16_384, true);
+        assert_eq!(l.get(JobId(0)), 2048u32.div_ceil(6)); // = 342
+        // A very old job shrinks back to its own submitted batch, never
+        // below it.
+        for _ in 0..20 {
+            l.on_epoch_end(JobId(0), 10, 10_000.0, 16_384, true);
+        }
+        assert_eq!(l.get(JobId(0)), 256);
+    }
+
+    #[test]
+    fn equilibrium_at_double_arrival_interval() {
+        // At T = 1/σ the denominator is ceil(2) = 2, so R' = R: jobs stop
+        // growing exactly at the average arrival interval, as §3.3.2
+        // intends.
+        let mut l = limits();
+        l.on_arrival(&spec(0, 256));
+        l.on_epoch_end(JobId(0), 5, 100.0, 16_384, true);
+        assert_eq!(l.get(JobId(0)), 256);
+    }
+
+    #[test]
+    fn memory_cap_bounds_growth() {
+        let mut l = limits();
+        l.on_arrival(&spec(0, 256));
+        for e in 1..20 {
+            l.on_epoch_end(JobId(0), e, 1.0, 2048, true);
+        }
+        assert_eq!(l.get(JobId(0)), 2048);
+    }
+
+    #[test]
+    fn rejection_halves_down_to_the_submitted_batch() {
+        let mut l = limits();
+        l.on_arrival(&spec(0, 256));
+        // Grow to 1024, then reject repeatedly.
+        l.on_epoch_end(JobId(0), 1, 1.0, 16_384, true);
+        l.on_epoch_end(JobId(0), 2, 2.0, 16_384, true);
+        l.on_rejected(JobId(0));
+        assert_eq!(l.get(JobId(0)), 512);
+        for _ in 0..10 {
+            l.on_rejected(JobId(0));
+        }
+        assert_eq!(l.get(JobId(0)), 256, "never below the submitted batch");
+    }
+
+    #[test]
+    fn completion_removes_entry() {
+        let mut l = limits();
+        l.on_arrival(&spec(0, 256));
+        l.on_completed(JobId(0));
+        assert_eq!(l.get(JobId(0)), 0);
+        assert!(l.table().is_empty());
+        // Updates for unknown jobs are no-ops.
+        l.on_epoch_end(JobId(0), 1, 1.0, 1024, true);
+        l.on_rejected(JobId(0));
+        assert!(l.table().is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Re-configuration cost models (§3.3.1, §4.3, Figure 16).
+//!
+//! Changing a job's batch size and/or GPU set requires re-configuring its
+//! workers. The paper contrasts two mechanisms:
+//!
+//! **Elastic batch-size scaling** (ONES, Figure 11/12): the scaling agent
+//! pauses the user script at the end of a training step, resizes the
+//! modules on the GPUs, reconnects the NCCL topology, and — only when new
+//! workers joined — broadcasts the current parameters from a previous
+//! worker (whose own initialisation was overlapped with prior training).
+//! Total cost ≈ 1 second.
+//!
+//! **Checkpoint-based migration** (common practice, what the baselines
+//! use): stop the job, write a checkpoint over 1 Gbps Ethernet to HDFS,
+//! restart the worker processes with the new configuration, rebuild the
+//! input pipeline, reload the checkpoint, and move the weights to the
+//! GPUs. Total cost ≈ tens of seconds, dominated by model size (Gu et al.
+//! report the same for TensorFlow migration).
+
+use ones_cluster::{AllReduceModel, Placement};
+use ones_dlperf::ModelProfile;
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of both mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingCostModel {
+    /// Drain: mean residual time of the in-flight training step, s.
+    pub step_drain: f64,
+    /// Resizing modules/tensors on the GPU, s.
+    pub module_resize: f64,
+    /// NCCL communicator (re)construction: fixed part, s.
+    pub nccl_base: f64,
+    /// NCCL communicator construction: per-worker part, s.
+    pub nccl_per_worker: f64,
+    /// HDFS checkpoint bandwidth (1 Gbps Ethernet), bytes/s.
+    pub storage_bw: f64,
+    /// Worker process restart (spawn, CUDA context, framework import), s.
+    pub process_restart: f64,
+    /// Input-pipeline rebuild ("preparing data"), s.
+    pub data_pipeline: f64,
+    /// Host-to-device copy bandwidth (PCIe), bytes/s.
+    pub h2d_bw: f64,
+}
+
+impl Default for ScalingCostModel {
+    fn default() -> Self {
+        ScalingCostModel {
+            step_drain: 0.25,
+            module_resize: 0.15,
+            nccl_base: 0.20,
+            nccl_per_worker: 0.02,
+            storage_bw: 110.0e6, // ~1 Gbps effective
+            process_restart: 6.0,
+            data_pipeline: 7.0,
+            h2d_bw: 12.0e9,
+        }
+    }
+}
+
+impl ScalingCostModel {
+    /// Cost of an elastic re-configuration of one job (seconds): how long
+    /// the *existing* workers are paused. New-worker initialisation is
+    /// overlapped with prior training (Figure 12) and therefore free; the
+    /// parameter broadcast is only paid when workers join.
+    #[must_use]
+    pub fn elastic_cost(
+        &self,
+        profile: &ModelProfile,
+        allreduce: &AllReduceModel,
+        new_placement: &Placement,
+        workers_joined: bool,
+    ) -> f64 {
+        let n = new_placement.len() as f64;
+        let mut cost = self.step_drain
+            + self.module_resize
+            + self.nccl_base
+            + self.nccl_per_worker * n;
+        if workers_joined {
+            cost += allreduce.broadcast_time(new_placement, profile.grad_bytes());
+        }
+        cost
+    }
+
+    /// Cost of a checkpoint-based migration of one job (seconds): the job
+    /// is fully stopped for the whole duration.
+    #[must_use]
+    pub fn checkpoint_cost(&self, profile: &ModelProfile) -> f64 {
+        let ckpt = profile.checkpoint_bytes();
+        let save = ckpt / self.storage_bw;
+        let load = ckpt / self.storage_bw + ckpt / self.h2d_bw;
+        save + self.process_restart + self.data_pipeline + load
+    }
+
+    /// Cost of initially starting a job (both mechanisms pay this, but it
+    /// does not stop any *other* job): process spawn + data pipeline.
+    #[must_use]
+    pub fn cold_start_cost(&self) -> f64 {
+        self.process_restart + self.data_pipeline
+    }
+
+    /// Cost of a Gandiva-style suspend/resume cycle: drain the in-flight
+    /// step, swap GPU state through host memory (PCIe both ways), no
+    /// process restart and no input-pipeline rebuild.
+    #[must_use]
+    pub fn suspend_resume_cost(&self, profile: &ModelProfile) -> f64 {
+        let state = profile.checkpoint_bytes();
+        self.step_drain + 2.0 * state / self.h2d_bw + self.module_resize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ones_cluster::ClusterSpec;
+    use ones_dlperf::ModelKind;
+
+    fn model() -> (ScalingCostModel, AllReduceModel) {
+        (
+            ScalingCostModel::default(),
+            AllReduceModel::new(ClusterSpec::longhorn()),
+        )
+    }
+
+    #[test]
+    fn figure16_elastic_is_around_one_second() {
+        let (cost, ar) = model();
+        for kind in ModelKind::ALL {
+            let prof = kind.profile();
+            let place = Placement::contiguous(0, 4);
+            let t = cost.elastic_cost(&prof, &ar, &place, true);
+            assert!(
+                t > 0.3 && t < 3.0,
+                "{kind}: elastic cost {t}s outside the ~1 s band"
+            );
+        }
+    }
+
+    #[test]
+    fn figure16_checkpoint_is_tens_of_seconds() {
+        let (cost, _) = model();
+        for kind in ModelKind::ALL {
+            let prof = kind.profile();
+            let t = cost.checkpoint_cost(&prof);
+            assert!(
+                t > 13.0 && t < 60.0,
+                "{kind}: checkpoint cost {t}s implausible"
+            );
+        }
+    }
+
+    #[test]
+    fn figure16_gap_is_an_order_of_magnitude() {
+        let (cost, ar) = model();
+        for kind in ModelKind::ALL {
+            let prof = kind.profile();
+            let place = Placement::contiguous(0, 4);
+            let elastic = cost.elastic_cost(&prof, &ar, &place, true);
+            let ckpt = cost.checkpoint_cost(&prof);
+            assert!(
+                ckpt > 10.0 * elastic,
+                "{kind}: gap too small (elastic {elastic}, ckpt {ckpt})"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_models_cost_more_to_checkpoint() {
+        let (cost, _) = model();
+        let bert = cost.checkpoint_cost(&ModelKind::BertBase.profile());
+        let goog = cost.checkpoint_cost(&ModelKind::GoogleNet.profile());
+        assert!(bert > 2.0 * goog);
+    }
+
+    #[test]
+    fn broadcast_only_charged_when_workers_join() {
+        let (cost, ar) = model();
+        let prof = ModelKind::Vgg16.profile(); // 552 MB of gradients
+        let place = Placement::contiguous(0, 8);
+        let with = cost.elastic_cost(&prof, &ar, &place, true);
+        let without = cost.elastic_cost(&prof, &ar, &place, false);
+        assert!(with > without + 0.01);
+    }
+
+    #[test]
+    fn cold_start_is_independent_of_model() {
+        let (cost, _) = model();
+        assert!(cost.cold_start_cost() > 5.0);
+    }
+
+    #[test]
+    fn suspend_resume_sits_between_elastic_and_checkpoint() {
+        let (cost, ar) = model();
+        let place = Placement::contiguous(0, 4);
+        for kind in ModelKind::ALL {
+            let prof = kind.profile();
+            let sr = cost.suspend_resume_cost(&prof);
+            let ckpt = cost.checkpoint_cost(&prof);
+            let elastic = cost.elastic_cost(&prof, &ar, &place, false);
+            assert!(sr < ckpt / 5.0, "{kind}: suspend/resume {sr}s vs ckpt {ckpt}s");
+            assert!(sr < 2.0, "{kind}: suspend/resume {sr}s over 2 s");
+            assert!(sr > elastic * 0.1, "{kind}: implausibly cheap");
+        }
+    }
+
+    #[test]
+    fn suspend_resume_scales_with_state_size() {
+        let (cost, _) = model();
+        let bert = cost.suspend_resume_cost(&ModelKind::BertBase.profile());
+        let goog = cost.suspend_resume_cost(&ModelKind::GoogleNet.profile());
+        assert!(bert > goog);
+    }
+}

@@ -1,0 +1,110 @@
+//! Predictor feature extraction.
+//!
+//! Footnote 1 of the paper defines the GPR predictor's input features as
+//! `x = {‖D‖, L_initial, Y_processed, r_L, A}`: epoch size, initial loss,
+//! processed samples, loss improvement ratio and validation accuracy. We
+//! keep the same five features but condition them for a linear model:
+//! `‖D‖` in kilo-samples and `Y_processed` as processed *epochs*
+//! (`Y_processed/‖D‖` — the same information given that `‖D‖` is itself a
+//! feature, but scale-stable across jobs whose sample counts differ by two
+//! orders of magnitude).
+
+use ones_schedcore::JobStatus;
+use serde::{Deserialize, Serialize};
+
+/// Number of predictor features.
+pub const NUM_FEATURES: usize = 5;
+
+/// A feature snapshot of one job at one epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSnapshot {
+    /// Epoch size ‖D‖ in kilo-samples.
+    pub dataset_ksamples: f64,
+    /// Loss before training started.
+    pub initial_loss: f64,
+    /// Epochs' worth of samples processed (Y_processed/‖D‖).
+    pub processed_epochs: f64,
+    /// Loss improvement ratio r_L = 1 − current/initial.
+    pub loss_ratio: f64,
+    /// Validation accuracy.
+    pub accuracy: f64,
+    /// Wall epochs completed when the snapshot was taken (bookkeeping for
+    /// computing the remaining-epoch label once the job completes).
+    pub epochs_done: u32,
+}
+
+impl FeatureSnapshot {
+    /// Captures the current features of a job.
+    #[must_use]
+    pub fn capture(status: &JobStatus) -> Self {
+        FeatureSnapshot {
+            dataset_ksamples: status.spec.dataset_size as f64 / 1000.0,
+            initial_loss: status.initial_loss,
+            processed_epochs: status.processed_epochs(),
+            loss_ratio: status.loss_improvement_ratio(),
+            accuracy: status.current_accuracy,
+            epochs_done: status.epochs_done,
+        }
+    }
+
+    /// The regression input vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.dataset_ksamples,
+            self.initial_loss,
+            self.processed_epochs,
+            self.loss_ratio,
+            self.accuracy,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind};
+    use ones_simcore::SimTime;
+    use ones_workload::{JobId, JobSpec};
+
+    fn status() -> JobStatus {
+        let spec = JobSpec {
+            id: JobId(0),
+            name: "t".into(),
+            model: ModelKind::GoogleNet,
+            dataset: DatasetKind::Cifar10,
+            dataset_size: 25_000,
+            submit_batch: 256,
+            max_safe_batch: 4096,
+            requested_gpus: 1,
+            arrival_secs: 0.0,
+            kill_after_secs: None,
+            convergence: ConvergenceModel {
+                reference_batch: 256,
+                ..ConvergenceModel::example()
+            },
+        };
+        let mut s = JobStatus::submitted(spec, SimTime::ZERO);
+        s.samples_processed = 75_000.0;
+        s.current_loss = s.initial_loss * 0.4;
+        s.current_accuracy = 0.7;
+        s.epochs_done = 3;
+        s
+    }
+
+    #[test]
+    fn capture_matches_status() {
+        let f = FeatureSnapshot::capture(&status());
+        assert!((f.dataset_ksamples - 25.0).abs() < 1e-12);
+        assert!((f.processed_epochs - 3.0).abs() < 1e-12);
+        assert!((f.loss_ratio - 0.6).abs() < 1e-12);
+        assert!((f.accuracy - 0.7).abs() < 1e-12);
+        assert_eq!(f.epochs_done, 3);
+    }
+
+    #[test]
+    fn vector_has_five_features() {
+        let v = FeatureSnapshot::capture(&status()).to_vec();
+        assert_eq!(v.len(), NUM_FEATURES);
+    }
+}

@@ -1,0 +1,62 @@
+//! # ones-predictor — online training-progress prediction (§3.2.1)
+//!
+//! ONES never tries to predict a job's absolute remaining workload.
+//! Instead it models the *completion fraction* ρ ∈ (0, 1) of every job as a
+//! Beta random variable (paper Eq 6):
+//!
+//! ```text
+//! ρ ~ Be(α, β),   α = Y_processed / ‖D‖  (epochs processed)
+//!                 β = max(A·x + b, 1)    (predicted epochs to process)
+//! ```
+//!
+//! The linear model `A, b` over the feature vector
+//! `x = {‖D‖, L_initial, Y_processed, r_L, A}` (footnote 1) is refit every
+//! time a job completes, on a bounded training set uniformly subsampled
+//! from the epoch logs of completed jobs — bounding both fit time and
+//! overfitting, exactly as §3.2.1 prescribes. For a linear-Gaussian
+//! observation model, the least-squares fit used here *is* the maximiser of
+//! the log marginal likelihood in the mean parameters.
+//!
+//! From a predicted `Be(α, β)`, Eq 7 turns a sampled ρ into a remaining
+//! workload `Y = Y_processed · (1/ρ − 1)`, which Algorithm 1 plugs into the
+//! SRUF score (Eq 8). Both helpers live here so every consumer (the
+//! evolutionary search, the benches, the tests) shares one implementation.
+
+pub mod features;
+pub mod progress;
+
+pub use features::FeatureSnapshot;
+pub use progress::{BetaModel, PredictorConfig, ProgressPredictor};
+
+/// Remaining workload in samples from a sampled completion fraction
+/// (paper Eq 7): `Y = Y_processed (1/ρ − 1)`.
+///
+/// # Panics
+/// Panics if `rho` is outside (0, 1] or `processed` is negative.
+#[must_use]
+pub fn remaining_workload(processed: f64, rho: f64) -> f64 {
+    assert!(processed >= 0.0, "negative processed sample count");
+    assert!(rho > 0.0 && rho <= 1.0, "completion fraction out of (0,1]: {rho}");
+    processed * (1.0 / rho - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq7_basic_values() {
+        // Half done: remaining equals processed.
+        assert!((remaining_workload(1000.0, 0.5) - 1000.0).abs() < 1e-9);
+        // Fully done: nothing remains.
+        assert_eq!(remaining_workload(1000.0, 1.0), 0.0);
+        // Barely started: a lot remains.
+        assert!(remaining_workload(100.0, 0.01) > 9000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1]")]
+    fn zero_rho_rejected() {
+        let _ = remaining_workload(10.0, 0.0);
+    }
+}

@@ -1,0 +1,432 @@
+//! The online progress predictor.
+//!
+//! Maintains a bounded training set of `(features, remaining epochs)`
+//! pairs harvested from completed jobs' epoch logs, refits the linear
+//! β-model on every completion, and answers [`ProgressPredictor::predict`]
+//! queries with a clamped `Be(α, β)` per paper Eq 6.
+
+use crate::features::FeatureSnapshot;
+use ones_schedcore::JobStatus;
+use ones_simcore::DetRng;
+use ones_stats::{Beta, GpRegressor, LinearRegression};
+use serde::{Deserialize, Serialize};
+
+/// Which regression model predicts the epochs-to-process (the Beta's β).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BetaModel {
+    /// Ridge-regularised linear least squares: microsecond refits, the
+    /// default for the scheduler's hot loop.
+    Linear,
+    /// RBF-kernel Gaussian-process regression — the model the paper's
+    /// footnote 1 names. O(n³) refits on the bounded training set.
+    GaussianProcess,
+}
+
+/// Tunables of the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Which β regression model to fit.
+    pub model: BetaModel,
+    /// Maximum retained training points (the paper keeps "a limited size of
+    /// training dataset ... uniformly sampled from training logs").
+    pub capacity: usize,
+    /// Snapshots kept per completed job (uniformly spaced over its epochs).
+    pub samples_per_job: usize,
+    /// Ridge regularisation for the β fit.
+    pub ridge: f64,
+    /// Epochs-to-process assumed for a job before any completions exist to
+    /// fit a model (cold-start prior).
+    pub prior_remaining_epochs: f64,
+    /// Minimum training points before trusting the fitted model.
+    pub min_fit_points: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            model: BetaModel::Linear,
+            capacity: 512,
+            samples_per_job: 16,
+            ridge: 1e-3,
+            prior_remaining_epochs: 30.0,
+            min_fit_points: 24,
+        }
+    }
+}
+
+/// The fitted β model (see [`BetaModel`]).
+#[derive(Debug, Clone)]
+enum FittedModel {
+    Linear(LinearRegression),
+    GaussianProcess(GpRegressor),
+}
+
+impl FittedModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            FittedModel::Linear(m) => m.predict(x),
+            FittedModel::GaussianProcess(m) => m.predict(x),
+        }
+    }
+}
+
+/// Online Beta-distribution progress predictor (see crate docs).
+#[derive(Debug, Clone)]
+pub struct ProgressPredictor {
+    config: PredictorConfig,
+    points: Vec<(FeatureSnapshot, f64)>,
+    seen_points: usize,
+    model: Option<FittedModel>,
+    completions: usize,
+    rng: DetRng,
+}
+
+impl ProgressPredictor {
+    /// Creates a predictor with its own deterministic RNG stream.
+    #[must_use]
+    pub fn new(config: PredictorConfig, rng: DetRng) -> Self {
+        ProgressPredictor {
+            config,
+            points: Vec::new(),
+            seen_points: 0,
+            model: None,
+            completions: 0,
+            rng,
+        }
+    }
+
+    /// Number of completed jobs observed.
+    #[must_use]
+    pub fn completions(&self) -> usize {
+        self.completions
+    }
+
+    /// Number of retained training points.
+    #[must_use]
+    pub fn training_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether predictions currently come from a fitted model (vs the
+    /// cold-start prior).
+    #[must_use]
+    pub fn is_fitted(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Ingests the epoch log of a job that just completed and refits.
+    ///
+    /// `history` holds one snapshot per completed epoch, in epoch order;
+    /// `total_epochs` is the number of wall epochs the job ran. The label
+    /// of a snapshot at epoch `e` is `total_epochs − e` — the epochs the
+    /// job still had to process at that point.
+    pub fn observe_completion(&mut self, history: &[FeatureSnapshot], total_epochs: u32) {
+        self.completions += 1;
+        if history.is_empty() {
+            return;
+        }
+        // Uniformly spaced subsample of the job's log.
+        let take = self.config.samples_per_job.min(history.len());
+        for k in 0..take {
+            let idx = k * history.len() / take;
+            let snap = history[idx];
+            let remaining = f64::from(total_epochs.saturating_sub(snap.epochs_done)).max(0.0);
+            self.insert((snap, remaining));
+        }
+        self.refit();
+    }
+
+    /// Reservoir-style bounded insertion keeping a uniform sample of all
+    /// points ever seen.
+    fn insert(&mut self, point: (FeatureSnapshot, f64)) {
+        self.seen_points += 1;
+        if self.points.len() < self.config.capacity {
+            self.points.push(point);
+        } else {
+            let j = self.rng.index(self.seen_points);
+            if j < self.points.len() {
+                self.points[j] = point;
+            }
+        }
+    }
+
+    fn refit(&mut self) {
+        if self.points.len() < self.config.min_fit_points {
+            return;
+        }
+        let xs: Vec<Vec<f64>> = self.points.iter().map(|(f, _)| f.to_vec()).collect();
+        let ys: Vec<f64> = self.points.iter().map(|(_, y)| *y).collect();
+        let fitted = match self.config.model {
+            BetaModel::Linear => {
+                LinearRegression::fit(&xs, &ys, self.config.ridge).map(FittedModel::Linear)
+            }
+            BetaModel::GaussianProcess => {
+                GpRegressor::fit(&xs, &ys).map(FittedModel::GaussianProcess)
+            }
+        };
+        if let Some(model) = fitted {
+            self.model = Some(model);
+        }
+    }
+
+    /// Predicted epochs still to process for a job (the β parameter before
+    /// the ≥ 1 clamp).
+    #[must_use]
+    pub fn predict_remaining_epochs(&self, status: &JobStatus) -> f64 {
+        let snap = FeatureSnapshot::capture(status);
+        match &self.model {
+            Some(m) => m.predict(&snap.to_vec()),
+            None => {
+                // Cold start: assume a fixed total requirement and subtract
+                // what's already done.
+                (self.config.prior_remaining_epochs - snap.processed_epochs)
+                    .max(1.0)
+            }
+        }
+    }
+
+    /// The paper's Eq 6: `ρ ~ Be(max(α,1), max(β,1))` with
+    /// `α = Y_processed/‖D‖` and β the model's remaining-epoch prediction.
+    #[must_use]
+    pub fn predict(&self, status: &JobStatus) -> Beta {
+        let alpha = status.processed_epochs();
+        let beta = self.predict_remaining_epochs(status);
+        Beta::new_clamped(alpha, beta)
+    }
+}
+
+#[cfg(test)]
+pub(super) mod tests {
+    use super::*;
+    use ones_dlperf::{ConvergenceModel, ConvergenceState, DatasetKind, ModelKind};
+    use ones_simcore::SimTime;
+    use ones_workload::{JobId, JobSpec};
+
+    pub(super) fn make_status(id: u64, dataset_size: u64, progress_scale: f64) -> JobStatus {
+        let conv = ConvergenceModel {
+            reference_batch: 256,
+            progress_scale,
+            ..ConvergenceModel::example()
+        };
+        let spec = JobSpec {
+            id: JobId(id),
+            name: format!("j{id}"),
+            model: ModelKind::ResNet18,
+            dataset: DatasetKind::Cifar10,
+            dataset_size,
+            submit_batch: 256,
+            max_safe_batch: 4096,
+            requested_gpus: 1,
+            arrival_secs: 0.0,
+            kill_after_secs: None,
+            convergence: conv,
+        };
+        JobStatus::submitted(spec, SimTime::ZERO)
+    }
+
+    /// Simulates a full training run of a synthetic job at its reference
+    /// batch, returning the epoch log and total epochs.
+    pub(super) fn run_job(status: &mut JobStatus) -> (Vec<FeatureSnapshot>, u32) {
+        let mut conv = ConvergenceState::new(status.spec.convergence);
+        let mut log = Vec::new();
+        while !conv.converged() {
+            conv.advance_epoch(256, true);
+            status.epochs_done = conv.epochs_done();
+            status.samples_processed =
+                f64::from(conv.epochs_done()) * status.spec.dataset_size as f64;
+            status.current_loss = conv.loss();
+            status.current_accuracy = conv.accuracy();
+            log.push(FeatureSnapshot::capture(status));
+            assert!(conv.epochs_done() < 500, "runaway job");
+        }
+        (log, conv.epochs_done())
+    }
+
+    fn predictor() -> ProgressPredictor {
+        ProgressPredictor::new(PredictorConfig::default(), DetRng::seed(9))
+    }
+
+    #[test]
+    fn cold_start_uses_prior() {
+        let p = predictor();
+        let mut s = make_status(0, 20_000, 12.0);
+        assert!(!p.is_fitted());
+        let b = p.predict(&s);
+        // Nothing processed: α clamps to 1, β = prior.
+        assert_eq!(b.alpha(), 1.0);
+        assert!((b.beta() - 30.0).abs() < 1e-9);
+        // Partially processed jobs shift the prior.
+        s.samples_processed = 10.0 * 20_000.0;
+        let b2 = p.predict(&s);
+        assert!((b2.alpha() - 10.0).abs() < 1e-9);
+        assert!((b2.beta() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learns_from_completions() {
+        let mut p = predictor();
+        // Train on a family of jobs with varying convergence speeds.
+        for i in 0..12u32 {
+            let scale = 6.0 + f64::from(i % 4) * 2.0;
+            let mut s = make_status(u64::from(i), 20_000 + u64::from(i) * 1000, scale);
+            let (log, total) = run_job(&mut s);
+            p.observe_completion(&log, total);
+        }
+        assert!(p.is_fitted(), "predictor should have fitted after 12 jobs");
+        assert_eq!(p.completions(), 12);
+
+        // Query a fresh job of a seen speed class mid-training and check
+        // the predicted remaining epochs is in the right ballpark.
+        let mut s = make_status(99, 22_000, 8.0);
+        let mut conv = ConvergenceState::new(s.spec.convergence);
+        for _ in 0..10 {
+            conv.advance_epoch(256, true);
+        }
+        s.epochs_done = 10;
+        s.samples_processed = 10.0 * 22_000.0;
+        s.current_loss = conv.loss();
+        s.current_accuracy = conv.accuracy();
+        let predicted = p.predict_remaining_epochs(&s);
+        let truth = conv.remaining_epochs_at(256);
+        assert!(
+            (predicted - truth).abs() < 0.5 * truth + 5.0,
+            "prediction {predicted} too far from truth {truth}"
+        );
+    }
+
+    #[test]
+    fn beta_mean_tracks_progress() {
+        let mut p = predictor();
+        for i in 0..12u32 {
+            let mut s = make_status(u64::from(i), 20_000, 8.0);
+            let (log, total) = run_job(&mut s);
+            p.observe_completion(&log, total);
+        }
+        let mut s = make_status(50, 20_000, 8.0);
+        let mut means = Vec::new();
+        for epoch in [1u32, 10, 25] {
+            s.epochs_done = epoch;
+            s.samples_processed = f64::from(epoch) * 20_000.0;
+            let mut conv = ConvergenceState::new(s.spec.convergence);
+            for _ in 0..epoch {
+                conv.advance_epoch(256, true);
+            }
+            s.current_loss = conv.loss();
+            s.current_accuracy = conv.accuracy();
+            means.push(p.predict(&s).mean());
+        }
+        assert!(
+            means[0] < means[1] && means[1] < means[2],
+            "predicted completion fraction should grow: {means:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut p = ProgressPredictor::new(
+            PredictorConfig {
+                capacity: 40,
+                samples_per_job: 16,
+                ..PredictorConfig::default()
+            },
+            DetRng::seed(3),
+        );
+        for i in 0..20u32 {
+            let mut s = make_status(u64::from(i), 20_000, 8.0);
+            let (log, total) = run_job(&mut s);
+            p.observe_completion(&log, total);
+        }
+        assert!(p.training_points() <= 40);
+        assert_eq!(p.completions(), 20);
+    }
+
+    #[test]
+    fn empty_history_is_harmless() {
+        let mut p = predictor();
+        p.observe_completion(&[], 10);
+        assert_eq!(p.completions(), 1);
+        assert_eq!(p.training_points(), 0);
+    }
+
+    #[test]
+    fn beta_parameters_clamped_at_one() {
+        let p = predictor();
+        let s = make_status(0, 20_000, 8.0);
+        let b = p.predict(&s);
+        assert!(b.alpha() >= 1.0);
+        assert!(b.beta() >= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod gpr_tests {
+    use super::tests::{make_status, run_job};
+    use super::*;
+    use ones_dlperf::ConvergenceState;
+
+    fn gp_predictor() -> ProgressPredictor {
+        ProgressPredictor::new(
+            PredictorConfig {
+                model: BetaModel::GaussianProcess,
+                capacity: 160,
+                ..PredictorConfig::default()
+            },
+            DetRng::seed(21),
+        )
+    }
+
+    #[test]
+    fn gpr_backend_learns_from_completions() {
+        let mut p = gp_predictor();
+        for i in 0..10u32 {
+            let scale = 6.0 + f64::from(i % 4) * 2.0;
+            let mut s = make_status(u64::from(i), 20_000 + u64::from(i) * 1000, scale);
+            let (log, total) = run_job(&mut s);
+            p.observe_completion(&log, total);
+        }
+        assert!(p.is_fitted(), "GPR backend should have fitted");
+
+        let mut s = make_status(77, 22_000, 8.0);
+        let mut conv = ConvergenceState::new(s.spec.convergence);
+        for _ in 0..12 {
+            conv.advance_epoch(256, true);
+        }
+        s.epochs_done = 12;
+        s.samples_processed = 12.0 * 22_000.0;
+        s.current_loss = conv.loss();
+        s.current_accuracy = conv.accuracy();
+        let predicted = p.predict_remaining_epochs(&s);
+        let truth = conv.remaining_epochs_at(256);
+        assert!(
+            (predicted - truth).abs() < 0.6 * truth + 6.0,
+            "GPR prediction {predicted} too far from truth {truth}"
+        );
+    }
+
+    #[test]
+    fn gpr_and_linear_agree_on_clean_data() {
+        let mut lin = ProgressPredictor::new(PredictorConfig::default(), DetRng::seed(3));
+        let mut gp = gp_predictor();
+        for i in 0..10u32 {
+            let mut s = make_status(u64::from(i), 20_000, 8.0);
+            let (log, total) = run_job(&mut s);
+            lin.observe_completion(&log, total);
+            gp.observe_completion(&log, total);
+        }
+        let mut s = make_status(50, 20_000, 8.0);
+        let mut conv = ConvergenceState::new(s.spec.convergence);
+        for _ in 0..10 {
+            conv.advance_epoch(256, true);
+        }
+        s.epochs_done = 10;
+        s.samples_processed = 10.0 * 20_000.0;
+        s.current_loss = conv.loss();
+        s.current_accuracy = conv.accuracy();
+        let a = lin.predict_remaining_epochs(&s);
+        let b = gp.predict_remaining_epochs(&s);
+        assert!(
+            (a - b).abs() < 0.5 * a.max(b) + 3.0,
+            "linear {a} vs GPR {b} diverge on clean in-distribution data"
+        );
+    }
+}

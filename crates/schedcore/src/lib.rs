@@ -1,0 +1,26 @@
+//! # ones-schedcore — shared scheduler API
+//!
+//! Defines the contract between the cluster simulator and every scheduler
+//! (ONES and the baselines):
+//!
+//! * [`schedule`] — the paper's schedule encoding `S : J × C → {b_j^i}`
+//!   (Eq 1): one slot per GPU holding at most one `(job, local batch)`
+//!   pair, enforcing the exclusive-GPU constraint (Eq 4) structurally.
+//!   Global batch `B_j` and GPU count `c_j` are the derived sums of Eq 2.
+//! * [`status`] — the runtime telemetry a scheduler may observe per job
+//!   (epochs, samples processed, loss, accuracy, throughput, attained
+//!   service), mirroring what workers upload at each epoch end (§3.1).
+//! * [`scheduler`] — the [`scheduler::Scheduler`] trait: an event-driven
+//!   interface where the scheduler receives arrivals / epoch ends /
+//!   completions / timer ticks and may respond with a new desired
+//!   [`schedule::Schedule`]; the simulator executes the diff with
+//!   mechanism-dependent costs (elastic NCCL scaling vs checkpoint
+//!   restart).
+
+pub mod schedule;
+pub mod scheduler;
+pub mod status;
+
+pub use schedule::{Schedule, Slot};
+pub use scheduler::{ClusterView, SchedEvent, ScalingMechanism, Scheduler};
+pub use status::{JobPhase, JobStatus};

@@ -1,0 +1,472 @@
+//! The schedule encoding `S : J × C → {b_j^i}` (paper Eq 1–2, Figure 1).
+//!
+//! A [`Schedule`] assigns every GPU at most one `(job, local batch)` pair —
+//! the genome of the evolutionary search. Because a slot holds one job, the
+//! paper's no-sharing constraint (Eq 4) holds by construction. The derived
+//! quantities of Eq 2 — global batch `B_j = Σ_i b_j^i` and GPU count
+//! `c_j = Σ_i min(1, b_j^i)` — are computed on demand.
+
+use ones_cluster::{ClusterSpec, GpuId, Placement};
+use ones_workload::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One GPU's assignment: a job and its local batch `b_j^i ≥ 1` on this GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Slot {
+    /// The job whose worker runs here.
+    pub job: JobId,
+    /// Local batch size on this GPU (always ≥ 1).
+    pub local_batch: u32,
+}
+
+/// A complete assignment of the cluster's GPUs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Schedule {
+    slots: Vec<Option<Slot>>,
+}
+
+impl Schedule {
+    /// An empty schedule for a cluster with `total_gpus` devices.
+    #[must_use]
+    pub fn empty(total_gpus: u32) -> Self {
+        Schedule {
+            slots: vec![None; total_gpus as usize],
+        }
+    }
+
+    /// Number of GPU slots (== cluster size).
+    #[must_use]
+    pub fn num_gpus(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// The slot on one GPU.
+    ///
+    /// # Panics
+    /// Panics if the GPU id is out of range.
+    #[must_use]
+    pub fn slot(&self, gpu: GpuId) -> Option<Slot> {
+        self.slots[gpu.0 as usize]
+    }
+
+    /// Assigns a worker of `job` with `local_batch` samples to `gpu`,
+    /// replacing any previous occupant.
+    ///
+    /// # Panics
+    /// Panics if `local_batch` is zero (use [`Schedule::clear`] to free a
+    /// GPU) or the GPU id is out of range.
+    pub fn assign(&mut self, gpu: GpuId, job: JobId, local_batch: u32) {
+        assert!(local_batch > 0, "a placed worker needs a positive batch");
+        self.slots[gpu.0 as usize] = Some(Slot { job, local_batch });
+    }
+
+    /// Frees a GPU.
+    pub fn clear(&mut self, gpu: GpuId) {
+        self.slots[gpu.0 as usize] = None;
+    }
+
+    /// Removes every worker of `job`, returning how many GPUs were freed.
+    pub fn evict(&mut self, job: JobId) -> usize {
+        let mut freed = 0;
+        for s in &mut self.slots {
+            if s.is_some_and(|sl| sl.job == job) {
+                *s = None;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Global batch `B_j = Σ_i b_j^i` (Eq 2). Zero if the job is not placed.
+    #[must_use]
+    pub fn global_batch(&self, job: JobId) -> u32 {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| s.job == job)
+            .map(|s| s.local_batch)
+            .sum()
+    }
+
+    /// GPU count `c_j = Σ_i min(1, b_j^i)` (Eq 2).
+    #[must_use]
+    pub fn gpu_count(&self, job: JobId) -> u32 {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| s.job == job)
+            .count() as u32
+    }
+
+    /// The set of GPUs hosting `job`.
+    #[must_use]
+    pub fn placement(&self, job: JobId) -> Placement {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.filter(|sl| sl.job == job).map(|_| GpuId(i as u32))
+            })
+            .collect()
+    }
+
+    /// Local batches of `job` in GPU-id order (alongside
+    /// [`Schedule::placement`], this is what the throughput model consumes).
+    #[must_use]
+    pub fn local_batches(&self, job: JobId) -> Vec<u32> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| s.job == job)
+            .map(|s| s.local_batch)
+            .collect()
+    }
+
+    /// All running jobs with their `(global batch, gpu count)`, sorted by id.
+    #[must_use]
+    pub fn running_jobs(&self) -> BTreeMap<JobId, (u32, u32)> {
+        let mut map: BTreeMap<JobId, (u32, u32)> = BTreeMap::new();
+        for s in self.slots.iter().flatten() {
+            let e = map.entry(s.job).or_insert((0, 0));
+            e.0 += s.local_batch;
+            e.1 += 1;
+        }
+        map
+    }
+
+    /// Whether a job holds at least one GPU.
+    #[must_use]
+    pub fn is_running(&self, job: JobId) -> bool {
+        self.slots.iter().flatten().any(|s| s.job == job)
+    }
+
+    /// GPUs with no worker.
+    #[must_use]
+    pub fn idle_gpus(&self) -> Vec<GpuId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| GpuId(i as u32))
+            .collect()
+    }
+
+    /// Number of idle GPUs.
+    #[must_use]
+    pub fn idle_count(&self) -> u32 {
+        self.slots.iter().filter(|s| s.is_none()).count() as u32
+    }
+
+    /// Raw slot view (one entry per GPU).
+    #[must_use]
+    pub fn slots(&self) -> &[Option<Slot>] {
+        &self.slots
+    }
+
+    /// Packs the workers of each job contiguously, in order of each job's
+    /// first occurrence — the *reorder* evolution operation (§3.2.2,
+    /// Figure 10). Idle slots move to the end.
+    #[must_use]
+    pub fn reordered(&self) -> Schedule {
+        let mut order: Vec<JobId> = Vec::new();
+        for s in self.slots.iter().flatten() {
+            if !order.contains(&s.job) {
+                order.push(s.job);
+            }
+        }
+        let mut out = Schedule::empty(self.num_gpus());
+        let mut next = 0usize;
+        for job in order {
+            for s in self.slots.iter().flatten().filter(|s| s.job == job) {
+                out.slots[next] = Some(*s);
+                next += 1;
+            }
+        }
+        out
+    }
+
+    /// Re-maps this schedule's workers to minimise disruption relative to
+    /// a deployed schedule: every job whose configuration (multiset of
+    /// local batches) is unchanged keeps exactly its old GPUs; all other
+    /// workers pack into the remaining GPUs in first-occurrence order.
+    ///
+    /// The evolutionary search reorders candidates for locality, which
+    /// would otherwise migrate every worker on every deployment; alignment
+    /// makes unchanged jobs genuinely free to "re-deploy".
+    #[must_use]
+    pub fn aligned_with(&self, deployed: &Schedule) -> Schedule {
+        assert_eq!(self.num_gpus(), deployed.num_gpus());
+        let n = self.num_gpus();
+        let mut out = Schedule::empty(n);
+        let mut taken = vec![false; n as usize];
+        let mut kept: Vec<JobId> = Vec::new();
+
+        // Phase 1: unchanged jobs keep their old placement.
+        for job in self.running_jobs().keys() {
+            let mut old: Vec<u32> = deployed.local_batches(*job);
+            let mut new: Vec<u32> = self.local_batches(*job);
+            old.sort_unstable();
+            new.sort_unstable();
+            if old.is_empty() || old != new {
+                continue;
+            }
+            for (i, slot) in deployed.slots().iter().enumerate() {
+                if let Some(s) = slot.filter(|s| s.job == *job) {
+                    out.slots[i] = Some(s);
+                    taken[i] = true;
+                }
+            }
+            kept.push(*job);
+        }
+
+        // Phase 2: everything else packs into the free GPUs in this
+        // schedule's (already reordered) occurrence order.
+        let mut free = (0..n as usize).filter(|&i| !taken[i]);
+        for slot in self.slots.iter().flatten() {
+            if kept.contains(&slot.job) {
+                continue;
+            }
+            let Some(i) = free.next() else { break };
+            out.slots[i] = Some(*slot);
+        }
+        out
+    }
+
+    /// Whether deploying `self` over `deployed` would disturb any job that
+    /// is currently running: true when every running job of `deployed`
+    /// keeps the identical slots in `self`.
+    #[must_use]
+    pub fn is_non_disruptive_over(&self, deployed: &Schedule) -> bool {
+        deployed.running_jobs().keys().all(|job| {
+            self.slots
+                .iter()
+                .zip(deployed.slots())
+                .all(|(new, old)| {
+                    let old_here = old.filter(|s| s.job == *job);
+                    let new_here = new.filter(|s| s.job == *job);
+                    old_here == new_here
+                })
+        })
+    }
+
+    /// Checks structural validity against a cluster and per-job local batch
+    /// limits. Returns a description of the first violation.
+    ///
+    /// `max_local_batch(job)` should come from the job's model profile.
+    pub fn validate(
+        &self,
+        spec: &ClusterSpec,
+        mut max_local_batch: impl FnMut(JobId) -> u32,
+    ) -> Result<(), String> {
+        if self.num_gpus() != spec.total_gpus() {
+            return Err(format!(
+                "schedule has {} slots for a {}-GPU cluster",
+                self.num_gpus(),
+                spec.total_gpus()
+            ));
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(slot) = s {
+                let limit = max_local_batch(slot.job);
+                if slot.local_batch > limit {
+                    return Err(format!(
+                        "GPU {i}: job {} local batch {} exceeds memory limit {limit}",
+                        slot.job, slot.local_batch
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(n: u64) -> JobId {
+        JobId(n)
+    }
+
+    #[test]
+    fn empty_schedule_is_all_idle() {
+        let s = Schedule::empty(8);
+        assert_eq!(s.idle_count(), 8);
+        assert!(s.running_jobs().is_empty());
+        assert_eq!(s.global_batch(j(1)), 0);
+        assert_eq!(s.gpu_count(j(1)), 0);
+        assert!(!s.is_running(j(1)));
+    }
+
+    #[test]
+    fn eq2_derivations() {
+        let mut s = Schedule::empty(4);
+        s.assign(GpuId(0), j(1), 64);
+        s.assign(GpuId(1), j(1), 64);
+        s.assign(GpuId(2), j(2), 128);
+        assert_eq!(s.global_batch(j(1)), 128);
+        assert_eq!(s.gpu_count(j(1)), 2);
+        assert_eq!(s.global_batch(j(2)), 128);
+        assert_eq!(s.gpu_count(j(2)), 1);
+        assert_eq!(s.idle_count(), 1);
+        assert_eq!(s.idle_gpus(), vec![GpuId(3)]);
+    }
+
+    #[test]
+    fn exclusive_gpu_by_construction() {
+        // Assigning a second job to the same GPU replaces the first — a
+        // GPU can never host two workers (Eq 4).
+        let mut s = Schedule::empty(2);
+        s.assign(GpuId(0), j(1), 32);
+        s.assign(GpuId(0), j(2), 64);
+        assert_eq!(s.gpu_count(j(1)), 0);
+        assert_eq!(s.gpu_count(j(2)), 1);
+    }
+
+    #[test]
+    fn evict_frees_all_workers() {
+        let mut s = Schedule::empty(4);
+        s.assign(GpuId(0), j(1), 32);
+        s.assign(GpuId(2), j(1), 32);
+        s.assign(GpuId(3), j(2), 32);
+        assert_eq!(s.evict(j(1)), 2);
+        assert!(!s.is_running(j(1)));
+        assert!(s.is_running(j(2)));
+    }
+
+    #[test]
+    fn placement_is_sorted() {
+        let mut s = Schedule::empty(8);
+        s.assign(GpuId(5), j(1), 32);
+        s.assign(GpuId(1), j(1), 32);
+        let p = s.placement(j(1));
+        assert_eq!(p.gpus(), &[GpuId(1), GpuId(5)]);
+        assert_eq!(s.local_batches(j(1)), vec![32, 32]);
+    }
+
+    #[test]
+    fn reorder_packs_by_first_occurrence() {
+        // Figure 10: [J1, J2, J1, _, J2, J3] -> [J1, J1, J2, J2, J3, _].
+        let mut s = Schedule::empty(6);
+        s.assign(GpuId(0), j(1), 32);
+        s.assign(GpuId(1), j(2), 16);
+        s.assign(GpuId(2), j(1), 32);
+        s.assign(GpuId(4), j(2), 16);
+        s.assign(GpuId(5), j(3), 8);
+        let r = s.reordered();
+        let got: Vec<Option<u64>> = r.slots().iter().map(|s| s.map(|sl| sl.job.0)).collect();
+        assert_eq!(
+            got,
+            vec![Some(1), Some(1), Some(2), Some(2), Some(3), None]
+        );
+        // Batches travel with their workers; totals unchanged.
+        assert_eq!(r.global_batch(j(1)), 64);
+        assert_eq!(r.global_batch(j(2)), 32);
+        assert_eq!(r.global_batch(j(3)), 8);
+    }
+
+    #[test]
+    fn reorder_improves_locality() {
+        let spec = ClusterSpec::new(2, 4);
+        let mut s = Schedule::empty(8);
+        // Job 1 scattered across both nodes.
+        s.assign(GpuId(0), j(1), 32);
+        s.assign(GpuId(2), j(1), 32);
+        s.assign(GpuId(5), j(1), 32);
+        s.assign(GpuId(7), j(1), 32);
+        let before = s.placement(j(1)).locality_score(&spec);
+        let after = s.reordered().placement(j(1)).locality_score(&spec);
+        assert!(after > before, "before={before}, after={after}");
+        assert_eq!(s.reordered().placement(j(1)).nodes_spanned(&spec), 1);
+    }
+
+    #[test]
+    fn validate_checks_size_and_memory() {
+        let spec = ClusterSpec::new(1, 4);
+        let mut s = Schedule::empty(4);
+        s.assign(GpuId(0), j(1), 512);
+        assert!(s.validate(&spec, |_| 256).is_err());
+        assert!(s.validate(&spec, |_| 512).is_ok());
+        let wrong_size = Schedule::empty(8);
+        assert!(wrong_size.validate(&spec, |_| 512).is_err());
+    }
+
+    #[test]
+    fn running_jobs_aggregates() {
+        let mut s = Schedule::empty(4);
+        s.assign(GpuId(0), j(5), 64);
+        s.assign(GpuId(1), j(5), 32);
+        s.assign(GpuId(2), j(9), 16);
+        let rj = s.running_jobs();
+        assert_eq!(rj[&j(5)], (96, 2));
+        assert_eq!(rj[&j(9)], (16, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive batch")]
+    fn zero_batch_assignment_rejected() {
+        let mut s = Schedule::empty(1);
+        s.assign(GpuId(0), j(1), 0);
+    }
+
+    #[test]
+    fn alignment_keeps_unchanged_jobs_in_place() {
+        // Deployed: job1 on GPUs 2,3; job2 on GPU 5.
+        let mut deployed = Schedule::empty(8);
+        deployed.assign(GpuId(2), j(1), 64);
+        deployed.assign(GpuId(3), j(1), 64);
+        deployed.assign(GpuId(5), j(2), 32);
+        // Candidate (reordered): job1 moved to GPUs 0,1 with the same
+        // batches; job2 grown to two GPUs; job3 new.
+        let mut cand = Schedule::empty(8);
+        cand.assign(GpuId(0), j(1), 64);
+        cand.assign(GpuId(1), j(1), 64);
+        cand.assign(GpuId(2), j(2), 32);
+        cand.assign(GpuId(3), j(2), 32);
+        cand.assign(GpuId(4), j(3), 16);
+
+        let aligned = cand.aligned_with(&deployed);
+        // job1 unchanged -> stays on 2,3.
+        assert_eq!(aligned.placement(j(1)).gpus(), &[GpuId(2), GpuId(3)]);
+        // job2 changed -> moves, keeps its new config.
+        assert_eq!(aligned.global_batch(j(2)), 64);
+        assert_eq!(aligned.gpu_count(j(2)), 2);
+        assert_eq!(aligned.global_batch(j(3)), 16);
+        // Totals preserved.
+        assert_eq!(aligned.idle_count(), cand.idle_count());
+    }
+
+    #[test]
+    fn alignment_handles_conflicting_claims() {
+        // Deployed: job1 on GPU 0. Candidate keeps job1's config but also
+        // places job2 on GPU 0; alignment gives job1 its old GPU and finds
+        // another for job2.
+        let mut deployed = Schedule::empty(2);
+        deployed.assign(GpuId(0), j(1), 8);
+        let mut cand = Schedule::empty(2);
+        cand.assign(GpuId(0), j(2), 4);
+        cand.assign(GpuId(1), j(1), 8);
+        let aligned = cand.aligned_with(&deployed);
+        assert_eq!(aligned.placement(j(1)).gpus(), &[GpuId(0)]);
+        assert_eq!(aligned.gpu_count(j(2)), 1);
+        assert!(!aligned.placement(j(2)).contains(GpuId(0)));
+    }
+
+    #[test]
+    fn non_disruptive_detection() {
+        let mut deployed = Schedule::empty(4);
+        deployed.assign(GpuId(0), j(1), 8);
+        // Filling an idle GPU is non-disruptive.
+        let mut fill = deployed.clone();
+        fill.assign(GpuId(1), j(2), 8);
+        assert!(fill.is_non_disruptive_over(&deployed));
+        // Moving job1 is disruptive.
+        let mut moved = Schedule::empty(4);
+        moved.assign(GpuId(2), j(1), 8);
+        assert!(!moved.is_non_disruptive_over(&deployed));
+        // Evicting job1 is disruptive.
+        let empty = Schedule::empty(4);
+        assert!(!empty.is_non_disruptive_over(&deployed));
+    }
+}

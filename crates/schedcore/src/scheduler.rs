@@ -1,0 +1,179 @@
+//! The scheduler trait and the view it schedules against.
+//!
+//! The simulator drives a [`Scheduler`] with lifecycle events. On each
+//! event the scheduler may return a new desired [`Schedule`]; the simulator
+//! then diffs it against the deployed schedule and executes the transition,
+//! charging costs that depend on the scheduler's
+//! [`ScalingMechanism`] — ONES's elastic NCCL scaling is ~1 s per
+//! reconfiguration, while checkpoint-based migration costs tens of seconds
+//! (Figure 16).
+
+use crate::schedule::Schedule;
+use crate::status::JobStatus;
+use ones_cluster::ClusterSpec;
+use ones_dlperf::PerfModel;
+use ones_simcore::SimTime;
+use ones_workload::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a scheduler's executor applies re-configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingMechanism {
+    /// ONES §3.3.1: pause at a step boundary, resize modules, reconnect
+    /// NCCL, broadcast parameters to joiners — no process restart.
+    ElasticNccl,
+    /// Common practice: stop, write a checkpoint, restart workers with the
+    /// new configuration, reload data pipeline and weights.
+    CheckpointRestart,
+    /// Gandiva-style suspend/resume: worker state parks in host memory and
+    /// swaps back within about a second — cheap like elastic scaling, but
+    /// without batch-size elasticity.
+    SuspendResume,
+}
+
+/// Why the scheduler is being invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedEvent {
+    /// A new job was submitted.
+    JobArrived(JobId),
+    /// A running job finished a training epoch (telemetry updated).
+    EpochEnded(JobId),
+    /// A job converged; its GPUs are free in the *current* schedule.
+    JobCompleted(JobId),
+    /// A timer requested via [`Scheduler::next_wakeup`] fired.
+    Tick,
+}
+
+/// Read-only snapshot the scheduler decides against.
+#[derive(Debug)]
+pub struct ClusterView<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// Cluster shape and fabric.
+    pub spec: &'a ClusterSpec,
+    /// Throughput model (stands in for online profiling: schedulers may
+    /// evaluate candidate configurations with it, as Optimus fits
+    /// resource–speed curves and ONES profiles real-time throughput).
+    pub perf: &'a PerfModel,
+    /// Every job ever submitted, keyed by id (including completed ones —
+    /// completed-job telemetry is what trains the ONES predictor).
+    pub jobs: &'a BTreeMap<JobId, JobStatus>,
+    /// The currently deployed schedule.
+    pub deployed: &'a Schedule,
+}
+
+impl ClusterView<'_> {
+    /// Jobs currently waiting for service, in arrival order.
+    #[must_use]
+    pub fn waiting_jobs(&self) -> Vec<&JobStatus> {
+        self.jobs.values().filter(|j| j.is_waiting()).collect()
+    }
+
+    /// Jobs currently running, in id order.
+    #[must_use]
+    pub fn running_jobs(&self) -> Vec<&JobStatus> {
+        self.jobs.values().filter(|j| j.is_running()).collect()
+    }
+
+    /// Completed jobs, in id order.
+    #[must_use]
+    pub fn completed_jobs(&self) -> Vec<&JobStatus> {
+        self.jobs.values().filter(|j| j.is_completed()).collect()
+    }
+
+    /// Convenience: the memory-limited max local batch of a job.
+    #[must_use]
+    pub fn max_local_batch(&self, job: JobId) -> u32 {
+        self.jobs
+            .get(&job)
+            .map_or(0, |j| j.spec.profile().max_local_batch)
+    }
+}
+
+/// An online DL cluster scheduler.
+///
+/// Implementations: ONES (`ones-sched`), Tiresias / Optimus / DRL / FIFO /
+/// SRTF (`ones-baselines`).
+pub trait Scheduler {
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// How this scheduler's executor applies re-configurations.
+    fn mechanism(&self) -> ScalingMechanism;
+
+    /// Reacts to an event. Returning `Some(schedule)` asks the simulator
+    /// to transition the cluster to that schedule (the simulator validates
+    /// it and charges mechanism-dependent costs); `None` keeps the current
+    /// assignment.
+    fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule>;
+
+    /// If `Some(t)`, the simulator schedules a [`SchedEvent::Tick`] at `t`
+    /// (periodic schedulers such as Optimus re-plan on a fixed interval).
+    /// Called after every event delivery.
+    fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
+        None
+    }
+
+    /// Whether this scheduler adjusts batch sizes (only ONES does; used
+    /// by the simulator to decide if linear LR scaling is applied when the
+    /// global batch departs from the submitted one).
+    fn scales_batch_sizes(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind};
+    use ones_workload::JobSpec;
+
+    fn job(id: u64, phase: crate::status::JobPhase) -> JobStatus {
+        let spec = JobSpec {
+            id: JobId(id),
+            name: format!("j{id}"),
+            model: ModelKind::ResNet18,
+            dataset: DatasetKind::Cifar10,
+            dataset_size: 20_000,
+            submit_batch: 256,
+            max_safe_batch: 4096,
+            requested_gpus: 1,
+            arrival_secs: 0.0,
+            kill_after_secs: None,
+            convergence: ConvergenceModel {
+                reference_batch: 256,
+                ..ConvergenceModel::example()
+            },
+        };
+        let mut s = JobStatus::submitted(spec, SimTime::ZERO);
+        s.phase = phase;
+        s
+    }
+
+    #[test]
+    fn view_partitions_jobs_by_phase() {
+        use crate::status::JobPhase::*;
+        let spec = ClusterSpec::new(1, 4);
+        let perf = PerfModel::new(spec);
+        let deployed = Schedule::empty(4);
+        let mut jobs = BTreeMap::new();
+        jobs.insert(JobId(0), job(0, Waiting));
+        jobs.insert(JobId(1), job(1, Running));
+        jobs.insert(JobId(2), job(2, Completed));
+        jobs.insert(JobId(3), job(3, Waiting));
+        let view = ClusterView {
+            now: SimTime::ZERO,
+            spec: &spec,
+            perf: &perf,
+            jobs: &jobs,
+            deployed: &deployed,
+        };
+        assert_eq!(view.waiting_jobs().len(), 2);
+        assert_eq!(view.running_jobs().len(), 1);
+        assert_eq!(view.completed_jobs().len(), 1);
+        // CIFAR10 ResNet18: 512 × 4 = 2048 per GPU.
+        assert_eq!(view.max_local_batch(JobId(0)), 2048);
+        assert_eq!(view.max_local_batch(JobId(99)), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Observable job runtime state.
+//!
+//! Workers upload their training progress (processed samples, loss,
+//! validation accuracy) to the central scheduler at the end of each epoch
+//! (§3.1). [`JobStatus`] is that telemetry plus bookkeeping the scheduler
+//! may legitimately know (arrival time, attained service). The embedded
+//! [`JobSpec`] carries the simulator's ground-truth convergence model;
+//! honest schedulers only read the spec's *submitted* fields.
+
+use ones_simcore::SimTime;
+use ones_workload::{JobId, JobSpec};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle phase of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Submitted, not currently holding GPUs.
+    Waiting,
+    /// Holding GPUs and training.
+    Running,
+    /// Converged and released.
+    Completed,
+}
+
+/// Telemetry and bookkeeping for one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Submission-time information (and hidden ground truth — see module
+    /// docs).
+    pub spec: JobSpec,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// First time the job was granted GPUs, if ever.
+    pub first_start: Option<SimTime>,
+    /// Completion time, if finished.
+    pub completion: Option<SimTime>,
+    /// Wall epochs completed so far.
+    pub epochs_done: u32,
+    /// Samples processed so far (the paper's `Y_processed`).
+    pub samples_processed: f64,
+    /// Loss observed before training started.
+    pub initial_loss: f64,
+    /// Latest reported training loss.
+    pub current_loss: f64,
+    /// Latest reported validation accuracy.
+    pub current_accuracy: f64,
+    /// Recent observed throughput, samples/s (`X_j`); 0 until first epoch.
+    pub throughput: f64,
+    /// Cumulative execution (running) wall time, seconds.
+    pub exec_time: f64,
+    /// Cumulative attained service in GPU·seconds (Tiresias's 2D metric).
+    pub gpu_service: f64,
+    /// Current global batch size (0 when not running).
+    pub current_batch: u32,
+    /// Current GPU count (0 when not running).
+    pub current_gpus: u32,
+    /// Epochs completed since the currently deployed schedule was applied
+    /// (the ONES update rule waits for ≥ 1 on every running job).
+    pub epochs_in_current_schedule: u32,
+    /// True if the job ended abnormally (killed/crashed) instead of
+    /// converging.
+    pub killed: bool,
+}
+
+impl JobStatus {
+    /// Fresh status for a newly submitted job.
+    #[must_use]
+    pub fn submitted(spec: JobSpec, now: SimTime) -> Self {
+        let initial_loss = spec.convergence.initial_loss;
+        JobStatus {
+            spec,
+            phase: JobPhase::Waiting,
+            arrival: now,
+            first_start: None,
+            completion: None,
+            epochs_done: 0,
+            samples_processed: 0.0,
+            initial_loss,
+            current_loss: initial_loss,
+            current_accuracy: 0.0,
+            throughput: 0.0,
+            exec_time: 0.0,
+            gpu_service: 0.0,
+            current_batch: 0,
+            current_gpus: 0,
+            epochs_in_current_schedule: 0,
+            killed: false,
+        }
+    }
+
+    /// The job id.
+    #[must_use]
+    pub fn id(&self) -> JobId {
+        self.spec.id
+    }
+
+    /// Loss improvement ratio `r_L = 1 − current/initial` (a predictor
+    /// feature, §3.2.1 footnote 1).
+    #[must_use]
+    pub fn loss_improvement_ratio(&self) -> f64 {
+        if self.initial_loss <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.current_loss / self.initial_loss).clamp(0.0, 1.0)
+    }
+
+    /// Epochs-equivalent of processed samples: `Y_processed / ‖D‖`
+    /// (the predictor's α, Eq 6).
+    #[must_use]
+    pub fn processed_epochs(&self) -> f64 {
+        self.samples_processed / self.spec.dataset_size as f64
+    }
+
+    /// Queueing time so far (or final, once completed): JCT − execution.
+    #[must_use]
+    pub fn queueing_time(&self, now: SimTime) -> f64 {
+        let horizon = self.completion.unwrap_or(now);
+        ((horizon - self.arrival) - self.exec_time).max(0.0)
+    }
+
+    /// Job completion time, if finished.
+    #[must_use]
+    pub fn jct(&self) -> Option<f64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+
+    /// Whether the job is waiting for GPUs.
+    #[must_use]
+    pub fn is_waiting(&self) -> bool {
+        self.phase == JobPhase::Waiting
+    }
+
+    /// Whether the job currently holds GPUs.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.phase == JobPhase::Running
+    }
+
+    /// Whether the job has converged.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        self.phase == JobPhase::Completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: JobId(3),
+            name: "test".into(),
+            model: ModelKind::ResNet18,
+            dataset: DatasetKind::Cifar10,
+            dataset_size: 20_000,
+            submit_batch: 256,
+            max_safe_batch: 4096,
+            requested_gpus: 2,
+            arrival_secs: 5.0,
+            kill_after_secs: None,
+            convergence: ConvergenceModel {
+                reference_batch: 256,
+                ..ConvergenceModel::example()
+            },
+        }
+    }
+
+    #[test]
+    fn submitted_status_is_waiting_with_initial_loss() {
+        let s = JobStatus::submitted(spec(), SimTime::from_secs(5.0));
+        assert!(s.is_waiting());
+        assert_eq!(s.current_loss, s.initial_loss);
+        assert_eq!(s.loss_improvement_ratio(), 0.0);
+        assert_eq!(s.processed_epochs(), 0.0);
+        assert!(s.jct().is_none());
+        assert_eq!(s.id(), JobId(3));
+    }
+
+    #[test]
+    fn loss_ratio_improves_as_loss_drops() {
+        let mut s = JobStatus::submitted(spec(), SimTime::ZERO);
+        s.current_loss = s.initial_loss / 2.0;
+        assert!((s.loss_improvement_ratio() - 0.5).abs() < 1e-12);
+        s.current_loss = 0.0;
+        assert_eq!(s.loss_improvement_ratio(), 1.0);
+        // A loss spike above the initial loss clamps to 0, not negative.
+        s.current_loss = s.initial_loss * 2.0;
+        assert_eq!(s.loss_improvement_ratio(), 0.0);
+    }
+
+    #[test]
+    fn processed_epochs_normalises_by_dataset() {
+        let mut s = JobStatus::submitted(spec(), SimTime::ZERO);
+        s.samples_processed = 50_000.0;
+        assert!((s.processed_epochs() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queueing_time_excludes_execution() {
+        let mut s = JobStatus::submitted(spec(), SimTime::from_secs(10.0));
+        s.exec_time = 30.0;
+        assert!((s.queueing_time(SimTime::from_secs(100.0)) - 60.0).abs() < 1e-12);
+        s.completion = Some(SimTime::from_secs(80.0));
+        s.phase = JobPhase::Completed;
+        assert!((s.queueing_time(SimTime::from_secs(999.0)) - 40.0).abs() < 1e-12);
+        assert!((s.jct().unwrap() - 70.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,240 @@
+//! Deterministic timed event queue.
+//!
+//! A discrete-event simulation advances by repeatedly popping the earliest
+//! pending event. Determinism requires a *total* order even between events
+//! scheduled for the same instant; [`EventQueue`] breaks ties by insertion
+//! sequence number, so two runs that schedule the same events in the same
+//! order always pop them in the same order.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in virtual time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic insertion sequence, used as a FIFO tie-breaker.
+    pub seq: u64,
+    /// The payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
+        // event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timed events with deterministic FIFO tie-breaking.
+///
+/// # Example
+/// ```
+/// use ones_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2.0), "late");
+/// q.push(SimTime::from_secs(1.0), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.as_secs(), e), (1.0, "early"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (or zero before any pop).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event); a
+    /// discrete-event simulation must never travel backwards.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at:?}, clock already at {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, payload });
+    }
+
+    /// Schedules `payload` at `delay` seconds after the current clock.
+    pub fn push_after(&mut self, delay: f64, payload: E) {
+        let at = self.now + delay;
+        self.push(at, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Timestamp of the next pending event, if any, without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event that fails the predicate. The clock is
+    /// unaffected. Used to cancel stale timers (e.g. an epoch-completion
+    /// event for a job that was just preempted).
+    pub fn retain(&mut self, mut keep: impl FnMut(&E) -> bool) {
+        let drained: Vec<_> = std::mem::take(&mut self.heap).into_vec();
+        self.heap = drained
+            .into_iter()
+            .filter(|ev| keep(&ev.payload))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3.0), 3);
+        q.push(SimTime::from_secs(1.0), 1);
+        q.push(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1.5), ());
+        q.push(SimTime::from_secs(4.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(1.5));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4.0));
+    }
+
+    #[test]
+    fn push_after_is_relative_to_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10.0), "a");
+        q.pop();
+        q.push_after(2.5, "b");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(12.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10.0), ());
+        q.pop();
+        q.push(SimTime::from_secs(5.0), ());
+    }
+
+    #[test]
+    fn retain_cancels_events() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::from_secs(f64::from(i)), i);
+        }
+        q.retain(|&i| i % 2 == 0);
+        assert_eq!(q.len(), 5);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn retain_preserves_fifo_among_kept() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..6 {
+            q.push(t, i);
+        }
+        q.retain(|&i| i != 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(7.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7.0)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

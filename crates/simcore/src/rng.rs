@@ -1,0 +1,280 @@
+//! Deterministic, forkable randomness.
+//!
+//! Every stochastic component of the reproduction (workload arrivals,
+//! evolutionary operators, Algorithm 1 sampling, convergence noise) draws
+//! from a [`DetRng`]. A single experiment seed fans out into independent
+//! named streams via [`DetRng::fork`], so adding a new consumer of
+//! randomness in one subsystem does not perturb the stream seen by another —
+//! a property the per-figure experiment harnesses rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic RNG with labelled sub-stream forking.
+///
+/// Internally this is rand's [`StdRng`] (ChaCha12), which is documented to be
+/// reproducible for a fixed seed across platforms and releases within the
+/// same rand major version.
+///
+/// # Example
+/// ```
+/// use ones_simcore::DetRng;
+/// use rand::RngCore;
+///
+/// let mut a = DetRng::seed(42).fork("arrivals");
+/// let mut b = DetRng::seed(42).fork("arrivals");
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let mut c = DetRng::seed(42).fork("mutation");
+/// assert_ne!(DetRng::seed(42).fork("arrivals").next_u64(), c.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl DetRng {
+    /// Creates the root stream for an experiment seed.
+    #[must_use]
+    pub fn seed(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream (or its root) was created from.
+    #[must_use]
+    pub fn root_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent sub-stream identified by `label`.
+    ///
+    /// Forking is a pure function of `(root seed, label)`: it does not
+    /// consume state from `self`, so the order in which subsystems fork
+    /// their streams is irrelevant.
+    #[must_use]
+    pub fn fork(&self, label: &str) -> DetRng {
+        let sub = splitmix_combine(self.seed, fnv1a(label.as_bytes()));
+        DetRng {
+            inner: StdRng::seed_from_u64(sub),
+            seed: sub,
+        }
+    }
+
+    /// Derives an independent sub-stream identified by an index (e.g. a
+    /// repetition number in a seed sweep).
+    #[must_use]
+    pub fn fork_idx(&self, label: &str, idx: u64) -> DetRng {
+        let sub = splitmix_combine(splitmix_combine(self.seed, fnv1a(label.as_bytes())), idx);
+        DetRng {
+            inner: StdRng::seed_from_u64(sub),
+            seed: sub,
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform_range requires lo <= hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.uniform() < p
+    }
+
+    /// Exponentially distributed sample with the given `rate` (events per
+    /// second) — inter-arrival times of a Poisson process.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u = 1.0 - self.uniform(); // in (0, 1], avoids ln(0)
+        -u.ln() / rate
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        assert!(sd >= 0.0, "standard deviation must be non-negative");
+        mean + sd * self.standard_normal()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// FNV-1a hash of a byte string — stable across runs (unlike `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64-style combiner used to mix a parent seed with a label hash.
+fn splitmix_combine(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed(7);
+        let mut b = DetRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed(7);
+        let mut b = DetRng::seed(8);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_state() {
+        let root = DetRng::seed(123);
+        let mut used = DetRng::seed(123);
+        let _ = used.next_u64(); // consume parent state
+        let mut f1 = root.fork("x");
+        let mut f2 = used.fork("x");
+        assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn forks_with_different_labels_diverge() {
+        let root = DetRng::seed(1);
+        let mut a = root.fork("alpha");
+        let mut b = root.fork("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_idx_distinguishes_repetitions() {
+        let root = DetRng::seed(1);
+        let mut a = root.fork_idx("rep", 0);
+        let mut b = root.fork_idx("rep", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut r = DetRng::seed(99);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = DetRng::seed(5);
+        let rate = 0.25;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(rate)).sum::<f64>() / f64::from(n);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean} far from 1/rate=4");
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = DetRng::seed(6);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::seed(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = DetRng::seed(13);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[*r.choose(&items).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(r.choose::<u32>(&[]).is_none());
+    }
+
+    #[test]
+    fn chance_frequency_tracks_probability() {
+        let mut r = DetRng::seed(17);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Structured simulation trace log.
+//!
+//! The simulator appends a [`TraceEvent`] for every externally observable
+//! state transition (job arrival, start, preemption, scaling, completion…).
+//! Tests and experiment harnesses query the log to compute metrics and to
+//! assert causal invariants (e.g. a job never completes before it starts).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One observable state transition in a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time of the transition.
+    pub at: SimTime,
+    /// Subsystem-defined category, e.g. `"job"`, `"sched"`, `"scale"`.
+    pub kind: String,
+    /// Entity the transition concerns (typically a job id).
+    pub subject: u64,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// An append-only, time-ordered log of trace events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `at` precedes the last recorded event —
+    /// the simulator only ever appends in time order.
+    pub fn record(&mut self, at: SimTime, kind: &str, subject: u64, detail: impl Into<String>) {
+        debug_assert!(
+            self.events.last().is_none_or(|e| e.at <= at),
+            "trace events must be appended in time order"
+        );
+        self.events.push(TraceEvent {
+            at,
+            kind: kind.to_string(),
+            subject,
+            detail: detail.into(),
+        });
+    }
+
+    /// All events, in time order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one category.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Events concerning one subject.
+    pub fn of_subject(&self, subject: u64) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.subject == subject)
+    }
+
+    /// First event of a category for a subject, if any.
+    #[must_use]
+    pub fn first(&self, kind: &str, subject: u64) -> Option<&TraceEvent> {
+        self.events
+            .iter()
+            .find(|e| e.kind == kind && e.subject == subject)
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_and_filters() {
+        let mut log = TraceLog::new();
+        log.record(t(0.0), "job", 1, "arrive");
+        log.record(t(1.0), "job", 2, "arrive");
+        log.record(t(2.0), "sched", 0, "update");
+        log.record(t(3.0), "job", 1, "complete");
+
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.of_kind("job").count(), 3);
+        assert_eq!(log.of_subject(1).count(), 2);
+        assert_eq!(log.first("job", 2).unwrap().at, t(1.0));
+        assert!(log.first("scale", 1).is_none());
+    }
+
+    #[test]
+    fn empty_log_reports_empty() {
+        let log = TraceLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.events().len(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_append_panics_in_debug() {
+        let mut log = TraceLog::new();
+        log.record(t(5.0), "job", 1, "arrive");
+        log.record(t(4.0), "job", 1, "start");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the discrete-event primitives: the queue's
+//! ordering contract and the RNG's determinism/independence guarantees
+//! must hold for arbitrary inputs — a simulation built on a queue that
+//! ever pops out of order silently corrupts every experiment downstream.
+
+use ones_simcore::{DetRng, EventQueue, SimTime};
+use proptest::prelude::*;
+use rand::RngCore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pops come out sorted by time, FIFO within equal times, and every
+    /// pushed event comes back exactly once.
+    #[test]
+    fn queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u32..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(f64::from(t)), (t, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((at, payload)) = q.pop() {
+            popped.push((at, payload));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            let ((t1, (_, i1)), (t2, (_, i2))) = (&w[0], &w[1]);
+            prop_assert!(t1 <= t2, "time order violated");
+            if t1 == t2 {
+                prop_assert!(i1 < i2, "FIFO violated for simultaneous events");
+            }
+        }
+        // Every payload returned exactly once.
+        let mut ids: Vec<usize> = popped.iter().map(|(_, (_, i))| *i).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// retain() keeps exactly the matching events and preserves their
+    /// relative order.
+    #[test]
+    fn queue_retain_is_a_filter(times in proptest::collection::vec(0u32..100, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(f64::from(t)), i);
+        }
+        q.retain(|&i| i % 3 != 0);
+        let kept: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert!(kept.iter().all(|i| i % 3 != 0));
+        let expected = times.iter().enumerate().filter(|(i, _)| i % 3 != 0).count();
+        prop_assert_eq!(kept.len(), expected);
+    }
+
+    /// Same seed ⇒ identical stream; forks keyed by label are mutually
+    /// independent of fork order and parent consumption.
+    #[test]
+    fn rng_fork_laws(seed in any::<u64>(), label in "[a-z]{1,12}", burn in 0usize..50) {
+        let mut parent_a = DetRng::seed(seed);
+        let parent_b = DetRng::seed(seed);
+        for _ in 0..burn {
+            let _ = parent_a.next_u64(); // consume parent state
+        }
+        let mut fa = parent_a.fork(&label);
+        let mut fb = parent_b.fork(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+
+    /// Uniform and exponential samples respect their supports for any
+    /// seed.
+    #[test]
+    fn rng_sample_supports(seed in any::<u64>(), rate in 0.001f64..10.0) {
+        let mut r = DetRng::seed(seed);
+        for _ in 0..100 {
+            let u = r.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+            let e = r.exponential(rate);
+            prop_assert!(e >= 0.0 && e.is_finite());
+        }
+    }
+
+    /// Shuffle is a permutation for any input.
+    #[test]
+    fn rng_shuffle_is_permutation(seed in any::<u64>(), n in 0usize..200) {
+        let mut r = DetRng::seed(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

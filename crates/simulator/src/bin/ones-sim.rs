@@ -1,0 +1,156 @@
+//! `ones-sim` — command-line front end for the cluster simulator.
+//!
+//! Runs one scheduler over a generated Table 2 trace and prints either a
+//! human-readable report or machine-readable JSON.
+//!
+//! ```text
+//! ones-sim --scheduler ones --jobs 60 --gpus 64 --rate-secs 30 --seed 42
+//! ones-sim --scheduler tiresias --json
+//! ones-sim --list-schedulers
+//! ```
+
+use ones_simulator::{run_experiment, ExperimentConfig, SchedulerKind};
+use ones_workload::{Trace, TraceConfig};
+use std::collections::BTreeMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ones-sim [--scheduler NAME] [--jobs N] [--gpus N]\n\
+         \t[--rate-secs SECONDS] [--seed N] [--sched-seed N]\n\
+         \t[--kill-fraction F] [--json] [--list-schedulers]\n\
+         \t[--dump-trace FILE]\n\
+         \n\
+         Runs one simulated experiment and reports per-scheduler metrics.\n\
+         GPUs must be a positive multiple of 4 (whole Longhorn nodes)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_scheduler(name: &str) -> Option<SchedulerKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "ones" => Some(SchedulerKind::Ones),
+        "drl" => Some(SchedulerKind::Drl),
+        "tiresias" => Some(SchedulerKind::Tiresias),
+        "optimus" => Some(SchedulerKind::Optimus),
+        "fifo" => Some(SchedulerKind::Fifo),
+        "srtf" | "srtf-oracle" => Some(SchedulerKind::SrtfOracle),
+        "gandiva" => Some(SchedulerKind::Gandiva),
+        "slaq" => Some(SchedulerKind::Slaq),
+        "ones-greedy" => Some(SchedulerKind::OnesGreedy),
+        "ones-nopred" => Some(SchedulerKind::OnesNoPredictor),
+        "ones-noreorder" => Some(SchedulerKind::OnesNoReorder),
+        "ones-ckpt" => Some(SchedulerKind::OnesCheckpoint),
+        _ => None,
+    }
+}
+
+const ALL_NAMES: [&str; 12] = [
+    "ones",
+    "drl",
+    "tiresias",
+    "optimus",
+    "fifo",
+    "srtf-oracle",
+    "gandiva",
+    "slaq",
+    "ones-greedy",
+    "ones-nopred",
+    "ones-noreorder",
+    "ones-ckpt",
+];
+
+fn main() {
+    let mut args: BTreeMap<String, String> = BTreeMap::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(key) = iter.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            usage();
+        };
+        match name {
+            "json" | "list-schedulers" | "help" => flags.push(name.to_string()),
+            _ => {
+                let Some(value) = iter.next() else { usage() };
+                args.insert(name.to_string(), value);
+            }
+        }
+    }
+    if flags.iter().any(|f| f == "help") {
+        usage();
+    }
+    if flags.iter().any(|f| f == "list-schedulers") {
+        for n in ALL_NAMES {
+            println!("{n}");
+        }
+        return;
+    }
+
+    let scheduler = args
+        .get("scheduler")
+        .map(|s| parse_scheduler(s).unwrap_or_else(|| usage()))
+        .unwrap_or(SchedulerKind::Ones);
+    let get = |k: &str, d: f64| -> f64 {
+        args.get(k)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(d)
+    };
+    let config = ExperimentConfig {
+        gpus: get("gpus", 64.0) as u32,
+        trace: TraceConfig {
+            num_jobs: get("jobs", 60.0) as usize,
+            arrival_rate: 1.0 / get("rate-secs", 30.0),
+            seed: get("seed", 42.0) as u64,
+            kill_fraction: get("kill-fraction", 0.0),
+        },
+        scheduler,
+        sched_seed: get("sched-seed", 1.0) as u64,
+        drl_pretrain_episodes: get("drl-pretrain", 2.0) as usize,
+    };
+
+    if let Some(path) = args.get("dump-trace") {
+        let trace = Trace::generate(config.trace);
+        trace
+            .save(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("trace written to {path}");
+    }
+
+    let result = run_experiment(config);
+    if flags.iter().any(|f| f == "json") {
+        let json = serde_json::json!({
+            "scheduler": scheduler.name(),
+            "gpus": config.gpus,
+            "jobs": config.trace.num_jobs,
+            "seed": config.trace.seed,
+            "mean_jct_secs": result.metrics.mean_jct(),
+            "mean_exec_secs": result.metrics.mean_exec(),
+            "mean_queue_secs": result.metrics.mean_queue(),
+            "makespan_secs": result.makespan,
+            "deployments": result.deployments,
+            "total_overhead_secs": result.total_overhead,
+            "gpu_utilization": result.gpu_utilization,
+            "jct_secs": result.metrics.jct,
+        });
+        println!("{}", serde_json::to_string_pretty(&json).expect("serialisable"));
+    } else {
+        println!(
+            "{} on {} GPUs, {} jobs (seed {}):",
+            scheduler.name(),
+            config.gpus,
+            config.trace.num_jobs,
+            config.trace.seed
+        );
+        println!("  average JCT        {:>10.1} s", result.metrics.mean_jct());
+        println!("  average execution  {:>10.1} s", result.metrics.mean_exec());
+        println!("  average queueing   {:>10.1} s", result.metrics.mean_queue());
+        println!("  makespan           {:>10.1} s", result.makespan);
+        println!("  deployments        {:>10}", result.deployments);
+        println!("  scaling overhead   {:>10.1} s", result.total_overhead);
+        println!("  GPU utilisation    {:>9.1}%", 100.0 * result.gpu_utilization);
+        let s = result.metrics.jct_summary();
+        println!(
+            "  JCT quartiles      {:>10.1} / {:.1} / {:.1} (p90 {:.1}, max {:.1})",
+            s.p25, s.median, s.p75, s.p90, s.max
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Experiment harness: named scheduler construction, single runs, and
+//! rayon-parallel sweeps — the backbone of every figure-regenerating bench
+//! binary.
+
+use crate::engine::{SimConfig, Simulation};
+use crate::metrics::JobMetrics;
+use ones_baselines::{DrlScheduler, Fifo, Gandiva, Optimus, Slaq, SrtfOracle, Tiresias};
+use ones_cluster::ClusterSpec;
+use ones_dlperf::PerfModel;
+use ones_sched::{OnesConfig, OnesScheduler};
+use ones_schedcore::Scheduler;
+use ones_simcore::DetRng;
+use ones_workload::{Trace, TraceConfig};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The schedulers an experiment can run (§4.1 baselines + references).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The paper's contribution.
+    Ones,
+    /// Chic-style policy-gradient baseline.
+    Drl,
+    /// Discretised 2D-LAS MLFQ baseline.
+    Tiresias,
+    /// Periodic marginal-gain baseline.
+    Optimus,
+    /// FIFO gang reference.
+    Fifo,
+    /// Ground-truth SRTF reference (ablation only).
+    SrtfOracle,
+    /// Gandiva-style time-slicing round-robin (extension baseline from §5
+    /// related work).
+    Gandiva,
+    /// SLAQ-style quality-driven greedy scheduler (extension baseline from
+    /// §5 related work).
+    Slaq,
+    /// Ablation: ONES with a single-candidate population and no
+    /// crossover/mutation — a greedy hill-climber over the same operations.
+    OnesGreedy,
+    /// Ablation: ONES with the progress predictor disabled (cold-start
+    /// prior only).
+    OnesNoPredictor,
+    /// Ablation: ONES without the *reorder* locality operation.
+    OnesNoReorder,
+    /// Ablation: ONES executing re-configurations via checkpoint restart
+    /// instead of elastic NCCL scaling.
+    OnesCheckpoint,
+}
+
+impl SchedulerKind {
+    /// The four schedulers of Figure 15.
+    pub const PAPER: [SchedulerKind; 4] = [
+        SchedulerKind::Ones,
+        SchedulerKind::Drl,
+        SchedulerKind::Tiresias,
+        SchedulerKind::Optimus,
+    ];
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Ones => "ONES",
+            SchedulerKind::Drl => "DRL",
+            SchedulerKind::Tiresias => "Tiresias",
+            SchedulerKind::Optimus => "Optimus",
+            SchedulerKind::Fifo => "FIFO",
+            SchedulerKind::SrtfOracle => "SRTF-oracle",
+            SchedulerKind::Gandiva => "Gandiva",
+            SchedulerKind::Slaq => "SLAQ",
+            SchedulerKind::OnesGreedy => "ONES-greedy",
+            SchedulerKind::OnesNoPredictor => "ONES-noPred",
+            SchedulerKind::OnesNoReorder => "ONES-noReorder",
+            SchedulerKind::OnesCheckpoint => "ONES-ckpt",
+        }
+    }
+
+    /// The ONES ablation variants (plus ONES itself, first).
+    pub const ABLATIONS: [SchedulerKind; 5] = [
+        SchedulerKind::Ones,
+        SchedulerKind::OnesGreedy,
+        SchedulerKind::OnesNoPredictor,
+        SchedulerKind::OnesNoReorder,
+        SchedulerKind::OnesCheckpoint,
+    ];
+
+    /// Builds the scheduler for a cluster and trace (λ parameterises the
+    /// ONES scale-down policy; the DRL agent's RNG forks from `rng`).
+    #[must_use]
+    pub fn build(
+        self,
+        spec: &ClusterSpec,
+        trace: &Trace,
+        rng: &DetRng,
+    ) -> Box<dyn Scheduler> {
+        let lambda = trace.config.arrival_rate;
+        let base = OnesConfig::for_cluster(spec.total_gpus(), lambda);
+        match self {
+            SchedulerKind::Ones => Box::new(OnesScheduler::new(base, rng)),
+            SchedulerKind::Drl => Box::new(DrlScheduler::new(Default::default(), rng)),
+            SchedulerKind::Tiresias => Box::new(Tiresias::new()),
+            SchedulerKind::Optimus => Box::new(Optimus::new()),
+            SchedulerKind::Fifo => Box::new(Fifo::new()),
+            SchedulerKind::SrtfOracle => Box::new(SrtfOracle::new()),
+            SchedulerKind::Gandiva => Box::new(Gandiva::new()),
+            SchedulerKind::Slaq => Box::new(Slaq::new()),
+            SchedulerKind::OnesGreedy => {
+                let mut cfg = base;
+                cfg.evo.population = 1;
+                cfg.evo.crossover_pairs = 0;
+                cfg.evo.mutation_rate = 0.0;
+                Box::new(OnesScheduler::new(cfg, rng))
+            }
+            SchedulerKind::OnesNoPredictor => {
+                let mut cfg = base;
+                cfg.use_predictor = false;
+                Box::new(OnesScheduler::new(cfg, rng))
+            }
+            SchedulerKind::OnesNoReorder => {
+                let mut cfg = base;
+                cfg.evo.reorder = false;
+                Box::new(OnesScheduler::new(cfg, rng))
+            }
+            SchedulerKind::OnesCheckpoint => {
+                let mut cfg = base;
+                cfg.mechanism = ones_schedcore::ScalingMechanism::CheckpointRestart;
+                Box::new(OnesScheduler::new(cfg, rng))
+            }
+        }
+    }
+}
+
+/// One experiment: a scheduler on a trace on a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Cluster size in GPUs (whole Longhorn nodes).
+    pub gpus: u32,
+    /// Trace parameters.
+    pub trace: TraceConfig,
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Scheduler-internal randomness seed.
+    pub sched_seed: u64,
+    /// Episodes of pre-training for the DRL agent (ignored by others).
+    pub drl_pretrain_episodes: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper's headline setup: 64 GPUs, default trace.
+    #[must_use]
+    pub fn paper(scheduler: SchedulerKind) -> Self {
+        ExperimentConfig {
+            gpus: 64,
+            trace: TraceConfig::default(),
+            scheduler,
+            sched_seed: 1,
+            drl_pretrain_episodes: 3,
+        }
+    }
+}
+
+/// Result of one experiment.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// Per-job metrics.
+    pub metrics: JobMetrics,
+    /// Virtual makespan, seconds.
+    pub makespan: f64,
+    /// Schedule deployments executed.
+    pub deployments: u64,
+    /// Total re-configuration overhead charged, seconds.
+    pub total_overhead: f64,
+    /// Mean cluster GPU utilisation over the run, in [0, 1].
+    pub gpu_utilization: f64,
+}
+
+/// Runs one experiment to completion.
+///
+/// The DRL agent is pre-trained on `drl_pretrain_episodes` sibling traces
+/// (different seeds) before the measured run, standing in for Chic's
+/// offline trace training.
+///
+/// # Panics
+/// Panics if the simulation stalls or hits its caps — every Table 2 trace
+/// must complete under every scheduler.
+#[must_use]
+pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
+    let spec = ClusterSpec::longhorn_subset(config.gpus);
+    let rng = DetRng::seed(config.sched_seed);
+    let trace = Trace::generate(config.trace);
+    let mut scheduler = config.scheduler.build(&spec, &trace, &rng);
+
+    if config.scheduler == SchedulerKind::Drl {
+        for episode in 0..config.drl_pretrain_episodes {
+            let train_trace = Trace::generate(TraceConfig {
+                seed: config
+                    .trace
+                    .seed
+                    .wrapping_add(1000)
+                    .wrapping_add(episode as u64),
+                ..config.trace
+            });
+            let sim = Simulation::new(
+                PerfModel::new(spec),
+                &train_trace,
+                scheduler,
+                SimConfig::default(),
+            );
+            scheduler = run_and_recover(sim);
+        }
+    }
+
+    let sim = Simulation::new(PerfModel::new(spec), &trace, scheduler, SimConfig::default());
+    let result = sim.run();
+    assert!(
+        result.all_completed,
+        "{} stalled on trace seed {} at {} GPUs",
+        config.scheduler.name(),
+        config.trace.seed,
+        config.gpus
+    );
+    ExperimentResult {
+        config,
+        metrics: JobMetrics::from_result(&result),
+        makespan: result.makespan,
+        deployments: result.deployments,
+        total_overhead: result.total_overhead,
+        gpu_utilization: result.gpu_utilization(),
+    }
+}
+
+/// Runs a pre-training episode, recovering the scheduler afterwards.
+fn run_and_recover(sim: Simulation) -> Box<dyn Scheduler> {
+    sim.run_returning_scheduler().1
+}
+
+/// Runs a set of experiments in parallel (one rayon task per run — the
+/// sweep axis of Figures 15 and 17).
+#[must_use]
+pub fn run_sweep(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
+    configs.par_iter().map(|&c| run_experiment(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scheduler: SchedulerKind) -> ExperimentConfig {
+        ExperimentConfig {
+            gpus: 16,
+            trace: TraceConfig {
+                num_jobs: 6,
+                arrival_rate: 1.0 / 15.0,
+                seed: 3,
+                kill_fraction: 0.0,
+            },
+            scheduler,
+            sched_seed: 2,
+            drl_pretrain_episodes: 1,
+        }
+    }
+
+    #[test]
+    fn every_scheduler_finishes_the_tiny_trace() {
+        for kind in [
+            SchedulerKind::Ones,
+            SchedulerKind::Drl,
+            SchedulerKind::Tiresias,
+            SchedulerKind::Optimus,
+            SchedulerKind::Fifo,
+            SchedulerKind::SrtfOracle,
+            SchedulerKind::Gandiva,
+            SchedulerKind::Slaq,
+        ] {
+            let r = run_experiment(tiny(kind));
+            assert_eq!(r.metrics.jct.len(), 6, "{}", kind.name());
+            assert!(r.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs() {
+        let configs = vec![tiny(SchedulerKind::Fifo), tiny(SchedulerKind::Tiresias)];
+        let sweep = run_sweep(&configs);
+        let solo = run_experiment(tiny(SchedulerKind::Fifo));
+        assert_eq!(sweep[0].metrics.jct, solo.metrics.jct);
+        assert_eq!(sweep.len(), 2);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SchedulerKind::Ones.name(), "ONES");
+        assert_eq!(SchedulerKind::PAPER.len(), 4);
+        assert_eq!(SchedulerKind::ABLATIONS.len(), 5);
+        assert_eq!(SchedulerKind::Gandiva.name(), "Gandiva");
+        assert_eq!(SchedulerKind::Slaq.name(), "SLAQ");
+    }
+
+    #[test]
+    fn ablation_variants_finish_the_tiny_trace() {
+        for kind in SchedulerKind::ABLATIONS {
+            let r = run_experiment(tiny(kind));
+            assert_eq!(r.metrics.jct.len(), 6, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn gpu_utilization_is_normalised() {
+        let r = run_experiment(tiny(SchedulerKind::Fifo));
+        assert!(
+            (0.0..=1.0).contains(&r.gpu_utilization),
+            "{}",
+            r.gpu_utilization
+        );
+        assert!(r.gpu_utilization > 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Descriptive statistics: summaries, quantiles, box plots and empirical
+//! CDFs.
+//!
+//! Figure 15 of the paper reports JCT / execution-time / queueing-time
+//! comparisons three ways: bar charts of the mean, box plots, and cumulative
+//! frequency curves. [`Summary`], [`BoxPlot`] and [`ecdf`] compute exactly
+//! those series from a vector of per-job measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a slice. Returns 0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance. Returns 0 for slices shorter than 2.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated quantile (type 7, the numpy default).
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside [0, 1].
+#[must_use]
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range: {q}");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Full descriptive summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median.
+    pub median: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes the summary.
+    ///
+    /// # Panics
+    /// Panics on an empty input.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "Summary of empty sample");
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            sd: std_dev(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            median: median(xs),
+            p25: quantile(xs, 0.25),
+            p75: quantile(xs, 0.75),
+            p90: quantile(xs, 0.90),
+            p99: quantile(xs, 0.99),
+        }
+    }
+}
+
+/// Tukey box-plot statistics: quartiles, 1.5·IQR whiskers, and outliers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// 25th percentile (box bottom).
+    pub q1: f64,
+    /// Median (box line).
+    pub median: f64,
+    /// 75th percentile (box top).
+    pub q3: f64,
+    /// Lowest observation within q1 − 1.5·IQR.
+    pub whisker_lo: f64,
+    /// Highest observation within q3 + 1.5·IQR.
+    pub whisker_hi: f64,
+    /// Observations beyond the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxPlot {
+    /// Computes Tukey box-plot statistics.
+    ///
+    /// # Panics
+    /// Panics on an empty input.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "BoxPlot of empty sample");
+        let q1 = quantile(xs, 0.25);
+        let q3 = quantile(xs, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = xs
+            .iter()
+            .copied()
+            .filter(|&x| x >= lo_fence)
+            .fold(f64::INFINITY, f64::min);
+        let whisker_hi = xs
+            .iter()
+            .copied()
+            .filter(|&x| x <= hi_fence)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut outliers: Vec<f64> = xs
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        outliers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        BoxPlot {
+            q1,
+            median: median(xs),
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        }
+    }
+}
+
+/// Empirical CDF: returns `(x, F(x))` pairs at each distinct observation,
+/// sorted by x, with F reaching exactly 1.0 at the maximum.
+#[must_use]
+pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    let n = sorted.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == x => last.1 = f,
+            _ => out.push((x, f)),
+        }
+    }
+    out
+}
+
+/// Fraction of observations ≤ `threshold` — e.g. "the fraction of jobs
+/// completed within 200 s is 86 %" from §4.2.
+#[must_use]
+pub fn fraction_leq(xs: &[f64], threshold: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| x <= threshold).count() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.p25 < s.median && s.median < s.p75 && s.p75 < s.p90 && s.p90 < s.p99);
+    }
+
+    #[test]
+    fn boxplot_detects_outliers() {
+        let mut xs: Vec<f64> = (1..=20).map(f64::from).collect();
+        xs.push(1000.0);
+        let b = BoxPlot::of(&xs);
+        assert_eq!(b.outliers, vec![1000.0]);
+        assert!(b.whisker_hi <= 20.0);
+        assert!(b.q1 < b.median && b.median < b.q3);
+    }
+
+    #[test]
+    fn boxplot_no_outliers_whiskers_are_extremes() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxPlot::of(&xs);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 5.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn ecdf_reaches_one_and_is_monotone() {
+        let xs = [3.0, 1.0, 2.0, 2.0, 5.0];
+        let curve = ecdf(&xs);
+        assert_eq!(curve.len(), 4); // distinct values: 1, 2, 3, 5
+        assert_eq!(curve.last().unwrap().1, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        // F(2) = 3/5 since two duplicates collapse to the higher step.
+        let f2 = curve.iter().find(|p| p.0 == 2.0).unwrap().1;
+        assert!((f2 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_empty_is_empty() {
+        assert!(ecdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn fraction_leq_matches_hand_count() {
+        let xs = [100.0, 150.0, 250.0, 400.0];
+        assert!((fraction_leq(&xs, 200.0) - 0.5).abs() < 1e-12);
+        assert_eq!(fraction_leq(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

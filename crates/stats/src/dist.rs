@@ -1,0 +1,443 @@
+//! Probability distributions.
+//!
+//! The ONES predictor models a job's training progress ρ ∈ (0, 1) as a
+//! Beta(α, β) random variable (paper Eq 6). Algorithm 1 repeatedly samples
+//! from these Betas, so we need a fast exact sampler: Beta is generated from
+//! two Gammas, and Gamma uses the Marsaglia–Tsang squeeze method (with the
+//! standard α < 1 boost). Samplers are generic over `rand::Rng`, so they
+//! work with the deterministic [`ones_simcore::DetRng`](https://docs.rs) stream.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Natural log of the Gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 over the positive reals, which is far more than the
+/// predictor needs.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain is x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// The Gamma(shape, scale) distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates Gamma(shape k, scale θ). Panics unless both are positive.
+    #[must_use]
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "Gamma parameters must be positive: shape={shape}, scale={scale}"
+        );
+        Gamma { shape, scale }
+    }
+
+    /// Shape parameter k.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Mean kθ.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Variance kθ².
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Draws one sample (Marsaglia–Tsang, 2000).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * standard_gamma(self.shape, rng)
+    }
+}
+
+/// Marsaglia–Tsang sampler for Gamma(shape, 1).
+fn standard_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        return standard_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = loop {
+            // Box–Muller standard normal.
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 > 0.0 {
+                break (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        };
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u > 0.0 && u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// The Beta(α, β) distribution on (0, 1).
+///
+/// In ONES, α counts (approximately) the epochs a job has already processed
+/// and β the predicted epochs still to process, so the mean α/(α+β) is the
+/// predicted completion fraction. The paper thresholds both parameters at 1
+/// to keep the density unimodal; [`Beta::new_clamped`] applies exactly that
+/// rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates Beta(α, β). Panics unless both parameters are positive.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "Beta parameters must be positive: alpha={alpha}, beta={beta}"
+        );
+        Beta { alpha, beta }
+    }
+
+    /// Creates Beta(max(α, 1), max(β, 1)) — the paper's unimodality clamp
+    /// (§3.2.1: "We apply a threshold function to both α and β to guarantee
+    /// α, β ≥ 1").
+    #[must_use]
+    pub fn new_clamped(alpha: f64, beta: f64) -> Self {
+        Beta::new(alpha.max(1.0), beta.max(1.0))
+    }
+
+    /// α parameter.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// β parameter.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mean α/(α+β).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Variance αβ / ((α+β)²(α+β+1)).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Mode (α−1)/(α+β−2) for α, β > 1; falls back to the mean otherwise.
+    #[must_use]
+    pub fn mode(&self) -> f64 {
+        if self.alpha > 1.0 && self.beta > 1.0 {
+            (self.alpha - 1.0) / (self.alpha + self.beta - 2.0)
+        } else {
+            self.mean()
+        }
+    }
+
+    /// Probability density at `x` ∈ (0, 1); zero outside.
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 || x >= 1.0 {
+            return 0.0;
+        }
+        let ln_b = ln_gamma(self.alpha) + ln_gamma(self.beta) - ln_gamma(self.alpha + self.beta);
+        ((self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - ln_b).exp()
+    }
+
+    /// Draws one sample in (0, 1) via the two-Gamma construction, clamped
+    /// away from the exact endpoints so `1/ρ` in Eq 7 never divides by zero.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = standard_gamma(self.alpha, rng);
+        let y = standard_gamma(self.beta, rng);
+        (x / (x + y)).clamp(1e-12, 1.0 - 1e-12)
+    }
+
+    /// Central interval [lo, hi] covering `mass` of the distribution,
+    /// estimated by Monte-Carlo quantiles (used for Figure 6-style
+    /// confidence bands).
+    pub fn credible_interval<R: Rng + ?Sized>(&self, mass: f64, n: usize, rng: &mut R) -> (f64, f64) {
+        assert!((0.0..1.0).contains(&mass) && n >= 10);
+        let mut samples: Vec<f64> = (0..n).map(|_| self.sample(rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tail = (1.0 - mass) / 2.0;
+        let lo = samples[((n as f64) * tail) as usize];
+        let hi = samples[(((n as f64) * (1.0 - tail)) as usize).min(n - 1)];
+        (lo, hi)
+    }
+}
+
+/// The Normal(μ, σ) distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates Normal(μ, σ). Panics if σ < 0.
+    #[must_use]
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0, "standard deviation must be non-negative");
+        Normal { mean, sd }
+    }
+
+    /// Mean μ.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation σ.
+    #[must_use]
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Standard normal CDF Φ(z), via the complementary error function.
+    #[must_use]
+    pub fn std_cdf(z: f64) -> f64 {
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    /// CDF at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sd == 0.0 {
+            return if x < self.mean { 0.0 } else { 1.0 };
+        }
+        Self::std_cdf((x - self.mean) / self.sd)
+    }
+
+    /// Draws one sample (Box–Muller).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen::<f64>();
+        self.mean + self.sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Complementary error function, Numerical-Recipes rational Chebyshev fit
+/// (max error ≈ 1.2e-7, ample for p-values down to ~1e-12 in log space we
+/// do not need).
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in facts.iter().enumerate() {
+            let x = (i + 1) as f64;
+            assert!(
+                (ln_gamma(x) - f.ln()).abs() < 1e-10,
+                "ln_gamma({x})"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_sample_moments() {
+        let g = Gamma::new(3.0, 2.0);
+        let mut r = rng();
+        let n = 60_000;
+        let s: Vec<f64> = (0..n).map(|_| g.sample(&mut r)).collect();
+        let mean = s.iter().sum::<f64>() / n as f64;
+        let var = s.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - g.mean()).abs() < 0.1, "mean {mean} vs {}", g.mean());
+        assert!(
+            (var - g.variance()).abs() < 0.5,
+            "var {var} vs {}",
+            g.variance()
+        );
+    }
+
+    #[test]
+    fn gamma_small_shape_moments() {
+        let g = Gamma::new(0.4, 1.0);
+        let mut r = rng();
+        let n = 80_000;
+        let mean = (0..n).map(|_| g.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.4).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn beta_moments_and_sampling_agree() {
+        let b = Beta::new(4.0, 6.0);
+        assert!((b.mean() - 0.4).abs() < 1e-12);
+        let mut r = rng();
+        let n = 60_000;
+        let s: Vec<f64> = (0..n).map(|_| b.sample(&mut r)).collect();
+        let mean = s.iter().sum::<f64>() / n as f64;
+        let var = s.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - b.mean()).abs() < 0.01);
+        assert!((var - b.variance()).abs() < 0.01);
+        assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn beta_clamp_enforces_unimodality() {
+        let b = Beta::new_clamped(0.2, 0.3);
+        assert_eq!(b.alpha(), 1.0);
+        assert_eq!(b.beta(), 1.0);
+        let b2 = Beta::new_clamped(3.0, 0.5);
+        assert_eq!(b2.alpha(), 3.0);
+        assert_eq!(b2.beta(), 1.0);
+    }
+
+    #[test]
+    fn beta_pdf_integrates_to_one() {
+        let b = Beta::new(2.5, 3.5);
+        let n = 20_000;
+        let h = 1.0 / n as f64;
+        let integral: f64 = (1..n).map(|i| b.pdf(i as f64 * h) * h).sum();
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn beta_pdf_zero_outside_support() {
+        let b = Beta::new(2.0, 2.0);
+        assert_eq!(b.pdf(-0.1), 0.0);
+        assert_eq!(b.pdf(1.1), 0.0);
+        assert_eq!(b.pdf(0.0), 0.0);
+        assert_eq!(b.pdf(1.0), 0.0);
+    }
+
+    #[test]
+    fn beta_mode_unimodal_case() {
+        let b = Beta::new(3.0, 2.0);
+        assert!((b.mode() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_credible_interval_brackets_mean() {
+        let b = Beta::new(10.0, 10.0);
+        let mut r = rng();
+        let (lo, hi) = b.credible_interval(0.9, 4000, &mut r);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.5, "interval too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn normal_cdf_key_points() {
+        assert!((Normal::std_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((Normal::std_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((Normal::std_cdf(-1.96) - 0.025).abs() < 1e-3);
+        let n = Normal::new(10.0, 2.0);
+        assert!((n.cdf(10.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_normal_is_step() {
+        let n = Normal::new(5.0, 0.0);
+        assert_eq!(n.cdf(4.999), 0.0);
+        assert_eq!(n.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.0] {
+            assert!((erfc(x) + erfc(-x) - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn beta_rejects_nonpositive() {
+        let _ = Beta::new(0.0, 1.0);
+    }
+}

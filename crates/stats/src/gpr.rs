@@ -1,0 +1,328 @@
+//! Gaussian-process regression.
+//!
+//! The paper's footnote 1 calls its progress model "the GPR predictor".
+//! This is a standard GP regressor with an RBF (squared-exponential)
+//! kernel and observation noise, fitted by Cholesky decomposition:
+//!
+//! ```text
+//! K = k(X, X) + σ_n² I,   K = L Lᵀ
+//! μ(x*) = k(x*, X) K⁻¹ y          (posterior mean)
+//! σ²(x*) = k(x*, x*) − k(x*, X) K⁻¹ k(X, x*)   (posterior variance)
+//! ```
+//!
+//! Hyper-parameters (length scale, signal variance, noise) are selected by
+//! a small grid search on the log marginal likelihood
+//! `−½ yᵀK⁻¹y − Σᵢ ln Lᵢᵢ − n/2 ln 2π` — literally "maximizing the log
+//! marginal likelihood" as §3.2.1 prescribes. Feature columns are
+//! standardised internally so one length scale serves all five features.
+
+use serde::{Deserialize, Serialize};
+
+/// RBF-kernel Gaussian-process regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpRegressor {
+    xs: Vec<Vec<f64>>,
+    /// K⁻¹ y, precomputed.
+    alpha: Vec<f64>,
+    /// Cholesky factor L of K (lower triangular, row-major packed rows).
+    chol: Vec<Vec<f64>>,
+    length_scale: f64,
+    signal_var: f64,
+    noise_var: f64,
+    mean_y: f64,
+    feat_mean: Vec<f64>,
+    feat_sd: Vec<f64>,
+}
+
+impl GpRegressor {
+    /// Fits a GP to the data, selecting hyper-parameters by grid search on
+    /// the log marginal likelihood. Returns `None` for empty/inconsistent
+    /// data or if every candidate kernel is numerically singular.
+    #[must_use]
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Option<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let d = xs[0].len();
+        if xs.iter().any(|r| r.len() != d) {
+            return None;
+        }
+        // Standardise features.
+        let n = xs.len();
+        let mut feat_mean = vec![0.0; d];
+        let mut feat_sd = vec![0.0; d];
+        for j in 0..d {
+            let col: Vec<f64> = xs.iter().map(|r| r[j]).collect();
+            let m = col.iter().sum::<f64>() / n as f64;
+            let v = col.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+            feat_mean[j] = m;
+            feat_sd[j] = v.sqrt().max(1e-9);
+        }
+        let std_xs: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(j, x)| (x - feat_mean[j]) / feat_sd[j])
+                    .collect()
+            })
+            .collect();
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let y_centered: Vec<f64> = ys.iter().map(|y| y - mean_y).collect();
+        let y_var = y_centered.iter().map(|y| y * y).sum::<f64>() / n as f64;
+        let signal0 = y_var.max(1e-6);
+
+        let mut best: Option<(f64, GpRegressor)> = None;
+        for &ls in &[0.5, 1.0, 2.0, 4.0] {
+            for &noise_frac in &[0.01, 0.05, 0.2] {
+                let noise = (signal0 * noise_frac).max(1e-8);
+                let Some((chol, alpha, lml)) =
+                    fit_once(&std_xs, &y_centered, ls, signal0, noise)
+                else {
+                    continue;
+                };
+                if best.as_ref().is_none_or(|(b, _)| lml > *b) {
+                    best = Some((
+                        lml,
+                        GpRegressor {
+                            xs: std_xs.clone(),
+                            alpha,
+                            chol,
+                            length_scale: ls,
+                            signal_var: signal0,
+                            noise_var: noise,
+                            mean_y,
+                            feat_mean: feat_mean.clone(),
+                            feat_sd: feat_sd.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        best.map(|(_, g)| g)
+    }
+
+    /// Number of training points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the model holds no data (never true for a fitted model).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The selected RBF length scale.
+    #[must_use]
+    pub fn length_scale(&self) -> f64 {
+        self.length_scale
+    }
+
+    fn standardise(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(j, v)| (v - self.feat_mean[j]) / self.feat_sd[j])
+            .collect()
+    }
+
+    /// Posterior mean at `x`.
+    ///
+    /// # Panics
+    /// Panics on a feature-width mismatch.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.predict_with_variance(x).0
+    }
+
+    /// Posterior `(mean, variance)` at `x`.
+    #[must_use]
+    pub fn predict_with_variance(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.feat_mean.len(), "feature width mismatch");
+        let xs = self.standardise(x);
+        let k_star: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| rbf(&xs, xi, self.length_scale, self.signal_var))
+            .collect();
+        let mean = self.mean_y
+            + k_star
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        // v = L⁻¹ k*; var = k(x,x) − vᵀv.
+        let v = forward_solve(&self.chol, &k_star);
+        let var = (self.signal_var - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        (mean, var)
+    }
+}
+
+/// Squared-exponential kernel on standardised inputs.
+fn rbf(a: &[f64], b: &[f64], length_scale: f64, signal_var: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    signal_var * (-0.5 * d2 / (length_scale * length_scale)).exp()
+}
+
+/// One Cholesky fit; returns `(L, alpha, log marginal likelihood)`.
+#[allow(clippy::type_complexity)]
+fn fit_once(
+    xs: &[Vec<f64>],
+    y: &[f64],
+    length_scale: f64,
+    signal_var: f64,
+    noise_var: f64,
+) -> Option<(Vec<Vec<f64>>, Vec<f64>, f64)> {
+    let n = xs.len();
+    let mut k = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let v = rbf(&xs[i], &xs[j], length_scale, signal_var);
+            k[i][j] = v;
+            k[j][i] = v;
+        }
+        k[i][i] += noise_var;
+    }
+    let chol = cholesky(&k)?;
+    // alpha = K⁻¹ y via two triangular solves.
+    let tmp = forward_solve(&chol, y);
+    let alpha = backward_solve(&chol, &tmp);
+    let log_det: f64 = chol.iter().enumerate().map(|(i, row)| row[i].ln()).sum();
+    let lml = -0.5 * y.iter().zip(&alpha).map(|(yi, ai)| yi * ai).sum::<f64>()
+        - log_det
+        - n as f64 / 2.0 * (std::f64::consts::TAU).ln();
+    Some((chol, alpha, lml))
+}
+
+/// Cholesky decomposition `K = L Lᵀ`; `None` if not positive definite.
+fn cholesky(k: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = k.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let s: f64 = (0..j).map(|m| l[i][m] * l[j][m]).sum();
+            if i == j {
+                let d = k[i][i] - s;
+                if d <= 0.0 {
+                    return None;
+                }
+                l[i][j] = d.sqrt();
+            } else {
+                l[i][j] = (k[i][j] - s) / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `L x = b` (lower triangular).
+fn forward_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let s: f64 = (0..i).map(|j| l[i][j] * x[j]).sum();
+        x[i] = (b[i] - s) / l[i][i];
+    }
+    x
+}
+
+/// Solves `Lᵀ x = b` (upper triangular via the lower factor).
+fn backward_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let s: f64 = ((i + 1)..n).map(|j| l[j][i] * x[j]).sum();
+        x[i] = (b[i] - s) / l[i][i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(f: impl Fn(f64) -> f64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / 2.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f(x[0])).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, ys) = grid_1d(|x| (x * 0.7).sin() * 3.0 + 1.0, 25);
+        let gp = GpRegressor::fit(&xs, &ys).expect("fits");
+        for (x, y) in xs.iter().zip(&ys) {
+            let pred = gp.predict(x);
+            assert!((pred - y).abs() < 0.3, "f({}) = {y}, predicted {pred}", x[0]);
+        }
+    }
+
+    #[test]
+    fn interpolates_between_points_smoothly() {
+        let (xs, ys) = grid_1d(|x| x * x / 10.0, 20);
+        let gp = GpRegressor::fit(&xs, &ys).expect("fits");
+        // Query midway between two training inputs.
+        let pred = gp.predict(&[5.25]);
+        let truth = 5.25f64 * 5.25 / 10.0;
+        assert!((pred - truth).abs() < 0.3, "{pred} vs {truth}");
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (xs, ys) = grid_1d(|x| x, 10); // inputs 0..4.5
+        let gp = GpRegressor::fit(&xs, &ys).expect("fits");
+        let (_, var_in) = gp.predict_with_variance(&[2.0]);
+        let (_, var_out) = gp.predict_with_variance(&[40.0]);
+        assert!(
+            var_out > 5.0 * var_in.max(1e-12),
+            "in {var_in}, out {var_out}"
+        );
+    }
+
+    #[test]
+    fn far_extrapolation_reverts_to_the_mean() {
+        let (xs, ys) = grid_1d(|x| x + 10.0, 10);
+        let gp = GpRegressor::fit(&xs, &ys).expect("fits");
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let pred = gp.predict(&[1000.0]);
+        assert!((pred - mean_y).abs() < 0.5, "{pred} vs prior mean {mean_y}");
+    }
+
+    #[test]
+    fn handles_multi_feature_inputs() {
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![f64::from(i), f64::from(i % 5), f64::from(i % 3)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 0.5 - x[1] + x[2] * 2.0).collect();
+        let gp = GpRegressor::fit(&xs, &ys).expect("fits");
+        let pred = gp.predict(&[10.0, 0.0, 1.0]);
+        assert!((pred - 7.0).abs() < 1.5, "pred {pred}");
+        assert_eq!(gp.len(), 30);
+        assert!(!gp.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(GpRegressor::fit(&[], &[]).is_none());
+        assert!(GpRegressor::fit(&[vec![1.0]], &[1.0, 2.0]).is_none());
+        assert!(GpRegressor::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn duplicate_inputs_survive_via_noise_jitter() {
+        // Identical rows make K singular without the noise term.
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![f64::from(i % 3)]).collect();
+        let ys: Vec<f64> = (0..12).map(|i| f64::from(i % 3) + 0.01 * f64::from(i)).collect();
+        let gp = GpRegressor::fit(&xs, &ys).expect("noise keeps K positive definite");
+        assert!(gp.predict(&[1.0]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn wrong_width_rejected() {
+        let (xs, ys) = grid_1d(|x| x, 8);
+        let gp = GpRegressor::fit(&xs, &ys).unwrap();
+        let _ = gp.predict(&[1.0, 2.0]);
+    }
+}

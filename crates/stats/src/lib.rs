@@ -1,0 +1,29 @@
+//! # ones-stats — statistical toolbox for the ONES reproduction
+//!
+//! Self-contained implementations of every piece of statistics the paper
+//! uses, so the reproduction has no heavyweight numeric dependencies:
+//!
+//! * [`dist`] — Beta / Gamma / Normal distributions with exact samplers
+//!   (Marsaglia–Tsang for Gamma, hence Beta), densities and moments. The
+//!   Beta distribution models training-progress uncertainty (§3.2.1, Eq 6).
+//! * [`regression`] — multiple linear regression by (ridge-regularised)
+//!   normal equations, the online β-predictor's fast default.
+//! * [`gpr`] — RBF-kernel Gaussian-process regression fitted by maximising
+//!   the log marginal likelihood — the predictor the paper's footnote 1
+//!   actually names.
+//! * [`wilcoxon`] — the Wilcoxon signed-rank test with normal approximation
+//!   and tie/zero handling, regenerating Table 4.
+//! * [`desc`] — descriptive statistics: means, quantiles, box-plot
+//!   five-number summaries and empirical CDFs for Figure 15.
+
+pub mod desc;
+pub mod dist;
+pub mod gpr;
+pub mod regression;
+pub mod wilcoxon;
+
+pub use desc::{ecdf, BoxPlot, Summary};
+pub use gpr::GpRegressor;
+pub use dist::{Beta, Gamma, Normal};
+pub use regression::LinearRegression;
+pub use wilcoxon::{signed_rank_test, Alternative, WilcoxonResult};

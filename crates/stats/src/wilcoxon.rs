@@ -1,0 +1,226 @@
+//! Wilcoxon signed-rank test.
+//!
+//! Table 4 of the paper compares per-job JCTs of ONES against each baseline
+//! with non-parametric Wilcoxon tests, reporting both a two-sided p-value
+//! (hypothesis: the distributions are equivalent) and a one-sided "negative"
+//! p-value (hypothesis: ONES's JCTs are *smaller*; the paper accepts when p
+//! is close to 1 under their sign convention, i.e. the `greater` tail of the
+//! statistic built from `x − y`).
+//!
+//! This implementation uses the standard normal approximation with
+//! continuity correction and the tie/zero handling of Pratt's method's
+//! simpler sibling (Wilcoxon's original zero-discard rule, which is what
+//! scipy's default `zero_method="wilcox"` does), plus the usual tie
+//! correction to the variance.
+
+use crate::dist::Normal;
+use serde::{Deserialize, Serialize};
+
+/// Which tail of the test to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Alternative {
+    /// H1: the paired distributions differ.
+    TwoSided,
+    /// H1: `x` tends to be smaller than `y` (left tail of W⁺).
+    Less,
+    /// H1: `x` tends to be greater than `y` (right tail of W⁺).
+    Greater,
+}
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences, W⁺.
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences, W⁻.
+    pub w_minus: f64,
+    /// Number of non-zero differences used.
+    pub n_used: usize,
+    /// Standardised statistic (with continuity correction).
+    pub z: f64,
+    /// p-value under the requested alternative.
+    pub p_value: f64,
+}
+
+/// Runs the Wilcoxon signed-rank test on paired samples.
+///
+/// # Panics
+/// Panics if the samples have different lengths or fewer than 6 usable
+/// (non-zero-difference) pairs — below that the normal approximation is
+/// meaningless and the paper's sample (hundreds of jobs) is far above it.
+#[must_use]
+pub fn signed_rank_test(x: &[f64], y: &[f64], alternative: Alternative) -> WilcoxonResult {
+    assert_eq!(x.len(), y.len(), "paired test requires equal lengths");
+    // Differences, discarding exact zeros (Wilcoxon's rule).
+    let mut diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    assert!(
+        n >= 6,
+        "need at least 6 non-zero differences for the normal approximation, got {n}"
+    );
+    // Rank |d| with average ranks for ties.
+    diffs.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("NaN difference"));
+    let mut ranks = vec![0.0; n];
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[j + 1].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let nf = n as f64;
+    let total = nf * (nf + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+
+    let mean_w = total / 2.0;
+    let var_w = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    let sd_w = var_w.sqrt();
+
+    // Continuity-corrected z for each tail.
+    let z_greater = (w_plus - mean_w - 0.5) / sd_w;
+    let z_less = (w_plus - mean_w + 0.5) / sd_w;
+
+    let (z, p_value) = match alternative {
+        Alternative::TwoSided => {
+            let z = if w_plus >= mean_w { z_greater } else { z_less };
+            (z, (2.0 * (1.0 - Normal::std_cdf(z.abs()))).min(1.0))
+        }
+        Alternative::Less => (z_less, Normal::std_cdf(z_less)),
+        Alternative::Greater => (z_greater, 1.0 - Normal::std_cdf(z_greater)),
+    };
+
+    WilcoxonResult {
+        w_plus,
+        w_minus,
+        n_used: n,
+        z,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_shifted_pairs_detected() {
+        // x systematically 10 below y -> "less" should be significant.
+        let y: Vec<f64> = (1..=30).map(|i| f64::from(i) * 10.0).collect();
+        let x: Vec<f64> = y.iter().map(|v| v - 10.0).collect();
+        let less = signed_rank_test(&x, &y, Alternative::Less);
+        assert!(less.p_value < 1e-4, "p = {}", less.p_value);
+        let greater = signed_rank_test(&x, &y, Alternative::Greater);
+        assert!(greater.p_value > 0.999, "p = {}", greater.p_value);
+        let two = signed_rank_test(&x, &y, Alternative::TwoSided);
+        assert!(two.p_value < 1e-4);
+    }
+
+    #[test]
+    fn symmetric_noise_not_significant() {
+        // Alternating ±1 differences: perfectly symmetric.
+        let x: Vec<f64> = (0..40)
+            .map(|i| 100.0 + if i % 2 == 0 { 1.0 } else { -1.0 } * (1.0 + (i / 2) as f64))
+            .collect();
+        let y: Vec<f64> = vec![100.0; 40];
+        let r = signed_rank_test(&x, &y, Alternative::TwoSided);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+        assert!((r.w_plus - r.w_minus).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zeros_are_discarded() {
+        let x = [1.0, 2.0, 3.0, 5.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let y = [2.0, 3.0, 4.0, 5.0, 5.0, 7.0, 8.0, 9.0, 10.0];
+        let r = signed_rank_test(&x, &y, Alternative::Less);
+        assert_eq!(r.n_used, 7); // two zero differences removed
+    }
+
+    #[test]
+    fn rank_sums_partition_total() {
+        let x = [3.0, 1.0, 4.0, 1.5, 9.0, 2.0, 6.0, 5.0];
+        let y = [2.0, 2.0, 2.0, 2.0, 2.0, 3.0, 2.0, 2.0];
+        let r = signed_rank_test(&x, &y, Alternative::TwoSided);
+        let n = r.n_used as f64;
+        assert!((r.w_plus + r.w_minus - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sided_p_values_complementary() {
+        let x: Vec<f64> = (0..25).map(|i| f64::from(i) + if i % 3 == 0 { 2.0 } else { -0.5 }).collect();
+        let y: Vec<f64> = (0..25).map(f64::from).collect();
+        let less = signed_rank_test(&x, &y, Alternative::Less);
+        let greater = signed_rank_test(&x, &y, Alternative::Greater);
+        // With continuity correction both tails overlap slightly around the
+        // centre; they must sum to just over 1.
+        let s = less.p_value + greater.p_value;
+        assert!(s > 0.99 && s < 1.1, "sum {s}");
+    }
+
+    #[test]
+    fn matches_published_example() {
+        // Classic example (Wilcoxon 1945-style data): n = 10 pairs.
+        let x = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+        let y = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let r = signed_rank_test(&x, &y, Alternative::TwoSided);
+        assert_eq!(r.n_used, 9); // one zero difference
+        assert_eq!(r.w_plus.min(r.w_minus), 18.0);
+
+        // Exact two-sided p by enumerating all 2^9 sign assignments over the
+        // tied ranks; the normal approximation must agree within a few
+        // percentage points at n = 9.
+        let ranks = [1.5, 1.5, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let mean_w: f64 = ranks.iter().sum::<f64>() / 2.0;
+        let observed_dev = (r.w_plus - mean_w).abs();
+        let mut extreme = 0u32;
+        for mask in 0u32..(1 << 9) {
+            let w: f64 = (0..9)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| ranks[i])
+                .sum();
+            if (w - mean_w).abs() >= observed_dev - 1e-9 {
+                extreme += 1;
+            }
+        }
+        let exact_p = f64::from(extreme) / f64::from(1u32 << 9);
+        assert!(
+            (r.p_value - exact_p).abs() < 0.05,
+            "normal approx p = {} vs exact p = {exact_p}",
+            r.p_value
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_rejected() {
+        let _ = signed_rank_test(&[1.0, 2.0], &[1.0], Alternative::TwoSided);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 6")]
+    fn too_few_pairs_rejected() {
+        let _ = signed_rank_test(
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            Alternative::TwoSided,
+        );
+    }
+}

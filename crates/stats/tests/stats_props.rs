@@ -1,0 +1,136 @@
+//! Property-based tests for the statistics crate: distribution supports
+//! and moments, regression recovery, quantile monotonicity and Wilcoxon
+//! invariances that must hold for arbitrary data.
+
+use ones_stats::desc::{fraction_leq, quantile};
+use ones_stats::dist::{ln_gamma, Gamma, Normal};
+use ones_stats::{signed_rank_test, Alternative, Beta, LinearRegression};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Γ(x+1) = x·Γ(x) — the functional equation pins ln_gamma everywhere.
+    #[test]
+    fn ln_gamma_functional_equation(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "x={x}: {lhs} vs {rhs}");
+    }
+
+    /// Gamma samples are positive; empirical mean within tolerance of kθ.
+    #[test]
+    fn gamma_sampling_support_and_mean(shape in 0.3f64..20.0, scale in 0.1f64..5.0) {
+        let g = Gamma::new(shape, scale);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = g.sample(&mut rng);
+            prop_assert!(x > 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        let tol = 5.0 * (g.variance() / f64::from(n)).sqrt() + 1e-6;
+        prop_assert!((mean - g.mean()).abs() < tol, "mean {mean} vs {} ± {tol}", g.mean());
+    }
+
+    /// The Beta mode sits between 0 and 1 and the variance is bounded by
+    /// the Bhatia–Davis-style cap m(1−m).
+    #[test]
+    fn beta_moment_relations(alpha in 1.0f64..100.0, beta in 1.0f64..100.0) {
+        let d = Beta::new(alpha, beta);
+        let m = d.mean();
+        prop_assert!(m > 0.0 && m < 1.0);
+        prop_assert!(d.variance() <= m * (1.0 - m) + 1e-12);
+        let mode = d.mode();
+        prop_assert!((0.0..=1.0).contains(&mode));
+    }
+
+    /// Normal CDF is monotone and symmetric: Φ(z) + Φ(−z) = 1.
+    #[test]
+    fn normal_cdf_symmetry(z in -6.0f64..6.0) {
+        let p = Normal::std_cdf(z);
+        let q = Normal::std_cdf(-z);
+        prop_assert!((p + q - 1.0).abs() < 1e-6);
+        prop_assert!(Normal::std_cdf(z + 0.1) >= p);
+    }
+
+    /// Quantiles are monotone in the level and bounded by the extremes.
+    #[test]
+    fn quantile_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                          q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        prop_assert!(quantile(&xs, 0.0) <= a + 1e-9);
+        prop_assert!(b <= quantile(&xs, 1.0) + 1e-9);
+    }
+
+    /// fraction_leq is a proper CDF evaluation: monotone in the threshold.
+    #[test]
+    fn fraction_leq_monotone(xs in proptest::collection::vec(0.0f64..1e4, 1..100),
+                              t1 in 0.0f64..1e4, t2 in 0.0f64..1e4) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(fraction_leq(&xs, lo) <= fraction_leq(&xs, hi));
+    }
+
+    /// Regression recovers an arbitrary 3-feature linear function exactly
+    /// (no noise, well-conditioned design).
+    #[test]
+    fn regression_recovers_linear_functions(
+        w in proptest::array::uniform3(-10.0f64..10.0),
+        b in -10.0f64..10.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let i = f64::from(i);
+                vec![i, (i * 7.3) % 11.0, (i * i) % 5.0]
+            })
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| w[0] * x[0] + w[1] * x[1] + w[2] * x[2] + b)
+            .collect();
+        let m = LinearRegression::fit(&xs, &ys, 0.0).expect("well-conditioned");
+        for (got, want) in m.weights().iter().zip(&w) {
+            prop_assert!((got - want).abs() < 1e-6, "weights {:?} vs {:?}", m.weights(), w);
+        }
+        prop_assert!((m.intercept() - b).abs() < 1e-5);
+    }
+
+    /// Wilcoxon anti-symmetry: swapping the samples swaps the tails.
+    #[test]
+    fn wilcoxon_antisymmetry(
+        diffs in proptest::collection::vec(-100i32..100, 8..60),
+    ) {
+        let x: Vec<f64> = diffs.iter().map(|&d| 100.0 + f64::from(d)).collect();
+        let y: Vec<f64> = vec![100.0; x.len()];
+        let usable = diffs.iter().filter(|&&d| d != 0).count();
+        prop_assume!(usable >= 6);
+        let less = signed_rank_test(&x, &y, Alternative::Less);
+        let greater = signed_rank_test(&y, &x, Alternative::Greater);
+        prop_assert!((less.p_value - greater.p_value).abs() < 1e-6);
+        prop_assert_eq!(less.n_used, greater.n_used);
+    }
+
+    /// The two-sided p-value is always in (0, 1] and at most ~twice the
+    /// smaller one-sided tail.
+    #[test]
+    fn wilcoxon_two_sided_bounds(
+        diffs in proptest::collection::vec(-50i32..50, 10..40),
+    ) {
+        let x: Vec<f64> = diffs.iter().map(|&d| 10.0 + f64::from(d) / 10.0).collect();
+        let y: Vec<f64> = vec![10.0; x.len()];
+        prop_assume!(diffs.iter().filter(|&&d| d != 0).count() >= 6);
+        let two = signed_rank_test(&x, &y, Alternative::TwoSided);
+        prop_assert!(two.p_value > 0.0 && two.p_value <= 1.0);
+        let less = signed_rank_test(&x, &y, Alternative::Less);
+        let greater = signed_rank_test(&x, &y, Alternative::Greater);
+        let min_tail = less.p_value.min(greater.p_value);
+        prop_assert!(two.p_value <= 2.0 * min_tail + 0.05);
+    }
+}

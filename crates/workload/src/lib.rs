@@ -1,0 +1,18 @@
+//! # ones-workload — trace-driven workload generation (Table 2)
+//!
+//! Reproduces the paper's custom trace (§4.1): 50 distinct workloads drawn
+//! from CV models (AlexNet / ResNet50 / VGG16 / InceptionV3 on ImageNet
+//! subsets of 10k–20k images; ResNet18 / VGG16 / GoogleNet on CIFAR10
+//! subsets of 20k–40k) and NLP fine-tuning (pre-trained BERT on CoLA, MRPC
+//! and SST-2). Jobs arrive by a Poisson process; each job carries the
+//! user-submitted configuration (reference batch size, requested GPU count)
+//! that fixed-size schedulers like Tiresias must respect, plus the hidden
+//! ground-truth convergence model that only the simulator may consult.
+
+pub mod spec;
+pub mod table2;
+pub mod trace;
+
+pub use spec::{JobId, JobSpec};
+pub use table2::{table2_catalog, WorkloadTemplate};
+pub use trace::{Trace, TraceConfig};

@@ -1,0 +1,159 @@
+//! Job identity and submitted configuration.
+
+use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind, ModelProfile};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cluster-unique job identifier, assigned in arrival order by the trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Everything known about a job at submission time, plus the hidden
+/// ground-truth convergence model.
+///
+/// Schedulers may read the *submitted* fields (model family, dataset size,
+/// reference batch, requested GPUs) and the *observed* runtime telemetry the
+/// simulator reports each epoch. The `convergence` field is simulator-only
+/// ground truth; honest schedulers never inspect it (the ONES predictor
+/// estimates progress from telemetry instead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Arrival-ordered id.
+    pub id: JobId,
+    /// Human-readable name, e.g. `"ResNet50/ImageNet-12k"`.
+    pub name: String,
+    /// Model family.
+    pub model: ModelKind,
+    /// Dataset family.
+    pub dataset: DatasetKind,
+    /// Number of training samples ‖D‖.
+    pub dataset_size: u64,
+    /// User-submitted (reference) global batch size B₀.
+    pub submit_batch: u32,
+    /// Largest global batch the owner has validated linear LR scaling for
+    /// (Goyal et al. train ImageNet at 8192; §3.3.2 relies on this
+    /// "equivalent accuracy after the same number of epochs" regime).
+    /// ONES never grows a job's limit beyond it.
+    pub max_safe_batch: u32,
+    /// User-requested GPU count (what a fixed-size scheduler allocates).
+    pub requested_gpus: u32,
+    /// Arrival time in seconds since trace start.
+    pub arrival_secs: f64,
+    /// External termination: if set, the job is killed this many seconds
+    /// after arrival unless it converged first (§2.1: "not all DL jobs can
+    /// end normally, as some jobs are manually killed, some ... crashed").
+    pub kill_after_secs: Option<f64>,
+    /// Ground-truth convergence behaviour (simulator-only).
+    pub convergence: ConvergenceModel,
+}
+
+impl JobSpec {
+    /// The performance profile of this job's model on its dataset.
+    #[must_use]
+    pub fn profile(&self) -> ModelProfile {
+        self.model.profile().for_dataset(self.dataset)
+    }
+
+    /// Ground-truth total work in samples: reference epochs × dataset size.
+    /// Used only for oracle baselines and test assertions.
+    #[must_use]
+    pub fn total_reference_samples(&self) -> f64 {
+        self.convergence.total_reference_epochs() * self.dataset_size as f64
+    }
+
+    /// Sanity-checks internal consistency (used by proptest harnesses).
+    ///
+    /// # Panics
+    /// Panics if the submitted batch exceeds a single GPU's memory limit
+    /// times the requested GPU count, or any parameter is degenerate.
+    pub fn validate(&self) {
+        assert!(self.dataset_size > 0, "{}: empty dataset", self.name);
+        assert!(self.submit_batch > 0, "{}: zero batch", self.name);
+        assert!(self.requested_gpus > 0, "{}: zero GPUs", self.name);
+        let prof = self.profile();
+        assert!(
+            self.submit_batch <= prof.max_local_batch * self.requested_gpus,
+            "{}: submitted batch {} cannot fit on {} GPUs (max {}/GPU)",
+            self.name,
+            self.submit_batch,
+            self.requested_gpus,
+            prof.max_local_batch
+        );
+        assert!(
+            self.convergence.target_accuracy < self.convergence.max_accuracy,
+            "{}: unreachable target accuracy",
+            self.name
+        );
+        assert!(
+            self.max_safe_batch >= self.submit_batch,
+            "{}: safe batch range below the submitted batch",
+            self.name
+        );
+        assert_eq!(self.convergence.reference_batch, self.submit_batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: JobId(1),
+            name: "ResNet50/ImageNet-10k".into(),
+            model: ModelKind::ResNet50,
+            dataset: DatasetKind::ImageNet,
+            dataset_size: 10_000,
+            submit_batch: 256,
+            max_safe_batch: 2048,
+            requested_gpus: 2,
+            arrival_secs: 0.0,
+            kill_after_secs: None,
+            convergence: ConvergenceModel {
+                reference_batch: 256,
+                ..ConvergenceModel::example()
+            },
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes_validation() {
+        spec().validate();
+    }
+
+    #[test]
+    fn profile_combines_model_and_dataset() {
+        let s = spec();
+        let p = s.profile();
+        assert_eq!(p.kind, ModelKind::ResNet50);
+        assert_eq!(p.max_local_batch, 256); // ImageNet scale = 1
+    }
+
+    #[test]
+    fn total_reference_samples_positive() {
+        assert!(spec().total_reference_samples() > 10_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_batch_rejected() {
+        let mut s = spec();
+        s.submit_batch = 4096;
+        s.convergence.reference_batch = 4096;
+        s.requested_gpus = 1;
+        s.validate();
+    }
+
+    #[test]
+    fn job_id_display() {
+        assert_eq!(JobId(7).to_string(), "job7");
+    }
+}

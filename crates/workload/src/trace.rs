@@ -1,0 +1,356 @@
+//! Poisson-arrival trace generation.
+//!
+//! A [`Trace`] is a list of [`JobSpec`]s in arrival order. Workloads are
+//! drawn uniformly from the Table 2 catalog; inter-arrival times are
+//! exponential with the configured mean rate λ (the same λ that the ONES
+//! *scale-down* policy uses as its convoy-effect factor σ, §3.3.2);
+//! user-requested GPU counts follow the skew reported for production
+//! clusters (most jobs small, a few 8-GPU requests). Everything derives
+//! deterministically from a single seed.
+
+use crate::spec::{JobId, JobSpec};
+use crate::table2::{table2_catalog, WorkloadTemplate};
+use ones_simcore::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of jobs to generate.
+    pub num_jobs: usize,
+    /// Mean arrival rate λ, jobs per second.
+    pub arrival_rate: f64,
+    /// Root seed; all randomness in the trace derives from it.
+    pub seed: u64,
+    /// Fraction of jobs that end abnormally (killed by their owner or
+    /// crashed) at a random time instead of converging.
+    pub kill_fraction: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        // ~120 jobs arriving one per 30 s on average: enough pressure to
+        // queue a 64-GPU cluster, matching the paper's contention regime.
+        TraceConfig {
+            num_jobs: 120,
+            arrival_rate: 1.0 / 30.0,
+            seed: 42,
+            kill_fraction: 0.0,
+        }
+    }
+}
+
+/// A fully materialised workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The generating configuration.
+    pub config: TraceConfig,
+    /// Jobs in arrival order (ids are dense from 0).
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Trace {
+    /// Generates a trace from its configuration.
+    ///
+    /// # Panics
+    /// Panics if `num_jobs` is zero or the arrival rate is non-positive.
+    #[must_use]
+    pub fn generate(config: TraceConfig) -> Self {
+        assert!(config.num_jobs > 0, "empty trace");
+        assert!(config.arrival_rate > 0.0, "non-positive arrival rate");
+        assert!(
+            (0.0..=1.0).contains(&config.kill_fraction),
+            "kill fraction out of range"
+        );
+        let catalog = table2_catalog();
+        let root = DetRng::seed(config.seed);
+        let mut arrivals = root.fork("arrivals");
+        let mut picks = root.fork("templates");
+        let mut gpus = root.fork("requested-gpus");
+        let mut kills = root.fork("kills");
+
+        let mut t = 0.0;
+        let jobs = (0..config.num_jobs)
+            .map(|i| {
+                t += arrivals.exponential(config.arrival_rate);
+                let template = picks
+                    .choose(&catalog)
+                    .expect("catalog is non-empty")
+                    .clone();
+                let mut job = make_job(JobId(i as u64), &template, t, &mut gpus);
+                if kills.chance(config.kill_fraction) {
+                    // Killed somewhere in its first ~20 minutes: early
+                    // enough that many abnormal endings are partial runs.
+                    job.kill_after_secs = Some(kills.uniform_range(60.0, 1200.0));
+                }
+                job
+            })
+            .collect();
+        Trace { config, jobs }
+    }
+
+    /// Average arrival rate λ estimated from the trace itself (used by the
+    /// ONES scale-down policy, which sets σ = λ).
+    #[must_use]
+    pub fn observed_arrival_rate(&self) -> f64 {
+        let last = self
+            .jobs
+            .last()
+            .expect("trace is never empty")
+            .arrival_secs;
+        if last <= 0.0 {
+            self.config.arrival_rate
+        } else {
+            self.jobs.len() as f64 / last
+        }
+    }
+
+    /// Total number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the trace is empty (never true for a generated trace).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// User-requested GPU counts: 1/2/4/8 with probabilities .20/.30/.30/.20.
+/// Mixed small and multi-node requests create the gang-scheduling
+/// fragmentation (§2.1) that fixed-size schedulers suffer from.
+fn sample_requested_gpus(rng: &mut DetRng) -> u32 {
+    let u = rng.uniform();
+    if u < 0.20 {
+        1
+    } else if u < 0.50 {
+        2
+    } else if u < 0.80 {
+        4
+    } else {
+        8
+    }
+}
+
+fn make_job(id: JobId, template: &WorkloadTemplate, arrival: f64, gpus: &mut DetRng) -> JobSpec {
+    let requested = sample_requested_gpus(gpus);
+    let job = JobSpec {
+        id,
+        name: template.name(),
+        model: template.model,
+        dataset: template.dataset,
+        dataset_size: template.dataset_size,
+        submit_batch: template.default_batch,
+        max_safe_batch: (template.convergence.noise_scale as u32)
+            .max(template.default_batch),
+        requested_gpus: requested,
+        arrival_secs: arrival,
+        kill_after_secs: None,
+        convergence: template.convergence,
+    };
+    job.validate();
+    job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TraceConfig::default();
+        let a = Trace::generate(cfg);
+        let b = Trace::generate(cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Trace::generate(TraceConfig {
+            seed: 1,
+            ..TraceConfig::default()
+        });
+        let b = Trace::generate(TraceConfig {
+            seed: 2,
+            ..TraceConfig::default()
+        });
+        assert_ne!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_ids_dense() {
+        let t = Trace::generate(TraceConfig::default());
+        assert_eq!(t.len(), 120);
+        for (i, w) in t.jobs.windows(2).enumerate() {
+            assert!(w[0].arrival_secs <= w[1].arrival_secs, "at {i}");
+        }
+        for (i, j) in t.jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+        }
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_rate() {
+        let t = Trace::generate(TraceConfig {
+            num_jobs: 4000,
+            arrival_rate: 0.1,
+            seed: 7,
+            kill_fraction: 0.0,
+        });
+        let rate = t.observed_arrival_rate();
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn all_jobs_valid_and_diverse() {
+        let t = Trace::generate(TraceConfig {
+            num_jobs: 500,
+            ..TraceConfig::default()
+        });
+        for j in &t.jobs {
+            j.validate();
+        }
+        // With 500 draws over 50 templates, expect wide coverage.
+        let distinct: std::collections::HashSet<&str> =
+            t.jobs.iter().map(|j| j.name.as_str()).collect();
+        assert!(distinct.len() > 40, "only {} distinct workloads", distinct.len());
+    }
+
+    #[test]
+    fn requested_gpu_distribution_matches_weights() {
+        let t = Trace::generate(TraceConfig {
+            num_jobs: 2000,
+            ..TraceConfig::default()
+        });
+        let count = |c: u32| t.jobs.iter().filter(|j| j.requested_gpus == c).count();
+        // Mid-size requests dominate (.30 each vs .20 for the extremes).
+        assert!(count(2) + count(4) > count(1) + count(8));
+        for c in [1, 2, 4, 8] {
+            let frac = count(c) as f64 / 2000.0;
+            assert!(frac > 0.1 && frac < 0.4, "{c}-GPU fraction {frac}");
+        }
+        assert_eq!(count(1) + count(2) + count(4) + count(8), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn zero_jobs_rejected() {
+        let _ = Trace::generate(TraceConfig {
+            num_jobs: 0,
+            ..TraceConfig::default()
+        });
+    }
+}
+
+impl Trace {
+    /// Serialises the trace to pretty JSON (for archiving an experiment's
+    /// exact workload or editing it by hand).
+    ///
+    /// # Panics
+    /// Never panics in practice: every field is JSON-serialisable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace is serialisable")
+    }
+
+    /// Parses a trace from JSON, re-validating every job.
+    ///
+    /// # Errors
+    /// Returns a description of the first syntactic or semantic problem.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let trace: Trace = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if trace.jobs.is_empty() {
+            return Err("trace holds no jobs".into());
+        }
+        for w in trace.jobs.windows(2) {
+            if w[0].arrival_secs > w[1].arrival_secs {
+                return Err(format!(
+                    "jobs out of arrival order at {} -> {}",
+                    w[0].id, w[1].id
+                ));
+            }
+        }
+        for job in &trace.jobs {
+            job.validate();
+        }
+        Ok(trace)
+    }
+
+    /// Writes the trace to a JSON file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a trace from a JSON file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors and validation failures.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod io_tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let t = Trace::generate(TraceConfig {
+            num_jobs: 15,
+            arrival_rate: 1.0 / 25.0,
+            seed: 9,
+            kill_fraction: 0.2,
+        });
+        let parsed = Trace::from_json(&t.to_json()).expect("round trip");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = Trace::generate(TraceConfig {
+            num_jobs: 5,
+            arrival_rate: 0.1,
+            seed: 3,
+            kill_fraction: 0.0,
+        });
+        let dir = std::env::temp_dir().join("ones-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        t.save(&path).unwrap();
+        let loaded = Trace::load(&path).unwrap();
+        assert_eq!(loaded, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_and_empty_traces() {
+        assert!(Trace::from_json("not json").is_err());
+        let mut t = Trace::generate(TraceConfig {
+            num_jobs: 2,
+            arrival_rate: 0.1,
+            seed: 1,
+            kill_fraction: 0.0,
+        });
+        t.jobs.clear();
+        assert!(Trace::from_json(&t.to_json()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_order_arrivals() {
+        let mut t = Trace::generate(TraceConfig {
+            num_jobs: 3,
+            arrival_rate: 0.1,
+            seed: 1,
+            kill_fraction: 0.0,
+        });
+        t.jobs[0].arrival_secs = 1e9;
+        assert!(Trace::from_json(&t.to_json()).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Elastic batch-size deep dive: everything §3.3 says about growing a
+//! job's batch, demonstrated on the library API —
+//!
+//! 1. throughput across (batch, GPU) configurations (why elasticity pays),
+//! 2. the batch-limit policy state machine R_j over a job's lifetime,
+//! 3. convergence under gradual vs abrupt scaling,
+//! 4. the cost of each elastic re-configuration vs a checkpoint restart.
+//!
+//! ```text
+//! cargo run --release --example elastic_batch_size
+//! ```
+
+use ones_repro::cluster::{AllReduceModel, ClusterSpec, Placement};
+use ones_repro::dlperf::{ConvergenceModel, ConvergenceState, DatasetKind, ModelKind, PerfModel};
+use ones_repro::ones::{BatchLimits, PolicyConfig, ScalingCostModel};
+use ones_repro::workload::{JobId, JobSpec};
+
+fn main() {
+    let cluster = ClusterSpec::longhorn();
+    let perf = PerfModel::new(cluster);
+    let profile = ModelKind::ResNet50.profile().for_dataset(DatasetKind::Cifar10);
+
+    // 1. Configuration space: throughput of (B, c) combinations.
+    println!("ResNet50/CIFAR10 throughput (samples/s) by (global batch, workers):");
+    print!("{:>8}", "B \\ c");
+    for c in [1u32, 2, 4, 8, 16] {
+        print!(" {c:>9}");
+    }
+    println!();
+    for b in [256u32, 512, 1024, 2048, 4096] {
+        print!("{b:>8}");
+        for c in [1u32, 2, 4, 8, 16] {
+            let placement = Placement::contiguous(0, c);
+            match PerfModel::split_batch(&profile, b, &placement) {
+                Some(batches) => print!(" {:>9.0}", perf.throughput(&profile, &batches, &placement)),
+                None => print!(" {:>9}", "-"),
+            }
+        }
+        println!();
+    }
+
+    // 2. The R_j state machine over a simulated lifetime.
+    let spec = JobSpec {
+        id: JobId(0),
+        name: "ResNet50/CIFAR10-25k".into(),
+        model: ModelKind::ResNet50,
+        dataset: DatasetKind::Cifar10,
+        dataset_size: 25_000,
+        submit_batch: 256,
+        max_safe_batch: 4096,
+        requested_gpus: 2,
+        arrival_secs: 0.0,
+        kill_after_secs: None,
+        convergence: ConvergenceModel {
+            reference_batch: 256,
+            noise_scale: 4096.0,
+            ..ConvergenceModel::example()
+        },
+    };
+    let mut limits = BatchLimits::new(PolicyConfig {
+        sigma: 1.0 / 600.0,
+        ..PolicyConfig::default()
+    });
+    limits.on_arrival(&spec);
+    println!("\nBatch-limit policy over the job's life (sigma = 1/600):");
+    println!("{:>6} {:>10} {:>8}", "epoch", "exec(s)", "R");
+    let mut exec = 0.0;
+    for epoch in 1..=14u32 {
+        exec += 60.0;
+        limits.on_epoch_end(spec.id, epoch, exec, 16_384, true);
+        println!("{epoch:>6} {exec:>10.0} {:>8}", limits.get(spec.id));
+    }
+    limits.on_rejected(spec.id);
+    println!("   (rejected while waiting)     R -> {}", limits.get(spec.id));
+
+    // 3. Gradual vs abrupt convergence.
+    let mut gradual = ConvergenceState::new(spec.convergence);
+    let mut abrupt = ConvergenceState::new(spec.convergence);
+    for _ in 0..30 {
+        gradual.advance_epoch(256, true);
+        abrupt.advance_epoch(256, true);
+    }
+    for b in [512u32, 1024, 2048, 4096] {
+        gradual.on_batch_change(b);
+    }
+    let destroyed = abrupt.on_batch_change(4096);
+    println!(
+        "\nAfter 30 epochs at B=256, moving to B=4096:\n  gradual doubling: loss {:.3} (no progress lost)\n  abrupt jump:      loss {:.3} ({destroyed:.1} reference epochs destroyed)",
+        gradual.loss(),
+        abrupt.loss()
+    );
+
+    // 4. Re-configuration costs.
+    let cost = ScalingCostModel::default();
+    let allreduce = AllReduceModel::new(cluster);
+    let p8 = Placement::contiguous(0, 8);
+    println!(
+        "\nRe-configuration cost for {} (8 workers):\n  elastic NCCL scaling: {:.2}s\n  checkpoint restart:   {:.1}s",
+        profile.kind,
+        cost.elastic_cost(&profile, &allreduce, &p8, true),
+        cost.checkpoint_cost(&profile)
+    );
+}

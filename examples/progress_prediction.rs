@@ -1,0 +1,97 @@
+//! Online progress prediction (§3.2.1, Figure 6): train the Beta
+//! predictor on completed jobs, then watch its prediction for a fresh job
+//! sharpen as the job trains — mean completion fraction with a 90 %
+//! credible band, like the paper's Figure 6.
+//!
+//! ```text
+//! cargo run --release --example progress_prediction
+//! ```
+
+use ones_repro::dlperf::{ConvergenceModel, ConvergenceState, DatasetKind, ModelKind};
+use ones_repro::predictor::{FeatureSnapshot, PredictorConfig, ProgressPredictor};
+use ones_repro::schedcore::JobStatus;
+use ones_repro::simcore::{DetRng, SimTime};
+use ones_repro::workload::{JobId, JobSpec};
+
+fn make_job(id: u64, dataset_size: u64, progress_scale: f64) -> JobStatus {
+    let spec = JobSpec {
+        id: JobId(id),
+        name: format!("synthetic-{id}"),
+        model: ModelKind::ResNet18,
+        dataset: DatasetKind::Cifar10,
+        dataset_size,
+        submit_batch: 256,
+        max_safe_batch: 4096,
+        requested_gpus: 1,
+        arrival_secs: 0.0,
+        kill_after_secs: None,
+        convergence: ConvergenceModel {
+            reference_batch: 256,
+            progress_scale,
+            ..ConvergenceModel::example()
+        },
+    };
+    JobStatus::submitted(spec, SimTime::ZERO)
+}
+
+/// Trains a job to convergence, streaming its epoch log.
+fn run_to_completion(status: &mut JobStatus) -> (Vec<FeatureSnapshot>, u32) {
+    let mut conv = ConvergenceState::new(status.spec.convergence);
+    let mut log = Vec::new();
+    while !conv.converged() {
+        conv.advance_epoch(256, true);
+        status.epochs_done = conv.epochs_done();
+        status.samples_processed = f64::from(conv.epochs_done()) * status.spec.dataset_size as f64;
+        status.current_loss = conv.loss();
+        status.current_accuracy = conv.accuracy();
+        log.push(FeatureSnapshot::capture(status));
+    }
+    (log, conv.epochs_done())
+}
+
+fn main() {
+    let mut predictor = ProgressPredictor::new(PredictorConfig::default(), DetRng::seed(11));
+
+    // Historical cluster activity: 15 completed jobs of varying speeds.
+    for i in 0..15u64 {
+        let mut job = make_job(i, 18_000 + i * 1500, 6.0 + (i % 5) as f64 * 1.5);
+        let (log, total) = run_to_completion(&mut job);
+        predictor.observe_completion(&log, total);
+    }
+    println!(
+        "Predictor trained on {} completions ({} retained points, fitted: {}).",
+        predictor.completions(),
+        predictor.training_points(),
+        predictor.is_fitted()
+    );
+
+    // A fresh job trains; query the prediction at each epoch.
+    let mut job = make_job(100, 24_000, 8.0);
+    let mut conv = ConvergenceState::new(job.spec.convergence);
+    let mut rng = DetRng::seed(5);
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>18} {:>12}",
+        "epoch", "true frac", "pred mean", "90% interval", "pred epochs left"
+    );
+    while !conv.converged() {
+        conv.advance_epoch(256, true);
+        job.epochs_done = conv.epochs_done();
+        job.samples_processed = f64::from(conv.epochs_done()) * job.spec.dataset_size as f64;
+        job.current_loss = conv.loss();
+        job.current_accuracy = conv.accuracy();
+        if job.epochs_done.is_multiple_of(4) {
+            let beta = predictor.predict(&job);
+            let (lo, hi) = beta.credible_interval(0.90, 4000, &mut rng);
+            println!(
+                "{:>6} {:>12.3} {:>12.3} {:>11.3}–{:<6.3} {:>12.1}",
+                job.epochs_done,
+                conv.completion_fraction(),
+                beta.mean(),
+                lo,
+                hi,
+                predictor.predict_remaining_epochs(&job)
+            );
+        }
+    }
+    println!("\nJob converged after {} epochs.", conv.epochs_done());
+}

@@ -1,0 +1,64 @@
+//! Quickstart: schedule a small trace with ONES on a 16-GPU cluster and
+//! print per-job outcomes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ones_repro::simcore::DetRng;
+use ones_repro::simulator::{SchedulerKind, SimConfig, Simulation};
+use ones_repro::workload::{Trace, TraceConfig};
+use ones_repro::{cluster::ClusterSpec, dlperf::PerfModel};
+
+fn main() {
+    // 1. Describe the cluster: 4 Longhorn-like nodes × 4 V100s.
+    let cluster = ClusterSpec::longhorn_subset(16);
+
+    // 2. Generate a Table 2 workload trace: 10 jobs, one every ~20 s.
+    let trace = Trace::generate(TraceConfig {
+        num_jobs: 10,
+        arrival_rate: 1.0 / 20.0,
+        seed: 7,
+        kill_fraction: 0.0,
+    });
+    println!("Trace:");
+    for job in &trace.jobs {
+        println!(
+            "  {:>5.0}s  {:<24} B0={:<4} requested {} GPU(s)",
+            job.arrival_secs, job.name, job.submit_batch, job.requested_gpus
+        );
+    }
+
+    // 3. Build the ONES scheduler and run the simulation to completion.
+    let scheduler = SchedulerKind::Ones.build(&cluster, &trace, &DetRng::seed(1));
+    let sim = Simulation::new(PerfModel::new(cluster), &trace, scheduler, SimConfig::default());
+    let result = sim.run();
+    assert!(result.all_completed);
+
+    // 4. Report.
+    println!("\nResults (ONES, {} GPUs):", cluster.total_gpus());
+    println!(
+        "  {:<24} {:>8} {:>8} {:>8}",
+        "job", "JCT(s)", "exec(s)", "queue(s)"
+    );
+    let horizon = ones_repro::simcore::SimTime::from_secs(result.makespan);
+    let mut jcts = Vec::new();
+    for job in result.jobs.values() {
+        let jct = job.jct().expect("completed");
+        jcts.push(jct);
+        println!(
+            "  {:<24} {:>8.1} {:>8.1} {:>8.1}",
+            job.spec.name,
+            jct,
+            job.exec_time,
+            job.queueing_time(horizon)
+        );
+    }
+    println!(
+        "\n  average JCT {:.1}s over {} jobs; {} schedule deployments, {:.0}s total scaling overhead",
+        jcts.iter().sum::<f64>() / jcts.len() as f64,
+        jcts.len(),
+        result.deployments,
+        result.total_overhead,
+    );
+}

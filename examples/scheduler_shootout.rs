@@ -1,0 +1,83 @@
+//! Scheduler shoot-out: the paper's §4.2 comparison in miniature — run the
+//! same contended trace under ONES, DRL, Tiresias, Optimus, FIFO and the
+//! SRTF oracle, and print average JCT / execution / queueing plus tail
+//! statistics.
+//!
+//! ```text
+//! cargo run --release --example scheduler_shootout [-- <num_jobs>]
+//! ```
+
+use ones_repro::simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_repro::stats::Summary;
+use ones_repro::workload::TraceConfig;
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let trace = TraceConfig {
+        num_jobs: jobs,
+        arrival_rate: 1.0 / 30.0,
+        seed: 42,
+        kill_fraction: 0.0,
+    };
+    let schedulers = [
+        SchedulerKind::Ones,
+        SchedulerKind::Drl,
+        SchedulerKind::Tiresias,
+        SchedulerKind::Optimus,
+        SchedulerKind::Fifo,
+        SchedulerKind::Gandiva,
+        SchedulerKind::Slaq,
+        SchedulerKind::SrtfOracle,
+    ];
+    let configs: Vec<ExperimentConfig> = schedulers
+        .iter()
+        .map(|&scheduler| ExperimentConfig {
+            gpus: 64,
+            trace,
+            scheduler,
+            sched_seed: 1,
+            drl_pretrain_episodes: 2,
+        })
+        .collect();
+
+    println!("Running {jobs} jobs on 64 GPUs under {} schedulers...", schedulers.len());
+    let results = run_sweep(&configs);
+
+    println!(
+        "\n{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "scheduler", "avg JCT", "avg exec", "avg queue", "p90 JCT", "max JCT"
+    );
+    for r in &results {
+        let s = Summary::of(&r.metrics.jct);
+        println!(
+            "{:<12} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            r.config.scheduler.name(),
+            r.metrics.mean_jct(),
+            r.metrics.mean_exec(),
+            r.metrics.mean_queue(),
+            s.p90,
+            s.max
+        );
+    }
+
+    let ones = results
+        .iter()
+        .find(|r| r.config.scheduler == SchedulerKind::Ones)
+        .expect("swept");
+    println!();
+    for r in &results {
+        if r.config.scheduler == SchedulerKind::Ones {
+            continue;
+        }
+        println!(
+            "ONES vs {:<12}: JCT {:>6.1}%, per-deployment overhead {:.2}s vs {:.2}s",
+            r.config.scheduler.name(),
+            100.0 * (ones.metrics.mean_jct() / r.metrics.mean_jct() - 1.0),
+            ones.total_overhead / ones.deployments.max(1) as f64,
+            r.total_overhead / r.deployments.max(1) as f64,
+        );
+    }
+}

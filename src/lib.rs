@@ -1,0 +1,29 @@
+//! # ones-repro — umbrella crate
+//!
+//! Re-exports every subsystem of the ONES reproduction under one roof so the
+//! examples and integration tests can use a single dependency. See the
+//! individual crates for the implementation:
+//!
+//! * [`simcore`] — discrete-event engine, deterministic RNG
+//! * [`stats`] — distributions, regression, Wilcoxon tests
+//! * [`cluster`] — GPU cluster topology and all-reduce cost model
+//! * [`dlperf`] — DL job performance and convergence models
+//! * [`workload`] — Table 2 trace generation
+//! * [`schedcore`] — shared scheduler API
+//! * [`predictor`] — online Beta-distribution progress predictor
+//! * [`evo`] — the online evolutionary search
+//! * [`ones`] — the ONES scheduler
+//! * [`baselines`] — Tiresias, Optimus, DRL, FIFO, SRTF
+//! * [`simulator`] — full cluster simulation runtime and experiment harness
+
+pub use ones_baselines as baselines;
+pub use ones_cluster as cluster;
+pub use ones_dlperf as dlperf;
+pub use ones_evo as evo;
+pub use ones_predictor as predictor;
+pub use ones_sched as ones;
+pub use ones_schedcore as schedcore;
+pub use ones_simcore as simcore;
+pub use ones_simulator as simulator;
+pub use ones_stats as stats;
+pub use ones_workload as workload;

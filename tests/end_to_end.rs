@@ -1,0 +1,253 @@
+//! Cross-crate integration tests: full simulations of Table 2 traces under
+//! every scheduler, checking lifecycle invariants that no single crate can
+//! verify alone.
+
+use ones_repro::cluster::ClusterSpec;
+use ones_repro::dlperf::PerfModel;
+use ones_repro::simcore::{DetRng, SimTime};
+use ones_repro::simulator::{SchedulerKind, SimConfig, SimResult, Simulation};
+use ones_repro::workload::{Trace, TraceConfig};
+
+fn run(kind: SchedulerKind, jobs: usize, gpus: u32, seed: u64) -> SimResult {
+    let trace = Trace::generate(TraceConfig {
+        num_jobs: jobs,
+        arrival_rate: 1.0 / 20.0,
+        seed,
+        kill_fraction: 0.0,
+    });
+    let spec = ClusterSpec::longhorn_subset(gpus);
+    let scheduler = kind.build(&spec, &trace, &DetRng::seed(99));
+    Simulation::new(
+        PerfModel::new(spec),
+        &trace,
+        scheduler,
+        SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        },
+    )
+    .run()
+}
+
+const ALL: [SchedulerKind; 8] = [
+    SchedulerKind::Ones,
+    SchedulerKind::Drl,
+    SchedulerKind::Tiresias,
+    SchedulerKind::Optimus,
+    SchedulerKind::Fifo,
+    SchedulerKind::SrtfOracle,
+    SchedulerKind::Gandiva,
+    SchedulerKind::Slaq,
+];
+
+#[test]
+fn every_scheduler_completes_every_job() {
+    for kind in ALL {
+        let r = run(kind, 8, 16, 3);
+        assert!(r.all_completed, "{kind:?} left jobs incomplete");
+        assert_eq!(r.jobs.len(), 8);
+        for job in r.jobs.values() {
+            assert!(job.is_completed(), "{kind:?}: {} incomplete", job.spec.name);
+        }
+    }
+}
+
+#[test]
+fn lifecycle_causality_invariants() {
+    for kind in ALL {
+        let r = run(kind, 8, 16, 5);
+        let horizon = SimTime::from_secs(r.makespan);
+        for job in r.jobs.values() {
+            let name = &job.spec.name;
+            let arrival = job.arrival;
+            let start = job.first_start.expect("completed jobs started");
+            let done = job.completion.expect("completed");
+            assert!(arrival <= start, "{kind:?}/{name}: started before arrival");
+            assert!(start <= done, "{kind:?}/{name}: finished before starting");
+            let jct = job.jct().unwrap();
+            let q = job.queueing_time(horizon);
+            assert!(
+                (q + job.exec_time - jct).abs() < 1e-6,
+                "{kind:?}/{name}: queue {q} + exec {} != jct {jct}",
+                job.exec_time
+            );
+            assert!(job.exec_time > 0.0, "{kind:?}/{name}: zero execution time");
+            assert!(job.epochs_done > 0, "{kind:?}/{name}: zero epochs");
+            assert!(
+                job.current_accuracy >= job.spec.convergence.target_accuracy - 1e-9,
+                "{kind:?}/{name}: completed below target accuracy"
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_capacity_never_exceeded() {
+    // Reconstruct concurrent GPU usage from the trace log: at any instant,
+    // the sum of running jobs' GPUs must fit the cluster. We check at each
+    // deployment via the recorded per-deployment summary.
+    let r = run(SchedulerKind::Ones, 8, 16, 7);
+    for ev in r.trace_log.of_kind("sched") {
+        // detail looks like "deploy job0:B256xC2 job3:B128xC1 ..."
+        let total: u32 = ev
+            .detail
+            .split_whitespace()
+            .filter_map(|tok| tok.rsplit_once("xC").and_then(|(_, c)| c.parse::<u32>().ok()))
+            .sum();
+        assert!(total <= 16, "deployment uses {total} GPUs on a 16-GPU cluster");
+    }
+}
+
+#[test]
+fn simulations_are_deterministic() {
+    for kind in [SchedulerKind::Ones, SchedulerKind::Drl, SchedulerKind::Tiresias] {
+        let a = run(kind, 6, 16, 11);
+        let b = run(kind, 6, 16, 11);
+        assert_eq!(a.makespan, b.makespan, "{kind:?} not deterministic");
+        let jct = |r: &SimResult| -> Vec<f64> {
+            r.jobs.values().map(|j| j.jct().unwrap()).collect()
+        };
+        assert_eq!(jct(&a), jct(&b), "{kind:?} JCTs differ across runs");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_workloads_same_invariants() {
+    for seed in [1u64, 2, 3] {
+        let r = run(SchedulerKind::Fifo, 6, 16, seed);
+        assert!(r.all_completed);
+        assert!(r.makespan > 0.0);
+    }
+}
+
+#[test]
+fn ones_scales_batches_above_submission() {
+    // On an idle-ish cluster ONES must actually use its elasticity: at
+    // least one deployment should give some job a batch beyond B0.
+    let r = run(SchedulerKind::Ones, 4, 16, 13);
+    let mut saw_elastic = false;
+    for ev in r.trace_log.of_kind("sched") {
+        for tok in ev.detail.split_whitespace() {
+            if let Some((b_part, _)) = tok.rsplit_once("xC") {
+                if let Some((_, b)) = b_part.split_once(":B") {
+                    if b.parse::<u32>().unwrap_or(0) > 256 {
+                        saw_elastic = true;
+                    }
+                }
+            }
+        }
+    }
+    assert!(saw_elastic, "ONES never grew any batch beyond the submitted sizes");
+}
+
+#[test]
+fn fixed_batch_schedulers_never_change_batches() {
+    for kind in [SchedulerKind::Tiresias, SchedulerKind::Fifo, SchedulerKind::Drl] {
+        let r = run(kind, 6, 16, 17);
+        for ev in r.trace_log.of_kind("sched") {
+            for tok in ev.detail.split_whitespace() {
+                let Some((b_part, _)) = tok.rsplit_once("xC") else {
+                    continue;
+                };
+                let Some((job_part, b)) = b_part.split_once(":B") else {
+                    continue;
+                };
+                let job_id: u64 = job_part
+                    .strip_prefix("job")
+                    .and_then(|s| s.parse().ok())
+                    .expect("job token");
+                let batch: u32 = b.parse().expect("batch token");
+                let submitted = r.jobs[&ones_repro::workload::JobId(job_id)]
+                    .spec
+                    .submit_batch;
+                assert_eq!(
+                    batch, submitted,
+                    "{kind:?} changed job{job_id}'s batch ({submitted} -> {batch})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn elastic_overhead_is_an_order_cheaper_per_transition() {
+    let ones = run(SchedulerKind::Ones, 8, 16, 19);
+    let tiresias = run(SchedulerKind::Tiresias, 8, 16, 19);
+    let per = |r: &SimResult| r.total_overhead / r.transitions.max(1) as f64;
+    assert!(
+        per(&ones) * 5.0 < per(&tiresias),
+        "elastic {:.2}s/transition vs checkpoint {:.2}s/transition",
+        per(&ones),
+        per(&tiresias)
+    );
+}
+
+#[test]
+fn abnormal_endings_are_survived_by_every_scheduler() {
+    // §2.1: some jobs are killed or crash. Schedulers and the ONES
+    // predictor must survive partial, abnormal job histories.
+    for kind in [SchedulerKind::Ones, SchedulerKind::Tiresias, SchedulerKind::Drl] {
+        let trace = Trace::generate(TraceConfig {
+            num_jobs: 10,
+            arrival_rate: 1.0 / 15.0,
+            seed: 23,
+            kill_fraction: 0.4,
+        });
+        let killed_in_trace = trace
+            .jobs
+            .iter()
+            .filter(|j| j.kill_after_secs.is_some())
+            .count();
+        assert!(killed_in_trace > 0, "kill fraction produced no kills");
+        let spec = ClusterSpec::longhorn_subset(16);
+        let scheduler = kind.build(&spec, &trace, &DetRng::seed(99));
+        let r = Simulation::new(
+            PerfModel::new(spec),
+            &trace,
+            scheduler,
+            SimConfig::default(),
+        )
+        .run();
+        assert!(r.all_completed, "{kind:?} wedged on a killed-job trace");
+        let killed = r.jobs.values().filter(|j| j.killed).count();
+        // Some marked jobs may legitimately converge before their kill
+        // time; at least one kill should land with this seed.
+        assert!(killed >= 1, "{kind:?}: no kill landed");
+        for job in r.jobs.values() {
+            assert!(job.is_completed());
+            if job.killed {
+                assert!(
+                    job.current_accuracy < job.spec.convergence.max_accuracy,
+                    "killed job reported final accuracy"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_jobs_release_their_gpus() {
+    let trace = Trace::generate(TraceConfig {
+        num_jobs: 8,
+        arrival_rate: 1.0 / 15.0,
+        seed: 31,
+        kill_fraction: 0.5,
+    });
+    let spec = ClusterSpec::longhorn_subset(16);
+    let scheduler = SchedulerKind::Fifo.build(&spec, &trace, &DetRng::seed(1));
+    let r = Simulation::new(
+        PerfModel::new(spec),
+        &trace,
+        scheduler,
+        SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert!(r.all_completed);
+    // Every kill in the log must be followed by other jobs still making
+    // progress (the cluster is not wedged on phantom allocations).
+    let kills = r.trace_log.of_kind("job").filter(|e| e.detail == "killed").count();
+    assert!(kills >= 1);
+}

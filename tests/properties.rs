@@ -1,0 +1,247 @@
+//! Property-based integration tests (proptest): invariants of the schedule
+//! encoding, the evolution operations, the performance models and the
+//! statistics that must hold for *arbitrary* inputs, not just the fixtures
+//! unit tests use.
+
+use ones_repro::cluster::{ClusterSpec, GpuId, Placement};
+use ones_repro::dlperf::{ConvergenceModel, ConvergenceState, DatasetKind, ModelKind, PerfModel};
+use ones_repro::schedcore::Schedule;
+use ones_repro::simcore::DetRng;
+use ones_repro::stats::{ecdf, Beta, Summary};
+use ones_repro::workload::{Trace, TraceConfig};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary schedule on an `n`-GPU cluster with jobs 0..j.
+fn schedule_strategy(gpus: u32, jobs: u64) -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec(
+        proptest::option::of((0..jobs, 1u32..=512u32)),
+        gpus as usize,
+    )
+    .prop_map(move |slots| {
+        let mut s = Schedule::empty(gpus);
+        for (i, slot) in slots.into_iter().enumerate() {
+            if let Some((job, batch)) = slot {
+                s.assign(GpuId(i as u32), ones_repro::workload::JobId(job), batch);
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq 2 invariants: for every job, B_j = Σ local batches and
+    /// c_j = |placement|; summed over jobs, GPU counts never exceed the
+    /// cluster.
+    #[test]
+    fn schedule_derivations_consistent(s in schedule_strategy(16, 6)) {
+        let mut total_gpus = 0;
+        for (job, (batch, gpus)) in s.running_jobs() {
+            prop_assert_eq!(s.global_batch(job), batch);
+            prop_assert_eq!(s.gpu_count(job), gpus);
+            prop_assert_eq!(s.placement(job).len() as u32, gpus);
+            prop_assert_eq!(s.local_batches(job).iter().sum::<u32>(), batch);
+            total_gpus += gpus;
+        }
+        prop_assert!(total_gpus + s.idle_count() == 16);
+    }
+
+    /// Reorder preserves every job's global batch and GPU count and packs
+    /// each job's workers into one contiguous GPU-id range (Figure 10's
+    /// guarantee; contiguity minimises ring crossings per node).
+    #[test]
+    fn reorder_preserves_configs_and_packs_contiguously(s in schedule_strategy(16, 6)) {
+        let r = s.reordered();
+        let r_jobs = r.running_jobs();
+        for (job, cfg) in s.running_jobs() {
+            prop_assert_eq!(r_jobs.get(&job), Some(&cfg));
+            let gpus = r.placement(job);
+            let ids = gpus.gpus();
+            for w in ids.windows(2) {
+                prop_assert_eq!(w[1].0, w[0].0 + 1, "{} not contiguous", job);
+            }
+        }
+        prop_assert_eq!(r.idle_count(), s.idle_count());
+    }
+
+    /// Alignment never changes any job's configuration (batch multiset),
+    /// and jobs unchanged between deployed and candidate stay put.
+    #[test]
+    fn alignment_is_config_preserving(
+        deployed in schedule_strategy(16, 6),
+        candidate in schedule_strategy(16, 6),
+    ) {
+        let aligned = candidate.aligned_with(&deployed);
+        let aligned_jobs = aligned.running_jobs();
+        for (job, cfg) in candidate.running_jobs() {
+            prop_assert_eq!(aligned_jobs.get(&job), Some(&cfg), "{}", job);
+            let mut old: Vec<u32> = deployed.local_batches(job);
+            let mut new: Vec<u32> = candidate.local_batches(job);
+            old.sort_unstable();
+            new.sort_unstable();
+            if !old.is_empty() && old == new {
+                prop_assert_eq!(aligned.placement(job), deployed.placement(job));
+            }
+        }
+    }
+
+    /// The all-reduce cost model is monotone in message size and never
+    /// cheaper across nodes than within one.
+    #[test]
+    fn allreduce_monotonicity(
+        workers in 2u32..=16,
+        mb in 1.0f64..500.0,
+    ) {
+        let spec = ClusterSpec::new(4, 4);
+        let packed = Placement::contiguous(0, workers);
+        let small = ones_repro::cluster::allreduce_time(&spec, &packed, mb * 1e6);
+        let large = ones_repro::cluster::allreduce_time(&spec, &packed, 2.0 * mb * 1e6);
+        prop_assert!(large > small);
+        // Scatter the same worker count across nodes: never faster.
+        let scattered: Placement = (0..workers).map(|i| GpuId((i * 16 / workers) % 16)).collect();
+        if scattered.len() == packed.len() && scattered.nodes_spanned(&spec) > packed.nodes_spanned(&spec) {
+            let t_scat = ones_repro::cluster::allreduce_time(&spec, &scattered, mb * 1e6);
+            prop_assert!(t_scat >= small - 1e-12);
+        }
+    }
+
+    /// Step time is monotone in the local batch, and throughput stays
+    /// positive and finite for every legal configuration.
+    #[test]
+    fn step_time_monotone_in_batch(
+        b1 in 1u32..=128,
+        b2 in 129u32..=256,
+        workers in 1u32..=8,
+    ) {
+        let perf = PerfModel::new(ClusterSpec::longhorn());
+        let profile = ModelKind::ResNet50.profile();
+        let p = Placement::contiguous(0, workers);
+        let t1 = perf.step_time(&profile, &vec![b1; workers as usize], &p);
+        let t2 = perf.step_time(&profile, &vec![b2; workers as usize], &p);
+        prop_assert!(t2 > t1);
+        let x = perf.throughput(&profile, &vec![b2; workers as usize], &p);
+        prop_assert!(x.is_finite() && x > 0.0);
+    }
+
+    /// Convergence progress only ever decreases by exactly the documented
+    /// abrupt-scaling penalty (Figure 13), epochs always add progress, and
+    /// the completion fraction stays in (0, 1].
+    #[test]
+    fn convergence_progress_accounting(
+        batches in proptest::collection::vec(6u32..=13, 1..60),
+    ) {
+        let model = ConvergenceModel::example();
+        let mut s = ConvergenceState::new(model);
+        let mut prev = 0.0;
+        for exp in batches {
+            let b = 1u32 << exp; // 64..=8192
+            let destroyed = s.on_batch_change(b);
+            prop_assert!(destroyed >= 0.0);
+            prop_assert!(
+                s.progress() >= prev - destroyed - 1e-9,
+                "progress lost more than the penalty: {} -> {} (penalty {destroyed})",
+                prev, s.progress()
+            );
+            let before_epoch = s.progress();
+            s.advance_epoch(b, true);
+            prop_assert!(s.progress() > before_epoch, "epoch added no progress");
+            prev = s.progress();
+            let f = s.completion_fraction();
+            prop_assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+
+    /// Efficiency never exceeds 1 above the reference batch and never
+    /// rewards removing LR scaling.
+    #[test]
+    fn efficiency_bounds(batch_exp in 5u32..=14) {
+        let model = ConvergenceModel::example();
+        let b = 1u32 << batch_exp;
+        let scaled = model.efficiency(b, true);
+        let unscaled = model.efficiency(b, false);
+        prop_assert!(scaled <= 1.0 + 1e-12);
+        prop_assert!(unscaled <= scaled + 1e-12);
+        prop_assert!(scaled > 0.0 && unscaled > 0.0);
+    }
+
+    /// Beta samples always land in (0, 1) and their empirical mean tracks
+    /// α/(α+β).
+    #[test]
+    fn beta_sampling_bounds(alpha in 1.0f64..50.0, beta in 1.0f64..50.0) {
+        let d = Beta::new(alpha, beta);
+        let mut rng = DetRng::seed(42);
+        let n = 2000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            prop_assert!(x > 0.0 && x < 1.0);
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        prop_assert!((mean - d.mean()).abs() < 0.05, "mean {mean} vs {}", d.mean());
+    }
+
+    /// Summary statistics are internally ordered for any sample.
+    #[test]
+    fn summary_ordering(xs in proptest::collection::vec(0.0f64..1e6, 2..200)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    /// Empirical CDFs are monotone, end at 1, and x-values are strictly
+    /// increasing.
+    #[test]
+    fn ecdf_properties(xs in proptest::collection::vec(0.0f64..1e4, 1..100)) {
+        let curve = ecdf(&xs);
+        prop_assert!(!curve.is_empty());
+        prop_assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in curve.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    /// Trace generation always yields valid, arrival-sorted jobs for any
+    /// seed and plausible size.
+    #[test]
+    fn trace_generation_valid(seed in 0u64..1000, jobs in 1usize..60) {
+        let t = Trace::generate(TraceConfig {
+            num_jobs: jobs,
+            arrival_rate: 1.0 / 30.0,
+            seed,
+            kill_fraction: 0.0,
+        });
+        prop_assert_eq!(t.len(), jobs);
+        for j in &t.jobs {
+            j.validate();
+        }
+        for w in t.jobs.windows(2) {
+            prop_assert!(w[0].arrival_secs <= w[1].arrival_secs);
+        }
+    }
+
+    /// Dataset profiles keep every model's local batch capacity positive
+    /// and compute time finite.
+    #[test]
+    fn profile_dataset_combinations(model_idx in 0usize..7, ds_idx in 0usize..5) {
+        let model = ModelKind::ALL[model_idx];
+        let dataset = [
+            DatasetKind::ImageNet,
+            DatasetKind::Cifar10,
+            DatasetKind::Cola,
+            DatasetKind::Mrpc,
+            DatasetKind::Sst2,
+        ][ds_idx];
+        let p = model.profile().for_dataset(dataset);
+        prop_assert!(p.max_local_batch >= 32);
+        let t = p.compute_time(p.max_local_batch);
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+}
