@@ -84,10 +84,7 @@ pub fn effective_request(view: &ClusterView<'_>, job: JobId) -> u32 {
 ///
 /// `order` holds `(job, wanted GPU count)` pairs.
 #[must_use]
-pub fn allocate_sticky(
-    view: &ClusterView<'_>,
-    order: &[(JobId, u32)],
-) -> Schedule {
+pub fn allocate_sticky(view: &ClusterView<'_>, order: &[(JobId, u32)]) -> Schedule {
     let total = view.spec.total_gpus();
     // Pass 0: the minimum-quantum set keeps its capacity unconditionally.
     let locked: Vec<JobId> = view
@@ -188,8 +185,10 @@ pub(crate) mod testutil {
                     ..ConvergenceModel::example()
                 },
             };
-            self.jobs
-                .insert(jid, JobStatus::submitted(spec, SimTime::from_secs(self.now)));
+            self.jobs.insert(
+                jid,
+                JobStatus::submitted(spec, SimTime::from_secs(self.now)),
+            );
             jid
         }
 

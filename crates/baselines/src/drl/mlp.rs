@@ -58,9 +58,7 @@ impl Mlp {
             .w1
             .iter()
             .zip(&self.b1)
-            .map(|(row, b)| {
-                (row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b).tanh()
-            })
+            .map(|(row, b)| (row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b).tanh())
             .collect();
         let logits: Vec<f64> = self
             .w2
@@ -186,8 +184,16 @@ mod tests {
             n.reinforce_step(&sa, 0, 1.0, 0.03);
             n.reinforce_step(&sb, 2, 1.0, 0.03);
         }
-        assert!(n.policy(&sa)[0] > 0.7, "state A policy: {:?}", n.policy(&sa));
-        assert!(n.policy(&sb)[2] > 0.7, "state B policy: {:?}", n.policy(&sb));
+        assert!(
+            n.policy(&sa)[0] > 0.7,
+            "state A policy: {:?}",
+            n.policy(&sa)
+        );
+        assert!(
+            n.policy(&sb)[2] > 0.7,
+            "state B policy: {:?}",
+            n.policy(&sb)
+        );
     }
 
     #[test]

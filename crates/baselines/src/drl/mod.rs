@@ -20,7 +20,7 @@ pub mod mlp;
 
 use crate::common::{assign_fixed_batch, pick_gang};
 use mlp::Mlp;
-use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::DetRng;
 use ones_workload::JobId;
 use std::collections::BTreeMap;

@@ -6,7 +6,7 @@
 //! no-intelligence floor.
 
 use crate::common::{assign_fixed_batch, effective_request, pick_gang};
-use ones_schedcore::{ClusterView, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_schedcore::{ClusterView, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 
 /// First-in-first-out gang scheduler.
 #[derive(Debug, Default)]

@@ -14,7 +14,7 @@
 //! rather than JCT-optimality — exactly Gandiva's design point).
 
 use crate::common::{allocate_sticky, effective_request};
-use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -54,11 +54,7 @@ impl Gandiva {
     }
 
     fn plan(&self, view: &ClusterView<'_>) -> Schedule {
-        let mut jobs: Vec<&JobStatus> = view
-            .jobs
-            .values()
-            .filter(|j| !j.is_completed())
-            .collect();
+        let mut jobs: Vec<&JobStatus> = view.jobs.values().filter(|j| !j.is_completed()).collect();
         jobs.sort_by_key(|j| j.id());
         if !jobs.is_empty() {
             let offset = self.cursor % jobs.len();
@@ -125,7 +121,9 @@ mod tests {
         let mut g = Gandiva::new();
         // Three 4-GPU jobs on a 4-GPU cluster: only one runs per quantum.
         let ids: Vec<JobId> = (0..3).map(|i| h.submit(i, 4)).collect();
-        let out = g.on_event(SchedEvent::JobArrived(ids[2]), &h.view()).unwrap();
+        let out = g
+            .on_event(SchedEvent::JobArrived(ids[2]), &h.view())
+            .unwrap();
         h.deploy(out);
         let mut seen: Vec<JobId> = vec![];
         for id in &ids {

@@ -21,7 +21,7 @@
 
 use crate::common::assign_fixed_batch;
 use ones_cluster::GpuId;
-use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::SimTime;
 use ones_stats::LinearRegression;
 use ones_workload::JobId;
@@ -158,11 +158,7 @@ impl Optimus {
 
     /// The greedy marginal-gain allocation (counts per job).
     fn plan(&self, view: &ClusterView<'_>) -> BTreeMap<JobId, u32> {
-        let jobs: Vec<&JobStatus> = view
-            .jobs
-            .values()
-            .filter(|j| !j.is_completed())
-            .collect();
+        let jobs: Vec<&JobStatus> = view.jobs.values().filter(|j| !j.is_completed()).collect();
         let mut alloc: BTreeMap<JobId, u32> = BTreeMap::new();
         let mut free = view.spec.total_gpus();
         // Fairness floor: one worker each while GPUs remain, in arrival
@@ -183,12 +179,9 @@ impl Optimus {
                 let Some(&c) = alloc.get(&job.id()) else {
                     continue;
                 };
-                let gain = self.remaining_time(view, job, c)
-                    - self.remaining_time(view, job, c + 1);
-                if gain.is_finite()
-                    && gain > 0.0
-                    && best.is_none_or(|(g, _)| gain > g)
-                {
+                let gain =
+                    self.remaining_time(view, job, c) - self.remaining_time(view, job, c + 1);
+                if gain.is_finite() && gain > 0.0 && best.is_none_or(|(g, _)| gain > g) {
                     best = Some((gain, job.id()));
                 }
             }
@@ -249,8 +242,7 @@ impl Scheduler for Optimus {
                     if *count == 0 {
                         continue;
                     }
-                    let gpus: Vec<GpuId> =
-                        (next_gpu..next_gpu + count).map(GpuId).collect();
+                    let gpus: Vec<GpuId> = (next_gpu..next_gpu + count).map(GpuId).collect();
                     if assign_fixed_batch(view, &mut schedule, *job, &gpus) {
                         next_gpu += count;
                     }
@@ -302,7 +294,10 @@ mod tests {
         // ResNet18/CIFAR10 at B=256: communication makes huge worker
         // counts counterproductive — Optimus must stop early.
         assert!(c >= 1, "fairness floor");
-        assert!(c < 8, "greedy must stop when marginal gain vanishes, got {c}");
+        assert!(
+            c < 8,
+            "greedy must stop when marginal gain vanishes, got {c}"
+        );
     }
 
     #[test]
@@ -317,7 +312,10 @@ mod tests {
         let out = o.on_event(SchedEvent::Tick, &h.view()).unwrap();
         // Everyone gets the fairness floor.
         for i in 0..4 {
-            assert!(out.gpu_count(ones_workload::JobId(i)) >= 1, "job {i} starved");
+            assert!(
+                out.gpu_count(ones_workload::JobId(i)) >= 1,
+                "job {i} starved"
+            );
         }
     }
 

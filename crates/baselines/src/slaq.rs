@@ -11,7 +11,7 @@
 
 use crate::common::assign_fixed_batch;
 use ones_cluster::GpuId;
-use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::SimTime;
 use ones_workload::JobId;
 use serde::{Deserialize, Serialize};
@@ -85,11 +85,7 @@ impl Slaq {
         // Rank jobs by quality gradient, then allocate greedily: one GPU
         // each first (fairness floor), then extra GPUs to the steepest
         // improvers up to their request.
-        let mut jobs: Vec<&JobStatus> = view
-            .jobs
-            .values()
-            .filter(|j| !j.is_completed())
-            .collect();
+        let mut jobs: Vec<&JobStatus> = view.jobs.values().filter(|j| !j.is_completed()).collect();
         jobs.sort_by(|a, b| {
             self.quality_gradient(b)
                 .partial_cmp(&self.quality_gradient(a))

@@ -9,7 +9,7 @@
 
 use crate::common::effective_request;
 use ones_dlperf::ConvergenceState;
-use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 
 /// Preemptive oracle shortest-remaining-time-first gang scheduler.
 #[derive(Debug, Default)]
@@ -64,11 +64,7 @@ impl Scheduler for SrtfOracle {
         // Rebuild the whole assignment from scratch in remaining-time
         // order (preemptive SRTF), gang per job, backfilling past jobs
         // that do not fit.
-        let mut order: Vec<&JobStatus> = view
-            .jobs
-            .values()
-            .filter(|j| !j.is_completed())
-            .collect();
+        let mut order: Vec<&JobStatus> = view.jobs.values().filter(|j| !j.is_completed()).collect();
         order.sort_by(|a, b| {
             Self::true_remaining_secs(view, a)
                 .partial_cmp(&Self::true_remaining_secs(view, b))
@@ -133,8 +129,6 @@ mod tests {
         let out = s.on_event(SchedEvent::JobArrived(a), &h.view()).unwrap();
         h.deploy(out);
         // Same state, same plan: no redeployment.
-        assert!(s
-            .on_event(SchedEvent::EpochEnded(a), &h.view())
-            .is_none());
+        assert!(s.on_event(SchedEvent::EpochEnded(a), &h.view()).is_none());
     }
 }

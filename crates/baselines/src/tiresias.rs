@@ -14,7 +14,7 @@
 //! the highest queue.
 
 use crate::common::effective_request;
-use ones_schedcore::{ClusterView, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -104,11 +104,7 @@ impl Scheduler for Tiresias {
     fn on_event(&mut self, _event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
         // Rank all incomplete jobs: (queue level, arrival) — MLFQ with
         // per-queue FIFO.
-        let mut order: Vec<&JobStatus> = view
-            .jobs
-            .values()
-            .filter(|j| !j.is_completed())
-            .collect();
+        let mut order: Vec<&JobStatus> = view.jobs.values().filter(|j| !j.is_completed()).collect();
         order.sort_by(|a, b| {
             self.queue_of(a, view.now)
                 .cmp(&self.queue_of(b, view.now))

@@ -1,47 +1,34 @@
-//! Criterion micro-bench: the ring all-reduce cost model across worker
-//! counts and placements (evaluated millions of times per simulation, once
-//! per candidate-job scoring).
+//! Micro-bench: the ring all-reduce cost model across worker counts and
+//! placements (evaluated millions of times per simulation, once per
+//! candidate-job scoring).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ones_bench::harness::bench;
 use ones_cluster::{allreduce_time, ClusterSpec, GpuId, Placement};
 
-fn bench_allreduce(c: &mut Criterion) {
+fn main() {
     let spec = ClusterSpec::longhorn();
     let bytes = 100.0e6;
-    let mut group = c.benchmark_group("allreduce_time");
+    ones_bench::print_header("allreduce_time");
     for workers in [2u32, 8, 32, 64] {
         let packed = Placement::contiguous(0, workers);
-        group.bench_with_input(
-            BenchmarkId::new("packed", workers),
-            &packed,
-            |b, placement| {
-                b.iter(|| std::hint::black_box(allreduce_time(&spec, placement, bytes)));
-            },
-        );
+        bench(&format!("packed/{workers}"), || {
+            allreduce_time(&spec, &packed, bytes)
+        })
+        .print();
         let scattered: Placement = (0..workers).map(|i| GpuId(i * 64 / workers)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("scattered", workers),
-            &scattered,
-            |b, placement| {
-                b.iter(|| std::hint::black_box(allreduce_time(&spec, placement, bytes)));
-            },
-        );
+        bench(&format!("scattered/{workers}"), || {
+            allreduce_time(&spec, &scattered, bytes)
+        })
+        .print();
     }
-    group.finish();
-}
 
-fn bench_placement_metrics(c: &mut Criterion) {
-    let spec = ClusterSpec::longhorn();
+    ones_bench::print_header("placement_locality_metrics");
     let scattered: Placement = (0..32u32).map(|i| GpuId(i * 2)).collect();
-    c.bench_function("placement_locality_metrics", |b| {
-        b.iter(|| {
-            std::hint::black_box((
-                scattered.nodes_spanned(&spec),
-                scattered.max_runs_per_node(&spec),
-            ))
-        });
-    });
+    bench("locality_metrics", || {
+        (
+            scattered.nodes_spanned(&spec),
+            scattered.max_runs_per_node(&spec),
+        )
+    })
+    .print();
 }
-
-criterion_group!(benches, bench_allreduce, bench_placement_metrics);
-criterion_main!(benches);

@@ -1,9 +1,15 @@
-//! Criterion micro-bench: one evolutionary generation on a 64-GPU cluster
-//! with varying live-job counts — the ONES scheduler's hot loop (§3.2
-//! claims evolutionary search has "relatively fast iterative speed"; this
-//! bench quantifies it).
+//! Micro-bench: one evolutionary generation — the ONES scheduler's hot
+//! loop (§3.2 claims evolutionary search has "relatively fast iterative
+//! speed"; this bench quantifies it).
+//!
+//! Sweeps cluster sizes 16/32/64 GPUs and all four combinations of the
+//! two hot-loop accelerations (generation-scoped throughput cache,
+//! parallel candidate derivation), reporting per-generation latency and
+//! the scoring-phase share from the search's own perf counters. Results
+//! are also written to `BENCH_evolution.json` (path overridable via the
+//! `BENCH_JSON` environment variable).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ones_bench::harness::{bench_with, fmt_ns, BenchOpts, Measurement};
 use ones_cluster::ClusterSpec;
 use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind, PerfModel};
 use ones_evo::{EvoConfig, EvoContext, EvolutionarySearch};
@@ -11,6 +17,7 @@ use ones_schedcore::{ClusterView, JobPhase, JobStatus, Schedule};
 use ones_simcore::{DetRng, SimTime};
 use ones_stats::Beta;
 use ones_workload::{JobId, JobSpec};
+use serde_json::Value;
 use std::collections::BTreeMap;
 
 struct Fixture {
@@ -22,8 +29,8 @@ struct Fixture {
     betas: BTreeMap<JobId, Beta>,
 }
 
-fn fixture(n_jobs: u64) -> Fixture {
-    let spec = ClusterSpec::longhorn();
+fn fixture(gpus: u32, n_jobs: u64) -> Fixture {
+    let spec = ClusterSpec::longhorn_subset(gpus);
     let mut jobs = BTreeMap::new();
     let mut limits = BTreeMap::new();
     let mut betas = BTreeMap::new();
@@ -60,37 +67,150 @@ fn fixture(n_jobs: u64) -> Fixture {
         spec,
         perf: PerfModel::new(spec),
         jobs,
-        deployed: Schedule::empty(64),
+        deployed: Schedule::empty(gpus),
         limits,
         betas,
     }
 }
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("evolution_generation_64gpu");
-    group.sample_size(20);
-    for n_jobs in [8u64, 32, 64] {
-        let fx = fixture(n_jobs);
-        group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &fx, |b, fx| {
-            let view = ClusterView {
-                now: SimTime::from_secs(1000.0),
-                spec: &fx.spec,
-                perf: &fx.perf,
-                jobs: &fx.jobs,
-                deployed: &fx.deployed,
-            };
-            let ctx = EvoContext {
-                view: &view,
-                limits: &fx.limits,
-                betas: &fx.betas,
-            };
-            let mut search =
-                EvolutionarySearch::new(EvoConfig::for_cluster(64), DetRng::seed(1));
-            b.iter(|| std::hint::black_box(search.generation(&ctx)));
-        });
-    }
-    group.finish();
+/// The four feature combinations under test, in report order.
+const VARIANTS: [(&str, bool, bool); 4] = [
+    ("baseline", false, false),
+    ("cache", true, false),
+    ("parallel", false, true),
+    ("cache_parallel", true, true),
+];
+
+struct VariantResult {
+    name: &'static str,
+    measurement: Measurement,
+    /// Scoring-phase wall time per generation (perf-counter delta).
+    score_ns_per_gen: f64,
+    cache_hit_rate: f64,
 }
 
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);
+fn run_variant(
+    gpus: u32,
+    fx: &Fixture,
+    name: &'static str,
+    use_cache: bool,
+    parallel_derive: bool,
+) -> VariantResult {
+    let view = ClusterView {
+        now: SimTime::from_secs(1000.0),
+        spec: &fx.spec,
+        perf: &fx.perf,
+        jobs: &fx.jobs,
+        deployed: &fx.deployed,
+    };
+    let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
+    let mut cfg = EvoConfig::for_cluster(gpus);
+    cfg.use_cache = use_cache;
+    cfg.parallel_derive = parallel_derive;
+    let mut search = EvolutionarySearch::new(cfg, DetRng::seed(1));
+    // Warm: populate G_0 and let the population settle before timing.
+    for _ in 0..3 {
+        let _ = search.generation(&ctx);
+    }
+    let before = search.perf_counters();
+    let measurement = bench_with(BenchOpts::coarse(), &format!("{gpus}gpu/{name}"), || {
+        search.generation(&ctx)
+    });
+    let after = search.perf_counters();
+    let gens = (after.generations - before.generations).max(1) as f64;
+    VariantResult {
+        name,
+        measurement,
+        score_ns_per_gen: (after.score_nanos - before.score_nanos) as f64 / gens,
+        cache_hit_rate: after.cache_hit_rate(),
+    }
+}
+
+fn main() {
+    let mut by_gpus: Vec<(String, Value)> = Vec::new();
+    for gpus in [16u32, 32, 64] {
+        ones_bench::print_header(&format!("evolution_generation_{gpus}gpu"));
+        let fx = fixture(gpus, u64::from(gpus));
+        let results: Vec<VariantResult> = VARIANTS
+            .iter()
+            .map(|&(name, cache, parallel)| run_variant(gpus, &fx, name, cache, parallel))
+            .collect();
+
+        let baseline = &results[0];
+        let full = results
+            .iter()
+            .find(|r| r.name == "cache_parallel")
+            .expect("variant present");
+        let generation_speedup = baseline.measurement.median_ns() / full.measurement.median_ns();
+        let scoring_speedup = baseline.score_ns_per_gen / full.score_ns_per_gen;
+
+        let mut variants: Vec<(String, Value)> = Vec::new();
+        for r in &results {
+            r.measurement.print();
+            println!(
+                "    scoring phase {:>12} per generation, cache hit rate {:.1}%",
+                fmt_ns(r.score_ns_per_gen),
+                100.0 * r.cache_hit_rate
+            );
+            variants.push((
+                r.name.to_string(),
+                Value::Object(vec![
+                    (
+                        "median_ns".to_string(),
+                        serde_json::to_value(&r.measurement.median_ns()),
+                    ),
+                    (
+                        "mean_ns".to_string(),
+                        serde_json::to_value(&r.measurement.mean_ns()),
+                    ),
+                    (
+                        "min_ns".to_string(),
+                        serde_json::to_value(&r.measurement.min_ns()),
+                    ),
+                    (
+                        "score_ns_per_gen".to_string(),
+                        serde_json::to_value(&r.score_ns_per_gen),
+                    ),
+                    (
+                        "cache_hit_rate".to_string(),
+                        serde_json::to_value(&r.cache_hit_rate),
+                    ),
+                ]),
+            ));
+        }
+        println!(
+            "  cache+parallel vs baseline: {generation_speedup:.2}x per generation, \
+             {scoring_speedup:.2}x scoring phase"
+        );
+        by_gpus.push((
+            gpus.to_string(),
+            Value::Object(vec![
+                ("jobs".to_string(), serde_json::to_value(&u64::from(gpus))),
+                ("variants".to_string(), Value::Object(variants)),
+                (
+                    "generation_speedup".to_string(),
+                    serde_json::to_value(&generation_speedup),
+                ),
+                (
+                    "scoring_speedup".to_string(),
+                    serde_json::to_value(&scoring_speedup),
+                ),
+            ]),
+        ));
+    }
+
+    let report = Value::Object(vec![
+        (
+            "bench".to_string(),
+            serde_json::to_value("evolution_generation"),
+        ),
+        ("gpus".to_string(), Value::Object(by_gpus)),
+    ]);
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_evolution.json".to_string());
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialisable"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nresults written to {path}");
+}

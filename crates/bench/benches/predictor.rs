@@ -1,7 +1,7 @@
-//! Criterion micro-bench: the online progress predictor — per-completion
-//! refit (bounded least squares) and per-query Beta prediction.
+//! Micro-bench: the online progress predictor — per-completion refit
+//! (bounded least squares) and per-query Beta prediction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ones_bench::harness::bench;
 use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind};
 use ones_predictor::{FeatureSnapshot, PredictorConfig, ProgressPredictor};
 use ones_schedcore::JobStatus;
@@ -47,30 +47,26 @@ fn history(i: u64) -> Vec<FeatureSnapshot> {
         .collect()
 }
 
-fn bench_refit(c: &mut Criterion) {
-    c.bench_function("predictor_observe_completion_refit", |b| {
+fn main() {
+    ones_bench::print_header("predictor");
+    {
         let mut p = ProgressPredictor::new(PredictorConfig::default(), DetRng::seed(1));
         // Warm the training set so every iteration refits on a full table.
         for i in 0..40 {
             p.observe_completion(&history(i), 30);
         }
         let h = history(99);
-        b.iter(|| {
-            p.observe_completion(std::hint::black_box(&h), 30);
-        });
-    });
-}
-
-fn bench_predict(c: &mut Criterion) {
-    let mut p = ProgressPredictor::new(PredictorConfig::default(), DetRng::seed(2));
-    for i in 0..40 {
-        p.observe_completion(&history(i), 30);
+        bench("observe_completion_refit", || {
+            p.observe_completion(std::hint::black_box(&h), 30)
+        })
+        .print();
     }
-    let status = make_status(7);
-    c.bench_function("predictor_predict_beta", |b| {
-        b.iter(|| std::hint::black_box(p.predict(&status)));
-    });
+    {
+        let mut p = ProgressPredictor::new(PredictorConfig::default(), DetRng::seed(2));
+        for i in 0..40 {
+            p.observe_completion(&history(i), 30);
+        }
+        let status = make_status(7);
+        bench("predict_beta", || p.predict(&status)).print();
+    }
 }
-
-criterion_group!(benches, bench_refit, bench_predict);
-criterion_main!(benches);

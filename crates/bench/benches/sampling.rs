@@ -1,51 +1,36 @@
-//! Criterion micro-bench: Algorithm 1 — drawing per-job completion
-//! fractions from Beta distributions and scoring candidate schedules.
+//! Micro-bench: Algorithm 1 — drawing per-job completion fractions from
+//! Beta distributions and scoring candidate schedules.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ones_bench::harness::bench;
 use ones_simcore::DetRng;
 use ones_stats::Beta;
 
-fn bench_beta_sampling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("beta_sampling");
+fn main() {
+    ones_bench::print_header("beta_sampling");
     for &(alpha, beta) in &[(1.0, 30.0), (5.0, 5.0), (40.0, 2.0)] {
         let dist = Beta::new(alpha, beta);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("a{alpha}_b{beta}")),
-            &dist,
-            |b, dist| {
-                let mut rng = DetRng::seed(7);
-                b.iter(|| std::hint::black_box(dist.sample(&mut rng)));
-            },
-        );
+        let mut rng = DetRng::seed(7);
+        bench(&format!("a{alpha}_b{beta}"), || dist.sample(&mut rng)).print();
     }
-    group.finish();
-}
 
-fn bench_algorithm1_round(c: &mut Criterion) {
     // One Algorithm 1 round over J jobs: J Beta samples + J score terms.
-    let mut group = c.benchmark_group("algorithm1_round");
+    ones_bench::print_header("algorithm1_round");
     for jobs in [16usize, 64, 256] {
         let dists: Vec<Beta> = (0..jobs)
             .map(|i| Beta::new(1.0 + (i % 10) as f64, 5.0 + (i % 30) as f64))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(jobs), &dists, |b, dists| {
-            let mut rng = DetRng::seed(11);
-            b.iter(|| {
-                let score: f64 = dists
-                    .iter()
-                    .enumerate()
-                    .map(|(i, d)| {
-                        let rho = d.sample(&mut rng).max(0.005);
-                        let y_processed = 1000.0 * (1.0 + i as f64);
-                        ones_predictor::remaining_workload(y_processed, rho) / 3000.0
-                    })
-                    .sum();
-                std::hint::black_box(score)
-            });
-        });
+        let mut rng = DetRng::seed(11);
+        bench(&format!("jobs/{jobs}"), || {
+            dists
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let rho = d.sample(&mut rng).max(0.005);
+                    let y_processed = 1000.0 * (1.0 + i as f64);
+                    ones_predictor::remaining_workload(y_processed, rho) / 3000.0
+                })
+                .sum::<f64>()
+        })
+        .print();
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_beta_sampling, bench_algorithm1_round);
-criterion_main!(benches);

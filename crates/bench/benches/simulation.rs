@@ -1,15 +1,15 @@
-//! Criterion macro-bench: end-to-end simulation of a small trace under
-//! each scheduler — measures the whole reproduction pipeline (workload
+//! Macro-bench: end-to-end simulation of a small trace under each
+//! scheduler — measures the whole reproduction pipeline (workload
 //! generation, event loop, scheduling, convergence model).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ones_bench::harness::{bench_with, BenchOpts};
 use ones_cluster::ClusterSpec;
 use ones_dlperf::PerfModel;
 use ones_simcore::DetRng;
 use ones_simulator::{SchedulerKind, SimConfig, Simulation};
 use ones_workload::{Trace, TraceConfig};
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let trace = Trace::generate(TraceConfig {
         num_jobs: 10,
         arrival_rate: 1.0 / 20.0,
@@ -17,8 +17,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         kill_fraction: 0.0,
     });
     let spec = ClusterSpec::longhorn_subset(16);
-    let mut group = c.benchmark_group("simulate_10_jobs_16gpu");
-    group.sample_size(10);
+    ones_bench::print_header("simulate_10_jobs_16gpu");
     for kind in [
         SchedulerKind::Fifo,
         SchedulerKind::Tiresias,
@@ -26,25 +25,16 @@ fn bench_end_to_end(c: &mut Criterion) {
         SchedulerKind::Drl,
         SchedulerKind::Ones,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let scheduler = kind.build(&spec, &trace, &DetRng::seed(3));
-                    let sim = Simulation::new(
-                        PerfModel::new(spec),
-                        &trace,
-                        scheduler,
-                        SimConfig::default(),
-                    );
-                    std::hint::black_box(sim.run().makespan)
-                });
-            },
-        );
+        bench_with(BenchOpts::coarse(), kind.name(), || {
+            let scheduler = kind.build(&spec, &trace, &DetRng::seed(3));
+            let sim = Simulation::new(
+                PerfModel::new(spec),
+                &trace,
+                scheduler,
+                SimConfig::default(),
+            );
+            sim.run().makespan
+        })
+        .print();
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

@@ -12,10 +12,15 @@ use ones_dlperf::{DatasetKind, ModelKind, PerfModel};
 
 fn main() {
     let perf = PerfModel::new(ClusterSpec::longhorn());
-    let profile = ModelKind::ResNet50.profile().for_dataset(DatasetKind::Cifar10);
+    let profile = ModelKind::ResNet50
+        .profile()
+        .for_dataset(DatasetKind::Cifar10);
 
     print_header("Figure 2 — ResNet50/CIFAR10 throughput (samples/s)");
-    println!("{:>8} {:>16} {:>18}", "workers", "fixed B=256", "elastic B=256*c");
+    println!(
+        "{:>8} {:>16} {:>18}",
+        "workers", "fixed B=256", "elastic B=256*c"
+    );
     for c in [1u32, 2, 4, 8] {
         let placement = Placement::contiguous(0, c);
         let fixed = PerfModel::split_batch(&profile, 256, &placement)

@@ -22,8 +22,10 @@ fn main() {
     };
 
     let gpu_counts = [1u32, 2, 4, 8];
-    let mut states: Vec<ConvergenceState> =
-        gpu_counts.iter().map(|_| ConvergenceState::new(model)).collect();
+    let mut states: Vec<ConvergenceState> = gpu_counts
+        .iter()
+        .map(|_| ConvergenceState::new(model))
+        .collect();
 
     print_header("Figure 3 — accuracy vs epochs, fixed local batch 256 (no LR scaling)");
     print!("{:>6}", "epoch");

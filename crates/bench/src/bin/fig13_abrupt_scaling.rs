@@ -27,13 +27,19 @@ fn main() {
     for epoch in 1..=epochs {
         if epoch == 30 {
             let destroyed = scaled.on_batch_change(4096);
-            println!("     -- abrupt jump: {destroyed:.2} reference epochs of progress destroyed --");
+            println!(
+                "     -- abrupt jump: {destroyed:.2} reference epochs of progress destroyed --"
+            );
         }
         let batch = if epoch >= 30 { 4096 } else { 256 };
         scaled.advance_epoch(batch, true);
         control.advance_epoch(256, true);
         if epoch % 3 == 0 || (29..=36).contains(&epoch) {
-            println!("{epoch:>6} {:>12.4} {:>12.4}", scaled.loss(), control.loss());
+            println!(
+                "{epoch:>6} {:>12.4} {:>12.4}",
+                scaled.loss(),
+                control.loss()
+            );
         }
     }
     println!(

@@ -21,7 +21,10 @@ fn main() {
     let mut abrupt = ConvergenceState::new(model);
 
     print_header("Figure 14 — loss under gradual scaling 256 -> 1024 -> 4096");
-    println!("{:>6} {:>8} {:>12} {:>12}", "epoch", "batch", "gradual", "abrupt-ref");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12}",
+        "epoch", "batch", "gradual", "abrupt-ref"
+    );
     let mut total_destroyed_gradual = 0.0;
     for epoch in 1..=90u32 {
         let stage_batch = match epoch {

@@ -60,11 +60,7 @@ fn main() {
 
     // (d–f) box plots.
     print_header("Figure 15d–f — box plots (q1 / median / q3 / whiskers)");
-    for (metric, pick) in [
-        ("JCT", 0usize),
-        ("execution", 1),
-        ("queueing", 2),
-    ] {
+    for (metric, pick) in [("JCT", 0usize), ("execution", 1), ("queueing", 2)] {
         println!("-- {metric} --");
         for r in &results {
             let data = match pick {
@@ -87,13 +83,11 @@ fn main() {
     }
 
     // (g–i) cumulative frequency curves on a shared grid.
-    let grid = [50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0];
+    let grid = [
+        50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0,
+    ];
     print_header("Figure 15g–i — cumulative frequency at time thresholds (s)");
-    for (metric, pick) in [
-        ("JCT", 0usize),
-        ("execution", 1),
-        ("queueing", 2),
-    ] {
+    for (metric, pick) in [("JCT", 0usize), ("execution", 1), ("queueing", 2)] {
         println!("-- {metric} --");
         print!("{:<10}", "threshold");
         for g in grid {

@@ -24,13 +24,15 @@ fn main() {
     let configs: Vec<ExperimentConfig> = sizes
         .iter()
         .flat_map(|&gpus| {
-            SchedulerKind::PAPER.iter().map(move |&scheduler| ExperimentConfig {
-                gpus,
-                trace,
-                scheduler,
-                sched_seed: 1,
-                drl_pretrain_episodes: 3,
-            })
+            SchedulerKind::PAPER
+                .iter()
+                .map(move |&scheduler| ExperimentConfig {
+                    gpus,
+                    trace,
+                    scheduler,
+                    sched_seed: 1,
+                    drl_pretrain_episodes: 3,
+                })
         })
         .collect();
     let results = run_sweep(&configs);
@@ -70,7 +72,11 @@ fn main() {
         print!(" {:>9}", format!("{g} GPUs"));
     }
     println!();
-    for s in [SchedulerKind::Drl, SchedulerKind::Tiresias, SchedulerKind::Optimus] {
+    for s in [
+        SchedulerKind::Drl,
+        SchedulerKind::Tiresias,
+        SchedulerKind::Optimus,
+    ] {
         print!("{:<12}", s.name());
         for g in sizes {
             let ones = find(g, SchedulerKind::Ones).metrics.mean_jct();

@@ -39,8 +39,7 @@ fn run_job(status: &mut JobStatus) -> (Vec<FeatureSnapshot>, u32) {
     while !conv.converged() {
         conv.advance_epoch(status.spec.submit_batch, true);
         status.epochs_done = conv.epochs_done();
-        status.samples_processed =
-            f64::from(conv.epochs_done()) * status.spec.dataset_size as f64;
+        status.samples_processed = f64::from(conv.epochs_done()) * status.spec.dataset_size as f64;
         status.current_loss = conv.loss();
         status.current_accuracy = conv.accuracy();
         log.push(FeatureSnapshot::capture(status));
@@ -62,8 +61,7 @@ fn probe_error(predictor: &ProgressPredictor, catalog: &[WorkloadTemplate], seed
             conv.advance_epoch(status.spec.submit_batch, true);
         }
         status.epochs_done = probe_epoch;
-        status.samples_processed =
-            f64::from(probe_epoch) * status.spec.dataset_size as f64;
+        status.samples_processed = f64::from(probe_epoch) * status.spec.dataset_size as f64;
         status.current_loss = conv.loss();
         status.current_accuracy = conv.accuracy();
         let predicted = predictor.predict_remaining_epochs(&status);

@@ -20,7 +20,11 @@ fn main() {
     let seed = args.get_u64("seed", 42);
     let gpus = args.get_u32("gpus", 64);
     let fractions = [0.0, 0.1, 0.2, 0.3];
-    let schedulers = [SchedulerKind::Ones, SchedulerKind::Tiresias, SchedulerKind::Drl];
+    let schedulers = [
+        SchedulerKind::Ones,
+        SchedulerKind::Tiresias,
+        SchedulerKind::Drl,
+    ];
 
     let configs: Vec<ExperimentConfig> = fractions
         .iter()
@@ -54,8 +58,7 @@ fn main() {
             let r = results
                 .iter()
                 .find(|r| {
-                    r.config.scheduler == s
-                        && (r.config.trace.kill_fraction - f).abs() < 1e-9
+                    r.config.scheduler == s && (r.config.trace.kill_fraction - f).abs() < 1e-9
                 })
                 .expect("swept");
             print!(" {:>11.1}", r.metrics.mean_jct());

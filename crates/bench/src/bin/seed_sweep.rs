@@ -21,25 +21,34 @@ fn main() {
 
     let configs: Vec<ExperimentConfig> = (0..n_seeds)
         .flat_map(|s| {
-            SchedulerKind::PAPER.iter().map(move |&scheduler| ExperimentConfig {
-                gpus,
-                trace: TraceConfig {
-                    num_jobs: jobs,
-                    arrival_rate: 1.0 / 30.0,
-                    seed: 42 + s,
-                    kill_fraction: 0.0,
-                },
-                scheduler,
-                sched_seed: 1,
-                drl_pretrain_episodes: 2,
-            })
+            SchedulerKind::PAPER
+                .iter()
+                .map(move |&scheduler| ExperimentConfig {
+                    gpus,
+                    trace: TraceConfig {
+                        num_jobs: jobs,
+                        arrival_rate: 1.0 / 30.0,
+                        seed: 42 + s,
+                        kill_fraction: 0.0,
+                    },
+                    scheduler,
+                    sched_seed: 1,
+                    drl_pretrain_episodes: 2,
+                })
         })
         .collect();
     let results = run_sweep(&configs);
 
     print_header("ONES JCT reduction vs baseline, across trace seeds");
-    println!("{:<12} {:>12} {:>10} {:>16}", "vs", "mean", "sd", "ONES always wins");
-    for base in [SchedulerKind::Drl, SchedulerKind::Tiresias, SchedulerKind::Optimus] {
+    println!(
+        "{:<12} {:>12} {:>10} {:>16}",
+        "vs", "mean", "sd", "ONES always wins"
+    );
+    for base in [
+        SchedulerKind::Drl,
+        SchedulerKind::Tiresias,
+        SchedulerKind::Optimus,
+    ] {
         let mut reductions = Vec::new();
         let mut always = true;
         for s in 0..n_seeds {

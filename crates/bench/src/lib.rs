@@ -14,8 +14,12 @@
 //! | `table4_significance` | Table 4 — Wilcoxon significance tests |
 //!
 //! Each binary accepts `--seed N`, `--jobs N` and (where applicable)
-//! `--gpus N`, and prints the same rows/series the paper plots. Criterion
-//! micro-benches for the scheduler's hot paths live under `benches/`.
+//! `--gpus N`, and prints the same rows/series the paper plots.
+//! Micro-benches for the scheduler's hot paths live under `benches/`,
+//! built on the local [`harness`] module (criterion is unavailable in
+//! this offline build — see `shims/README.md`).
+
+pub mod harness;
 
 use std::collections::BTreeMap;
 

@@ -97,7 +97,8 @@ impl Placement {
         let mut prev: Option<GpuId> = None;
         for &g in &self.gpus {
             let node = spec.node_of(g);
-            let contiguous_same_node = prev.is_some_and(|p| p.0 + 1 == g.0 && spec.node_of(p) == node);
+            let contiguous_same_node =
+                prev.is_some_and(|p| p.0 + 1 == g.0 && spec.node_of(p) == node);
             if !contiguous_same_node {
                 *runs.entry(node).or_insert(0) += 1;
             } else {

@@ -49,9 +49,9 @@ pub struct Interconnect {
 impl Default for Interconnect {
     fn default() -> Self {
         Interconnect {
-            intra_node_bw: 60.0e9,  // NVLink 2.0 effective ~60 GB/s
-            inter_node_bw: 10.0e9,  // EDR IB 100 Gb/s ≈ 12.5 GB/s raw, ~10 effective
-            intra_node_lat: 5.0e-6, // 5 µs
+            intra_node_bw: 60.0e9,   // NVLink 2.0 effective ~60 GB/s
+            inter_node_bw: 10.0e9,   // EDR IB 100 Gb/s ≈ 12.5 GB/s raw, ~10 effective
+            intra_node_lat: 5.0e-6,  // 5 µs
             inter_node_lat: 15.0e-6, // 15 µs incl. NIC traversal
         }
     }
@@ -97,7 +97,10 @@ impl ClusterSpec {
     /// Panics unless `gpus` is a positive multiple of 4.
     #[must_use]
     pub fn longhorn_subset(gpus: u32) -> Self {
-        assert!(gpus > 0 && gpus.is_multiple_of(4), "Longhorn subsets come in whole nodes");
+        assert!(
+            gpus > 0 && gpus.is_multiple_of(4),
+            "Longhorn subsets come in whole nodes"
+        );
         ClusterSpec::new(gpus / 4, 4)
     }
 

@@ -271,7 +271,8 @@ impl ConvergenceState {
     pub fn remaining_epochs_at(&self, batch: u32) -> f64 {
         let eta = self.model.efficiency(batch, true);
         let to_target = (self.model.progress_to_target() - self.progress).max(0.0) / eta;
-        let patience_left = f64::from(self.model.patience - self.consec_above_target.min(self.model.patience));
+        let patience_left =
+            f64::from(self.model.patience - self.consec_above_target.min(self.model.patience));
         to_target + patience_left
     }
 
@@ -300,8 +301,8 @@ mod tests {
     #[test]
     fn efficiency_flat_in_safe_range_then_decays() {
         let m = ConvergenceModel::example(); // B_n = 2048
-        // LR-scaled training is progress-equivalent within the safe range
-        // (the §3.3.2 assumption ONES relies on).
+                                             // LR-scaled training is progress-equivalent within the safe range
+                                             // (the §3.3.2 assumption ONES relies on).
         assert_eq!(m.efficiency(128, true), 1.0);
         assert_eq!(m.efficiency(256, true), 1.0);
         assert_eq!(m.efficiency(2048, true), 1.0);
@@ -317,7 +318,10 @@ mod tests {
         // Fixed local batch 256 on 8 GPUs -> global 2048 without LR scaling.
         let scaled = m.efficiency(2048, true);
         let unscaled = m.efficiency(2048, false);
-        assert!(unscaled < 0.5 * scaled, "scaled={scaled}, unscaled={unscaled}");
+        assert!(
+            unscaled < 0.5 * scaled,
+            "scaled={scaled}, unscaled={unscaled}"
+        );
         // No penalty below the reference batch.
         assert_eq!(m.efficiency(128, false), m.efficiency(128, true));
     }

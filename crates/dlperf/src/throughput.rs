@@ -123,7 +123,10 @@ impl PerfModel {
         let base = global_batch / c;
         let rem = global_batch % c;
         let batches: Vec<u32> = (0..c).map(|i| base + u32::from(i < rem)).collect();
-        if batches.iter().any(|&b| b == 0 || b > profile.max_local_batch) {
+        if batches
+            .iter()
+            .any(|&b| b == 0 || b > profile.max_local_batch)
+        {
             return None;
         }
         Some(batches)
@@ -149,7 +152,9 @@ mod tests {
         // ResNet50 on CIFAR10 (the paper's Figure 2 setup), fixed global
         // batch 256 split over 1..8 workers.
         let m = model();
-        let prof = ModelKind::ResNet50.profile().for_dataset(DatasetKind::Cifar10);
+        let prof = ModelKind::ResNet50
+            .profile()
+            .for_dataset(DatasetKind::Cifar10);
         let xs: Vec<f64> = [1u32, 2, 4, 8]
             .iter()
             .map(|&c| {
@@ -162,14 +167,19 @@ mod tests {
         // ring crosses the node boundary (8 workers on 4-GPU nodes).
         assert!(xs[3] < 4.0 * xs[0], "no saturation: {xs:?}");
         let peak = xs.iter().cloned().fold(0.0, f64::max);
-        assert!(xs[3] < peak, "8-worker fixed-batch should be past the peak: {xs:?}");
+        assert!(
+            xs[3] < peak,
+            "8-worker fixed-batch should be past the peak: {xs:?}"
+        );
     }
 
     #[test]
     fn figure2_elastic_batch_keeps_scaling() {
         // Elastic: batch grows 256 -> 2048 with workers 1 -> 8.
         let m = model();
-        let prof = ModelKind::ResNet50.profile().for_dataset(DatasetKind::Cifar10);
+        let prof = ModelKind::ResNet50
+            .profile()
+            .for_dataset(DatasetKind::Cifar10);
         let xs: Vec<f64> = [(1u32, 256u32), (2, 512), (4, 1024), (8, 2048)]
             .iter()
             .map(|&(c, b)| {

@@ -1,0 +1,197 @@
+//! Generation-scoped throughput memoisation.
+//!
+//! One evolution generation evaluates thousands of candidate schedules
+//! against the same frozen [`ClusterView`](ones_schedcore::ClusterView),
+//! and the candidates overlap heavily: children inherit most of their
+//! parents' per-job configurations, and the fill/scale-up search probes
+//! the same `(job, placement, batches)` triples over and over. Throughput
+//! `X_j` is a pure function of that triple for a fixed view, so a
+//! generation-scoped cache turns the repeated model evaluations into hash
+//! lookups.
+//!
+//! The cache is keyed by `(JobId, placement hash, batch hash)` — see
+//! [`ones_schedcore::Schedule::job_signature`] — and sharded behind plain
+//! mutexes so concurrent scoring under rayon never contends on a single
+//! lock. It must be created fresh per generation (the search does this
+//! internally): across generations the view's job set changes and stale
+//! entries would alias new state.
+
+use ones_workload::JobId;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key: the job plus its configuration signatures in a candidate.
+pub type CacheKey = (JobId, u64, u64);
+
+/// FNV-1a hasher for the shard tables. The key components are already
+/// FNV-mixed signatures, so a DoS-resistant SipHash buys nothing here and
+/// its per-lookup cost is visible in the scoring hot loop.
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+type Shard = HashMap<CacheKey, f64, BuildHasherDefault<FnvHasher>>;
+
+/// Number of independently locked shards. Sized well above any realistic
+/// worker count so parallel scorers rarely collide on a shard.
+const SHARDS: usize = 16;
+
+/// A sharded, thread-safe memo table for per-job throughput evaluations.
+///
+/// Hit/miss counters are relaxed atomics — they feed performance
+/// diagnostics, not control flow.
+#[derive(Debug)]
+pub struct ThroughputCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ThroughputCache {
+    fn default() -> Self {
+        ThroughputCache::new()
+    }
+}
+
+impl ThroughputCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ThroughputCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // Mix the three components so consecutive job ids spread out.
+        let mix = key.0 .0 ^ key.1.rotate_left(17) ^ key.2.rotate_left(41);
+        &self.shards[(mix as usize) % SHARDS]
+    }
+
+    /// Returns the cached throughput for `key`, computing and storing it
+    /// via `compute` on a miss. `compute` runs outside the shard lock, so
+    /// an expensive model evaluation never blocks other shard users (two
+    /// threads may race to compute the same key; both get the same pure
+    /// result and the insert is idempotent).
+    pub fn get_or_insert_with(&self, key: CacheKey, compute: impl FnOnce() -> f64) -> f64 {
+        let shard = self.shard(&key);
+        if let Some(&v) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let v = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().expect("cache shard poisoned").insert(key, v);
+        v
+    }
+
+    /// Lookups answered from the table.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to the model.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct configurations stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_once_per_key() {
+        let cache = ThroughputCache::new();
+        let mut calls = 0;
+        for _ in 0..5 {
+            let v = cache.get_or_insert_with((JobId(1), 10, 20), || {
+                calls += 1;
+                42.5
+            });
+            assert_eq!(v, 42.5);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_independent() {
+        let cache = ThroughputCache::new();
+        assert!(cache.is_empty());
+        for i in 0..100u64 {
+            let v = cache.get_or_insert_with((JobId(i % 3), i, i * 7), || i as f64);
+            assert_eq!(v, i as f64);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.misses(), 100);
+        assert_eq!(cache.hits(), 0);
+        // Re-query every key: all hits, values unchanged.
+        for i in 0..100u64 {
+            let v = cache.get_or_insert_with((JobId(i % 3), i, i * 7), || f64::NAN);
+            assert_eq!(v, i as f64);
+        }
+        assert_eq!(cache.hits(), 100);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = ThroughputCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let v = cache.get_or_insert_with((JobId(i), i, 0), || i as f64);
+                        assert_eq!(v, i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 50);
+        assert_eq!(cache.hits() + cache.misses(), 200);
+    }
+}

@@ -1,5 +1,6 @@
 //! Evolution context: the live state a generation is evaluated against.
 
+use crate::cache::ThroughputCache;
 use ones_cluster::GpuId;
 use ones_dlperf::ModelProfile;
 use ones_schedcore::{ClusterView, JobStatus, Schedule};
@@ -14,6 +15,7 @@ use std::collections::BTreeMap;
 pub const MIN_PROCESSED_EPOCHS: f64 = 0.1;
 
 /// Everything one evolution generation needs, borrowed from the scheduler.
+#[derive(Clone, Copy)]
 pub struct EvoContext<'a> {
     /// Live cluster snapshot (telemetry, deployed schedule, perf model).
     pub view: &'a ClusterView<'a>,
@@ -22,6 +24,38 @@ pub struct EvoContext<'a> {
     pub limits: &'a BTreeMap<JobId, u32>,
     /// Per-job Beta progress predictions (Eq 6).
     pub betas: &'a BTreeMap<JobId, Beta>,
+    /// Optional throughput memo table consulted by
+    /// [`EvoContext::throughput_in`]. The memoised value is exact for a
+    /// fixed view, so results are identical with or without it; the
+    /// search installs a fresh cache per generation (see
+    /// [`crate::cache`]).
+    pub cache: Option<&'a ThroughputCache>,
+}
+
+impl<'a> EvoContext<'a> {
+    /// An uncached context over borrowed scheduler state.
+    #[must_use]
+    pub fn new(
+        view: &'a ClusterView<'a>,
+        limits: &'a BTreeMap<JobId, u32>,
+        betas: &'a BTreeMap<JobId, Beta>,
+    ) -> Self {
+        EvoContext {
+            view,
+            limits,
+            betas,
+            cache: None,
+        }
+    }
+
+    /// The same context with throughput lookups memoised in `cache`.
+    #[must_use]
+    pub fn with_cache(&self, cache: &'a ThroughputCache) -> Self {
+        EvoContext {
+            cache: Some(cache),
+            ..*self
+        }
+    }
 }
 
 impl EvoContext<'_> {
@@ -49,12 +83,10 @@ impl EvoContext<'_> {
     /// the policy layer has not registered one.
     #[must_use]
     pub fn limit(&self, job: JobId) -> u32 {
-        self.limits.get(&job).copied().unwrap_or_else(|| {
-            self.view
-                .jobs
-                .get(&job)
-                .map_or(1, |j| j.spec.submit_batch)
-        })
+        self.limits
+            .get(&job)
+            .copied()
+            .unwrap_or_else(|| self.view.jobs.get(&job).map_or(1, |j| j.spec.submit_batch))
     }
 
     /// Model/dataset profile of a job.
@@ -78,15 +110,29 @@ impl EvoContext<'_> {
 
     /// Throughput `X_j` of a job under a candidate schedule, samples/s.
     /// Zero if the job is not placed.
+    ///
+    /// When a [`ThroughputCache`] is installed the model is evaluated at
+    /// most once per distinct `(job, placement, batches)` configuration;
+    /// the cached value is the model's own output, so caching never
+    /// changes a score.
     #[must_use]
     pub fn throughput_in(&self, schedule: &Schedule, job: JobId) -> f64 {
         let placement = schedule.placement(job);
         if placement.is_empty() {
             return 0.0;
         }
-        let profile = self.profile(job);
-        let batches = schedule.local_batches(job);
-        self.view.perf.throughput(&profile, &batches, &placement)
+        let compute = || {
+            let profile = self.profile(job);
+            let batches = schedule.local_batches(job);
+            self.view.perf.throughput(&profile, &batches, &placement)
+        };
+        match self.cache {
+            Some(cache) => {
+                let (p, b) = schedule.job_signature(job);
+                cache.get_or_insert_with((job, p, b), compute)
+            }
+            None => compute(),
+        }
     }
 
     /// Processed samples with the fresh-job floor applied.
@@ -113,10 +159,7 @@ impl EvoContext<'_> {
         }
         let profile = self.profile(job);
         let c = gpus.len() as u32;
-        let target = self
-            .limit(job)
-            .min(profile.max_local_batch * c)
-            .max(c); // at least one sample per worker
+        let target = self.limit(job).min(profile.max_local_batch * c).max(c); // at least one sample per worker
         let base = target / c;
         let rem = target % c;
         for (i, &g) in gpus.iter().enumerate() {
@@ -196,7 +239,10 @@ pub(crate) mod testutil {
                         ..ConvergenceModel::example()
                     },
                 };
-                jobs.insert(JobId(i), JobStatus::submitted(js, SimTime::from_secs(i as f64)));
+                jobs.insert(
+                    JobId(i),
+                    JobStatus::submitted(js, SimTime::from_secs(i as f64)),
+                );
                 limits.insert(JobId(i), 256);
                 betas.insert(JobId(i), Beta::new(2.0, 20.0));
             }
@@ -234,11 +280,7 @@ pub(crate) mod testutil {
 
     /// Borrows an `EvoContext` from a fixture and a view.
     pub fn ctx<'a>(fx: &'a Fixture, view: &'a ClusterView<'a>) -> EvoContext<'a> {
-        EvoContext {
-            view,
-            limits: &fx.limits,
-            betas: &fx.betas,
-        }
+        EvoContext::new(view, &fx.limits, &fx.betas)
     }
 }
 
@@ -327,6 +369,31 @@ mod tests {
         let c = ctx(&fx, &view);
         let s = Schedule::empty(8);
         assert_eq!(c.throughput_in(&s, JobId(0)), 0.0);
+    }
+
+    #[test]
+    fn cached_throughput_matches_uncached() {
+        let mut fx = Fixture::new(2);
+        fx.start_job(0, 3);
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let cache = crate::cache::ThroughputCache::new();
+        let cached = c.with_cache(&cache);
+        let mut s = Schedule::empty(8);
+        s.assign(GpuId(0), JobId(0), 128);
+        s.assign(GpuId(1), JobId(0), 128);
+        s.assign(GpuId(4), JobId(1), 64);
+        for job in [JobId(0), JobId(1)] {
+            let plain = c.throughput_in(&s, job);
+            assert!(plain > 0.0);
+            assert_eq!(cached.throughput_in(&s, job), plain); // miss: computes
+            assert_eq!(cached.throughput_in(&s, job), plain); // hit: memoised
+        }
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
+        // Unplaced jobs bypass the cache entirely.
+        assert_eq!(cached.throughput_in(&Schedule::empty(8), JobId(0)), 0.0);
+        assert_eq!(cache.misses() + cache.hits(), 4);
     }
 
     #[test]

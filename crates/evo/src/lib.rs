@@ -22,12 +22,23 @@
 //!
 //! Candidate scoring inside a generation is embarrassingly parallel and
 //! uses rayon when the population is large.
+//!
+//! Two transparent accelerations ride along (see [`cache`] and the
+//! determinism notes in [`search`]): a per-generation [`ThroughputCache`]
+//! memoising the pure `(job, placement, batches) → X_j` evaluations, and
+//! parallel candidate derivation on per-child forked RNG streams. Both
+//! are exact — `S_*` selection is bit-identical with them on or off —
+//! and both are observable through [`EvoPerfCounters`].
 
+pub mod cache;
 pub mod context;
 pub mod ops;
+pub mod perfcounters;
 pub mod scoring;
 pub mod search;
 
+pub use cache::ThroughputCache;
 pub use context::EvoContext;
-pub use scoring::{score_schedule, sample_rhos};
+pub use perfcounters::EvoPerfCounters;
+pub use scoring::{sample_rhos, score_schedule};
 pub use search::{EvoConfig, EvolutionarySearch};

@@ -158,8 +158,7 @@ fn fill(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng, allow_scale_up
                 continue;
             }
             let Some(&rho) = rhos.get(&job) else { continue };
-            let max_extra =
-                ((limit * gpus / batch).saturating_sub(gpus) as usize).min(idle.len());
+            let max_extra = ((limit * gpus / batch).saturating_sub(gpus) as usize).min(idle.len());
             if max_extra == 0 {
                 continue;
             }
@@ -236,12 +235,7 @@ pub fn crossover(a: &Schedule, b: &Schedule, rng: &mut DetRng) -> (Schedule, Sch
 /// Uniform mutation (Figure 9): preempts each running job with probability
 /// `rate` and refills the freed GPUs.
 #[must_use]
-pub fn mutate(
-    ctx: &EvoContext<'_>,
-    candidate: &Schedule,
-    rate: f64,
-    rng: &mut DetRng,
-) -> Schedule {
+pub fn mutate(ctx: &EvoContext<'_>, candidate: &Schedule, rate: f64, rng: &mut DetRng) -> Schedule {
     assert!((0.0..=1.0).contains(&rate), "mutation rate out of range");
     let mut s = candidate.clone();
     for job in candidate.running_jobs().keys() {

@@ -1,0 +1,74 @@
+//! Lightweight performance counters for the evolutionary hot loop.
+//!
+//! The search accumulates these across generations: how much work each
+//! phase did (refresh / derive+legalise / score+select wall time), how
+//! many candidates were scored, and how the generation-scoped
+//! [`ThroughputCache`](crate::cache::ThroughputCache) performed. They are
+//! diagnostics only — wall times come from [`std::time::Instant`] and are
+//! excluded from any determinism guarantee.
+
+/// Counters accumulated by
+/// [`EvolutionarySearch`](crate::search::EvolutionarySearch) across every
+/// generation it has run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvoPerfCounters {
+    /// Generations evolved.
+    pub generations: u64,
+    /// Candidates scored by the selection phase (pool sizes, summed).
+    pub candidates_scored: u64,
+    /// Throughput-cache lookups answered from the table.
+    pub cache_hits: u64,
+    /// Throughput-cache lookups that evaluated the model.
+    pub cache_misses: u64,
+    /// Wall time in the refresh phase, nanoseconds.
+    pub refresh_nanos: u64,
+    /// Wall time deriving and legalising children, nanoseconds.
+    pub derive_nanos: u64,
+    /// Wall time in ρ-sampling, scoring and selection, nanoseconds.
+    pub score_nanos: u64,
+}
+
+impl EvoPerfCounters {
+    /// Fraction of throughput lookups served by the cache, in [0, 1]
+    /// (zero when the cache never ran).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total measured wall time across the three phases, nanoseconds.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.refresh_nanos + self.derive_nanos + self.score_nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut c = EvoPerfCounters::default();
+        assert_eq!(c.cache_hit_rate(), 0.0);
+        c.cache_hits = 3;
+        c.cache_misses = 1;
+        assert!((c.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        let c = EvoPerfCounters {
+            refresh_nanos: 1,
+            derive_nanos: 2,
+            score_nanos: 4,
+            ..EvoPerfCounters::default()
+        };
+        assert_eq!(c.total_nanos(), 7);
+    }
+}

@@ -17,6 +17,13 @@ use std::collections::BTreeMap;
 /// dominate every score in the generation.
 pub const MIN_RHO: f64 = 0.005;
 
+/// Utilisation multiplier charged to a placed job whose modelled
+/// throughput is zero (e.g. a degenerate placement the perf model cannot
+/// serve). Such a job would never finish, so its candidate must lose to
+/// any candidate that makes progress — but the penalty stays finite so
+/// scores remain totally ordered and comparable.
+pub const ZERO_THROUGHPUT_PENALTY: f64 = 1.0e9;
+
 /// Draws one completion-fraction sample per job (Algorithm 1 lines 1–3).
 #[must_use]
 pub fn sample_rhos(ctx: &EvoContext<'_>, rng: &mut DetRng) -> BTreeMap<JobId, f64> {
@@ -40,41 +47,89 @@ pub fn score_schedule(
     schedule: &Schedule,
     rhos: &BTreeMap<JobId, f64>,
 ) -> f64 {
-    let mut total = 0.0;
-    for (job, (_batch, gpus)) in schedule.running_jobs() {
-        let Some(&rho) = rhos.get(&job) else {
-            continue;
-        };
-        let x = ctx.throughput_in(schedule, job);
-        if x <= 0.0 {
-            continue;
+    match ctx.cache {
+        Some(cache) => {
+            // Cached path: gather every job's configuration signature in
+            // ONE pass over the slots, then resolve throughputs by hash
+            // lookup. Without the single-pass gather each lookup would
+            // recompute an O(gpus) signature and the cache could never
+            // beat the model evaluation it replaces.
+            let mut total = 0.0;
+            for (job, sig) in schedule.job_signatures() {
+                let Some(&rho) = rhos.get(&job) else {
+                    continue;
+                };
+                let x = cache.get_or_insert_with((job, sig.placement, sig.batches), || {
+                    let profile = ctx.profile(job);
+                    let batches = schedule.local_batches(job);
+                    let placement = schedule.placement(job);
+                    ctx.view.perf.throughput(&profile, &batches, &placement)
+                });
+                total += score_term(ctx, job, rho, sig.gpus, x);
+            }
+            total
         }
-        let remaining = ctx.remaining_workload(job, rho);
-        total += remaining * f64::from(gpus) / x;
+        None => {
+            let mut total = 0.0;
+            for (job, (_batch, gpus)) in schedule.running_jobs() {
+                let Some(&rho) = rhos.get(&job) else {
+                    continue;
+                };
+                let x = ctx.throughput_in(schedule, job);
+                total += score_term(ctx, job, rho, gpus, x);
+            }
+            total
+        }
     }
-    total
+}
+
+/// One job's Eq 8 contribution: `Y_j · c_j / X_j`, or the
+/// [`ZERO_THROUGHPUT_PENALTY`] charge when the job makes no progress.
+fn score_term(ctx: &EvoContext<'_>, job: JobId, rho: f64, gpus: u32, x: f64) -> f64 {
+    let remaining = ctx.remaining_workload(job, rho);
+    if x <= 0.0 {
+        // A placed job that makes no progress pins its GPUs forever;
+        // charge it as if each held GPU-sample cost PENALTY seconds
+        // instead of silently dropping the term (which would *reward*
+        // throughput-starving placements).
+        remaining * f64::from(gpus) * ZERO_THROUGHPUT_PENALTY
+    } else {
+        remaining * f64::from(gpus) / x
+    }
 }
 
 /// Algorithm 1: scores every candidate against one shared ρ-sample and
 /// returns the index of the best (smallest-score) candidate.
 ///
+/// Ties break to the lowest index, so a deterministic candidate order
+/// yields a deterministic selection. NaN scores never panic and never
+/// win: [`argmin`] ranks them after every real score.
+///
 /// # Panics
 /// Panics if `candidates` is empty.
 #[must_use]
-pub fn select_best(
-    ctx: &EvoContext<'_>,
-    candidates: &[Schedule],
-    rng: &mut DetRng,
-) -> usize {
+pub fn select_best(ctx: &EvoContext<'_>, candidates: &[Schedule], rng: &mut DetRng) -> usize {
     assert!(!candidates.is_empty(), "Algorithm 1 needs candidates");
     let rhos = sample_rhos(ctx, rng);
     let scores = score_all(ctx, candidates, &rhos);
-    scores
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("scores are finite"))
-        .map(|(i, _)| i)
-        .expect("non-empty candidates")
+    argmin(&scores).expect("non-empty candidates")
+}
+
+/// Index of the smallest score under [`f64::total_cmp`], first of equal
+/// minima. `total_cmp` orders every NaN above (for the NaN bit patterns
+/// produced by arithmetic) every finite value, so a NaN score loses to
+/// any real score instead of poisoning the comparison.
+#[must_use]
+pub fn argmin(scores: &[f64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, s) in scores.iter().enumerate() {
+        match best {
+            None => best = Some(i),
+            Some(b) if s.total_cmp(&scores[b]) == std::cmp::Ordering::Less => best = Some(i),
+            Some(_) => {}
+        }
+    }
+    best
 }
 
 /// Scores all candidates with a shared ρ-sample, in parallel for large
@@ -136,8 +191,10 @@ mod tests {
         let mut fx = Fixture::new(2);
         fx.start_job(0, 30);
         fx.start_job(1, 30);
-        fx.betas.insert(ones_workload::JobId(0), ones_stats::Beta::new(30.0, 1.0)); // almost done
-        fx.betas.insert(ones_workload::JobId(1), ones_stats::Beta::new(1.0, 30.0)); // barely started
+        fx.betas
+            .insert(ones_workload::JobId(0), ones_stats::Beta::new(30.0, 1.0)); // almost done
+        fx.betas
+            .insert(ones_workload::JobId(1), ones_stats::Beta::new(1.0, 30.0)); // barely started
         let view = fx.view();
         let c = ctx(&fx, &view);
         let mut rng = DetRng::seed(3);
@@ -159,8 +216,10 @@ mod tests {
         let mut fx = Fixture::new(2);
         fx.start_job(0, 30);
         fx.start_job(1, 30);
-        fx.betas.insert(ones_workload::JobId(0), ones_stats::Beta::new(50.0, 1.0));
-        fx.betas.insert(ones_workload::JobId(1), ones_stats::Beta::new(1.0, 50.0));
+        fx.betas
+            .insert(ones_workload::JobId(0), ones_stats::Beta::new(50.0, 1.0));
+        fx.betas
+            .insert(ones_workload::JobId(1), ones_stats::Beta::new(1.0, 50.0));
         let view = fx.view();
         let c = ctx(&fx, &view);
 
@@ -206,6 +265,92 @@ mod tests {
             s8 > s1,
             "8 GPUs at fixed batch should waste utilisation: s1={s1}, s8={s8}"
         );
+    }
+
+    #[test]
+    fn argmin_ranks_nan_last_and_breaks_ties_low() {
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[f64::NAN]), Some(0));
+        assert_eq!(argmin(&[f64::NAN, 1.0, 0.5]), Some(2));
+        assert_eq!(argmin(&[f64::INFINITY, f64::NAN]), Some(0));
+        // First of equal minima wins.
+        assert_eq!(argmin(&[2.0, 1.0, 1.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[0.0, 0.0, 0.0]), Some(0));
+    }
+
+    #[test]
+    fn identical_candidates_tie_to_lowest_index() {
+        let mut fx = Fixture::new(2);
+        fx.start_job(0, 10);
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut s = Schedule::empty(8);
+        s.assign(GpuId(0), ones_workload::JobId(0), 256);
+        let clones = vec![s.clone(), s.clone(), s.clone(), s];
+        for seed in 0..10 {
+            let mut rng = DetRng::seed(seed);
+            assert_eq!(select_best(&c, &clones, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn nan_throughput_candidate_loses_without_panicking() {
+        // Regression: selection used to unwrap partial_cmp and panicked
+        // the scheduler on any NaN score. Inject a NaN throughput via the
+        // memo table (the perf model never returns NaN for legal input).
+        let mut fx = Fixture::new(2);
+        fx.start_job(0, 5);
+        fx.start_job(1, 5);
+        let view = fx.view();
+        let cache = crate::cache::ThroughputCache::new();
+        let c = ctx(&fx, &view).with_cache(&cache);
+
+        let mut healthy = Schedule::empty(8);
+        healthy.assign(GpuId(0), ones_workload::JobId(0), 256);
+        let mut poisoned = Schedule::empty(8);
+        poisoned.assign(GpuId(0), ones_workload::JobId(1), 256);
+        let (p, b) = poisoned.job_signature(ones_workload::JobId(1));
+        cache.get_or_insert_with((ones_workload::JobId(1), p, b), || f64::NAN);
+
+        for seed in 0..10 {
+            let mut rng = DetRng::seed(seed);
+            assert_eq!(
+                select_best(&c, &[poisoned.clone(), healthy.clone()], &mut rng),
+                1,
+                "NaN-scored candidate must lose"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_throughput_candidates_lose() {
+        // A placed job with zero modelled throughput used to contribute
+        // nothing to its candidate's score, making GPU-wasting placements
+        // look cheap. The penalty must make such candidates lose.
+        let mut fx = Fixture::new(2);
+        fx.start_job(0, 5);
+        fx.start_job(1, 5);
+        let view = fx.view();
+        let cache = crate::cache::ThroughputCache::new();
+        let c = ctx(&fx, &view).with_cache(&cache);
+
+        let mut healthy = Schedule::empty(8);
+        healthy.assign(GpuId(0), ones_workload::JobId(0), 256);
+        let mut starved = Schedule::empty(8);
+        starved.assign(GpuId(0), ones_workload::JobId(1), 256);
+        let (p, b) = starved.job_signature(ones_workload::JobId(1));
+        cache.get_or_insert_with((ones_workload::JobId(1), p, b), || 0.0);
+
+        let mut rng = DetRng::seed(4);
+        let rhos = sample_rhos(&c, &mut rng);
+        let s_healthy = score_schedule(&c, &healthy, &rhos);
+        let s_starved = score_schedule(&c, &starved, &rhos);
+        assert!(s_starved.is_finite(), "penalty must keep scores finite");
+        assert!(
+            s_starved > s_healthy * 1.0e6,
+            "starved candidate must be crushed: {s_starved} vs {s_healthy}"
+        );
+        assert_eq!(argmin(&[s_starved, s_healthy]), Some(1));
     }
 
     #[test]

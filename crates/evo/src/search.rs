@@ -6,13 +6,40 @@
 //! invocations, which is what makes the search *online*: every new event
 //! (arrival, epoch end, completion) evolves the existing population against
 //! fresh telemetry instead of re-planning from scratch.
+//!
+//! # Determinism under parallelism
+//!
+//! Candidate derivation is embarrassingly parallel, but a shared mutable
+//! RNG would make parallel results order-dependent. Instead every
+//! generation derives a *base* stream `rng.fork_idx("gen", generation)`
+//! and every unit of work gets its own child stream split from it by a
+//! fixed label and index:
+//!
+//! | work unit                 | stream                               |
+//! |---------------------------|--------------------------------------|
+//! | refresh of member *i*     | `base.fork_idx("refresh", i)`        |
+//! | crossover of pair *p*     | `base.fork_idx("cross", p)`          |
+//! | parent selection          | `base.fork("select")` (sequential)   |
+//! | mutation of mutant *m*    | `base.fork_idx("mutate", m)`         |
+//! | legalise of child *k*     | `base.fork_idx("legalise", k)`       |
+//! | selection ρ-sample        | `base.fork("rhos")`                  |
+//!
+//! Children are indexed in a fixed documented order: the two crossover
+//! children of pair *p* are `2p` and `2p+1`, mutant *m* is
+//! `2·crossover_pairs + m`. Because no stream is shared, executing the
+//! work sequentially or across threads is bit-identical — verified by
+//! `parallel_matches_sequential` below and the property tests in
+//! `tests/determinism_props.rs`.
 
+use crate::cache::ThroughputCache;
 use crate::context::EvoContext;
 use crate::ops;
+use crate::perfcounters::EvoPerfCounters;
 use crate::scoring;
 use ones_schedcore::Schedule;
 use ones_simcore::DetRng;
 use ones_workload::JobId;
+use std::time::Instant;
 
 /// Evolutionary search tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +55,12 @@ pub struct EvoConfig {
     /// Apply the *reorder* operation (Figure 10) to derived candidates.
     /// Disabled only by the ablation harness.
     pub reorder: bool,
+    /// Derive candidates across threads (see the module docs on
+    /// determinism; results are bit-identical either way).
+    pub parallel_derive: bool,
+    /// Memoise throughput evaluations in a fresh per-generation
+    /// [`ThroughputCache`]. Exact — scores are unchanged.
+    pub use_cache: bool,
 }
 
 impl EvoConfig {
@@ -39,7 +72,39 @@ impl EvoConfig {
             mutation_rate: 0.2,
             crossover_pairs: gpus as usize,
             reorder: true,
+            parallel_derive: true,
+            use_cache: true,
         }
+    }
+}
+
+/// Maps `f` over `items`, across threads when `parallel` (order is
+/// preserved either way, and `f` draws no shared state, so the results
+/// are identical).
+fn map_maybe_parallel<T, U, F>(parallel: bool, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if parallel {
+        use rayon::prelude::*;
+        items.par_iter().map(f).collect()
+    } else {
+        items.iter().map(f).collect()
+    }
+}
+
+/// Legalises a derived candidate: cap batches at `R_j`, fill idle GPUs
+/// so the Eq 4 full-utilisation constraint holds, and optionally reorder
+/// for locality (Figure 10).
+fn legalise(ctx: &EvoContext<'_>, mut child: Schedule, mut rng: DetRng, reorder: bool) -> Schedule {
+    ctx.enforce_limits(&mut child);
+    ops::fill_idle(ctx, &mut child, &mut rng);
+    if reorder {
+        child.reordered()
+    } else {
+        child
     }
 }
 
@@ -50,6 +115,7 @@ pub struct EvolutionarySearch {
     population: Vec<Schedule>,
     rng: DetRng,
     generations: u64,
+    counters: EvoPerfCounters,
 }
 
 impl EvolutionarySearch {
@@ -63,6 +129,7 @@ impl EvolutionarySearch {
             population: Vec::new(),
             rng,
             generations: 0,
+            counters: EvoPerfCounters::default(),
         }
     }
 
@@ -78,9 +145,17 @@ impl EvolutionarySearch {
         &self.population
     }
 
+    /// Performance counters accumulated across all generations.
+    #[must_use]
+    pub fn perf_counters(&self) -> EvoPerfCounters {
+        self.counters
+    }
+
     /// Runs one generation and returns the best candidate `S_*`.
     ///
-    /// With no schedulable jobs this returns the empty schedule.
+    /// With no schedulable jobs this returns the empty schedule. See the
+    /// module docs for the per-phase RNG stream layout that makes the
+    /// parallel and sequential paths bit-identical.
     pub fn generation(&mut self, ctx: &EvoContext<'_>) -> Schedule {
         let gpus = ctx.view.spec.total_gpus();
         if ctx.schedulable().is_empty() {
@@ -88,52 +163,120 @@ impl EvolutionarySearch {
             return Schedule::empty(gpus);
         }
         self.generations += 1;
+        self.counters.generations += 1;
+
+        // Generation-scoped throughput memoisation: the view is frozen for
+        // the duration of this call, so every (job, placement, batches)
+        // evaluation is pure and cacheable. A caller-installed cache is
+        // kept when ours is disabled.
+        let cache = ThroughputCache::new();
+        let gctx = if self.config.use_cache {
+            ctx.with_cache(&cache)
+        } else {
+            *ctx
+        };
+
+        // Base stream for this generation; every work unit below forks its
+        // own child stream, so no RNG state is shared across units.
+        let base = self.rng.fork_idx("gen", self.generations);
+        let parallel = self.config.parallel_derive;
+
         if self.population.is_empty() {
-            self.initialize(ctx);
+            self.initialize(&gctx);
         }
 
         // Refresh every member against live state (this is also where new
         // arrivals enter every candidate).
-        let refreshed: Vec<Schedule> = self
-            .population
-            .iter()
-            .map(|s| ops::refresh(ctx, s, &mut self.rng))
-            .collect();
+        let t_refresh = Instant::now();
+        let member_idx: Vec<usize> = (0..self.population.len()).collect();
+        let population = &self.population;
+        let refreshed: Vec<Schedule> = map_maybe_parallel(parallel, &member_idx, |&i| {
+            ops::refresh(
+                &gctx,
+                &population[i],
+                &mut base.fork_idx("refresh", i as u64),
+            )
+        });
+        self.counters.refresh_nanos += t_refresh.elapsed().as_nanos() as u64;
 
         // Derive children: K crossover pairs -> 2K children, K mutants.
-        let mut children: Vec<Schedule> = Vec::with_capacity(self.config.crossover_pairs * 3);
-        for _ in 0..self.config.crossover_pairs {
-            let a = &refreshed[self.rng.index(refreshed.len())];
-            let b = &refreshed[self.rng.index(refreshed.len())];
-            let (c1, c2) = ops::crossover(a, b, &mut self.rng);
-            children.push(c1);
-            children.push(c2);
-        }
-        for _ in 0..self.config.population {
-            let parent = &refreshed[self.rng.index(refreshed.len())];
-            children.push(ops::mutate(ctx, parent, self.config.mutation_rate, &mut self.rng));
-        }
+        // Parent picks draw from one sequential stream (cheap) so the
+        // expensive derivation below is free of shared state. Every child
+        // is legalised in the same task: cap batches at R_j, fill idle
+        // GPUs so the Eq 4 full-utilisation constraint holds (a child
+        // that merely dropped a job would otherwise score better by
+        // having fewer SRUF terms), and reorder for locality (Figure 10).
+        let t_derive = Instant::now();
+        let mut select = base.fork("select");
+        let pairs: Vec<(usize, usize)> = (0..self.config.crossover_pairs)
+            .map(|_| (select.index(refreshed.len()), select.index(refreshed.len())))
+            .collect();
+        let parents: Vec<usize> = (0..self.config.population)
+            .map(|_| select.index(refreshed.len()))
+            .collect();
+        let reorder = self.config.reorder;
+        let mutation_rate = self.config.mutation_rate;
+        let crossover_pairs = self.config.crossover_pairs;
 
-        // Legalise every candidate: cap batches at R_j, fill idle GPUs so
-        // the Eq 4 full-utilisation constraint holds (a child that merely
-        // dropped a job would otherwise score better by having fewer SRUF
-        // terms), and reorder for locality (Figure 10).
-        let mut pool: Vec<Schedule> = refreshed;
-        for mut c in children {
-            ctx.enforce_limits(&mut c);
-            ops::fill_idle(ctx, &mut c, &mut self.rng);
-            pool.push(if self.config.reorder { c.reordered() } else { c });
-        }
-
-        // Selection: Algorithm 1 sampling, keep the K best.
-        let rhos = scoring::sample_rhos(ctx, &mut self.rng);
-        let scores = scoring::score_all(ctx, &pool, &rhos);
-        let mut order: Vec<usize> = (0..pool.len()).collect();
-        order.sort_by(|&a, &b| {
-            scores[a]
-                .partial_cmp(&scores[b])
-                .expect("scores are finite")
+        let pair_idx: Vec<usize> = (0..pairs.len()).collect();
+        let crossed: Vec<(Schedule, Schedule)> = map_maybe_parallel(parallel, &pair_idx, |&p| {
+            let (ai, bi) = pairs[p];
+            let (c1, c2) = ops::crossover(
+                &refreshed[ai],
+                &refreshed[bi],
+                &mut base.fork_idx("cross", p as u64),
+            );
+            (
+                legalise(&gctx, c1, base.fork_idx("legalise", 2 * p as u64), reorder),
+                legalise(
+                    &gctx,
+                    c2,
+                    base.fork_idx("legalise", 2 * p as u64 + 1),
+                    reorder,
+                ),
+            )
         });
+        let mutant_idx: Vec<usize> = (0..parents.len()).collect();
+        let mutants: Vec<Schedule> = map_maybe_parallel(parallel, &mutant_idx, |&m| {
+            let child = ops::mutate(
+                &gctx,
+                &refreshed[parents[m]],
+                mutation_rate,
+                &mut base.fork_idx("mutate", m as u64),
+            );
+            legalise(
+                &gctx,
+                child,
+                base.fork_idx("legalise", (2 * crossover_pairs + m) as u64),
+                reorder,
+            )
+        });
+        self.counters.derive_nanos += t_derive.elapsed().as_nanos() as u64;
+
+        // Pool in the documented order: survivors, crossover children
+        // (pair-major), mutants.
+        let mut pool: Vec<Schedule> = refreshed;
+        for (c1, c2) in crossed {
+            pool.push(c1);
+            pool.push(c2);
+        }
+        pool.extend(mutants);
+
+        // Selection: Algorithm 1 sampling, keep the K best. The sort is
+        // stable under total_cmp, so equal scores keep pool order and the
+        // lowest-index candidate wins ties deterministically; NaN scores
+        // sort last instead of panicking.
+        let t_score = Instant::now();
+        let rhos = scoring::sample_rhos(&gctx, &mut base.fork("rhos"));
+        let scores = scoring::score_all(&gctx, &pool, &rhos);
+        self.counters.candidates_scored += pool.len() as u64;
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+        self.counters.score_nanos += t_score.elapsed().as_nanos() as u64;
+        if self.config.use_cache {
+            self.counters.cache_hits += cache.hits();
+            self.counters.cache_misses += cache.misses();
+        }
         let best = pool[order[0]].clone();
         self.population = order
             .into_iter()
@@ -153,10 +296,7 @@ impl EvolutionarySearch {
                 let mut s = Schedule::empty(gpus);
                 for g in ctx.view.spec.all_gpus() {
                     let job = jobs[self.rng.index(jobs.len())];
-                    let b = ctx
-                        .limit(job)
-                        .min(ctx.profile(job).max_local_batch)
-                        .max(1);
+                    let b = ctx.limit(job).min(ctx.profile(job).max_local_batch).max(1);
                     s.assign(g, job, b);
                 }
                 ctx.enforce_limits(&mut s);
@@ -290,6 +430,60 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(s1.generation(&c), s2.generation(&c));
         }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut fx = Fixture::new(5);
+        for i in 0..5 {
+            fx.start_job(i, i as u32 + 1);
+        }
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut seq_cfg = EvoConfig::for_cluster(8);
+        seq_cfg.parallel_derive = false;
+        let mut par_cfg = EvoConfig::for_cluster(8);
+        par_cfg.parallel_derive = true;
+        let mut seq = EvolutionarySearch::new(seq_cfg, DetRng::seed(17));
+        let mut par = EvolutionarySearch::new(par_cfg, DetRng::seed(17));
+        for g in 0..4 {
+            assert_eq!(
+                seq.generation(&c),
+                par.generation(&c),
+                "S_* diverged at generation {g}"
+            );
+            assert_eq!(seq.population(), par.population());
+        }
+    }
+
+    #[test]
+    fn cache_and_parallel_do_not_change_selection() {
+        let mut fx = Fixture::new(6);
+        for i in 0..6 {
+            fx.start_job(i, (i * 3) as u32 + 1);
+        }
+        let view = fx.view();
+        let c = ctx(&fx, &view);
+        let mut plain_cfg = EvoConfig::for_cluster(8);
+        plain_cfg.parallel_derive = false;
+        plain_cfg.use_cache = false;
+        let full_cfg = EvoConfig::for_cluster(8);
+        assert!(full_cfg.parallel_derive && full_cfg.use_cache);
+        let mut plain = EvolutionarySearch::new(plain_cfg, DetRng::seed(23));
+        let mut full = EvolutionarySearch::new(full_cfg, DetRng::seed(23));
+        for g in 0..4 {
+            assert_eq!(
+                plain.generation(&c),
+                full.generation(&c),
+                "S_* diverged at generation {g}"
+            );
+            assert_eq!(plain.population(), full.population());
+        }
+        let counters = full.perf_counters();
+        assert_eq!(counters.generations, 4);
+        assert!(counters.candidates_scored > 0);
+        assert!(counters.cache_hits > 0, "cache never hit");
+        assert_eq!(plain.perf_counters().cache_hits, 0);
     }
 
     use ones_simcore::DetRng;

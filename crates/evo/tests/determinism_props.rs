@@ -1,0 +1,175 @@
+//! Property-based determinism tests for the hot-loop accelerations:
+//! the generation-scoped throughput cache and parallel candidate
+//! derivation are pure optimisations, so for *any* live state and seed
+//! they must leave scores and selected schedules bit-identical.
+
+use ones_cluster::{ClusterSpec, GpuId};
+use ones_dlperf::{ConvergenceModel, DatasetKind, ModelKind, PerfModel};
+use ones_evo::{sample_rhos, EvoConfig, EvoContext, EvolutionarySearch, ThroughputCache};
+use ones_schedcore::{ClusterView, JobPhase, JobStatus, Schedule};
+use ones_simcore::{DetRng, SimTime};
+use ones_stats::Beta;
+use ones_workload::{JobId, JobSpec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const GPUS: u32 = 8;
+
+struct Fixture {
+    spec: ClusterSpec,
+    perf: PerfModel,
+    jobs: BTreeMap<JobId, JobStatus>,
+    deployed: Schedule,
+    limits: BTreeMap<JobId, u32>,
+    betas: BTreeMap<JobId, Beta>,
+}
+
+fn fixture(n_jobs: u64, running_mask: u64, epochs: &[u32]) -> Fixture {
+    let spec = ClusterSpec::new(2, 4);
+    let mut jobs = BTreeMap::new();
+    let mut limits = BTreeMap::new();
+    let mut betas = BTreeMap::new();
+    for i in 0..n_jobs {
+        let js = JobSpec {
+            id: JobId(i),
+            name: format!("j{i}"),
+            model: ModelKind::ResNet18,
+            dataset: DatasetKind::Cifar10,
+            dataset_size: 20_000,
+            submit_batch: 256,
+            max_safe_batch: 4096,
+            requested_gpus: 1,
+            arrival_secs: i as f64,
+            kill_after_secs: None,
+            convergence: ConvergenceModel {
+                reference_batch: 256,
+                ..ConvergenceModel::example()
+            },
+        };
+        let mut st = JobStatus::submitted(js, SimTime::from_secs(i as f64));
+        if running_mask & (1 << i) != 0 {
+            let e = epochs[(i as usize) % epochs.len()];
+            st.phase = JobPhase::Running;
+            st.first_start = Some(SimTime::from_secs(i as f64));
+            st.epochs_done = e;
+            st.samples_processed = f64::from(e) * 20_000.0;
+            st.exec_time = f64::from(e) * 8.0;
+        }
+        limits.insert(JobId(i), 256 << (i % 4));
+        betas.insert(
+            JobId(i),
+            Beta::new(1.0 + (i % 7) as f64, 3.0 + (i % 11) as f64),
+        );
+        jobs.insert(JobId(i), st);
+    }
+    Fixture {
+        spec,
+        perf: PerfModel::new(spec),
+        jobs,
+        deployed: Schedule::empty(GPUS),
+        limits,
+        betas,
+    }
+}
+
+/// A random (possibly illegal w.r.t. limits) genome over the fixture jobs.
+fn genome(slots: &[Option<(u64, u32)>]) -> Schedule {
+    let mut s = Schedule::empty(GPUS);
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some((job, batch)) = slot {
+            s.assign(GpuId(i as u32), JobId(*job), (*batch).max(1));
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scoring through a shared [`ThroughputCache`] returns exactly the
+    /// scores uncached evaluation produces, for arbitrary candidate pools
+    /// — the cache key (job + placement/batch signature) never aliases
+    /// distinct configurations.
+    #[test]
+    fn cached_scoring_matches_uncached(
+        pool in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::option::of((0u64..6, 1u32..2048)), GPUS as usize),
+            1..12),
+        running_mask in 0u64..64,
+        seed in 0u64..1000,
+    ) {
+        let fx = fixture(6, running_mask, &[1, 4, 9]);
+        let view = ClusterView {
+            now: SimTime::from_secs(500.0),
+            spec: &fx.spec,
+            perf: &fx.perf,
+            jobs: &fx.jobs,
+            deployed: &fx.deployed,
+        };
+        let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
+        let cache = ThroughputCache::new();
+        let cached_ctx = ctx.with_cache(&cache);
+        let candidates: Vec<Schedule> = pool.iter().map(|s| genome(s)).collect();
+        let rhos = sample_rhos(&ctx, &mut DetRng::seed(seed));
+
+        let plain = ones_evo::scoring::score_all(&ctx, &candidates, &rhos);
+        // Score twice through the cache: the first pass populates it, the
+        // second is served mostly by hits — both must match bit-for-bit.
+        let first = ones_evo::scoring::score_all(&cached_ctx, &candidates, &rhos);
+        let second = ones_evo::scoring::score_all(&cached_ctx, &candidates, &rhos);
+        prop_assert_eq!(&plain, &first);
+        prop_assert_eq!(&plain, &second);
+    }
+
+    /// A full generation is bit-identical across all four feature
+    /// combinations (cache × parallel derivation), for arbitrary live
+    /// state and seeds.
+    #[test]
+    fn generation_invariant_under_cache_and_parallelism(
+        running_mask in 0u64..64,
+        seed in 0u64..500,
+    ) {
+        let fx = fixture(6, running_mask, &[1, 2, 8, 20]);
+        let view = ClusterView {
+            now: SimTime::from_secs(300.0),
+            spec: &fx.spec,
+            perf: &fx.perf,
+            jobs: &fx.jobs,
+            deployed: &fx.deployed,
+        };
+        let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
+
+        let mut searches: Vec<EvolutionarySearch> = [
+            (false, false),
+            (false, true),
+            (true, false),
+            (true, true),
+        ]
+        .iter()
+        .map(|&(use_cache, parallel_derive)| {
+            let mut cfg = EvoConfig::for_cluster(GPUS);
+            cfg.use_cache = use_cache;
+            cfg.parallel_derive = parallel_derive;
+            EvolutionarySearch::new(cfg, DetRng::seed(seed))
+        })
+        .collect();
+
+        for g in 0..2 {
+            let reference = searches[0].generation(&ctx);
+            for (v, s) in searches.iter_mut().enumerate().skip(1) {
+                let best = s.generation(&ctx);
+                prop_assert_eq!(
+                    &reference, &best,
+                    "S_* diverged for variant {} at generation {}", v, g
+                );
+            }
+            for (v, s) in searches.iter().enumerate().skip(1) {
+                prop_assert_eq!(
+                    searches[0].population(), s.population(),
+                    "population diverged for variant {} at generation {}", v, g
+                );
+            }
+        }
+    }
+}

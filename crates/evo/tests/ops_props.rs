@@ -57,7 +57,10 @@ fn fixture(n_jobs: u64, running_mask: u64, epochs: &[u32]) -> Fixture {
             st.exec_time = f64::from(e) * 8.0;
         }
         limits.insert(JobId(i), 256 << (i % 4));
-        betas.insert(JobId(i), Beta::new(1.0 + (i % 7) as f64, 3.0 + (i % 11) as f64));
+        betas.insert(
+            JobId(i),
+            Beta::new(1.0 + (i % 7) as f64, 3.0 + (i % 11) as f64),
+        );
         jobs.insert(JobId(i), st);
     }
     Fixture {
@@ -122,7 +125,7 @@ proptest! {
             jobs: &fx.jobs,
             deployed: &fx.deployed,
         };
-        let ctx = EvoContext { view: &view, limits: &fx.limits, betas: &fx.betas };
+        let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
         let stale = genome(&slots);
         let mut rng = DetRng::seed(seed);
         let refreshed = ops::refresh(&ctx, &stale, &mut rng);
@@ -168,7 +171,7 @@ proptest! {
             jobs: &fx.jobs,
             deployed: &fx.deployed,
         };
-        let ctx = EvoContext { view: &view, limits: &fx.limits, betas: &fx.betas };
+        let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
         let mut rng = DetRng::seed(seed);
         let mutated = ops::mutate(&ctx, &genome(&slots), rate, &mut rng);
         // Mutation fills via resume/scale-up which respect limits; the
@@ -196,7 +199,7 @@ proptest! {
             jobs: &fx.jobs,
             deployed: &fx.deployed,
         };
-        let ctx = EvoContext { view: &view, limits: &fx.limits, betas: &fx.betas };
+        let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
         let mut search = EvolutionarySearch::new(EvoConfig::for_cluster(GPUS), DetRng::seed(seed));
         let best = search.generation(&ctx);
         assert_legal(&fx, &best)?;

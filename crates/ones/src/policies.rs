@@ -255,8 +255,8 @@ mod tests {
         // Old job: T_processed = 500 s, denominator = floor(5)+1 = 6.
         l.on_epoch_end(JobId(0), 10, 500.0, 16_384, true);
         assert_eq!(l.get(JobId(0)), 2048u32.div_ceil(6)); // = 342
-        // A very old job shrinks back to its own submitted batch, never
-        // below it.
+                                                          // A very old job shrinks back to its own submitted batch, never
+                                                          // below it.
         for _ in 0..20 {
             l.on_epoch_end(JobId(0), 10, 10_000.0, 16_384, true);
         }

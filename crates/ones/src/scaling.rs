@@ -71,10 +71,8 @@ impl ScalingCostModel {
         workers_joined: bool,
     ) -> f64 {
         let n = new_placement.len() as f64;
-        let mut cost = self.step_drain
-            + self.module_resize
-            + self.nccl_base
-            + self.nccl_per_worker * n;
+        let mut cost =
+            self.step_drain + self.module_resize + self.nccl_base + self.nccl_per_worker * n;
         if workers_joined {
             cost += allreduce.broadcast_time(new_placement, profile.grad_bytes());
         }
@@ -196,7 +194,10 @@ mod tests {
             let sr = cost.suspend_resume_cost(&prof);
             let ckpt = cost.checkpoint_cost(&prof);
             let elastic = cost.elastic_cost(&prof, &ar, &place, false);
-            assert!(sr < ckpt / 5.0, "{kind}: suspend/resume {sr}s vs ckpt {ckpt}s");
+            assert!(
+                sr < ckpt / 5.0,
+                "{kind}: suspend/resume {sr}s vs ckpt {ckpt}s"
+            );
             assert!(sr < 2.0, "{kind}: suspend/resume {sr}s over 2 s");
             assert!(sr > elastic * 0.1, "{kind}: implausibly cheap");
         }

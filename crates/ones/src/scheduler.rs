@@ -16,7 +16,9 @@
 use crate::policies::{BatchLimits, PolicyConfig};
 use ones_evo::{EvoConfig, EvoContext, EvolutionarySearch};
 use ones_predictor::{FeatureSnapshot, PredictorConfig, ProgressPredictor};
-use ones_schedcore::{ClusterView, SchedEvent, ScalingMechanism, Schedule, Scheduler};
+use ones_schedcore::{
+    ClusterView, ScalingMechanism, SchedEvent, Schedule, Scheduler, SchedulerPerfCounters,
+};
 use ones_simcore::DetRng;
 use ones_stats::Beta;
 use ones_workload::JobId;
@@ -122,8 +124,7 @@ impl OnesScheduler {
                         .entry(id)
                         .or_default()
                         .push(FeatureSnapshot::capture(job));
-                    let memory_cap =
-                        job.spec.profile().max_local_batch * view.spec.total_gpus();
+                    let memory_cap = job.spec.profile().max_local_batch * view.spec.total_gpus();
                     let contended = !view.waiting_jobs().is_empty();
                     self.limits.on_epoch_end(
                         id,
@@ -165,10 +166,7 @@ impl OnesScheduler {
     /// (A global "all running jobs ≥ 1 epoch" gate livelocks: every
     /// admission starts a 0-epoch job, which would block the next update,
     /// which admits another job, …)
-    fn merge_frozen(
-        view: &ClusterView<'_>,
-        best: &Schedule,
-    ) -> Schedule {
+    fn merge_frozen(view: &ClusterView<'_>, best: &Schedule) -> Schedule {
         let frozen: Vec<JobId> = view
             .running_jobs()
             .iter()
@@ -208,14 +206,23 @@ impl Scheduler for OnesScheduler {
         true
     }
 
+    fn perf_counters(&self) -> Option<SchedulerPerfCounters> {
+        let c = self.search.perf_counters();
+        Some(SchedulerPerfCounters {
+            generations: c.generations,
+            candidates_scored: c.candidates_scored,
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            refresh_nanos: c.refresh_nanos,
+            derive_nanos: c.derive_nanos,
+            score_nanos: c.score_nanos,
+        })
+    }
+
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
         self.ingest(event, view);
         let betas = self.predictions(view);
-        let ctx = EvoContext {
-            view,
-            limits: self.limits.table(),
-            betas: &betas,
-        };
+        let ctx = EvoContext::new(view, self.limits.table(), &betas);
         let mut best = self.search.generation(&ctx);
         for _ in 1..self.config.generations_per_event {
             best = self.search.generation(&ctx);
@@ -326,8 +333,10 @@ mod tests {
                     ..ConvergenceModel::example()
                 },
             };
-            self.jobs
-                .insert(jid, JobStatus::submitted(spec, SimTime::from_secs(self.now)));
+            self.jobs.insert(
+                jid,
+                JobStatus::submitted(spec, SimTime::from_secs(self.now)),
+            );
             jid
         }
 

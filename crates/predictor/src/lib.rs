@@ -36,7 +36,10 @@ pub use progress::{BetaModel, PredictorConfig, ProgressPredictor};
 #[must_use]
 pub fn remaining_workload(processed: f64, rho: f64) -> f64 {
     assert!(processed >= 0.0, "negative processed sample count");
-    assert!(rho > 0.0 && rho <= 1.0, "completion fraction out of (0,1]: {rho}");
+    assert!(
+        rho > 0.0 && rho <= 1.0,
+        "completion fraction out of (0,1]: {rho}"
+    );
     processed * (1.0 / rho - 1.0)
 }
 

@@ -179,8 +179,7 @@ impl ProgressPredictor {
             None => {
                 // Cold start: assume a fixed total requirement and subtract
                 // what's already done.
-                (self.config.prior_remaining_epochs - snap.processed_epochs)
-                    .max(1.0)
+                (self.config.prior_remaining_epochs - snap.processed_epochs).max(1.0)
             }
         }
     }

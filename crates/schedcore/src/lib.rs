@@ -21,6 +21,6 @@ pub mod schedule;
 pub mod scheduler;
 pub mod status;
 
-pub use schedule::{Schedule, Slot};
-pub use scheduler::{ClusterView, SchedEvent, ScalingMechanism, Scheduler};
+pub use schedule::{JobSignature, Schedule, Slot};
+pub use scheduler::{ClusterView, ScalingMechanism, SchedEvent, Scheduler, SchedulerPerfCounters};
 pub use status::{JobPhase, JobStatus};

@@ -11,6 +11,24 @@ use ones_workload::JobId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// FNV-1a offset basis / prime, used for the per-job configuration
+/// signatures ([`Schedule::job_signature`]).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One placed job's configuration signature within a schedule, gathered
+/// by [`Schedule::job_signatures`]: FNV-1a folds of its GPU indices and
+/// local batches (in GPU-id order) plus its GPU count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSignature {
+    /// Hash of the job's GPU indices.
+    pub placement: u64,
+    /// Hash of the job's local batches, order-sensitive.
+    pub batches: u64,
+    /// GPUs the job holds (`c_j`).
+    pub gpus: u32,
+}
+
 /// One GPU's assignment: a job and its local batch `b_j^i ≥ 1` on this GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Slot {
@@ -92,11 +110,7 @@ impl Schedule {
     /// GPU count `c_j = Σ_i min(1, b_j^i)` (Eq 2).
     #[must_use]
     pub fn gpu_count(&self, job: JobId) -> u32 {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|s| s.job == job)
-            .count() as u32
+        self.slots.iter().flatten().filter(|s| s.job == job).count() as u32
     }
 
     /// The set of GPUs hosting `job`.
@@ -105,9 +119,7 @@ impl Schedule {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| {
-                s.filter(|sl| sl.job == job).map(|_| GpuId(i as u32))
-            })
+            .filter_map(|(i, s)| s.filter(|sl| sl.job == job).map(|_| GpuId(i as u32)))
             .collect()
     }
 
@@ -162,6 +174,65 @@ impl Schedule {
     #[must_use]
     pub fn slots(&self) -> &[Option<Slot>] {
         &self.slots
+    }
+
+    /// FNV-1a signatures of one job's configuration in this schedule:
+    /// `(placement hash, batch hash)`, folded over the job's workers in
+    /// GPU-id order in a single pass. Two schedules that place `job` on
+    /// the same GPUs with the same per-GPU batches produce equal
+    /// signatures, so the pair (plus the job id) keys throughput
+    /// memoisation. Hash collisions between distinct configurations are
+    /// possible in principle but negligible at 2×64 bits.
+    #[must_use]
+    pub fn job_signature(&self, job: JobId) -> (u64, u64) {
+        let mut placement = FNV_OFFSET;
+        let mut batches = FNV_OFFSET;
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(slot) = s {
+                if slot.job == job {
+                    placement = (placement ^ (i as u64 + 1)).wrapping_mul(FNV_PRIME);
+                    batches = (batches ^ u64::from(slot.local_batch)).wrapping_mul(FNV_PRIME);
+                }
+            }
+        }
+        (placement, batches)
+    }
+
+    /// Signatures of every placed job, gathered in a single pass over the
+    /// slots. Produces exactly [`Schedule::job_signature`] per job (both
+    /// fold slots in GPU-id order) but costs `O(gpus)` for *all* jobs
+    /// instead of `O(gpus)` each — the difference that makes cached
+    /// candidate scoring cheaper than re-evaluating the throughput model.
+    #[must_use]
+    pub fn job_signatures(&self) -> BTreeMap<JobId, JobSignature> {
+        let mut map: BTreeMap<JobId, JobSignature> = BTreeMap::new();
+        // Fold contiguous runs of the same job with a single map lookup:
+        // reordered schedules pack each job's workers together, so this
+        // is ~one lookup per job. The fold itself still walks slots in
+        // GPU-id order, matching `job_signature` exactly even when a job
+        // is split across several runs.
+        let mut i = 0;
+        while i < self.slots.len() {
+            let Some(first) = self.slots[i] else {
+                i += 1;
+                continue;
+            };
+            let e = map.entry(first.job).or_insert(JobSignature {
+                placement: FNV_OFFSET,
+                batches: FNV_OFFSET,
+                gpus: 0,
+            });
+            while let Some(Some(slot)) = self.slots.get(i) {
+                if slot.job != first.job {
+                    break;
+                }
+                e.placement = (e.placement ^ (i as u64 + 1)).wrapping_mul(FNV_PRIME);
+                e.batches = (e.batches ^ u64::from(slot.local_batch)).wrapping_mul(FNV_PRIME);
+                e.gpus += 1;
+                i += 1;
+            }
+        }
+        map
     }
 
     /// Packs the workers of each job contiguously, in order of each job's
@@ -239,14 +310,11 @@ impl Schedule {
     #[must_use]
     pub fn is_non_disruptive_over(&self, deployed: &Schedule) -> bool {
         deployed.running_jobs().keys().all(|job| {
-            self.slots
-                .iter()
-                .zip(deployed.slots())
-                .all(|(new, old)| {
-                    let old_here = old.filter(|s| s.job == *job);
-                    let new_here = new.filter(|s| s.job == *job);
-                    old_here == new_here
-                })
+            self.slots.iter().zip(deployed.slots()).all(|(new, old)| {
+                let old_here = old.filter(|s| s.job == *job);
+                let new_here = new.filter(|s| s.job == *job);
+                old_here == new_here
+            })
         })
     }
 
@@ -356,10 +424,7 @@ mod tests {
         s.assign(GpuId(5), j(3), 8);
         let r = s.reordered();
         let got: Vec<Option<u64>> = r.slots().iter().map(|s| s.map(|sl| sl.job.0)).collect();
-        assert_eq!(
-            got,
-            vec![Some(1), Some(1), Some(2), Some(2), Some(3), None]
-        );
+        assert_eq!(got, vec![Some(1), Some(1), Some(2), Some(2), Some(3), None]);
         // Batches travel with their workers; totals unchanged.
         assert_eq!(r.global_batch(j(1)), 64);
         assert_eq!(r.global_batch(j(2)), 32);
@@ -408,6 +473,65 @@ mod tests {
     fn zero_batch_assignment_rejected() {
         let mut s = Schedule::empty(1);
         s.assign(GpuId(0), j(1), 0);
+    }
+
+    #[test]
+    fn job_signature_distinguishes_configurations() {
+        let mut a = Schedule::empty(8);
+        a.assign(GpuId(0), j(1), 64);
+        a.assign(GpuId(1), j(1), 64);
+        a.assign(GpuId(2), j(2), 32);
+
+        // Same configuration for job 1 in a different schedule.
+        let mut b = Schedule::empty(8);
+        b.assign(GpuId(0), j(1), 64);
+        b.assign(GpuId(1), j(1), 64);
+        b.assign(GpuId(5), j(9), 16);
+        assert_eq!(a.job_signature(j(1)), b.job_signature(j(1)));
+
+        // Moved placement: placement hash changes, batch hash does not.
+        let mut moved = Schedule::empty(8);
+        moved.assign(GpuId(3), j(1), 64);
+        moved.assign(GpuId(4), j(1), 64);
+        let (pa, ba) = a.job_signature(j(1));
+        let (pm, bm) = moved.job_signature(j(1));
+        assert_ne!(pa, pm);
+        assert_eq!(ba, bm);
+
+        // Changed batch split: batch hash changes.
+        let mut resized = Schedule::empty(8);
+        resized.assign(GpuId(0), j(1), 32);
+        resized.assign(GpuId(1), j(1), 96);
+        let (pr, br) = resized.job_signature(j(1));
+        assert_eq!(pa, pr);
+        assert_ne!(ba, br);
+
+        // An absent job hashes like an empty placement, same everywhere.
+        assert_eq!(
+            a.job_signature(j(77)),
+            Schedule::empty(8).job_signature(j(77))
+        );
+    }
+
+    #[test]
+    fn job_signatures_gather_matches_per_job_queries() {
+        let mut s = Schedule::empty(8);
+        s.assign(GpuId(0), j(1), 64);
+        s.assign(GpuId(2), j(2), 32);
+        s.assign(GpuId(3), j(1), 128);
+        s.assign(GpuId(7), j(5), 16);
+
+        let sigs = s.job_signatures();
+        assert_eq!(sigs.len(), 3);
+        for (&job, sig) in &sigs {
+            assert_eq!(
+                (sig.placement, sig.batches),
+                s.job_signature(job),
+                "gathered signature diverges for {job}"
+            );
+            assert_eq!(sig.gpus, s.gpu_count(job));
+        }
+        assert!(Schedule::empty(8).job_signatures().is_empty());
     }
 
     #[test]

@@ -91,6 +91,50 @@ impl ClusterView<'_> {
     }
 }
 
+/// Scheduler-internal performance counters, reported after a run.
+///
+/// Mechanism-agnostic mirror of whatever hot-loop diagnostics a scheduler
+/// keeps (ONES reports its evolutionary-search counters here); baselines
+/// that track nothing return `None` from [`Scheduler::perf_counters`].
+/// Wall times are host-side measurements, not simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerPerfCounters {
+    /// Search generations (or planning rounds) executed.
+    pub generations: u64,
+    /// Candidate schedules scored.
+    pub candidates_scored: u64,
+    /// Memoised throughput lookups answered from cache.
+    pub cache_hits: u64,
+    /// Throughput lookups that evaluated the model.
+    pub cache_misses: u64,
+    /// Host wall time refreshing candidates, nanoseconds.
+    pub refresh_nanos: u64,
+    /// Host wall time deriving/legalising candidates, nanoseconds.
+    pub derive_nanos: u64,
+    /// Host wall time scoring and selecting, nanoseconds.
+    pub score_nanos: u64,
+}
+
+impl SchedulerPerfCounters {
+    /// Fraction of throughput lookups served by the cache, in [0, 1]
+    /// (zero when no cache ran).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total measured host wall time across phases, nanoseconds.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.refresh_nanos + self.derive_nanos + self.score_nanos
+    }
+}
+
 /// An online DL cluster scheduler.
 ///
 /// Implementations: ONES (`ones-sched`), Tiresias / Optimus / DRL / FIFO /
@@ -120,6 +164,12 @@ pub trait Scheduler {
     /// global batch departs from the submitted one).
     fn scales_batch_sizes(&self) -> bool {
         false
+    }
+
+    /// Internal performance counters accumulated over the run, if this
+    /// scheduler keeps any. Read once by the simulator when the run ends.
+    fn perf_counters(&self) -> Option<SchedulerPerfCounters> {
+        None
     }
 }
 

@@ -141,10 +141,7 @@ impl<E> EventQueue<E> {
     /// event for a job that was just preempted).
     pub fn retain(&mut self, mut keep: impl FnMut(&E) -> bool) {
         let drained: Vec<_> = std::mem::take(&mut self.heap).into_vec();
-        self.heap = drained
-            .into_iter()
-            .filter(|ev| keep(&ev.payload))
-            .collect();
+        self.heap = drained.into_iter().filter(|ev| keep(&ev.payload)).collect();
     }
 }
 

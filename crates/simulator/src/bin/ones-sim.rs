@@ -130,8 +130,12 @@ fn main() {
             "total_overhead_secs": result.total_overhead,
             "gpu_utilization": result.gpu_utilization,
             "jct_secs": result.metrics.jct,
+            "scheduler_perf": result.scheduler_perf,
         });
-        println!("{}", serde_json::to_string_pretty(&json).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json).expect("serialisable")
+        );
     } else {
         println!(
             "{} on {} GPUs, {} jobs (seed {}):",
@@ -141,16 +145,44 @@ fn main() {
             config.trace.seed
         );
         println!("  average JCT        {:>10.1} s", result.metrics.mean_jct());
-        println!("  average execution  {:>10.1} s", result.metrics.mean_exec());
-        println!("  average queueing   {:>10.1} s", result.metrics.mean_queue());
+        println!(
+            "  average execution  {:>10.1} s",
+            result.metrics.mean_exec()
+        );
+        println!(
+            "  average queueing   {:>10.1} s",
+            result.metrics.mean_queue()
+        );
         println!("  makespan           {:>10.1} s", result.makespan);
         println!("  deployments        {:>10}", result.deployments);
         println!("  scaling overhead   {:>10.1} s", result.total_overhead);
-        println!("  GPU utilisation    {:>9.1}%", 100.0 * result.gpu_utilization);
+        println!(
+            "  GPU utilisation    {:>9.1}%",
+            100.0 * result.gpu_utilization
+        );
         let s = result.metrics.jct_summary();
         println!(
             "  JCT quartiles      {:>10.1} / {:.1} / {:.1} (p90 {:.1}, max {:.1})",
             s.p25, s.median, s.p75, s.p90, s.max
         );
+        if let Some(p) = result.scheduler_perf {
+            println!(
+                "  search             {} generations, {} candidates scored",
+                p.generations, p.candidates_scored
+            );
+            println!(
+                "  throughput cache   {:>9.1}% hit rate ({} hits / {} misses)",
+                100.0 * p.cache_hit_rate(),
+                p.cache_hits,
+                p.cache_misses
+            );
+            println!(
+                "  search wall time   {:>10.1} ms (refresh {:.1}, derive {:.1}, score {:.1})",
+                p.total_nanos() as f64 / 1e6,
+                p.refresh_nanos as f64 / 1e6,
+                p.derive_nanos as f64 / 1e6,
+                p.score_nanos as f64 / 1e6
+            );
+        }
     }
 }

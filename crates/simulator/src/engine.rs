@@ -9,10 +9,11 @@
 
 use ones_cluster::Placement;
 use ones_dlperf::{ConvergenceState, PerfModel};
-use ones_schedcore::{
-    ClusterView, JobPhase, JobStatus, SchedEvent, ScalingMechanism, Schedule, Scheduler, Slot,
-};
 use ones_sched::ScalingCostModel;
+use ones_schedcore::{
+    ClusterView, JobPhase, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler,
+    SchedulerPerfCounters, Slot,
+};
 use ones_simcore::{EventQueue, SimTime, TraceLog};
 use ones_workload::{JobId, Trace};
 use std::collections::BTreeMap;
@@ -41,7 +42,10 @@ impl Default for SimConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Arrival(JobId),
-    EpochEnd { job: JobId, seq: u64 },
+    EpochEnd {
+        job: JobId,
+        seq: u64,
+    },
     /// External termination (owner kill / crash) — §2.1's abnormal endings.
     Kill(JobId),
     Tick,
@@ -89,6 +93,9 @@ pub struct SimResult {
     pub transitions: u64,
     /// Total re-configuration overhead charged across all jobs, seconds.
     pub total_overhead: f64,
+    /// Scheduler-internal hot-loop counters, when the scheduler keeps any
+    /// (ONES reports its evolutionary-search diagnostics here).
+    pub scheduler_perf: Option<SchedulerPerfCounters>,
 }
 
 impl SimResult {
@@ -232,6 +239,7 @@ impl Simulation {
             deployments: self.deployments,
             transitions: self.transitions,
             total_overhead: self.total_overhead,
+            scheduler_perf: self.scheduler.perf_counters(),
         };
         (result, self.scheduler)
     }
@@ -304,9 +312,7 @@ impl Simulation {
         // Timer management: arm the earliest requested wake-up.
         if let Some(t) = self.scheduler.next_wakeup(now) {
             let t = t.max(now + 1e-3);
-            if t.as_secs() <= self.config.max_time
-                && self.next_tick.is_none_or(|cur| t < cur)
-            {
+            if t.as_secs() <= self.config.max_time && self.next_tick.is_none_or(|cur| t < cur) {
                 self.queue.push(t, Event::Tick);
                 self.next_tick = Some(t);
             }
@@ -331,8 +337,7 @@ impl Simulation {
             if now > segment.epoch_started && segment.epoch_duration > 0.0 {
                 let fraction =
                     ((now - segment.epoch_started) / segment.epoch_duration).clamp(0.0, 1.0);
-                job.status.samples_processed +=
-                    fraction * job.status.spec.dataset_size as f64;
+                job.status.samples_processed += fraction * job.status.spec.dataset_size as f64;
             }
         }
         job.epoch_seq += 1;
@@ -404,9 +409,7 @@ impl Simulation {
             .expect("scheduler produced an invalid schedule");
         for job in schedule.running_jobs().keys() {
             assert!(
-                self.jobs
-                    .get(job)
-                    .is_some_and(|j| !j.status.is_completed()),
+                self.jobs.get(job).is_some_and(|j| !j.status.is_completed()),
                 "scheduler placed unknown or completed job {job}"
             );
         }
@@ -417,7 +420,8 @@ impl Simulation {
                 .iter()
                 .map(|(j, (b, c))| format!("{j}:B{b}xC{c}"))
                 .collect();
-            let d = format!("deploy {}", detail.join(" ")); self.record(now, "sched", 0, &d);
+            let d = format!("deploy {}", detail.join(" "));
+            self.record(now, "sched", 0, &d);
         }
 
         let all_ids: Vec<JobId> = self.jobs.keys().copied().collect();
@@ -451,12 +455,10 @@ impl Simulation {
             if now > segment.epoch_started && segment.epoch_duration > 0.0 {
                 let fraction =
                     ((now - segment.epoch_started) / segment.epoch_duration).clamp(0.0, 1.0);
-                let lr_scaled =
-                    scales || segment.global_batch == job.status.spec.submit_batch;
+                let lr_scaled = scales || segment.global_batch == job.status.spec.submit_batch;
                 job.conv
                     .advance_fraction(segment.global_batch, lr_scaled, fraction * 0.999_999);
-                job.status.samples_processed +=
-                    fraction * job.status.spec.dataset_size as f64;
+                job.status.samples_processed += fraction * job.status.spec.dataset_size as f64;
             }
         }
         job.epoch_seq += 1;
@@ -485,12 +487,8 @@ impl Simulation {
                 // additionally reload the saved state; suspend/resume
                 // swaps it back from host memory.
                 (ScalingMechanism::ElasticNccl, true) => cost_model.cold_start_cost(),
-                (ScalingMechanism::CheckpointRestart, true) => {
-                    cost_model.checkpoint_cost(&profile)
-                }
-                (ScalingMechanism::SuspendResume, true) => {
-                    cost_model.suspend_resume_cost(&profile)
-                }
+                (ScalingMechanism::CheckpointRestart, true) => cost_model.checkpoint_cost(&profile),
+                (ScalingMechanism::SuspendResume, true) => cost_model.suspend_resume_cost(&profile),
             }
         } else {
             match mechanism {
@@ -510,12 +508,8 @@ impl Simulation {
         // An abrupt batch jump injects its loss spike now (Figure 13).
         job.conv.on_batch_change(global_batch);
 
-        let epoch_duration = perf.epoch_time(
-            &profile,
-            job.status.spec.dataset_size,
-            &batches,
-            &placement,
-        );
+        let epoch_duration =
+            perf.epoch_time(&profile, job.status.spec.dataset_size, &batches, &placement);
         let epoch_started = now + overhead;
         job.segment = Some(Segment {
             placement: placement.clone(),
@@ -667,9 +661,8 @@ mod tests {
         let a = run(SchedulerKind::Ones, 5, 16);
         let b = run(SchedulerKind::Ones, 5, 16);
         assert_eq!(a.makespan, b.makespan);
-        let jct = |r: &SimResult| -> Vec<f64> {
-            r.jobs.values().map(|j| j.jct().unwrap()).collect()
-        };
+        let jct =
+            |r: &SimResult| -> Vec<f64> { r.jobs.values().map(|j| j.jct().unwrap()).collect() };
         assert_eq!(jct(&a), jct(&b));
     }
 }

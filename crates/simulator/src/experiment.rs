@@ -88,12 +88,7 @@ impl SchedulerKind {
     /// Builds the scheduler for a cluster and trace (λ parameterises the
     /// ONES scale-down policy; the DRL agent's RNG forks from `rng`).
     #[must_use]
-    pub fn build(
-        self,
-        spec: &ClusterSpec,
-        trace: &Trace,
-        rng: &DetRng,
-    ) -> Box<dyn Scheduler> {
+    pub fn build(self, spec: &ClusterSpec, trace: &Trace, rng: &DetRng) -> Box<dyn Scheduler> {
         let lambda = trace.config.arrival_rate;
         let base = OnesConfig::for_cluster(spec.total_gpus(), lambda);
         match self {
@@ -175,6 +170,8 @@ pub struct ExperimentResult {
     pub total_overhead: f64,
     /// Mean cluster GPU utilisation over the run, in [0, 1].
     pub gpu_utilization: f64,
+    /// Scheduler-internal hot-loop counters, when the scheduler keeps any.
+    pub scheduler_perf: Option<ones_schedcore::SchedulerPerfCounters>,
 }
 
 /// Runs one experiment to completion.
@@ -213,7 +210,12 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         }
     }
 
-    let sim = Simulation::new(PerfModel::new(spec), &trace, scheduler, SimConfig::default());
+    let sim = Simulation::new(
+        PerfModel::new(spec),
+        &trace,
+        scheduler,
+        SimConfig::default(),
+    );
     let result = sim.run();
     assert!(
         result.all_completed,
@@ -229,6 +231,7 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         deployments: result.deployments,
         total_overhead: result.total_overhead,
         gpu_utilization: result.gpu_utilization(),
+        scheduler_perf: result.scheduler_perf,
     }
 }
 

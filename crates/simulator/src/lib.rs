@@ -20,6 +20,8 @@ pub mod metrics;
 pub mod timeline;
 
 pub use engine::{SimConfig, SimResult, Simulation};
-pub use experiment::{run_experiment, run_sweep, ExperimentConfig, ExperimentResult, SchedulerKind};
+pub use experiment::{
+    run_experiment, run_sweep, ExperimentConfig, ExperimentResult, SchedulerKind,
+};
 pub use metrics::JobMetrics;
 pub use timeline::{Timeline, TimelinePoint};

@@ -113,7 +113,13 @@ mod tests {
         });
         let spec = ClusterSpec::longhorn_subset(16);
         let scheduler = SchedulerKind::Fifo.build(&spec, &trace, &DetRng::seed(1));
-        Simulation::new(PerfModel::new(spec), &trace, scheduler, SimConfig::default()).run()
+        Simulation::new(
+            PerfModel::new(spec),
+            &trace,
+            scheduler,
+            SimConfig::default(),
+        )
+        .run()
     }
 
     #[test]

@@ -46,8 +46,7 @@ impl Timeline {
         let mut points = Vec::new();
         let mut waiting: i64 = 0;
         // Per-job GPU holdings, derived from deployment summaries.
-        let mut holdings: std::collections::BTreeMap<u64, u32> =
-            std::collections::BTreeMap::new();
+        let mut holdings: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
         let mut arrived: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         let mut done: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
 
@@ -107,11 +106,7 @@ impl Timeline {
     /// Cluster state at time `t` (the latest sample at or before `t`).
     #[must_use]
     pub fn at(&self, t: f64) -> Option<TimelinePoint> {
-        self.points
-            .iter()
-            .take_while(|p| p.at <= t)
-            .last()
-            .copied()
+        self.points.iter().take_while(|p| p.at <= t).last().copied()
     }
 
     /// Utilisation (busy/total) sampled on a uniform grid of `n` points
@@ -149,7 +144,11 @@ impl Timeline {
     /// Peak concurrent waiting-queue length.
     #[must_use]
     pub fn peak_waiting(&self) -> u32 {
-        self.points.iter().map(|p| p.waiting_jobs).max().unwrap_or(0)
+        self.points
+            .iter()
+            .map(|p| p.waiting_jobs)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -210,7 +210,12 @@ impl Beta {
     /// Central interval [lo, hi] covering `mass` of the distribution,
     /// estimated by Monte-Carlo quantiles (used for Figure 6-style
     /// confidence bands).
-    pub fn credible_interval<R: Rng + ?Sized>(&self, mass: f64, n: usize, rng: &mut R) -> (f64, f64) {
+    pub fn credible_interval<R: Rng + ?Sized>(
+        &self,
+        mass: f64,
+        n: usize,
+        rng: &mut R,
+    ) -> (f64, f64) {
         assert!((0.0..1.0).contains(&mass) && n >= 10);
         let mut samples: Vec<f64> = (0..n).map(|_| self.sample(rng)).collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -293,7 +298,7 @@ pub fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -317,10 +322,7 @@ mod tests {
         let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (i, &f) in facts.iter().enumerate() {
             let x = (i + 1) as f64;
-            assert!(
-                (ln_gamma(x) - f.ln()).abs() < 1e-10,
-                "ln_gamma({x})"
-            );
+            assert!((ln_gamma(x) - f.ln()).abs() < 1e-10, "ln_gamma({x})");
         }
     }
 

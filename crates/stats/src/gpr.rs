@@ -76,8 +76,7 @@ impl GpRegressor {
         for &ls in &[0.5, 1.0, 2.0, 4.0] {
             for &noise_frac in &[0.01, 0.05, 0.2] {
                 let noise = (signal0 * noise_frac).max(1e-8);
-                let Some((chol, alpha, lml)) =
-                    fit_once(&std_xs, &y_centered, ls, signal0, noise)
+                let Some((chol, alpha, lml)) = fit_once(&std_xs, &y_centered, ls, signal0, noise)
                 else {
                     continue;
                 };
@@ -254,7 +253,11 @@ mod tests {
         let gp = GpRegressor::fit(&xs, &ys).expect("fits");
         for (x, y) in xs.iter().zip(&ys) {
             let pred = gp.predict(x);
-            assert!((pred - y).abs() < 0.3, "f({}) = {y}, predicted {pred}", x[0]);
+            assert!(
+                (pred - y).abs() < 0.3,
+                "f({}) = {y}, predicted {pred}",
+                x[0]
+            );
         }
     }
 
@@ -313,7 +316,9 @@ mod tests {
     fn duplicate_inputs_survive_via_noise_jitter() {
         // Identical rows make K singular without the noise term.
         let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![f64::from(i % 3)]).collect();
-        let ys: Vec<f64> = (0..12).map(|i| f64::from(i % 3) + 0.01 * f64::from(i)).collect();
+        let ys: Vec<f64> = (0..12)
+            .map(|i| f64::from(i % 3) + 0.01 * f64::from(i))
+            .collect();
         let gp = GpRegressor::fit(&xs, &ys).expect("noise keeps K positive definite");
         assert!(gp.predict(&[1.0]).is_finite());
     }

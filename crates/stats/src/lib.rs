@@ -23,7 +23,7 @@ pub mod regression;
 pub mod wilcoxon;
 
 pub use desc::{ecdf, BoxPlot, Summary};
-pub use gpr::GpRegressor;
 pub use dist::{Beta, Gamma, Normal};
+pub use gpr::GpRegressor;
 pub use regression::LinearRegression;
 pub use wilcoxon::{signed_rank_test, Alternative, WilcoxonResult};

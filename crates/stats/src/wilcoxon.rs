@@ -165,7 +165,9 @@ mod tests {
 
     #[test]
     fn one_sided_p_values_complementary() {
-        let x: Vec<f64> = (0..25).map(|i| f64::from(i) + if i % 3 == 0 { 2.0 } else { -0.5 }).collect();
+        let x: Vec<f64> = (0..25)
+            .map(|i| f64::from(i) + if i % 3 == 0 { 2.0 } else { -0.5 })
+            .collect();
         let y: Vec<f64> = (0..25).map(f64::from).collect();
         let less = signed_rank_test(&x, &y, Alternative::Less);
         let greater = signed_rank_test(&x, &y, Alternative::Greater);
@@ -178,8 +180,12 @@ mod tests {
     #[test]
     fn matches_published_example() {
         // Classic example (Wilcoxon 1945-style data): n = 10 pairs.
-        let x = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
-        let y = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let x = [
+            125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0,
+        ];
+        let y = [
+            110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0,
+        ];
         let r = signed_rank_test(&x, &y, Alternative::TwoSided);
         assert_eq!(r.n_used, 9); // one zero difference
         assert_eq!(r.w_plus.min(r.w_minus), 18.0);
@@ -217,10 +223,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 6")]
     fn too_few_pairs_rejected() {
-        let _ = signed_rank_test(
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            Alternative::TwoSided,
-        );
+        let _ = signed_rank_test(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], Alternative::TwoSided);
     }
 }

@@ -153,11 +153,21 @@ pub fn table2_catalog() -> Vec<WorkloadTemplate> {
 
     // NLP: BERT on CoLA (5k..8k), MRPC (3.6k), SST-2 (10k..20k step 2k).
     for k in 5..=8u64 {
-        out.push(template(ModelKind::BertBase, DatasetKind::Cola, k * 1000, 2));
+        out.push(template(
+            ModelKind::BertBase,
+            DatasetKind::Cola,
+            k * 1000,
+            2,
+        ));
     }
     out.push(template(ModelKind::BertBase, DatasetKind::Mrpc, 3600, 2));
     for k in (10..=20u64).step_by(2) {
-        out.push(template(ModelKind::BertBase, DatasetKind::Sst2, k * 1000, 2));
+        out.push(template(
+            ModelKind::BertBase,
+            DatasetKind::Sst2,
+            k * 1000,
+            2,
+        ));
     }
 
     out
@@ -175,7 +185,10 @@ mod tests {
 
     #[test]
     fn catalog_entries_are_distinct() {
-        let names: HashSet<String> = table2_catalog().iter().map(WorkloadTemplate::name).collect();
+        let names: HashSet<String> = table2_catalog()
+            .iter()
+            .map(WorkloadTemplate::name)
+            .collect();
         assert_eq!(names.len(), 50);
     }
 
@@ -183,7 +196,9 @@ mod tests {
     fn catalog_composition_matches_table2() {
         let cat = table2_catalog();
         let count = |m: ModelKind, d: DatasetKind| {
-            cat.iter().filter(|t| t.model == m && t.dataset == d).count()
+            cat.iter()
+                .filter(|t| t.model == m && t.dataset == d)
+                .count()
         };
         assert_eq!(count(ModelKind::AlexNet, DatasetKind::ImageNet), 6);
         assert_eq!(count(ModelKind::ResNet50, DatasetKind::ImageNet), 6);

@@ -93,11 +93,7 @@ impl Trace {
     /// ONES scale-down policy, which sets σ = λ).
     #[must_use]
     pub fn observed_arrival_rate(&self) -> f64 {
-        let last = self
-            .jobs
-            .last()
-            .expect("trace is never empty")
-            .arrival_secs;
+        let last = self.jobs.last().expect("trace is never empty").arrival_secs;
         if last <= 0.0 {
             self.config.arrival_rate
         } else {
@@ -143,8 +139,7 @@ fn make_job(id: JobId, template: &WorkloadTemplate, arrival: f64, gpus: &mut Det
         dataset: template.dataset,
         dataset_size: template.dataset_size,
         submit_batch: template.default_batch,
-        max_safe_batch: (template.convergence.noise_scale as u32)
-            .max(template.default_batch),
+        max_safe_batch: (template.convergence.noise_scale as u32).max(template.default_batch),
         requested_gpus: requested,
         arrival_secs: arrival,
         kill_after_secs: None,
@@ -215,7 +210,11 @@ mod tests {
         // With 500 draws over 50 templates, expect wide coverage.
         let distinct: std::collections::HashSet<&str> =
             t.jobs.iter().map(|j| j.name.as_str()).collect();
-        assert!(distinct.len() > 40, "only {} distinct workloads", distinct.len());
+        assert!(
+            distinct.len() > 40,
+            "only {} distinct workloads",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ use ones_repro::workload::{JobId, JobSpec};
 fn main() {
     let cluster = ClusterSpec::longhorn();
     let perf = PerfModel::new(cluster);
-    let profile = ModelKind::ResNet50.profile().for_dataset(DatasetKind::Cifar10);
+    let profile = ModelKind::ResNet50
+        .profile()
+        .for_dataset(DatasetKind::Cifar10);
 
     // 1. Configuration space: throughput of (B, c) combinations.
     println!("ResNet50/CIFAR10 throughput (samples/s) by (global batch, workers):");
@@ -32,7 +34,9 @@ fn main() {
         for c in [1u32, 2, 4, 8, 16] {
             let placement = Placement::contiguous(0, c);
             match PerfModel::split_batch(&profile, b, &placement) {
-                Some(batches) => print!(" {:>9.0}", perf.throughput(&profile, &batches, &placement)),
+                Some(batches) => {
+                    print!(" {:>9.0}", perf.throughput(&profile, &batches, &placement))
+                }
                 None => print!(" {:>9}", "-"),
             }
         }
@@ -71,7 +75,10 @@ fn main() {
         println!("{epoch:>6} {exec:>10.0} {:>8}", limits.get(spec.id));
     }
     limits.on_rejected(spec.id);
-    println!("   (rejected while waiting)     R -> {}", limits.get(spec.id));
+    println!(
+        "   (rejected while waiting)     R -> {}",
+        limits.get(spec.id)
+    );
 
     // 3. Gradual vs abrupt convergence.
     let mut gradual = ConvergenceState::new(spec.convergence);

@@ -31,7 +31,12 @@ fn main() {
 
     // 3. Build the ONES scheduler and run the simulation to completion.
     let scheduler = SchedulerKind::Ones.build(&cluster, &trace, &DetRng::seed(1));
-    let sim = Simulation::new(PerfModel::new(cluster), &trace, scheduler, SimConfig::default());
+    let sim = Simulation::new(
+        PerfModel::new(cluster),
+        &trace,
+        scheduler,
+        SimConfig::default(),
+    );
     let result = sim.run();
     assert!(result.all_completed);
 

@@ -43,7 +43,10 @@ fn main() {
         })
         .collect();
 
-    println!("Running {jobs} jobs on 64 GPUs under {} schedulers...", schedulers.len());
+    println!(
+        "Running {jobs} jobs on 64 GPUs under {} schedulers...",
+        schedulers.len()
+    );
     let results = run_sweep(&configs);
 
     println!(

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repository CI gate: tier-1 build + tests, lint, formatting.
+#
+#   scripts/ci.sh              # build, test, clippy, fmt
+#   RUN_BENCH=1 scripts/ci.sh  # also run the evolution micro-bench and
+#                              # emit BENCH_evolution.json at the repo root
+#
+# Everything runs offline against the in-repo shim crates (shims/); no
+# network access or external dependencies are required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+if [[ "${RUN_BENCH:-0}" == "1" ]]; then
+    echo "==> evolution micro-bench (BENCH_evolution.json)"
+    BENCH_JSON="$PWD/BENCH_evolution.json" cargo bench -p ones-bench --bench evolution
+fi
+
+echo "CI OK"

@@ -1,0 +1,360 @@
+//! In-repo stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! Generates `serde::Serialize::to_value` / `serde::Deserialize::from_value`
+//! impls by hand-parsing the item's token stream — no `syn`/`quote`
+//! available in this offline environment. Supported shapes are exactly
+//! those used in this workspace:
+//!
+//! * structs with named fields,
+//! * tuple structs of any arity (including single private fields),
+//! * enums whose variants are unit or carry tuple payloads.
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// The shapes this shim can derive for.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    /// Variant name plus tuple-payload arity (0 = unit variant).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut keyword = None;
+    // Skip attributes, doc comments and visibility until `struct`/`enum`.
+    while let Some(tok) = tokens.next() {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#[...]` — consume the bracket group.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    keyword = Some(s);
+                    break;
+                }
+                // `pub` possibly followed by `(crate)` etc.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next();
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let keyword = keyword.expect("derive input contains `struct` or `enum`");
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name after `{keyword}`, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generics (item `{name}`)");
+        }
+    }
+    let body = tokens.find_map(|tok| match tok {
+        TokenTree::Group(g) if g.delimiter() != Delimiter::Bracket => Some(g),
+        _ => None,
+    });
+    let shape = match (keyword.as_str(), body) {
+        ("struct", None) => Shape::TupleStruct(0),
+        ("struct", Some(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_fields(g.stream()))
+        }
+        ("struct", Some(g)) => Shape::NamedStruct(named_fields(g.stream())),
+        ("enum", Some(g)) => Shape::Enum(enum_variants(g.stream(), &name)),
+        ("enum", None) => panic!("enum `{name}` has no body"),
+        _ => unreachable!(),
+    };
+    Item { name, shape }
+}
+
+/// Splits a token stream on top-level commas. Groups are atomic token
+/// trees, but generic angle brackets are not — `BTreeMap<JobId, u32>`
+/// exposes its comma — so `<`/`>` nesting is tracked explicitly.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                segments.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        segments.last_mut().expect("non-empty").push(tok);
+    }
+    segments.retain(|seg| !seg.is_empty());
+    segments
+}
+
+fn count_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Field names of a named-field body: per comma segment, the first
+/// identifier after attributes and visibility.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut toks = segment.into_iter().peekable();
+            loop {
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        let _ = toks.next();
+                    }
+                    Some(TokenTree::Ident(id)) => {
+                        let s = id.to_string();
+                        if s == "pub" {
+                            if let Some(TokenTree::Group(g)) = toks.peek() {
+                                if g.delimiter() == Delimiter::Parenthesis {
+                                    let _ = toks.next();
+                                }
+                            }
+                            continue;
+                        }
+                        return s;
+                    }
+                    other => panic!("cannot find field name in struct body: {other:?}"),
+                }
+            }
+        })
+        .collect()
+}
+
+fn enum_variants(stream: TokenStream, enum_name: &str) -> Vec<(String, usize)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut name = None;
+            let mut arity = 0usize;
+            let mut toks = segment.into_iter().peekable();
+            while let Some(tok) = toks.next() {
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        let _ = toks.next();
+                    }
+                    TokenTree::Ident(id) => {
+                        name = Some(id.to_string());
+                        match toks.next() {
+                            None => {}
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                arity = count_fields(g.stream());
+                            }
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                panic!(
+                                    "serde shim derive does not support struct-like \
+                                     enum variants (`{enum_name}`)"
+                                );
+                            }
+                            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                                // Explicit discriminant — consume the rest.
+                                for _ in toks.by_ref() {}
+                            }
+                            other => panic!("unexpected token after variant name: {other:?}"),
+                        }
+                        break;
+                    }
+                    other => panic!("unexpected token in enum body: {other:?}"),
+                }
+            }
+            (name.expect("variant has a name"), arity)
+        })
+        .collect()
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(0) => format!("::serde::Value::Str(\"{name}\".into())"),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|(variant, arity)| match arity {
+                    0 => format!(
+                        "{name}::{variant} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{variant}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{variant}\"), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    n => {
+                        let binders = (0..*n)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{variant}({binders}) => ::serde::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{variant}\"), \
+                             ::serde::Value::Array(::std::vec![{items}]))]),"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let bindings = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(__obj, \"{f}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{bindings}\n}})"
+            )
+        }
+        Shape::TupleStruct(0) => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::from_value(__value)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __arr = __value.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(variant, _)| {
+                    format!("\"{variant}\" => return ::std::result::Result::Ok({name}::{variant}),")
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let payload_arms = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(variant, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{variant}\" => return ::std::result::Result::Ok(\
+                             {name}::{variant}(::serde::Deserialize::from_value(__payload)?)),"
+                        )
+                    } else {
+                        let items = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "\"{variant}\" => {{\n\
+                             let __arr = __payload.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array payload\"))?;\n\
+                             if __arr.len() != {arity} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\"wrong payload arity\")); }}\n\
+                             return ::std::result::Result::Ok({name}::{variant}({items}));\n}}"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "if let ::serde::Value::Str(__s) = __value {{\n\
+                 match __s.as_str() {{\n{unit_arms}\n_ => {{}}\n}}\n}}\n\
+                 if let ::std::option::Option::Some(__obj) = __value.as_object() {{\n\
+                 if __obj.len() == 1 {{\n\
+                 let (__tag, __payload) = &__obj[0];\n\
+                 match __tag.as_str() {{\n{payload_arms}\n_ => {{}}\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"invalid value for {name}: {{}}\", __value.kind())))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,143 @@
+//! In-repo stand-in for `serde_json` (see `shims/README.md`).
+//!
+//! Provides the text encoding of the shimmed `serde::Value` tree: a
+//! recursive-descent JSON parser, compact and pretty printers, and the
+//! subset of the public API this workspace calls (`to_string_pretty`,
+//! `from_str`, `to_value`, `json!`).
+
+mod parse;
+mod print;
+
+pub use serde::Value;
+
+/// JSON (de)serialisation error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Renders any serialisable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serialises to compact JSON text.
+///
+/// # Errors
+/// Never fails in this shim; the `Result` mirrors the upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serialises to human-readable, 2-space-indented JSON text.
+///
+/// # Errors
+/// Never fails in this shim; the `Result` mirrors the upstream signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Parses JSON text into any deserialisable type.
+///
+/// # Errors
+/// Fails on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Builds a [`Value`] literal.
+///
+/// Supports `null`, array literals of expressions, object literals with
+/// string-literal keys and expression values, and bare expressions
+/// (converted via [`to_value`]). Nest objects by building inner values
+/// first and splicing them in as expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$element) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$value)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v = json!({
+            "name": "ones",
+            "gpus": 64u32,
+            "ratio": 0.25f64,
+            "flag": true,
+            "none": Value::Null,
+            "xs": vec![1u64, 2, 3]
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back.get("name").unwrap().as_str(), Some("ones"));
+        assert_eq!(back.get("gpus").unwrap().as_u64(), Some(64));
+        assert_eq!(back.get("ratio").unwrap().as_f64(), Some(0.25));
+        assert_eq!(back.get("flag").unwrap().as_bool(), Some(true));
+        assert_eq!(back.get("none"), Some(&Value::Null));
+        assert_eq!(back.get("xs").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parses_escapes_and_nested_structures() {
+        let text = r#"{"a": [1, -2, 3.5e2, "x\n\"y\" A"], "b": {"c": null}}"#;
+        let v: Value = from_str(text).unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_i64(), Some(-2));
+        assert_eq!(arr[2].as_f64(), Some(350.0));
+        assert_eq!(arr[3].as_str(), Some("x\n\"y\" A"));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("{}trailing").is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e-300, 123_456_789.123_456_78, -0.0] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
+        }
+    }
+}

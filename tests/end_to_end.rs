@@ -92,21 +92,30 @@ fn gpu_capacity_never_exceeded() {
         let total: u32 = ev
             .detail
             .split_whitespace()
-            .filter_map(|tok| tok.rsplit_once("xC").and_then(|(_, c)| c.parse::<u32>().ok()))
+            .filter_map(|tok| {
+                tok.rsplit_once("xC")
+                    .and_then(|(_, c)| c.parse::<u32>().ok())
+            })
             .sum();
-        assert!(total <= 16, "deployment uses {total} GPUs on a 16-GPU cluster");
+        assert!(
+            total <= 16,
+            "deployment uses {total} GPUs on a 16-GPU cluster"
+        );
     }
 }
 
 #[test]
 fn simulations_are_deterministic() {
-    for kind in [SchedulerKind::Ones, SchedulerKind::Drl, SchedulerKind::Tiresias] {
+    for kind in [
+        SchedulerKind::Ones,
+        SchedulerKind::Drl,
+        SchedulerKind::Tiresias,
+    ] {
         let a = run(kind, 6, 16, 11);
         let b = run(kind, 6, 16, 11);
         assert_eq!(a.makespan, b.makespan, "{kind:?} not deterministic");
-        let jct = |r: &SimResult| -> Vec<f64> {
-            r.jobs.values().map(|j| j.jct().unwrap()).collect()
-        };
+        let jct =
+            |r: &SimResult| -> Vec<f64> { r.jobs.values().map(|j| j.jct().unwrap()).collect() };
         assert_eq!(jct(&a), jct(&b), "{kind:?} JCTs differ across runs");
     }
 }
@@ -137,12 +146,19 @@ fn ones_scales_batches_above_submission() {
             }
         }
     }
-    assert!(saw_elastic, "ONES never grew any batch beyond the submitted sizes");
+    assert!(
+        saw_elastic,
+        "ONES never grew any batch beyond the submitted sizes"
+    );
 }
 
 #[test]
 fn fixed_batch_schedulers_never_change_batches() {
-    for kind in [SchedulerKind::Tiresias, SchedulerKind::Fifo, SchedulerKind::Drl] {
+    for kind in [
+        SchedulerKind::Tiresias,
+        SchedulerKind::Fifo,
+        SchedulerKind::Drl,
+    ] {
         let r = run(kind, 6, 16, 17);
         for ev in r.trace_log.of_kind("sched") {
             for tok in ev.detail.split_whitespace() {
@@ -186,7 +202,11 @@ fn elastic_overhead_is_an_order_cheaper_per_transition() {
 fn abnormal_endings_are_survived_by_every_scheduler() {
     // §2.1: some jobs are killed or crash. Schedulers and the ONES
     // predictor must survive partial, abnormal job histories.
-    for kind in [SchedulerKind::Ones, SchedulerKind::Tiresias, SchedulerKind::Drl] {
+    for kind in [
+        SchedulerKind::Ones,
+        SchedulerKind::Tiresias,
+        SchedulerKind::Drl,
+    ] {
         let trace = Trace::generate(TraceConfig {
             num_jobs: 10,
             arrival_rate: 1.0 / 15.0,
@@ -248,6 +268,10 @@ fn killed_jobs_release_their_gpus() {
     assert!(r.all_completed);
     // Every kill in the log must be followed by other jobs still making
     // progress (the cluster is not wedged on phantom allocations).
-    let kills = r.trace_log.of_kind("job").filter(|e| e.detail == "killed").count();
+    let kills = r
+        .trace_log
+        .of_kind("job")
+        .filter(|e| e.detail == "killed")
+        .count();
     assert!(kills >= 1);
 }

@@ -28,7 +28,11 @@ fn experiment(scheduler: SchedulerKind, jobs: usize, gpus: u32) -> ExperimentCon
 #[test]
 fn ones_wins_average_jct() {
     let ones = run_experiment(experiment(SchedulerKind::Ones, 25, 32));
-    for kind in [SchedulerKind::Drl, SchedulerKind::Tiresias, SchedulerKind::Optimus] {
+    for kind in [
+        SchedulerKind::Drl,
+        SchedulerKind::Tiresias,
+        SchedulerKind::Optimus,
+    ] {
         let base = run_experiment(experiment(kind, 25, 32));
         assert!(
             ones.metrics.mean_jct() < base.metrics.mean_jct(),
@@ -63,7 +67,9 @@ fn ones_queues_less_than_periodic_and_nonpreemptive() {
 #[test]
 fn figure2_shape() {
     let perf = PerfModel::new(ClusterSpec::longhorn());
-    let profile = ModelKind::ResNet50.profile().for_dataset(DatasetKind::Cifar10);
+    let profile = ModelKind::ResNet50
+        .profile()
+        .for_dataset(DatasetKind::Cifar10);
     let x = |b: u32, c: u32| {
         let p = Placement::contiguous(0, c);
         let batches = PerfModel::split_batch(&profile, b, &p).expect("fits");
@@ -71,7 +77,10 @@ fn figure2_shape() {
     };
     assert!(x(256, 8) < x(256, 4), "fixed batch must drop past the peak");
     assert!(x(2048, 8) > x(1024, 4), "elastic batch must keep scaling");
-    assert!(x(2048, 8) > 2.0 * x(256, 8), "elastic beats fixed at 8 workers");
+    assert!(
+        x(2048, 8) > 2.0 * x(256, 8),
+        "elastic beats fixed at 8 workers"
+    );
 }
 
 /// Figure 3: fixed local batch × more GPUs without LR scaling converges
