@@ -1,0 +1,129 @@
+//! Overhead bench: the `ones-obs` recorder must be close to free.
+//!
+//! Runs the end-to-end 64-GPU ONES simulation under each observability
+//! level (`off`, `counters`, `full`) and compares wall time. The budget
+//! the repo commits to is **< 5 % overhead at `full`** (spans + metrics
+//! recorded, trace exportable) relative to `off`; `counters` — the
+//! default level — should be indistinguishable from `off`. Results are
+//! written to `BENCH_observability.json` (path overridable via the
+//! `BENCH_JSON` environment variable).
+
+use ones_bench::harness::{bench_with, BenchOpts, Measurement};
+use ones_cluster::ClusterSpec;
+use ones_dlperf::PerfModel;
+use ones_simcore::DetRng;
+use ones_simulator::{SchedulerKind, SimConfig, Simulation};
+use ones_workload::{Trace, TraceConfig};
+use serde_json::Value;
+
+const GPUS: u32 = 64;
+const JOBS: usize = 24;
+const BUDGET_PCT: f64 = 5.0;
+
+fn run_once(trace: &Trace, spec: ClusterSpec) -> f64 {
+    let scheduler = SchedulerKind::Ones.build(&spec, trace, &DetRng::seed(3));
+    let sim = Simulation::new(PerfModel::new(spec), trace, scheduler, SimConfig::default());
+    let makespan = sim.run().makespan;
+    // Keep memory bounded across iterations; at `full` this discard is
+    // part of the cost a real caller pays between runs.
+    ones_obs::clear_spans();
+    makespan
+}
+
+fn measure(level: ones_obs::ObsLevel, trace: &Trace, spec: ClusterSpec) -> Measurement {
+    ones_obs::set_level(level);
+    ones_obs::reset();
+    // One full simulation per iteration: target 1 ns so calibration
+    // settles on a single iteration per sample.
+    let opts = BenchOpts {
+        samples: 5,
+        target_sample_nanos: 1,
+        warmup: 1,
+    };
+    bench_with(
+        opts,
+        &format!("{GPUS}gpu_{JOBS}jobs/{}", level.name()),
+        || run_once(trace, spec),
+    )
+}
+
+fn main() {
+    let trace = Trace::generate(TraceConfig {
+        num_jobs: JOBS,
+        arrival_rate: 1.0 / 10.0,
+        seed: 7,
+        kill_fraction: 0.0,
+    });
+    let spec = ClusterSpec::longhorn_subset(GPUS);
+
+    ones_bench::print_header("observability_overhead_64gpu");
+    let levels = [
+        ones_obs::ObsLevel::Off,
+        ones_obs::ObsLevel::Counters,
+        ones_obs::ObsLevel::Full,
+    ];
+    let results: Vec<(ones_obs::ObsLevel, Measurement)> = levels
+        .iter()
+        .map(|&level| (level, measure(level, &trace, spec)))
+        .collect();
+    ones_obs::set_level(ones_obs::ObsLevel::Counters);
+
+    let off_ns = results[0].1.median_ns();
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    let mut full_overhead_pct = 0.0;
+    for (level, m) in &results {
+        m.print();
+        let overhead_pct = 100.0 * (m.median_ns() - off_ns) / off_ns;
+        if *level == ones_obs::ObsLevel::Full {
+            full_overhead_pct = overhead_pct;
+        }
+        println!("    overhead vs off: {overhead_pct:+.2}%");
+        entries.push((
+            level.name().to_string(),
+            Value::Object(vec![
+                (
+                    "median_ns".to_string(),
+                    serde_json::to_value(&m.median_ns()),
+                ),
+                ("mean_ns".to_string(), serde_json::to_value(&m.mean_ns())),
+                ("min_ns".to_string(), serde_json::to_value(&m.min_ns())),
+                (
+                    "overhead_vs_off_pct".to_string(),
+                    serde_json::to_value(&overhead_pct),
+                ),
+            ]),
+        ));
+    }
+    let within_budget = full_overhead_pct < BUDGET_PCT;
+    println!(
+        "  full-level overhead {full_overhead_pct:+.2}% vs budget {BUDGET_PCT:.0}%: {}",
+        if within_budget { "PASS" } else { "FAIL" }
+    );
+
+    let report = Value::Object(vec![
+        (
+            "bench".to_string(),
+            serde_json::to_value("observability_overhead"),
+        ),
+        ("gpus".to_string(), serde_json::to_value(&u64::from(GPUS))),
+        ("jobs".to_string(), serde_json::to_value(&(JOBS as u64))),
+        ("levels".to_string(), Value::Object(entries)),
+        (
+            "full_overhead_pct".to_string(),
+            serde_json::to_value(&full_overhead_pct),
+        ),
+        ("budget_pct".to_string(), serde_json::to_value(&BUDGET_PCT)),
+        (
+            "within_budget".to_string(),
+            serde_json::to_value(&within_budget),
+        ),
+    ]);
+    let path =
+        std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_observability.json".to_string());
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialisable"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nresults written to {path}");
+}

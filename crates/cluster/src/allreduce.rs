@@ -18,6 +18,18 @@
 use crate::placement::Placement;
 use crate::topology::ClusterSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::LazyLock;
+
+// Model-evaluation counters (DESIGN.md §5). Handles are interned once;
+// each evaluation pays a single gated relaxed-atomic increment, cheap
+// enough for the evolutionary scoring hot loop that calls these models
+// thousands of times per generation.
+static RING_EVALS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("cluster.allreduce.ring_evals"));
+static TREE_EVALS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("cluster.allreduce.tree_evals"));
+static BROADCAST_EVALS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("cluster.allreduce.broadcast_evals"));
 
 /// All-reduce cost model bound to a cluster fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,6 +62,7 @@ impl AllReduceModel {
     /// modelled as a pipelined chain transfer.
     #[must_use]
     pub fn broadcast_time(&self, placement: &Placement, bytes: f64) -> f64 {
+        BROADCAST_EVALS.inc();
         let n = placement.len();
         if n <= 1 || bytes <= 0.0 {
             return 0.0;
@@ -85,6 +98,7 @@ impl AllReduceModel {
 #[must_use]
 pub fn tree_allreduce_time(spec: &ClusterSpec, placement: &Placement, bytes: f64) -> f64 {
     assert!(bytes >= 0.0, "negative message size");
+    TREE_EVALS.inc();
     let n = placement.len();
     if n <= 1 || bytes == 0.0 {
         return 0.0;
@@ -122,6 +136,7 @@ fn bottleneck(spec: &ClusterSpec, placement: &Placement) -> (f64, f64) {
 #[must_use]
 pub fn allreduce_time(spec: &ClusterSpec, placement: &Placement, bytes: f64) -> f64 {
     assert!(bytes >= 0.0, "negative message size");
+    RING_EVALS.inc();
     let n = placement.len();
     if n <= 1 || bytes == 0.0 {
         return 0.0;

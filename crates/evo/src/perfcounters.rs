@@ -7,6 +7,27 @@
 //! diagnostics only — wall times come from [`std::time::Instant`] and are
 //! excluded from any determinism guarantee.
 
+use std::sync::LazyLock;
+
+// Registry mirrors of the per-search counters (DESIGN.md §5). Every
+// generation forwards its deltas here, so [`EvoPerfCounters::from_registry`]
+// is a process-wide view over the same numbers the per-search struct
+// accumulates locally.
+static REG_GENERATIONS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("evo.search.generations"));
+static REG_SCORED: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("evo.search.candidates_scored"));
+static REG_CACHE_HITS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("evo.search.cache_hits"));
+static REG_CACHE_MISSES: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("evo.search.cache_misses"));
+static REG_REFRESH_NANOS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("evo.search.refresh_nanos"));
+static REG_DERIVE_NANOS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("evo.search.derive_nanos"));
+static REG_SCORE_NANOS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("evo.search.score_nanos"));
+
 /// Counters accumulated by
 /// [`EvolutionarySearch`](crate::search::EvolutionarySearch) across every
 /// generation it has run.
@@ -45,6 +66,34 @@ impl EvoPerfCounters {
     #[must_use]
     pub fn total_nanos(&self) -> u64 {
         self.refresh_nanos + self.derive_nanos + self.score_nanos
+    }
+
+    /// Forwards the counter increments accumulated since `before` into the
+    /// `evo.search.*` metrics registry.
+    pub(crate) fn forward_delta_to_registry(&self, before: &EvoPerfCounters) {
+        REG_GENERATIONS.add(self.generations - before.generations);
+        REG_SCORED.add(self.candidates_scored - before.candidates_scored);
+        REG_CACHE_HITS.add(self.cache_hits - before.cache_hits);
+        REG_CACHE_MISSES.add(self.cache_misses - before.cache_misses);
+        REG_REFRESH_NANOS.add(self.refresh_nanos - before.refresh_nanos);
+        REG_DERIVE_NANOS.add(self.derive_nanos - before.derive_nanos);
+        REG_SCORE_NANOS.add(self.score_nanos - before.score_nanos);
+    }
+
+    /// The process-wide view of the same counters, read back from the
+    /// `evo.search.*` registry keys: totals across every search that ran
+    /// in this process (one scheduler's local counters are a lower bound).
+    #[must_use]
+    pub fn from_registry() -> EvoPerfCounters {
+        EvoPerfCounters {
+            generations: REG_GENERATIONS.value(),
+            candidates_scored: REG_SCORED.value(),
+            cache_hits: REG_CACHE_HITS.value(),
+            cache_misses: REG_CACHE_MISSES.value(),
+            refresh_nanos: REG_REFRESH_NANOS.value(),
+            derive_nanos: REG_DERIVE_NANOS.value(),
+            score_nanos: REG_SCORE_NANOS.value(),
+        }
     }
 }
 

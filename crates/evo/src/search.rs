@@ -163,7 +163,10 @@ impl EvolutionarySearch {
             return Schedule::empty(gpus);
         }
         self.generations += 1;
+        let counters_before = self.counters;
         self.counters.generations += 1;
+        let mut gen_span = ones_obs::span!("evo", "generation");
+        gen_span.arg("generation", self.generations);
 
         // Generation-scoped throughput memoisation: the view is frozen for
         // the duration of this call, so every (job, placement, batches)
@@ -277,6 +280,8 @@ impl EvolutionarySearch {
             self.counters.cache_hits += cache.hits();
             self.counters.cache_misses += cache.misses();
         }
+        gen_span.arg("pool", pool.len());
+        self.counters.forward_delta_to_registry(&counters_before);
         let best = pool[order[0]].clone();
         self.population = order
             .into_iter()

@@ -1,0 +1,235 @@
+//! Sinks: Chrome-trace-format JSON (Perfetto / `chrome://tracing`) and a
+//! JSONL metrics snapshot.
+//!
+//! Both formats are hand-rolled so this crate stays zero-dependency; the
+//! round-trip tests in `tests/roundtrip.rs` parse them back with the
+//! serde_json shim to keep the output honest.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::metrics::{snapshot, MetricValue};
+use crate::span::{spans_snapshot, ArgValue, Clock, SpanEvent};
+
+/// Failure to write a sink file.
+#[derive(Debug)]
+pub struct ExportError {
+    /// Destination that failed.
+    pub path: std::path::PathBuf,
+    /// Underlying io error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failed to write {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an f64 as a JSON number (non-finite values, which JSON cannot
+/// represent, become 0).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, key);
+        out.push(':');
+        match value {
+            ArgValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgValue::F64(x) => push_json_f64(out, *x),
+            ArgValue::Str(s) => push_json_str(out, s),
+        }
+    }
+    out.push('}');
+}
+
+fn push_trace_event(out: &mut String, event: &SpanEvent) {
+    let pid = match event.clock {
+        Clock::Wall => 0,
+        Clock::Virtual => 1,
+    };
+    out.push_str("{\"name\":");
+    push_json_str(out, event.name);
+    out.push_str(",\"cat\":");
+    push_json_str(out, event.cat);
+    match event.dur_us {
+        Some(dur) => {
+            out.push_str(",\"ph\":\"X\",\"ts\":");
+            push_json_f64(out, event.ts_us);
+            out.push_str(",\"dur\":");
+            push_json_f64(out, dur);
+        }
+        None => {
+            // Instant events need a scope; "t" = thread-scoped tick mark.
+            out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+            push_json_f64(out, event.ts_us);
+        }
+    }
+    let _ = write!(out, ",\"pid\":{pid},\"tid\":{}", event.tid);
+    out.push_str(",\"args\":");
+    push_args(out, &event.args);
+    out.push('}');
+}
+
+/// Serialises every recorded span as Chrome-trace-format JSON:
+/// `{"traceEvents":[...]}` with `ph:"X"` duration events (`name`, `cat`,
+/// `ts`, `dur` in microseconds), `ph:"i"` instants, and `ph:"M"` metadata
+/// naming pid 0 "wall clock" and pid 1 "virtual clock (simulated)". Load
+/// the file in <https://ui.perfetto.dev> or `chrome://tracing`.
+#[must_use]
+pub fn chrome_trace_json() -> String {
+    let spans = spans_snapshot();
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"wall clock\"}},",
+    );
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"virtual clock (simulated)\"}}",
+    );
+    for event in &spans {
+        out.push(',');
+        push_trace_event(&mut out, event);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serialises the current metric registry as JSONL: one JSON object per
+/// line, in key order. Counters and gauges carry `value`; histograms carry
+/// `count`/`sum`/`min`/`max`/`p50`/`p95`/`p99`.
+#[must_use]
+pub fn metrics_jsonl() -> String {
+    let mut out = String::new();
+    for sample in snapshot() {
+        out.push_str("{\"key\":");
+        push_json_str(&mut out, sample.key);
+        match &sample.value {
+            MetricValue::Counter(n) => {
+                let _ = write!(out, ",\"type\":\"counter\",\"value\":{n}");
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(",\"type\":\"gauge\",\"value\":");
+                push_json_f64(&mut out, *v);
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(out, ",\"type\":\"histogram\",\"count\":{}", h.count);
+                for (field, v) in [
+                    ("sum", h.sum),
+                    ("min", h.min),
+                    ("max", h.max),
+                    ("p50", h.p50),
+                    ("p95", h.p95),
+                    ("p99", h.p99),
+                ] {
+                    let _ = write!(out, ",\"{field}\":");
+                    push_json_f64(&mut out, v);
+                }
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn write_file(path: &Path, contents: &str) -> Result<(), ExportError> {
+    std::fs::write(path, contents).map_err(|source| ExportError {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Writes [`chrome_trace_json`] to `path`.
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> Result<(), ExportError> {
+    write_file(path.as_ref(), &chrome_trace_json())
+}
+
+/// Writes [`metrics_jsonl`] to `path`.
+pub fn write_metrics_jsonl(path: impl AsRef<Path>) -> Result<(), ExportError> {
+    write_file(path.as_ref(), &metrics_jsonl())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_zero() {
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_json_f64(&mut out, f64::INFINITY);
+        out.push(',');
+        push_json_f64(&mut out, 2.5);
+        assert_eq!(out, "0,0,2.5");
+    }
+
+    #[test]
+    fn empty_trace_still_has_metadata() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        crate::reset();
+        let json = chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("process_name").count(), 2);
+    }
+
+    #[test]
+    fn export_error_reports_path() {
+        let err = write_chrome_trace("/nonexistent-dir-for-obs-test/trace.json").unwrap_err();
+        assert!(err.to_string().contains("/nonexistent-dir-for-obs-test"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,174 @@
+//! # ones-obs — unified tracing + metrics for the ONES reproduction
+//!
+//! Every runtime crate (simulator, scheduler, evolutionary search,
+//! predictor, all-reduce model) reports into one process-global recorder,
+//! replacing the fragmented introspection that used to live in ad-hoc
+//! counters. Three pieces:
+//!
+//! * **Spans** ([`span`], [`ScopedSpan`], [`virtual_span`]) — named,
+//!   categorised intervals in *wall* time (host-side cost of a scheduling
+//!   round, a search generation, a predictor refit) or *virtual* time (a
+//!   job's training epoch on the simulated clock). Nestable and
+//!   thread-safe; recording order never feeds back into scheduling, so
+//!   traces are pure observation.
+//! * **Metrics** ([`counter`], [`gauge`], [`histogram`]) — a registry of
+//!   monotonic counters, f64 gauges and fixed-bucket histograms (with
+//!   p50/p95/p99 extraction), addressed by static string keys following
+//!   the `<crate>.<subsystem>.<name>` convention (DESIGN.md §5).
+//! * **Sinks** — the in-memory recorder exports Chrome-trace-format JSON
+//!   ([`chrome_trace_json`], loadable in Perfetto / `chrome://tracing`)
+//!   and a JSONL metrics snapshot ([`metrics_jsonl`]).
+//!
+//! ## Verbosity
+//!
+//! A process-global [`ObsLevel`] gates all recording:
+//!
+//! | level      | counters/gauges/histograms | spans |
+//! |------------|----------------------------|-------|
+//! | `Off`      | no                         | no    |
+//! | `Counters` | yes                        | no    |
+//! | `Full`     | yes                        | yes   |
+//!
+//! The default is `Counters`. Disabled operations cost one relaxed atomic
+//! load; the determinism property (identical schedules with observability
+//! on or off) is enforced by `crates/simulator/tests/obs_determinism.rs`
+//! and the `--obs full` overhead is bounded by the `observability` bench.
+//!
+//! The recorder is process-global (like `tracing`'s subscriber): two
+//! simulations running concurrently in one process interleave their
+//! events. Call [`reset`] between runs that must not share state.
+
+mod export;
+mod metrics;
+mod span;
+
+pub use export::{
+    chrome_trace_json, metrics_jsonl, write_chrome_trace, write_metrics_jsonl, ExportError,
+};
+pub use metrics::{
+    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricSample, MetricValue,
+};
+pub use span::{
+    clear_spans, span, span_tid, spans_snapshot, virtual_instant, virtual_span, ArgValue, Clock,
+    ScopedSpan, SpanEvent,
+};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Observability verbosity (see the crate docs table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ObsLevel {
+    /// Record nothing.
+    Off = 0,
+    /// Record metrics (counters, gauges, histograms) but no spans.
+    Counters = 1,
+    /// Record metrics and spans.
+    Full = 2,
+}
+
+impl ObsLevel {
+    /// Parses the CLI spelling (`off` / `counters` / `full`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ObsLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(ObsLevel::Off),
+            "counters" => Some(ObsLevel::Counters),
+            "full" => Some(ObsLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Counters => "counters",
+            ObsLevel::Full => "full",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(ObsLevel::Counters as u8);
+
+/// Sets the process-global verbosity.
+pub fn set_level(level: ObsLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global verbosity.
+#[must_use]
+pub fn level() -> ObsLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => ObsLevel::Off,
+        1 => ObsLevel::Counters,
+        _ => ObsLevel::Full,
+    }
+}
+
+/// Whether metric recording is enabled (`Counters` or `Full`).
+#[inline]
+#[must_use]
+pub fn counters_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= ObsLevel::Counters as u8
+}
+
+/// Whether span recording is enabled (`Full`).
+#[inline]
+#[must_use]
+pub fn spans_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= ObsLevel::Full as u8
+}
+
+/// Clears all recorded spans and zeroes every registered metric. Handles
+/// returned by [`counter`]/[`gauge`]/[`histogram`] stay valid — the
+/// registry keeps its keys, only the values reset.
+pub fn reset() {
+    span::clear_spans();
+    metrics::reset_metrics();
+}
+
+/// Opens a wall-time span guard; recorded on drop. See [`span`].
+///
+/// ```
+/// let _g = ones_obs::span!("evo", "generation");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($cat:expr, $name:expr) => {
+        $crate::span($name, $cat)
+    };
+    ($cat:expr, $name:expr, tid = $tid:expr) => {
+        $crate::span_tid($name, $cat, $tid)
+    };
+}
+
+/// Serialises tests that flip the process-global level (the cargo test
+/// harness runs tests of one binary on concurrent threads).
+#[cfg(test)]
+pub(crate) static TEST_LEVEL_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+pub(crate) fn test_level_lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LEVEL_GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_and_round_trips() {
+        for l in [ObsLevel::Off, ObsLevel::Counters, ObsLevel::Full] {
+            assert_eq!(ObsLevel::parse(l.name()), Some(l));
+        }
+        assert_eq!(ObsLevel::parse("FULL"), Some(ObsLevel::Full));
+        assert_eq!(ObsLevel::parse("verbose"), None);
+        assert!(ObsLevel::Off < ObsLevel::Counters);
+        assert!(ObsLevel::Counters < ObsLevel::Full);
+    }
+}

@@ -1,0 +1,420 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms
+//! addressed by static string keys.
+//!
+//! Handles are interned on first use and live for the process lifetime
+//! (`&'static`), so hot paths can cache them in a `LazyLock`/`OnceLock`
+//! and pay one relaxed atomic per update. Keys follow the
+//! `<crate>.<subsystem>.<name>` convention documented in DESIGN.md §5.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` (no-op while the level is `Off`).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::counters_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins f64 gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge (no-op while the level is `Off`).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::counters_enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default histogram bucket upper bounds: a 1–2–5 ladder from 0.1 to 1e8,
+/// sized for microsecond-denominated latencies (0.1 µs … 100 s) but
+/// unit-agnostic.
+pub const DEFAULT_BOUNDS: [f64; 28] = [
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4,
+    5e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8,
+];
+
+#[derive(Debug, Clone)]
+struct HistState {
+    /// `counts[i]` observations fell in `(bounds[i-1], bounds[i]]`; the
+    /// final slot is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A fixed-bucket histogram with quantile extraction.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    state: Mutex<HistState>,
+}
+
+/// A point-in-time copy of a histogram's aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Estimated 50th percentile.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds,
+            state: Mutex::new(HistState {
+                counts: vec![0; bounds.len() + 1],
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            }),
+        }
+    }
+
+    /// Records one observation (no-op while the level is `Off`; NaN is
+    /// dropped — it has no bucket).
+    pub fn observe(&self, v: f64) {
+        if !crate::counters_enabled() || v.is_nan() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        let mut s = self.state.lock().expect("histogram poisoned");
+        s.counts[idx] += 1;
+        s.count += 1;
+        s.sum += v;
+        s.min = s.min.min(v);
+        s.max = s.max.max(v);
+    }
+
+    /// Observation count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.state.lock().expect("histogram poisoned").count
+    }
+
+    /// Aggregates and p50/p95/p99 estimates. Quantiles interpolate within
+    /// the containing bucket, clamped to the observed min/max.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let s = self.state.lock().expect("histogram poisoned").clone();
+        let quantile = |q: f64| -> f64 {
+            if s.count == 0 {
+                return 0.0;
+            }
+            let target = q * s.count as f64;
+            let mut seen = 0.0;
+            for (i, &c) in s.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let next = seen + c as f64;
+                if next >= target {
+                    let lo = if i == 0 { s.min } else { self.bounds[i - 1] };
+                    let hi = if i == self.bounds.len() {
+                        s.max
+                    } else {
+                        self.bounds[i]
+                    };
+                    let frac = ((target - seen) / c as f64).clamp(0.0, 1.0);
+                    return (lo + frac * (hi - lo)).clamp(s.min, s.max);
+                }
+                seen = next;
+            }
+            s.max
+        };
+        HistogramSnapshot {
+            count: s.count,
+            sum: s.sum,
+            min: if s.count == 0 { 0.0 } else { s.min },
+            max: if s.count == 0 { 0.0 } else { s.max },
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+
+    fn reset(&self) {
+        let mut s = self.state.lock().expect("histogram poisoned");
+        s.counts.iter_mut().for_each(|c| *c = 0);
+        s.count = 0;
+        s.sum = 0.0;
+        s.min = f64::INFINITY;
+        s.max = f64::NEG_INFINITY;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Handle {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, Handle>> = Mutex::new(BTreeMap::new());
+
+/// Interns the counter registered under `key`.
+///
+/// # Panics
+/// Panics if `key` is already registered as a different metric kind.
+#[must_use]
+pub fn counter(key: &'static str) -> &'static Counter {
+    let handle = {
+        let mut reg = REGISTRY.lock().expect("metric registry poisoned");
+        *reg.entry(key).or_insert_with(|| {
+            Handle::Counter(Box::leak(Box::new(Counter {
+                value: AtomicU64::new(0),
+            })))
+        })
+    };
+    match handle {
+        Handle::Counter(c) => c,
+        _ => panic!("metric key `{key}` is not a counter"),
+    }
+}
+
+/// Interns the gauge registered under `key`.
+///
+/// # Panics
+/// Panics if `key` is already registered as a different metric kind.
+#[must_use]
+pub fn gauge(key: &'static str) -> &'static Gauge {
+    let handle = {
+        let mut reg = REGISTRY.lock().expect("metric registry poisoned");
+        *reg.entry(key).or_insert_with(|| {
+            Handle::Gauge(Box::leak(Box::new(Gauge {
+                bits: AtomicU64::new(0.0f64.to_bits()),
+            })))
+        })
+    };
+    match handle {
+        Handle::Gauge(g) => g,
+        _ => panic!("metric key `{key}` is not a gauge"),
+    }
+}
+
+/// Interns the histogram registered under `key` (default 1–2–5 buckets).
+///
+/// # Panics
+/// Panics if `key` is already registered as a different metric kind.
+#[must_use]
+pub fn histogram(key: &'static str) -> &'static Histogram {
+    let handle = {
+        let mut reg = REGISTRY.lock().expect("metric registry poisoned");
+        *reg.entry(key).or_insert_with(|| {
+            Handle::Histogram(Box::leak(Box::new(Histogram::new(&DEFAULT_BOUNDS))))
+        })
+    };
+    match handle {
+        Handle::Histogram(h) => h,
+        _ => panic!("metric key `{key}` is not a histogram"),
+    }
+}
+
+pub(crate) fn reset_metrics() {
+    let reg = REGISTRY.lock().expect("metric registry poisoned");
+    for handle in reg.values() {
+        match handle {
+            Handle::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            Handle::Gauge(g) => g.bits.store(0.0f64.to_bits(), Ordering::Relaxed),
+            Handle::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// The value part of a [`MetricSample`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram aggregates.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric's key and current value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Registered key (`<crate>.<subsystem>.<name>`).
+    pub key: &'static str,
+    /// Current reading.
+    pub value: MetricValue,
+}
+
+/// A point-in-time reading of every registered metric, in key order.
+#[must_use]
+pub fn snapshot() -> Vec<MetricSample> {
+    let reg = REGISTRY.lock().expect("metric registry poisoned");
+    reg.iter()
+        .map(|(key, handle)| MetricSample {
+            key,
+            value: match handle {
+                Handle::Counter(c) => MetricValue::Counter(c.value()),
+                Handle::Gauge(g) => MetricValue::Gauge(g.value()),
+                Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        let c = counter("obs.test.counter");
+        let before = c.value();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), before + 5);
+        assert!(std::ptr::eq(c, counter("obs.test.counter")));
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        let g = gauge("obs.test.gauge");
+        g.set(2.5);
+        assert_eq!(g.value(), 2.5);
+        g.set(-1.0);
+        assert_eq!(g.value(), -1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        let h = histogram("obs.test.hist");
+        h.reset();
+        for i in 1..=1000u32 {
+            h.observe(f64::from(i));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert!(s.p50 > 300.0 && s.p50 < 700.0, "p50 {}", s.p50);
+        assert!(s.p99 > 800.0 && s.p99 <= 1000.0, "p99 {}", s.p99);
+        assert!((s.sum - 500_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        let h = histogram("obs.test.hist_empty");
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max, s.p50),
+            (0, 0.0, 0.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn off_level_drops_updates() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        let c = counter("obs.test.off_counter");
+        let h = histogram("obs.test.off_hist");
+        let g = gauge("obs.test.off_gauge");
+        h.reset();
+        let base = c.value();
+        crate::set_level(crate::ObsLevel::Off);
+        c.inc();
+        g.set(9.0);
+        h.observe(1.0);
+        crate::set_level(crate::ObsLevel::Counters);
+        assert_eq!(c.value(), base);
+        assert_eq!(g.value(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        let _ = counter("obs.test.kind_clash");
+        let _ = gauge("obs.test.kind_clash");
+    }
+
+    #[test]
+    fn nan_observations_are_dropped() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        let h = histogram("obs.test.nan");
+        h.reset();
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_lists_keys_in_order() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        let _ = counter("obs.test.a");
+        let _ = counter("obs.test.b");
+        let snap = snapshot();
+        let keys: Vec<&str> = snap.iter().map(|s| s.key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert!(keys.contains(&"obs.test.a"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The span API: named, categorised intervals on the wall or virtual clock.
+//!
+//! Wall-time spans are opened with [`span`] and measured with
+//! [`std::time::Instant`] against a process-global epoch; they record on
+//! drop, so nesting falls out of scope nesting. Virtual-time spans
+//! ([`virtual_span`]) are recorded after the fact from simulated
+//! timestamps — the simulator knows a segment's start and end in `SimTime`
+//! only once it closes.
+//!
+//! In the Chrome-trace export the two clocks become two processes
+//! (`pid 0` = wall, `pid 1` = virtual) so Perfetto renders them as
+//! separate tracks instead of interleaving nanosecond-scale host costs
+//! with second-scale simulated intervals.
+
+use std::sync::{LazyLock, Mutex};
+use std::time::Instant;
+
+/// Which clock a span's timestamps live on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Host wall time, microseconds since the process-global epoch.
+    Wall,
+    /// Simulated virtual time, microseconds since simulation start.
+    Virtual,
+}
+
+/// A typed span/instant argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument.
+    U64(u64),
+    /// Floating-point argument.
+    F64(f64),
+    /// String argument.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One recorded span (duration event) or instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name (`name` in the Chrome-trace event).
+    pub name: &'static str,
+    /// Category, by convention the reporting crate (`cat`).
+    pub cat: &'static str,
+    /// Clock the timestamps live on (exported as the `pid`).
+    pub clock: Clock,
+    /// Track within the clock (exported as the `tid`; the simulator uses
+    /// job ids so every job gets its own Perfetto row).
+    pub tid: u64,
+    /// Start, microseconds on `clock`.
+    pub ts_us: f64,
+    /// Duration, microseconds; `None` marks an instant event.
+    pub dur_us: Option<f64>,
+    /// Attached key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Spans kept in memory before a runaway run starts dropping (a 64-GPU
+/// sweep records well under a million).
+const MAX_SPANS: usize = 4_000_000;
+
+static SPANS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+static EPOCH: LazyLock<Instant> = LazyLock::new(Instant::now);
+
+/// Microseconds of wall time since the process-global epoch.
+#[must_use]
+pub(crate) fn wall_ts_us() -> f64 {
+    EPOCH.elapsed().as_nanos() as f64 / 1e3
+}
+
+fn push(event: SpanEvent) {
+    let mut spans = SPANS.lock().expect("span sink poisoned");
+    if spans.len() < MAX_SPANS {
+        spans.push(event);
+    } else {
+        crate::counter("obs.recorder.dropped_spans").add(1);
+    }
+}
+
+/// Discards every recorded span while keeping metrics and the level
+/// intact — e.g. between benchmark iterations, or after exporting a
+/// trace, to bound the recorder's memory.
+pub fn clear_spans() {
+    SPANS.lock().expect("span sink poisoned").clear();
+}
+
+/// A copy of every recorded span, in recording order.
+#[must_use]
+pub fn spans_snapshot() -> Vec<SpanEvent> {
+    SPANS.lock().expect("span sink poisoned").clone()
+}
+
+/// An open wall-time span; records itself on drop. A guard created while
+/// spans are disabled is inert — every method is a no-op.
+#[derive(Debug)]
+pub struct ScopedSpan {
+    active: Option<OpenSpan>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    cat: &'static str,
+    tid: u64,
+    start_ts_us: f64,
+    started: Instant,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl ScopedSpan {
+    /// Attaches a key/value argument (no-op when inert).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(open) = &mut self.active {
+            open.args.push((key, value.into()));
+        }
+    }
+
+    /// Builder-style [`ScopedSpan::arg`].
+    #[must_use]
+    pub fn with_arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.arg(key, value);
+        self
+    }
+
+    /// Whether this guard is live (spans were enabled at creation).
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for ScopedSpan {
+    fn drop(&mut self) {
+        let Some(open) = self.active.take() else {
+            return;
+        };
+        push(SpanEvent {
+            name: open.name,
+            cat: open.cat,
+            clock: Clock::Wall,
+            tid: open.tid,
+            ts_us: open.start_ts_us,
+            dur_us: Some(open.started.elapsed().as_nanos() as f64 / 1e3),
+            args: open.args,
+        });
+    }
+}
+
+/// Opens a wall-time span on track 0; see also the [`span!`](crate::span!)
+/// macro.
+#[must_use]
+pub fn span(name: &'static str, cat: &'static str) -> ScopedSpan {
+    span_tid(name, cat, 0)
+}
+
+/// Opens a wall-time span on an explicit track.
+#[must_use]
+pub fn span_tid(name: &'static str, cat: &'static str, tid: u64) -> ScopedSpan {
+    if !crate::spans_enabled() {
+        return ScopedSpan { active: None };
+    }
+    ScopedSpan {
+        active: Some(OpenSpan {
+            name,
+            cat,
+            tid,
+            start_ts_us: wall_ts_us(),
+            started: Instant::now(),
+            args: Vec::new(),
+        }),
+    }
+}
+
+/// Records a closed interval on the virtual clock (seconds of simulated
+/// time). Degenerate intervals (`end <= start`) are clamped to zero
+/// duration rather than dropped, so causality stays visible in the trace.
+pub fn virtual_span(
+    name: &'static str,
+    cat: &'static str,
+    tid: u64,
+    start_secs: f64,
+    end_secs: f64,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if !crate::spans_enabled() {
+        return;
+    }
+    push(SpanEvent {
+        name,
+        cat,
+        clock: Clock::Virtual,
+        tid,
+        ts_us: start_secs * 1e6,
+        dur_us: Some(((end_secs - start_secs) * 1e6).max(0.0)),
+        args,
+    });
+}
+
+/// Records an instant on the virtual clock.
+pub fn virtual_instant(
+    name: &'static str,
+    cat: &'static str,
+    tid: u64,
+    at_secs: f64,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if !crate::spans_enabled() {
+        return;
+    }
+    push(SpanEvent {
+        name,
+        cat,
+        clock: Clock::Virtual,
+        tid,
+        ts_us: at_secs * 1e6,
+        dur_us: None,
+        args,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsLevel;
+
+    #[test]
+    fn scoped_span_records_on_drop() {
+        let _g = crate::test_level_lock();
+        crate::set_level(ObsLevel::Full);
+        clear_spans();
+        {
+            let mut s = span("unit", "obs.test");
+            s.arg("k", 7u64);
+            std::hint::black_box(&s);
+        }
+        let spans = spans_snapshot();
+        crate::set_level(ObsLevel::Counters);
+        assert_eq!(spans.len(), 1);
+        let e = &spans[0];
+        assert_eq!(
+            (e.name, e.cat, e.clock, e.tid),
+            ("unit", "obs.test", Clock::Wall, 0)
+        );
+        assert!(e.dur_us.unwrap() >= 0.0);
+        assert_eq!(e.args, vec![("k", ArgValue::U64(7))]);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = crate::test_level_lock();
+        crate::set_level(ObsLevel::Counters);
+        clear_spans();
+        {
+            let mut s = span("never", "obs.test");
+            assert!(!s.is_recording());
+            s.arg("ignored", 1u64);
+        }
+        virtual_span("never", "obs.test", 0, 0.0, 1.0, Vec::new());
+        assert!(spans_snapshot().is_empty());
+    }
+
+    #[test]
+    fn virtual_span_clamps_degenerate_intervals() {
+        let _g = crate::test_level_lock();
+        crate::set_level(ObsLevel::Full);
+        clear_spans();
+        virtual_span("seg", "obs.test", 3, 5.0, 4.0, Vec::new());
+        virtual_instant("mark", "obs.test", 3, 6.0, Vec::new());
+        let spans = spans_snapshot();
+        crate::set_level(ObsLevel::Counters);
+        assert_eq!(spans[0].dur_us, Some(0.0));
+        assert_eq!(spans[0].ts_us, 5.0e6);
+        assert_eq!(spans[1].dur_us, None);
+        assert_eq!(spans[1].clock, Clock::Virtual);
+    }
+}

@@ -1,0 +1,171 @@
+//! Round-trip tests: the hand-rolled Chrome-trace and JSONL exports must
+//! parse back through the serde_json shim with the recorded values intact.
+//!
+//! These run in their own process (integration test binary), so flipping
+//! the process-global level here cannot disturb other test binaries.
+
+use serde_json::Value;
+use std::sync::Mutex;
+
+// The three tests share the process-global recorder; serialise them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn recorded_fixture() {
+    ones_obs::set_level(ones_obs::ObsLevel::Full);
+    ones_obs::reset();
+    ones_obs::counter("test.fixture.counter").add(42);
+    ones_obs::gauge("test.fixture.gauge").set(-2.5);
+    let h = ones_obs::histogram("test.fixture.hist");
+    for v in [1.0, 2.0, 3.0, 4.0] {
+        h.observe(v);
+    }
+    {
+        let _s = ones_obs::span!("simulator", "outer")
+            .with_arg("n", 7u64)
+            .with_arg("label", "a \"quoted\" value")
+            .with_arg("x", 0.5f64);
+    }
+    ones_obs::virtual_span(
+        "epoch",
+        "simulator",
+        3,
+        10.0,
+        12.5,
+        vec![("batch", 256u64.into())],
+    );
+    ones_obs::virtual_instant("deploy", "simulator", 0, 11.0, vec![]);
+}
+
+#[test]
+fn chrome_trace_round_trips_through_serde_json() {
+    let _g = lock();
+    recorded_fixture();
+    let json = ones_obs::chrome_trace_json();
+    let value: Value = serde_json::from_str(&json).expect("valid JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+
+    // Two process_name metadata records label the clocks.
+    let meta: Vec<&Value> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+        .collect();
+    assert_eq!(meta.len(), 2);
+    assert!(meta.iter().any(|m| {
+        m.get("pid").and_then(Value::as_u64) == Some(1)
+            && m.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .is_some_and(|n| n.contains("virtual"))
+    }));
+
+    // The wall span with its escaped string argument.
+    let outer = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("outer"))
+        .expect("outer span exported");
+    assert_eq!(outer.get("ph").and_then(Value::as_str), Some("X"));
+    assert_eq!(outer.get("cat").and_then(Value::as_str), Some("simulator"));
+    assert_eq!(outer.get("pid").and_then(Value::as_u64), Some(0));
+    assert!(outer.get("ts").and_then(Value::as_f64).is_some());
+    assert!(outer.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
+    let args = outer.get("args").expect("args object");
+    assert_eq!(args.get("n").and_then(Value::as_u64), Some(7));
+    assert_eq!(
+        args.get("label").and_then(Value::as_str),
+        Some("a \"quoted\" value")
+    );
+    assert_eq!(args.get("x").and_then(Value::as_f64), Some(0.5));
+
+    // The virtual span lands on pid 1 / tid 3 with µs timestamps.
+    let epoch = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("epoch"))
+        .expect("epoch span exported");
+    assert_eq!(epoch.get("pid").and_then(Value::as_u64), Some(1));
+    assert_eq!(epoch.get("tid").and_then(Value::as_u64), Some(3));
+    assert_eq!(epoch.get("ts").and_then(Value::as_f64), Some(10.0e6));
+    assert_eq!(epoch.get("dur").and_then(Value::as_f64), Some(2.5e6));
+
+    // The instant has a scope and no duration.
+    let deploy = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("deploy"))
+        .expect("deploy instant exported");
+    assert_eq!(deploy.get("ph").and_then(Value::as_str), Some("i"));
+    assert_eq!(deploy.get("s").and_then(Value::as_str), Some("t"));
+    assert!(deploy.get("dur").is_none());
+}
+
+#[test]
+fn metrics_jsonl_round_trips_through_serde_json() {
+    let _g = lock();
+    recorded_fixture();
+    let jsonl = ones_obs::metrics_jsonl();
+    let lines: Vec<Value> = jsonl
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each line is valid JSON"))
+        .collect();
+    assert!(!lines.is_empty());
+
+    let by_key = |key: &str| {
+        lines
+            .iter()
+            .find(|v| v.get("key").and_then(Value::as_str) == Some(key))
+            .unwrap_or_else(|| panic!("{key} missing from JSONL"))
+    };
+
+    let c = by_key("test.fixture.counter");
+    assert_eq!(c.get("type").and_then(Value::as_str), Some("counter"));
+    assert_eq!(c.get("value").and_then(Value::as_u64), Some(42));
+
+    let g = by_key("test.fixture.gauge");
+    assert_eq!(g.get("type").and_then(Value::as_str), Some("gauge"));
+    assert_eq!(g.get("value").and_then(Value::as_f64), Some(-2.5));
+
+    let h = by_key("test.fixture.hist");
+    assert_eq!(h.get("type").and_then(Value::as_str), Some("histogram"));
+    assert_eq!(h.get("count").and_then(Value::as_u64), Some(4));
+    assert_eq!(h.get("sum").and_then(Value::as_f64), Some(10.0));
+    assert_eq!(h.get("min").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(h.get("max").and_then(Value::as_f64), Some(4.0));
+    let p50 = h.get("p50").and_then(Value::as_f64).unwrap();
+    let p99 = h.get("p99").and_then(Value::as_f64).unwrap();
+    assert!((1.0..=4.0).contains(&p50));
+    assert!(p50 <= p99 && p99 <= 4.0);
+
+    // Keys are emitted in sorted order.
+    let keys: Vec<&str> = lines
+        .iter()
+        .filter_map(|v| v.get("key").and_then(Value::as_str))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn file_writers_produce_parseable_files() {
+    let _g = lock();
+    recorded_fixture();
+    let dir = std::env::temp_dir().join("ones-obs-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let metrics_path = dir.join("metrics.jsonl");
+    ones_obs::write_chrome_trace(&trace_path).unwrap();
+    ones_obs::write_metrics_jsonl(&metrics_path).unwrap();
+    let trace: Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    assert!(trace.get("traceEvents").is_some());
+    for line in std::fs::read_to_string(&metrics_path).unwrap().lines() {
+        let _: Value = serde_json::from_str(line).expect("valid JSONL line");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -23,6 +23,28 @@ use ones_simcore::DetRng;
 use ones_stats::Beta;
 use ones_workload::JobId;
 use std::collections::BTreeMap;
+use std::sync::LazyLock;
+
+// Scheduling-round observability (DESIGN.md §5): how often ONES is
+// invoked, how often it proposes a deployment, and how many running jobs
+// had their global batch size reallocated by the winning candidate.
+static ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("ones.scheduler.rounds"));
+static DEPLOYMENTS_PROPOSED: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("ones.scheduler.deployments_proposed"));
+static BATCH_INCREASES: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("ones.scheduler.batch_increases"));
+static BATCH_DECREASES: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("ones.scheduler.batch_decreases"));
+
+fn event_kind(event: SchedEvent) -> &'static str {
+    match event {
+        SchedEvent::JobArrived(_) => "arrival",
+        SchedEvent::EpochEnded(_) => "epoch_end",
+        SchedEvent::JobCompleted(_) => "completion",
+        SchedEvent::Tick => "tick",
+    }
+}
 
 /// ONES configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -220,6 +242,10 @@ impl Scheduler for OnesScheduler {
     }
 
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        let _round_span = ones_obs::span!("ones", "scheduling_round")
+            .with_arg("event", event_kind(event))
+            .with_arg("vt", view.now.as_secs());
+        ROUNDS.inc();
         self.ingest(event, view);
         let betas = self.predictions(view);
         let ctx = EvoContext::new(view, self.limits.table(), &betas);
@@ -280,6 +306,17 @@ impl Scheduler for OnesScheduler {
         for job in view.waiting_jobs() {
             if !best.is_running(job.id()) {
                 self.limits.on_rejected(job.id());
+            }
+        }
+        DEPLOYMENTS_PROPOSED.inc();
+        if ones_obs::counters_enabled() {
+            for (job, (batch, _)) in best.running_jobs() {
+                let old = view.deployed.global_batch(job);
+                if old > 0 && batch > old {
+                    BATCH_INCREASES.inc();
+                } else if old > 0 && batch < old {
+                    BATCH_DECREASES.inc();
+                }
             }
         }
         Some(best)

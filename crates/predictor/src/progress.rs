@@ -10,6 +10,19 @@ use ones_schedcore::JobStatus;
 use ones_simcore::DetRng;
 use ones_stats::{Beta, GpRegressor, LinearRegression};
 use serde::{Deserialize, Serialize};
+use std::sync::LazyLock;
+use std::time::Instant;
+
+// Observability handles (DESIGN.md §5): fit/predict latency histograms
+// and dataset counters. Latencies never feed back into predictions.
+static FIT_US: LazyLock<&'static ones_obs::Histogram> =
+    LazyLock::new(|| ones_obs::histogram("predictor.progress.fit_us"));
+static PREDICT_US: LazyLock<&'static ones_obs::Histogram> =
+    LazyLock::new(|| ones_obs::histogram("predictor.progress.predict_us"));
+static COMPLETIONS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("predictor.progress.completions"));
+static TRAINING_POINTS: LazyLock<&'static ones_obs::Gauge> =
+    LazyLock::new(|| ones_obs::gauge("predictor.progress.training_points"));
 
 /// Which regression model predicts the epochs-to-process (the Beta's β).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,7 +134,10 @@ impl ProgressPredictor {
     /// of a snapshot at epoch `e` is `total_epochs − e` — the epochs the
     /// job still had to process at that point.
     pub fn observe_completion(&mut self, history: &[FeatureSnapshot], total_epochs: u32) {
+        let _span = ones_obs::span!("predictor", "observe_completion")
+            .with_arg("epochs", u64::from(total_epochs));
         self.completions += 1;
+        COMPLETIONS.inc();
         if history.is_empty() {
             return;
         }
@@ -151,9 +167,11 @@ impl ProgressPredictor {
     }
 
     fn refit(&mut self) {
+        TRAINING_POINTS.set(self.points.len() as f64);
         if self.points.len() < self.config.min_fit_points {
             return;
         }
+        let t_fit = Instant::now();
         let xs: Vec<Vec<f64>> = self.points.iter().map(|(f, _)| f.to_vec()).collect();
         let ys: Vec<f64> = self.points.iter().map(|(_, y)| *y).collect();
         let fitted = match self.config.model {
@@ -167,6 +185,7 @@ impl ProgressPredictor {
         if let Some(model) = fitted {
             self.model = Some(model);
         }
+        FIT_US.observe(t_fit.elapsed().as_nanos() as f64 / 1e3);
     }
 
     /// Predicted epochs still to process for a job (the β parameter before
@@ -188,9 +207,12 @@ impl ProgressPredictor {
     /// `α = Y_processed/‖D‖` and β the model's remaining-epoch prediction.
     #[must_use]
     pub fn predict(&self, status: &JobStatus) -> Beta {
+        let t_predict = Instant::now();
         let alpha = status.processed_epochs();
         let beta = self.predict_remaining_epochs(status);
-        Beta::new_clamped(alpha, beta)
+        let result = Beta::new_clamped(alpha, beta);
+        PREDICT_US.observe(t_predict.elapsed().as_nanos() as f64 / 1e3);
+        result
     }
 }
 

@@ -19,9 +19,13 @@ fn usage() -> ! {
          \t[--rate-secs SECONDS] [--seed N] [--sched-seed N]\n\
          \t[--kill-fraction F] [--json] [--list-schedulers]\n\
          \t[--dump-trace FILE]\n\
+         \t[--obs off|counters|full] [--trace-out FILE] [--metrics-out FILE]\n\
          \n\
          Runs one simulated experiment and reports per-scheduler metrics.\n\
-         GPUs must be a positive multiple of 4 (whole Longhorn nodes)."
+         GPUs must be a positive multiple of 4 (whole Longhorn nodes).\n\
+         --trace-out writes a Chrome-trace JSON (open in ui.perfetto.dev)\n\
+         and implies --obs full; --metrics-out writes a JSONL metrics\n\
+         snapshot. Observability never changes scheduling decisions."
     );
     std::process::exit(2);
 }
@@ -107,6 +111,15 @@ fn main() {
         drl_pretrain_episodes: get("drl-pretrain", 2.0) as usize,
     };
 
+    // Observability: --trace-out needs spans, so it implies `full` unless
+    // the user pinned a level explicitly.
+    let obs_level = match args.get("obs") {
+        Some(s) => ones_obs::ObsLevel::parse(s).unwrap_or_else(|| usage()),
+        None if args.contains_key("trace-out") => ones_obs::ObsLevel::Full,
+        None => ones_obs::ObsLevel::Counters,
+    };
+    ones_obs::set_level(obs_level);
+
     if let Some(path) = args.get("dump-trace") {
         let trace = Trace::generate(config.trace);
         trace
@@ -116,6 +129,14 @@ fn main() {
     }
 
     let result = run_experiment(config);
+    if let Some(path) = args.get("trace-out") {
+        ones_obs::write_chrome_trace(path).unwrap_or_else(|e| panic!("{e}"));
+        eprintln!("chrome trace written to {path}");
+    }
+    if let Some(path) = args.get("metrics-out") {
+        ones_obs::write_metrics_jsonl(path).unwrap_or_else(|e| panic!("{e}"));
+        eprintln!("metrics snapshot written to {path}");
+    }
     if flags.iter().any(|f| f == "json") {
         let json = serde_json::json!({
             "scheduler": scheduler.name(),
@@ -130,7 +151,18 @@ fn main() {
             "total_overhead_secs": result.total_overhead,
             "gpu_utilization": result.gpu_utilization,
             "jct_secs": result.metrics.jct,
-            "scheduler_perf": result.scheduler_perf,
+            "scheduler_perf": result.scheduler_perf.map(|p| serde_json::json!({
+                "generations": p.generations,
+                "candidates_scored": p.candidates_scored,
+                "cache_hits": p.cache_hits,
+                "cache_misses": p.cache_misses,
+                "cache_hit_rate": p.cache_hit_rate(),
+                "refresh_ms": p.refresh_nanos as f64 / 1e6,
+                "derive_ms": p.derive_nanos as f64 / 1e6,
+                "score_ms": p.score_nanos as f64 / 1e6,
+                "total_ms": p.total_nanos() as f64 / 1e6,
+            })),
+            "obs_level": obs_level.name(),
         });
         println!(
             "{}",

@@ -17,6 +17,27 @@ use ones_schedcore::{
 use ones_simcore::{EventQueue, SimTime, TraceLog};
 use ones_workload::{JobId, Trace};
 use std::collections::BTreeMap;
+use std::sync::LazyLock;
+
+// Engine observability (DESIGN.md §5). Wall-time spans cover the host
+// cost of processing each event; virtual-time spans and instants replay
+// the simulated timeline (pid 1 in the trace export, one track per job).
+static EVENTS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("simulator.engine.events"));
+static DEPLOYMENTS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("simulator.engine.deployments"));
+static TRANSITIONS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("simulator.engine.transitions"));
+static EPOCHS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("simulator.engine.epochs"));
+static QUEUE_DEPTH: LazyLock<&'static ones_obs::Gauge> =
+    LazyLock::new(|| ones_obs::gauge("simulator.engine.queue_depth"));
+static RUNNING_JOBS: LazyLock<&'static ones_obs::Gauge> =
+    LazyLock::new(|| ones_obs::gauge("simulator.engine.running_jobs"));
+static WAITING_JOBS: LazyLock<&'static ones_obs::Gauge> =
+    LazyLock::new(|| ones_obs::gauge("simulator.engine.waiting_jobs"));
+static OVERHEAD_S: LazyLock<&'static ones_obs::Histogram> =
+    LazyLock::new(|| ones_obs::histogram("simulator.engine.transition_overhead_s"));
 
 /// Engine tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -259,6 +280,18 @@ impl Simulation {
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
+        EVENTS.inc();
+        let _event_span = ones_obs::span!("simulator", "event")
+            .with_arg(
+                "kind",
+                match event {
+                    Event::Arrival(_) => "arrival",
+                    Event::EpochEnd { .. } => "epoch_end",
+                    Event::Kill(_) => "kill",
+                    Event::Tick => "tick",
+                },
+            )
+            .with_arg("vt", now.as_secs());
         let sched_event = match event {
             Event::Arrival(id) => {
                 let spec = self.pending.remove(&id).expect("arrival of unknown job");
@@ -293,9 +326,18 @@ impl Simulation {
     fn invoke_scheduler(&mut self, now: SimTime, event: SchedEvent) {
         // Sync status snapshots.
         self.statuses.clear();
+        let (mut running, mut waiting) = (0u64, 0u64);
         for (id, job) in &self.jobs {
+            match job.status.phase {
+                JobPhase::Running => running += 1,
+                JobPhase::Waiting => waiting += 1,
+                JobPhase::Completed => {}
+            }
             self.statuses.insert(*id, job.status.clone());
         }
+        QUEUE_DEPTH.set(self.queue.len() as f64);
+        RUNNING_JOBS.set(running as f64);
+        WAITING_JOBS.set(waiting as f64);
         let desired = {
             let view = ClusterView {
                 now,
@@ -360,6 +402,20 @@ impl Simulation {
             return None;
         }
         let segment = job.segment.as_mut().expect("running job has a segment");
+        EPOCHS.inc();
+        if ones_obs::spans_enabled() {
+            ones_obs::virtual_span(
+                "epoch",
+                "simulator",
+                id.0,
+                segment.epoch_started.as_secs(),
+                now.as_secs(),
+                vec![
+                    ("batch", u64::from(segment.global_batch).into()),
+                    ("gpus", segment.placement.len().into()),
+                ],
+            );
+        }
         let lr_scaled = scales || segment.global_batch == job.status.spec.submit_batch;
         job.conv.advance_epoch(segment.global_batch, lr_scaled);
 
@@ -414,6 +470,16 @@ impl Simulation {
             );
         }
         self.deployments += 1;
+        DEPLOYMENTS.inc();
+        if ones_obs::spans_enabled() {
+            ones_obs::virtual_instant(
+                "deploy",
+                "simulator",
+                0,
+                now.as_secs(),
+                vec![("jobs", schedule.running_jobs().len().into())],
+            );
+        }
         if self.config.record_trace {
             let detail: Vec<String> = schedule
                 .running_jobs()
@@ -471,6 +537,9 @@ impl Simulation {
             job.status.current_gpus = 0;
             if was_running {
                 self.record(now, "job", id.0, "preempt");
+                if ones_obs::spans_enabled() {
+                    ones_obs::virtual_instant("preempt", "simulator", id.0, now.as_secs(), vec![]);
+                }
             }
             return;
         }
@@ -504,6 +573,8 @@ impl Simulation {
         };
         self.total_overhead += overhead;
         self.transitions += 1;
+        TRANSITIONS.inc();
+        OVERHEAD_S.observe(overhead);
 
         // An abrupt batch jump injects its loss spike now (Figure 13).
         job.conv.on_batch_change(global_batch);
@@ -529,6 +600,19 @@ impl Simulation {
             self.queue.push(at, Event::EpochEnd { job: id, seq });
         }
         self.record(now, "job", id.0, "start");
+        if ones_obs::spans_enabled() {
+            ones_obs::virtual_instant(
+                "start",
+                "simulator",
+                id.0,
+                now.as_secs(),
+                vec![
+                    ("batch", u64::from(global_batch).into()),
+                    ("gpus", placement.len().into()),
+                    ("overhead_s", overhead.into()),
+                ],
+            );
+        }
     }
 }
 

@@ -23,5 +23,5 @@ pub use engine::{SimConfig, SimResult, Simulation};
 pub use experiment::{
     run_experiment, run_sweep, ExperimentConfig, ExperimentResult, SchedulerKind,
 };
-pub use metrics::JobMetrics;
+pub use metrics::{FromResultError, JobMetrics};
 pub use timeline::{Timeline, TimelinePoint};

@@ -8,6 +8,36 @@ use serde::{Deserialize, Serialize};
 /// An empirical CDF as `(x, F(x))` points.
 pub type Cdf = Vec<(f64, f64)>;
 
+/// Why a [`SimResult`] could not be turned into a derived view
+/// ([`JobMetrics::try_from_result`], [`crate::Timeline::try_from_result`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromResultError {
+    /// The run was truncated (stall or time/event cap): metrics over the
+    /// incomplete job set would silently bias every average.
+    Incomplete {
+        /// Jobs that had not completed when the run stopped.
+        unfinished: usize,
+    },
+    /// The run recorded no trace events (`SimConfig::record_trace` was
+    /// off), so there is nothing to replay.
+    NoTraceLog,
+}
+
+impl std::fmt::Display for FromResultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FromResultError::Incomplete { unfinished } => {
+                write!(f, "run incomplete: {unfinished} job(s) unfinished")
+            }
+            FromResultError::NoTraceLog => {
+                write!(f, "run recorded no trace events (record_trace = false)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FromResultError {}
+
 /// The three per-job metrics the paper reports (Figure 15's columns).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobMetrics {
@@ -24,13 +54,26 @@ impl JobMetrics {
     ///
     /// # Panics
     /// Panics if any job did not complete — metrics of a truncated run
-    /// would silently bias every average.
+    /// would silently bias every average. Use
+    /// [`JobMetrics::try_from_result`] to inspect partial runs.
     #[must_use]
     pub fn from_result(result: &SimResult) -> Self {
-        assert!(
-            result.all_completed,
-            "metrics requested for an incomplete run"
-        );
+        Self::try_from_result(result).expect("metrics requested for an incomplete run")
+    }
+
+    /// Fallible [`JobMetrics::from_result`]: returns
+    /// [`FromResultError::Incomplete`] instead of panicking when the run
+    /// was truncated, so failed runs (whose traces are often exactly the
+    /// ones worth inspecting) still surface a diagnosable error.
+    pub fn try_from_result(result: &SimResult) -> Result<Self, FromResultError> {
+        if !result.all_completed {
+            let unfinished = result.jobs.values().filter(|j| !j.is_completed()).count();
+            // A run can also stop "incomplete" with jobs still pending
+            // arrival; count at least one so the error is never empty.
+            return Err(FromResultError::Incomplete {
+                unfinished: unfinished.max(1),
+            });
+        }
         let horizon = SimTime::from_secs(result.makespan);
         let mut jct = Vec::with_capacity(result.jobs.len());
         let mut exec = Vec::with_capacity(result.jobs.len());
@@ -43,7 +86,7 @@ impl JobMetrics {
             exec.push(job.exec_time);
             queue.push(job.queueing_time(horizon));
         }
-        JobMetrics { jct, exec, queue }
+        Ok(JobMetrics { jct, exec, queue })
     }
 
     /// Mean JCT (Figure 15a).
@@ -133,6 +176,44 @@ mod tests {
         }
         assert!(m.mean_jct() >= m.mean_exec());
         assert!(m.mean_jct() > 0.0);
+    }
+
+    #[test]
+    fn truncated_run_yields_incomplete_error() {
+        let trace = Trace::generate(TraceConfig {
+            num_jobs: 6,
+            arrival_rate: 1.0 / 20.0,
+            seed: 5,
+            kill_fraction: 0.0,
+        });
+        let spec = ClusterSpec::longhorn_subset(16);
+        let scheduler = SchedulerKind::Fifo.build(&spec, &trace, &DetRng::seed(1));
+        let r = Simulation::new(
+            PerfModel::new(spec),
+            &trace,
+            scheduler,
+            SimConfig {
+                max_time: 10.0, // far before the last completion
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        assert!(!r.all_completed);
+        let err = JobMetrics::try_from_result(&r).unwrap_err();
+        match err {
+            FromResultError::Incomplete { unfinished } => assert!(unfinished > 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("incomplete"));
+    }
+
+    #[test]
+    fn complete_run_try_matches_panicking_constructor() {
+        let r = result();
+        assert_eq!(
+            JobMetrics::try_from_result(&r).unwrap(),
+            JobMetrics::from_result(&r)
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cluster" (§2.2) and the fragmentation argument of §2.1.
 
 use crate::engine::SimResult;
+use crate::metrics::FromResultError;
 use serde::{Deserialize, Serialize};
 
 /// One sample of cluster state.
@@ -36,13 +37,21 @@ impl Timeline {
     /// (`SimConfig::record_trace = true`).
     ///
     /// # Panics
-    /// Panics if the run recorded no trace events.
+    /// Panics if the run recorded no trace events. Use
+    /// [`Timeline::try_from_result`] to handle that case gracefully.
     #[must_use]
     pub fn from_result(result: &SimResult) -> Self {
-        assert!(
-            !result.trace_log.is_empty(),
-            "timeline needs record_trace = true"
-        );
+        Self::try_from_result(result).expect("timeline needs record_trace = true")
+    }
+
+    /// Fallible [`Timeline::from_result`]: returns
+    /// [`FromResultError::NoTraceLog`] instead of panicking when the run
+    /// recorded no events. Truncated runs are fine — the timeline simply
+    /// stops where the recording did.
+    pub fn try_from_result(result: &SimResult) -> Result<Self, FromResultError> {
+        if result.trace_log.is_empty() {
+            return Err(FromResultError::NoTraceLog);
+        }
         let mut points = Vec::new();
         let mut waiting: i64 = 0;
         // Per-job GPU holdings, derived from deployment summaries.
@@ -97,10 +106,10 @@ impl Timeline {
                 waiting_jobs: waiting.max(0) as u32,
             });
         }
-        Timeline {
+        Ok(Timeline {
             total_gpus: result.total_gpus,
             points,
-        }
+        })
     }
 
     /// Cluster state at time `t` (the latest sample at or before `t`).
@@ -229,6 +238,29 @@ mod tests {
         }
         // Mid-run the cluster must have been busy at some point.
         assert!(series.iter().any(|(_, u)| *u > 0.2));
+    }
+
+    #[test]
+    fn missing_trace_log_yields_error() {
+        let trace = Trace::generate(TraceConfig {
+            num_jobs: 2,
+            arrival_rate: 1.0 / 15.0,
+            seed: 5,
+            kill_fraction: 0.0,
+        });
+        let spec = ClusterSpec::longhorn_subset(16);
+        let scheduler = SchedulerKind::Fifo.build(&spec, &trace, &DetRng::seed(1));
+        let r = Simulation::new(
+            PerfModel::new(spec),
+            &trace,
+            scheduler,
+            SimConfig::default(), // record_trace = false
+        )
+        .run();
+        assert_eq!(
+            Timeline::try_from_result(&r).unwrap_err(),
+            FromResultError::NoTraceLog
+        );
     }
 
     #[test]

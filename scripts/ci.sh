@@ -2,8 +2,10 @@
 # Repository CI gate: tier-1 build + tests, lint, formatting.
 #
 #   scripts/ci.sh              # build, test, clippy, fmt
-#   RUN_BENCH=1 scripts/ci.sh  # also run the evolution micro-bench and
-#                              # emit BENCH_evolution.json at the repo root
+#   RUN_BENCH=1 scripts/ci.sh  # also run the evolution micro-bench and the
+#                              # observability overhead bench, emitting
+#                              # BENCH_evolution.json and
+#                              # BENCH_observability.json at the repo root
 #
 # Everything runs offline against the in-repo shim crates (shims/); no
 # network access or external dependencies are required.
@@ -25,6 +27,9 @@ cargo fmt --check
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
     echo "==> evolution micro-bench (BENCH_evolution.json)"
     BENCH_JSON="$PWD/BENCH_evolution.json" cargo bench -p ones-bench --bench evolution
+
+    echo "==> observability overhead bench (BENCH_observability.json)"
+    BENCH_JSON="$PWD/BENCH_observability.json" cargo bench -p ones-bench --bench observability
 fi
 
 echo "CI OK"
