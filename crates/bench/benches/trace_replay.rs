@@ -1,0 +1,119 @@
+//! Trace-replay macro-bench: the §4.1 scheduler set on a Philly-style
+//! replayed cluster mixture instead of the paper's synthetic Table 2
+//! trace — heavy-tailed log-normal durations, bursty diurnal arrivals and
+//! ~30 % abnormal terminations (see `EXPERIMENTS.md` §"Trace replay").
+//!
+//! Reports end-to-end wall time per scheduler plus the quality statistics
+//! the paper's figures use (JCT / makespan / queueing), aggregated over
+//! normally-completed jobs only; killed and unfinished jobs are counted
+//! separately so goodput stays visible. Results are written to
+//! `BENCH_trace_replay.json` (path overridable via the `BENCH_JSON`
+//! environment variable).
+
+use ones_bench::harness::{bench_with, BenchOpts};
+use ones_simulator::{run_experiment, ExperimentConfig, SchedulerKind, TraceSource};
+use ones_workload::ReplayConfig;
+
+const GPUS: u32 = 32;
+const JOBS: usize = 24;
+const SEED: u64 = 11;
+
+fn replay() -> ReplayConfig {
+    ReplayConfig {
+        num_jobs: JOBS,
+        base_rate: 1.0 / 15.0,
+        seed: SEED,
+        ..ReplayConfig::default()
+    }
+}
+
+fn config(scheduler: SchedulerKind) -> ExperimentConfig {
+    ExperimentConfig {
+        gpus: GPUS,
+        source: TraceSource::Replay(replay()),
+        scheduler,
+        sched_seed: 1,
+        drl_pretrain_episodes: 1,
+    }
+}
+
+fn main() {
+    ones_bench::print_header(&format!("trace_replay_{GPUS}gpu_{JOBS}jobs"));
+    let schedulers = [
+        SchedulerKind::Ones,
+        SchedulerKind::Drl,
+        SchedulerKind::Tiresias,
+        SchedulerKind::Optimus,
+        SchedulerKind::Fifo,
+    ];
+
+    let mut entries: Vec<(String, serde_json::Value)> = Vec::new();
+    for kind in schedulers {
+        let m = bench_with(BenchOpts::coarse(), kind.name(), || {
+            run_experiment(config(kind)).makespan
+        });
+        m.print();
+
+        let r = run_experiment(config(kind));
+        let s = r.metrics.jct_summary();
+        println!(
+            "    {} completed / {} killed / {} unfinished (goodput {:.0}%)",
+            r.completed_jobs,
+            r.killed_jobs,
+            r.incomplete_jobs,
+            100.0 * r.goodput
+        );
+        println!(
+            "    mean JCT {:.1} s (p90 {:.1}), mean queue {:.1} s, makespan {:.1} s",
+            r.metrics.mean_jct(),
+            s.p90,
+            r.metrics.mean_queue(),
+            r.makespan
+        );
+        entries.push((
+            kind.name().to_string(),
+            serde_json::json!({
+                "median_wall_ns": m.median_ns(),
+                "mean_wall_ns": m.mean_ns(),
+                "mean_jct_secs": r.metrics.mean_jct(),
+                "p90_jct_secs": s.p90,
+                "max_jct_secs": s.max,
+                "mean_exec_secs": r.metrics.mean_exec(),
+                "mean_queue_secs": r.metrics.mean_queue(),
+                "makespan_secs": r.makespan,
+                "gpu_utilization": r.gpu_utilization,
+                "completed_jobs": r.completed_jobs,
+                "killed_jobs": r.killed_jobs,
+                "incomplete_jobs": r.incomplete_jobs,
+                "goodput": r.goodput,
+            }),
+        ));
+    }
+
+    let rc = replay();
+    let trace_info = serde_json::json!({
+        "source": "philly",
+        "seed": rc.seed,
+        "base_rate_per_sec": rc.base_rate,
+        "kill_fraction": rc.kill_fraction,
+        "burst_factor": rc.burst_factor,
+        "diurnal_amplitude": rc.diurnal_amplitude,
+        "diurnal_period_secs": rc.diurnal_period_secs,
+        "duration_log_sigma": rc.duration_log_sigma,
+    });
+    let report = serde_json::json!({
+        "bench": "trace_replay",
+        "gpus": GPUS,
+        "jobs": JOBS,
+        "trace": trace_info,
+        "schedulers": serde_json::Value::Object(entries),
+    });
+    let path =
+        std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_trace_replay.json".to_string());
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialisable"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nresults written to {path}");
+}

@@ -10,7 +10,7 @@
 //! ```
 
 use ones_bench::{print_header, Args};
-use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind, TraceSource};
 use ones_workload::TraceConfig;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         .iter()
         .map(|&scheduler| ExperimentConfig {
             gpus,
-            trace,
+            source: TraceSource::Table2(trace),
             scheduler,
             sched_seed: args.get_u64("sched-seed", 1),
             drl_pretrain_episodes: 0,

@@ -8,7 +8,7 @@
 //! ```
 
 use ones_bench::{cdf_at_grid, print_header, Args};
-use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind, TraceSource};
 use ones_stats::BoxPlot;
 use ones_workload::TraceConfig;
 
@@ -26,7 +26,7 @@ fn main() {
         .iter()
         .map(|&scheduler| ExperimentConfig {
             gpus,
-            trace,
+            source: TraceSource::Table2(trace),
             scheduler,
             sched_seed: args.get_u64("sched-seed", 1),
             drl_pretrain_episodes: 3,

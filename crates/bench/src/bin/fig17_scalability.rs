@@ -8,7 +8,7 @@
 //! ```
 
 use ones_bench::{print_header, Args};
-use ones_simulator::{run_sweep, ExperimentConfig, ExperimentResult, SchedulerKind};
+use ones_simulator::{run_sweep, ExperimentConfig, ExperimentResult, SchedulerKind, TraceSource};
 use ones_workload::TraceConfig;
 
 fn main() {
@@ -28,7 +28,7 @@ fn main() {
                 .iter()
                 .map(move |&scheduler| ExperimentConfig {
                     gpus,
-                    trace,
+                    source: TraceSource::Table2(trace),
                     scheduler,
                     sched_seed: 1,
                     drl_pretrain_episodes: 3,

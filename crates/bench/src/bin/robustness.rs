@@ -10,7 +10,7 @@
 //! ```
 
 use ones_bench::{print_header, Args};
-use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind, TraceSource};
 use ones_workload::TraceConfig;
 
 fn main() {
@@ -37,7 +37,7 @@ fn main() {
             };
             schedulers.iter().map(move |&scheduler| ExperimentConfig {
                 gpus,
-                trace,
+                source: TraceSource::Table2(trace),
                 scheduler,
                 sched_seed: 1,
                 drl_pretrain_episodes: 0,
@@ -58,7 +58,11 @@ fn main() {
             let r = results
                 .iter()
                 .find(|r| {
-                    r.config.scheduler == s && (r.config.trace.kill_fraction - f).abs() < 1e-9
+                    r.config.scheduler == s
+                        && r.config
+                            .source
+                            .kill_fraction()
+                            .is_some_and(|kf| (kf - f).abs() < 1e-9)
                 })
                 .expect("swept");
             print!(" {:>11.1}", r.metrics.mean_jct());

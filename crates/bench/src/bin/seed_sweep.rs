@@ -9,7 +9,7 @@
 //! ```
 
 use ones_bench::{print_header, Args};
-use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind, TraceSource};
 use ones_stats::desc;
 use ones_workload::TraceConfig;
 
@@ -25,12 +25,12 @@ fn main() {
                 .iter()
                 .map(move |&scheduler| ExperimentConfig {
                     gpus,
-                    trace: TraceConfig {
+                    source: TraceSource::Table2(TraceConfig {
                         num_jobs: jobs,
                         arrival_rate: 1.0 / 30.0,
                         seed: 42 + s,
                         kill_fraction: 0.0,
-                    },
+                    }),
                     scheduler,
                     sched_seed: 1,
                     drl_pretrain_episodes: 2,
@@ -56,7 +56,7 @@ fn main() {
             let jct = |k: SchedulerKind| {
                 results
                     .iter()
-                    .find(|r| r.config.scheduler == k && r.config.trace.seed == seed)
+                    .find(|r| r.config.scheduler == k && r.config.source.seed() == Some(seed))
                     .expect("swept")
                     .metrics
                     .mean_jct()

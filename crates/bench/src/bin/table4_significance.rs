@@ -8,7 +8,7 @@
 //! ```
 
 use ones_bench::{print_header, Args};
-use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_simulator::{run_sweep, ExperimentConfig, SchedulerKind, TraceSource};
 use ones_stats::{signed_rank_test, Alternative};
 use ones_workload::TraceConfig;
 
@@ -25,7 +25,7 @@ fn main() {
         .iter()
         .map(|&scheduler| ExperimentConfig {
             gpus,
-            trace,
+            source: TraceSource::Table2(trace),
             scheduler,
             sched_seed: 1,
             drl_pretrain_episodes: 3,

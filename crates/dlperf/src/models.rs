@@ -53,6 +53,23 @@ impl DatasetKind {
     }
 }
 
+impl std::str::FromStr for DatasetKind {
+    type Err = String;
+
+    /// Parses the display name (case-insensitive; `SST2`/`SST-2` both
+    /// accepted) — the format scrubbed CSV traces carry.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "imagenet" => Ok(DatasetKind::ImageNet),
+            "cifar10" | "cifar-10" => Ok(DatasetKind::Cifar10),
+            "cola" => Ok(DatasetKind::Cola),
+            "mrpc" => Ok(DatasetKind::Mrpc),
+            "sst-2" | "sst2" => Ok(DatasetKind::Sst2),
+            other => Err(format!("unknown dataset {other:?}")),
+        }
+    }
+}
+
 impl fmt::Display for DatasetKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -158,6 +175,24 @@ impl ModelKind {
                 max_local_batch: 64,
                 optimizer_bytes_per_param: 16.0, // Adam: m + v in fp32
             },
+        }
+    }
+}
+
+impl std::str::FromStr for ModelKind {
+    type Err = String;
+
+    /// Parses the display name (case-insensitive; a few common aliases).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "alexnet" => Ok(ModelKind::AlexNet),
+            "resnet18" | "resnet-18" => Ok(ModelKind::ResNet18),
+            "resnet50" | "resnet-50" => Ok(ModelKind::ResNet50),
+            "vgg16" | "vgg-16" => Ok(ModelKind::Vgg16),
+            "googlenet" => Ok(ModelKind::GoogleNet),
+            "inceptionv3" | "inception-v3" => Ok(ModelKind::InceptionV3),
+            "bert" | "bertbase" | "bert-base" => Ok(ModelKind::BertBase),
+            other => Err(format!("unknown model {other:?}")),
         }
     }
 }
@@ -304,6 +339,29 @@ mod tests {
     fn display_names() {
         assert_eq!(ModelKind::ResNet50.to_string(), "ResNet50");
         assert_eq!(ModelKind::BertBase.to_string(), "BERT");
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for kind in ModelKind::ALL {
+            assert_eq!(kind.to_string().parse::<ModelKind>().unwrap(), kind);
+        }
+        for dataset in [
+            DatasetKind::ImageNet,
+            DatasetKind::Cifar10,
+            DatasetKind::Cola,
+            DatasetKind::Mrpc,
+            DatasetKind::Sst2,
+        ] {
+            assert_eq!(dataset.to_string().parse::<DatasetKind>().unwrap(), dataset);
+        }
+        assert_eq!("sst2".parse::<DatasetKind>().unwrap(), DatasetKind::Sst2);
+        assert_eq!(
+            " bert-base ".parse::<ModelKind>().unwrap(),
+            ModelKind::BertBase
+        );
+        assert!("resnet152".parse::<ModelKind>().is_err());
+        assert!("mnist".parse::<DatasetKind>().is_err());
     }
 
     #[test]

@@ -5,24 +5,34 @@
 //!
 //! ```text
 //! ones-sim --scheduler ones --jobs 60 --gpus 64 --rate-secs 30 --seed 42
-//! ones-sim --scheduler tiresias --json
+//! ones-sim --scheduler tiresias --trace-source philly --json
+//! ones-sim --trace-source file --trace-file philly_2017.csv
 //! ones-sim --list-schedulers
 //! ```
 
-use ones_simulator::{run_experiment, ExperimentConfig, SchedulerKind};
-use ones_workload::{Trace, TraceConfig};
+use ones_simulator::{run_experiment, ExperimentConfig, SchedulerKind, TraceSource};
+use ones_workload::{ReplayConfig, TraceConfig};
 use std::collections::BTreeMap;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ones-sim [--scheduler NAME] [--jobs N] [--gpus N]\n\
+         \t[--trace-source table2|philly|file] [--trace-file FILE]\n\
          \t[--rate-secs SECONDS] [--seed N] [--sched-seed N]\n\
-         \t[--kill-fraction F] [--json] [--list-schedulers]\n\
-         \t[--dump-trace FILE]\n\
+         \t[--kill-fraction F] [--burst-factor F] [--diurnal-amplitude F]\n\
+         \t[--diurnal-period-secs S] [--duration-sigma F]\n\
+         \t[--json] [--list-schedulers] [--dump-trace FILE]\n\
          \t[--obs off|counters|full] [--trace-out FILE] [--metrics-out FILE]\n\
          \n\
          Runs one simulated experiment and reports per-scheduler metrics.\n\
          GPUs must be a positive multiple of 4 (whole Longhorn nodes).\n\
+         --trace-source picks the workload: `table2` (default) is the\n\
+         paper's synthetic mix; `philly` replays a Philly/Helios-style\n\
+         cluster mixture (diurnal + bursty arrivals, heavy-tailed\n\
+         durations, ~30% abnormal kills; tune with --burst-factor,\n\
+         --diurnal-amplitude, --diurnal-period-secs, --duration-sigma);\n\
+         `file` ingests --trace-file (.csv schema or JSON, see\n\
+         EXPERIMENTS.md).\n\
          --trace-out writes a Chrome-trace JSON (open in ui.perfetto.dev)\n\
          and implies --obs full; --metrics-out writes a JSONL metrics\n\
          snapshot. Observability never changes scheduling decisions."
@@ -98,14 +108,42 @@ fn main() {
             .map(|v| v.parse().unwrap_or_else(|_| usage()))
             .unwrap_or(d)
     };
-    let config = ExperimentConfig {
-        gpus: get("gpus", 64.0) as u32,
-        trace: TraceConfig {
+    let source = match args.get("trace-source").map(String::as_str) {
+        None | Some("table2") => TraceSource::Table2(TraceConfig {
             num_jobs: get("jobs", 60.0) as usize,
             arrival_rate: 1.0 / get("rate-secs", 30.0),
             seed: get("seed", 42.0) as u64,
             kill_fraction: get("kill-fraction", 0.0),
-        },
+        }),
+        Some("philly") | Some("replay") => {
+            let defaults = ReplayConfig::default();
+            TraceSource::Replay(ReplayConfig {
+                num_jobs: get("jobs", 60.0) as usize,
+                base_rate: 1.0 / get("rate-secs", 30.0),
+                seed: get("seed", 42.0) as u64,
+                kill_fraction: get("kill-fraction", defaults.kill_fraction),
+                burst_factor: get("burst-factor", defaults.burst_factor),
+                diurnal_amplitude: get("diurnal-amplitude", defaults.diurnal_amplitude),
+                diurnal_period_secs: get("diurnal-period-secs", defaults.diurnal_period_secs),
+                duration_log_sigma: get("duration-sigma", defaults.duration_log_sigma),
+                ..defaults
+            })
+        }
+        Some("file") => {
+            let Some(path) = args.get("trace-file") else {
+                eprintln!("--trace-source file needs --trace-file FILE");
+                usage();
+            };
+            TraceSource::File(path.clone())
+        }
+        Some(other) => {
+            eprintln!("unknown trace source {other:?} (table2|philly|file)");
+            usage();
+        }
+    };
+    let config = ExperimentConfig {
+        gpus: get("gpus", 64.0) as u32,
+        source,
         scheduler,
         sched_seed: get("sched-seed", 1.0) as u64,
         drl_pretrain_episodes: get("drl-pretrain", 2.0) as usize,
@@ -120,15 +158,27 @@ fn main() {
     };
     ones_obs::set_level(obs_level);
 
+    // Ingestion errors (malformed rows, invalid jobs) are user input
+    // errors, not bugs: report and exit instead of panicking later.
+    if let TraceSource::File(_) = &config.source {
+        if let Err(e) = config.source.materialise() {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+
     if let Some(path) = args.get("dump-trace") {
-        let trace = Trace::generate(config.trace);
+        let trace = config.source.materialise().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
         trace
             .save(std::path::Path::new(path))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("trace written to {path}");
     }
 
-    let result = run_experiment(config);
+    let result = run_experiment(config.clone());
     if let Some(path) = args.get("trace-out") {
         ones_obs::write_chrome_trace(path).unwrap_or_else(|e| panic!("{e}"));
         eprintln!("chrome trace written to {path}");
@@ -141,8 +191,9 @@ fn main() {
         let json = serde_json::json!({
             "scheduler": scheduler.name(),
             "gpus": config.gpus,
-            "jobs": config.trace.num_jobs,
-            "seed": config.trace.seed,
+            "trace_source": config.source.label(),
+            "jobs": result.completed_jobs + result.killed_jobs + result.incomplete_jobs,
+            "seed": config.source.seed(),
             "mean_jct_secs": result.metrics.mean_jct(),
             "mean_exec_secs": result.metrics.mean_exec(),
             "mean_queue_secs": result.metrics.mean_queue(),
@@ -150,6 +201,10 @@ fn main() {
             "deployments": result.deployments,
             "total_overhead_secs": result.total_overhead,
             "gpu_utilization": result.gpu_utilization,
+            "completed_jobs": result.completed_jobs,
+            "killed_jobs": result.killed_jobs,
+            "incomplete_jobs": result.incomplete_jobs,
+            "goodput": result.goodput,
             "jct_secs": result.metrics.jct,
             "scheduler_perf": result.scheduler_perf.map(|p| serde_json::json!({
                 "generations": p.generations,
@@ -169,12 +224,25 @@ fn main() {
             serde_json::to_string_pretty(&json).expect("serialisable")
         );
     } else {
+        let total_jobs = result.completed_jobs + result.killed_jobs + result.incomplete_jobs;
+        let seed_note = config
+            .source
+            .seed()
+            .map_or_else(String::new, |s| format!(" (seed {s})"));
         println!(
-            "{} on {} GPUs, {} jobs (seed {}):",
+            "{} on {} GPUs, {} jobs from the {} trace{}:",
             scheduler.name(),
             config.gpus,
-            config.trace.num_jobs,
-            config.trace.seed
+            total_jobs,
+            config.source.label(),
+            seed_note
+        );
+        println!(
+            "  outcomes           {:>5} completed / {} killed / {} unfinished (goodput {:.0}%)",
+            result.completed_jobs,
+            result.killed_jobs,
+            result.incomplete_jobs,
+            100.0 * result.goodput
         );
         println!("  average JCT        {:>10.1} s", result.metrics.mean_jct());
         println!(

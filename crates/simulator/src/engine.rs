@@ -106,6 +106,14 @@ pub struct SimResult {
     pub makespan: f64,
     /// Whether every job completed (false on stall or time/event cap).
     pub all_completed: bool,
+    /// Jobs that ran to convergence.
+    pub completed_jobs: usize,
+    /// Jobs that ended abnormally (killed/crashed) — §2.1's abnormal
+    /// endings; they carry no meaningful JCT.
+    pub killed_jobs: usize,
+    /// Jobs still pending or unfinished when the run stopped (stall, time
+    /// or event cap — replayed traces with stragglers hit these).
+    pub incomplete_jobs: usize,
     /// Optional transition log.
     pub trace_log: TraceLog,
     /// Number of schedule deployments executed.
@@ -131,6 +139,18 @@ impl SimResult {
         }
         let busy: f64 = self.jobs.values().map(|j| j.gpu_service).sum();
         (busy / (f64::from(self.total_gpus) * self.makespan)).min(1.0)
+    }
+
+    /// Goodput fraction: jobs that ran to convergence over all jobs in the
+    /// trace. 1.0 for a clean Table 2 run; ~0.7 for a Philly-style replay
+    /// with its ~30 % abnormal terminations.
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        let total = self.completed_jobs + self.killed_jobs + self.incomplete_jobs;
+        if total == 0 {
+            return 0.0;
+        }
+        self.completed_jobs as f64 / total as f64
     }
 }
 
@@ -251,11 +271,29 @@ impl Simulation {
         for (id, job) in &self.jobs {
             self.statuses.insert(*id, job.status.clone());
         }
+        // Outcome accounting: normal completions, abnormal endings, and
+        // whatever the run left unfinished (including jobs that never
+        // arrived before a time/event cap — they are not in `jobs`).
+        let killed_jobs = self.jobs.values().filter(|j| j.status.killed).count();
+        let completed_jobs = self
+            .jobs
+            .values()
+            .filter(|j| j.status.is_completed() && !j.status.killed)
+            .count();
+        let incomplete_jobs = self.pending.len()
+            + self
+                .jobs
+                .values()
+                .filter(|j| !j.status.is_completed())
+                .count();
         let result = SimResult {
             total_gpus: self.perf.spec().total_gpus(),
             jobs: self.statuses,
             makespan,
             all_completed,
+            completed_jobs,
+            killed_jobs,
+            incomplete_jobs,
             trace_log: self.trace_log,
             deployments: self.deployments,
             transitions: self.transitions,
@@ -748,5 +786,60 @@ mod tests {
         let jct =
             |r: &SimResult| -> Vec<f64> { r.jobs.values().map(|j| j.jct().unwrap()).collect() };
         assert_eq!(jct(&a), jct(&b));
+    }
+
+    #[test]
+    fn outcome_accounting_adds_up_on_clean_runs() {
+        let r = run(SchedulerKind::Fifo, 8, 16);
+        assert_eq!(r.completed_jobs, 8);
+        assert_eq!(r.killed_jobs, 0);
+        assert_eq!(r.incomplete_jobs, 0);
+        assert_eq!(r.goodput(), 1.0);
+    }
+
+    #[test]
+    fn killed_jobs_are_counted_not_averaged() {
+        let trace = Trace::generate(TraceConfig {
+            num_jobs: 12,
+            arrival_rate: 1.0 / 20.0,
+            seed: 9,
+            kill_fraction: 0.5,
+        });
+        let spec = ClusterSpec::longhorn_subset(16);
+        let scheduler = SchedulerKind::Fifo.build(&spec, &trace, &DetRng::seed(11));
+        let r = Simulation::new(
+            PerfModel::new(spec),
+            &trace,
+            scheduler,
+            SimConfig::default(),
+        )
+        .run();
+        assert_eq!(r.completed_jobs + r.killed_jobs + r.incomplete_jobs, 12);
+        assert!(r.killed_jobs > 0, "seed 9 @ 50% kill produced no kills");
+        assert!(r.goodput() < 1.0);
+        for j in r.jobs.values().filter(|j| j.killed) {
+            assert!(j.completion.is_some(), "killed job has an end time");
+        }
+    }
+
+    #[test]
+    fn truncated_runs_report_incomplete_jobs() {
+        let trace = small_trace(8, 7);
+        let spec = ClusterSpec::longhorn_subset(16);
+        let scheduler = SchedulerKind::Fifo.build(&spec, &trace, &DetRng::seed(11));
+        let r = Simulation::new(
+            PerfModel::new(spec),
+            &trace,
+            scheduler,
+            SimConfig {
+                max_time: 5.0, // before most arrivals, let alone completions
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        assert!(!r.all_completed);
+        assert!(r.incomplete_jobs > 0);
+        assert_eq!(r.completed_jobs + r.killed_jobs + r.incomplete_jobs, 8);
+        assert!(r.goodput() < 1.0);
     }
 }

@@ -21,7 +21,7 @@ pub mod timeline;
 
 pub use engine::{SimConfig, SimResult, Simulation};
 pub use experiment::{
-    run_experiment, run_sweep, ExperimentConfig, ExperimentResult, SchedulerKind,
+    run_experiment, run_sweep, ExperimentConfig, ExperimentResult, SchedulerKind, TraceSource,
 };
 pub use metrics::{FromResultError, JobMetrics};
 pub use timeline::{Timeline, TimelinePoint};

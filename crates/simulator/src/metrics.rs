@@ -74,6 +74,17 @@ impl JobMetrics {
                 unfinished: unfinished.max(1),
             });
         }
+        Ok(Self::completed_only(result))
+    }
+
+    /// Total aggregation for dirty runs: metrics over *normally completed*
+    /// jobs only. Killed jobs (no meaningful JCT) and jobs the run left
+    /// unfinished (stall, time/event cap — routine in replayed traces full
+    /// of stragglers) are skipped instead of panicking; their counts live
+    /// in [`SimResult::killed_jobs`] / [`SimResult::incomplete_jobs`], so
+    /// nothing is silently dropped.
+    #[must_use]
+    pub fn completed_only(result: &SimResult) -> Self {
         let horizon = SimTime::from_secs(result.makespan);
         let mut jct = Vec::with_capacity(result.jobs.len());
         let mut exec = Vec::with_capacity(result.jobs.len());
@@ -82,11 +93,14 @@ impl JobMetrics {
             if job.killed {
                 continue; // abnormal endings have no meaningful JCT
             }
-            jct.push(job.jct().expect("completed"));
+            let Some(completion) = job.completion else {
+                continue; // truncated run left this job unfinished
+            };
+            jct.push(completion - job.arrival);
             exec.push(job.exec_time);
             queue.push(job.queueing_time(horizon));
         }
-        Ok(JobMetrics { jct, exec, queue })
+        JobMetrics { jct, exec, queue }
     }
 
     /// Mean JCT (Figure 15a).

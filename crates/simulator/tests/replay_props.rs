@@ -1,0 +1,130 @@
+//! Robustness properties for dirty traces: every scheduler must survive
+//! abnormal terminations and Philly-style replayed workloads without
+//! panicking, and the completed/killed/unfinished accounting must always
+//! add up to the trace length — no job silently dropped, none counted
+//! twice.
+
+use ones_simulator::{run_experiment, ExperimentConfig, SchedulerKind, TraceSource};
+use ones_workload::{ReplayConfig, TraceConfig};
+use proptest::prelude::*;
+
+/// Every scheduler the harness can build, including ablation variants.
+const ALL: [SchedulerKind; 12] = [
+    SchedulerKind::Ones,
+    SchedulerKind::Drl,
+    SchedulerKind::Tiresias,
+    SchedulerKind::Optimus,
+    SchedulerKind::Fifo,
+    SchedulerKind::SrtfOracle,
+    SchedulerKind::Gandiva,
+    SchedulerKind::Slaq,
+    SchedulerKind::OnesGreedy,
+    SchedulerKind::OnesNoPredictor,
+    SchedulerKind::OnesNoReorder,
+    SchedulerKind::OnesCheckpoint,
+];
+
+fn check_accounting(config: ExperimentConfig, num_jobs: usize, label: &str) {
+    let r = run_experiment(config);
+    assert_eq!(
+        r.completed_jobs + r.killed_jobs + r.incomplete_jobs,
+        num_jobs,
+        "{label}: outcome counts must partition the trace"
+    );
+    assert_eq!(
+        r.metrics.jct.len(),
+        r.completed_jobs,
+        "{label}: metrics must cover exactly the completed jobs"
+    );
+    assert!(
+        (0.0..=1.0).contains(&r.goodput),
+        "{label}: goodput {} out of range",
+        r.goodput
+    );
+    assert!(r.makespan >= 0.0, "{label}: negative makespan");
+}
+
+#[test]
+fn every_scheduler_survives_dirty_table2_traces() {
+    for kill_fraction in [0.1, 0.3] {
+        for kind in ALL {
+            let config = ExperimentConfig {
+                gpus: 16,
+                source: TraceSource::Table2(TraceConfig {
+                    num_jobs: 6,
+                    arrival_rate: 1.0 / 15.0,
+                    seed: 5,
+                    kill_fraction,
+                }),
+                scheduler: kind,
+                sched_seed: 2,
+                drl_pretrain_episodes: 0,
+            };
+            check_accounting(
+                config,
+                6,
+                &format!("{} @ kill {kill_fraction}", kind.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn every_scheduler_survives_a_philly_replay_trace() {
+    for kind in ALL {
+        let config = ExperimentConfig {
+            gpus: 16,
+            source: TraceSource::Replay(ReplayConfig {
+                num_jobs: 8,
+                base_rate: 1.0 / 10.0,
+                seed: 13,
+                ..ReplayConfig::default()
+            }),
+            scheduler: kind,
+            sched_seed: 2,
+            drl_pretrain_episodes: 0,
+        };
+        check_accounting(config, 8, &format!("{} @ philly", kind.name()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Accounting partitions the trace for arbitrary seeds and kill
+    /// fractions, on both trace generators, under a cheap scheduler and
+    /// the full ONES search.
+    #[test]
+    fn outcome_accounting_partitions_any_trace(
+        seed in 0u64..500,
+        kill_bucket in 0usize..3,
+        use_replay in any::<bool>(),
+        ones in any::<bool>(),
+    ) {
+        let kill_fraction = [0.0, 0.1, 0.3][kill_bucket];
+        let source = if use_replay {
+            TraceSource::Replay(ReplayConfig {
+                num_jobs: 5,
+                base_rate: 1.0 / 10.0,
+                seed,
+                kill_fraction,
+                ..ReplayConfig::default()
+            })
+        } else {
+            TraceSource::Table2(TraceConfig {
+                num_jobs: 5,
+                arrival_rate: 1.0 / 10.0,
+                seed,
+                kill_fraction,
+            })
+        };
+        let config = ExperimentConfig {
+            gpus: 16,
+            source,
+            scheduler: if ones { SchedulerKind::Ones } else { SchedulerKind::Tiresias },
+            sched_seed: seed ^ 1,
+            drl_pretrain_episodes: 0,
+        };
+        check_accounting(config, 5, "proptest");
+    }
+}

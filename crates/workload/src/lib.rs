@@ -9,10 +9,12 @@
 //! that fixed-size schedulers like Tiresias must respect, plus the hidden
 //! ground-truth convergence model that only the simulator may consult.
 
+pub mod replay;
 pub mod spec;
 pub mod table2;
 pub mod trace;
 
+pub use replay::ReplayConfig;
 pub use spec::{JobId, JobSpec};
 pub use table2::{table2_catalog, WorkloadTemplate};
-pub use trace::{Trace, TraceConfig};
+pub use trace::{Trace, TraceConfig, CSV_HEADER};

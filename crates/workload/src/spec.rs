@@ -69,35 +69,69 @@ impl JobSpec {
         self.convergence.total_reference_epochs() * self.dataset_size as f64
     }
 
-    /// Sanity-checks internal consistency (used by proptest harnesses).
+    /// Fallible consistency check for jobs from *external* sources
+    /// (deserialised JSON, replayed CSV rows, hand-edited traces), where a
+    /// bad job must surface as an error instead of aborting the process.
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency found.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.dataset_size == 0 {
+            return Err(format!("{}: empty dataset", self.name));
+        }
+        if self.submit_batch == 0 {
+            return Err(format!("{}: zero batch", self.name));
+        }
+        if self.requested_gpus == 0 {
+            return Err(format!("{}: zero GPUs", self.name));
+        }
+        let prof = self.profile();
+        if self.submit_batch > prof.max_local_batch * self.requested_gpus {
+            return Err(format!(
+                "{}: submitted batch {} cannot fit on {} GPUs (max {}/GPU)",
+                self.name, self.submit_batch, self.requested_gpus, prof.max_local_batch
+            ));
+        }
+        if self.convergence.target_accuracy >= self.convergence.max_accuracy {
+            return Err(format!("{}: unreachable target accuracy", self.name));
+        }
+        if self.max_safe_batch < self.submit_batch {
+            return Err(format!(
+                "{}: safe batch range below the submitted batch",
+                self.name
+            ));
+        }
+        if self.convergence.reference_batch != self.submit_batch {
+            return Err(format!(
+                "{}: convergence reference batch {} != submitted batch {}",
+                self.name, self.convergence.reference_batch, self.submit_batch
+            ));
+        }
+        if !self.arrival_secs.is_finite() || self.arrival_secs < 0.0 {
+            return Err(format!(
+                "{}: non-finite or negative arrival time {}",
+                self.name, self.arrival_secs
+            ));
+        }
+        if let Some(k) = self.kill_after_secs {
+            if !k.is_finite() || k <= 0.0 {
+                return Err(format!("{}: degenerate kill time {k}", self.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sanity-checks internal consistency (used by proptest harnesses and
+    /// the trace generators, whose output is an internal invariant).
     ///
     /// # Panics
     /// Panics if the submitted batch exceeds a single GPU's memory limit
-    /// times the requested GPU count, or any parameter is degenerate.
+    /// times the requested GPU count, or any parameter is degenerate. Use
+    /// [`JobSpec::try_validate`] for externally supplied jobs.
     pub fn validate(&self) {
-        assert!(self.dataset_size > 0, "{}: empty dataset", self.name);
-        assert!(self.submit_batch > 0, "{}: zero batch", self.name);
-        assert!(self.requested_gpus > 0, "{}: zero GPUs", self.name);
-        let prof = self.profile();
-        assert!(
-            self.submit_batch <= prof.max_local_batch * self.requested_gpus,
-            "{}: submitted batch {} cannot fit on {} GPUs (max {}/GPU)",
-            self.name,
-            self.submit_batch,
-            self.requested_gpus,
-            prof.max_local_batch
-        );
-        assert!(
-            self.convergence.target_accuracy < self.convergence.max_accuracy,
-            "{}: unreachable target accuracy",
-            self.name
-        );
-        assert!(
-            self.max_safe_batch >= self.submit_batch,
-            "{}: safe batch range below the submitted batch",
-            self.name
-        );
-        assert_eq!(self.convergence.reference_batch, self.submit_batch);
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -155,5 +189,32 @@ mod tests {
     #[test]
     fn job_id_display() {
         assert_eq!(JobId(7).to_string(), "job7");
+    }
+
+    #[test]
+    fn try_validate_reports_instead_of_panicking() {
+        let mut s = spec();
+        assert!(s.try_validate().is_ok());
+        s.submit_batch = 4096;
+        s.convergence.reference_batch = 4096;
+        s.requested_gpus = 1;
+        let err = s.try_validate().unwrap_err();
+        assert!(err.contains("cannot fit"), "{err}");
+
+        let mut s = spec();
+        s.dataset_size = 0;
+        assert!(s.try_validate().unwrap_err().contains("empty dataset"));
+
+        let mut s = spec();
+        s.convergence.reference_batch = 128;
+        assert!(s.try_validate().unwrap_err().contains("reference batch"));
+
+        let mut s = spec();
+        s.arrival_secs = f64::NAN;
+        assert!(s.try_validate().is_err());
+
+        let mut s = spec();
+        s.kill_after_secs = Some(-1.0);
+        assert!(s.try_validate().unwrap_err().contains("kill time"));
     }
 }

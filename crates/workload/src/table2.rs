@@ -85,13 +85,29 @@ fn default_batch(model: ModelKind, dataset: DatasetKind) -> u32 {
     }
 }
 
-fn template(
+/// Typical class count per dataset, used when an ingested trace row does
+/// not say (only the initial loss ln(classes) depends on it).
+#[must_use]
+pub fn default_classes(dataset: DatasetKind) -> u32 {
+    match dataset {
+        DatasetKind::ImageNet => 12,
+        DatasetKind::Cifar10 => 10,
+        DatasetKind::Cola | DatasetKind::Mrpc | DatasetKind::Sst2 => 2,
+    }
+}
+
+/// Ground-truth convergence parameters for a `(model, dataset)` pair with
+/// the reference batch pinned to `submit_batch` — the catalog's per-family
+/// noise/progress scales applied to a job that is *not* one of the 50
+/// Table 2 templates (a replayed CSV row, say). The trace generators call
+/// this through [`template`]; ingestion paths call it directly.
+#[must_use]
+pub fn convergence_for(
     model: ModelKind,
     dataset: DatasetKind,
-    dataset_size: u64,
     classes: u32,
-) -> WorkloadTemplate {
-    let batch = default_batch(model, dataset);
+    submit_batch: u32,
+) -> ConvergenceModel {
     let (max_accuracy, target_ratio) = match dataset {
         // Subset training tops out lower than full-dataset SOTA; targets
         // sit close enough below the max that the patience window matters.
@@ -102,27 +118,37 @@ fn template(
         DatasetKind::Sst2 => (0.92, 0.95),
     };
     let initial_loss = match dataset {
-        DatasetKind::ImageNet | DatasetKind::Cifar10 => f64::from(classes).ln(),
+        DatasetKind::ImageNet | DatasetKind::Cifar10 => f64::from(classes.max(2)).ln(),
         _ => std::f64::consts::LN_2, // binary GLUE tasks
     };
+    ConvergenceModel {
+        reference_batch: submit_batch,
+        noise_scale: noise_scale(model, dataset),
+        initial_loss,
+        final_loss: 0.02 * initial_loss,
+        max_accuracy,
+        target_accuracy: max_accuracy * target_ratio,
+        progress_scale: progress_scale(model),
+        spike_penalty_per_octave: 2.0,
+        patience: 10,
+        unscaled_lr_penalty: 0.75,
+    }
+}
+
+fn template(
+    model: ModelKind,
+    dataset: DatasetKind,
+    dataset_size: u64,
+    classes: u32,
+) -> WorkloadTemplate {
+    let batch = default_batch(model, dataset);
     WorkloadTemplate {
         model,
         dataset,
         dataset_size,
         classes,
         default_batch: batch,
-        convergence: ConvergenceModel {
-            reference_batch: batch,
-            noise_scale: noise_scale(model, dataset),
-            initial_loss,
-            final_loss: 0.02 * initial_loss,
-            max_accuracy,
-            target_accuracy: max_accuracy * target_ratio,
-            progress_scale: progress_scale(model),
-            spike_penalty_per_octave: 2.0,
-            patience: 10,
-            unscaled_lr_penalty: 0.75,
-        },
+        convergence: convergence_for(model, dataset, classes, batch),
     }
 }
 

@@ -91,13 +91,23 @@ impl Trace {
 
     /// Average arrival rate λ estimated from the trace itself (used by the
     /// ONES scale-down policy, which sets σ = λ).
+    ///
+    /// Unbiased for a Poisson process: `n` arrivals span `n − 1`
+    /// inter-arrival gaps, so the estimate is `(n − 1) / (last − first)`.
+    /// Total by construction — traces with fewer than two jobs (or a
+    /// degenerate span, e.g. all arrivals at t = 0 in a hand-edited file)
+    /// fall back to the configured rate, never panicking on
+    /// attacker-controlled deserialised input.
     #[must_use]
     pub fn observed_arrival_rate(&self) -> f64 {
-        let last = self.jobs.last().expect("trace is never empty").arrival_secs;
-        if last <= 0.0 {
+        let (Some(first), Some(last)) = (self.jobs.first(), self.jobs.last()) else {
+            return self.config.arrival_rate;
+        };
+        let span = last.arrival_secs - first.arrival_secs;
+        if self.jobs.len() < 2 || span <= 0.0 || !span.is_finite() {
             self.config.arrival_rate
         } else {
-            self.jobs.len() as f64 / last
+            (self.jobs.len() - 1) as f64 / span
         }
     }
 
@@ -272,27 +282,209 @@ impl Trace {
             }
         }
         for job in &trace.jobs {
-            job.validate();
+            job.try_validate()
+                .map_err(|e| format!("invalid job {}: {e}", job.id))?;
         }
         Ok(trace)
     }
 
-    /// Writes the trace to a JSON file.
+    /// Writes the trace to a file: `.csv` paths get the scrubbed-CSV
+    /// schema ([`Trace::to_csv`]), everything else JSON.
     ///
     /// # Errors
     /// Propagates I/O errors.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        if path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("csv"))
+        {
+            std::fs::write(path, self.to_csv())
+        } else {
+            std::fs::write(path, self.to_json())
+        }
     }
 
-    /// Loads a trace from a JSON file.
+    /// Loads a trace from a file: `.csv` files go through the scrubbed-CSV
+    /// schema ([`Trace::from_csv`]), everything else through JSON.
     ///
     /// # Errors
     /// Propagates I/O errors and validation failures.
     pub fn load(path: &std::path::Path) -> Result<Self, String> {
-        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        Self::from_json(&json)
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        if path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("csv"))
+        {
+            Self::from_csv(&text)
+        } else {
+            Self::from_json(&text)
+        }
     }
+}
+
+/// Column order of the scrubbed-trace CSV schema (see EXPERIMENTS.md
+/// "Trace replay"): one job per row, `kill_after_secs` empty for jobs that
+/// ran to convergence.
+pub const CSV_HEADER: &str = "id,model,dataset,dataset_size,submit_batch,\
+                              max_safe_batch,requested_gpus,arrival_secs,kill_after_secs";
+
+impl Trace {
+    /// Serialises the trace to the scrubbed CSV schema. The hidden
+    /// convergence model is *not* exported (it is simulator-only ground
+    /// truth); re-ingesting rebuilds it from the per-family catalog
+    /// parameters, so a CSV round trip preserves every submitted field but
+    /// not bespoke convergence curves.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&CSV_HEADER.split_whitespace().collect::<String>());
+        out.push('\n');
+        for j in &self.jobs {
+            let kill = j
+                .kill_after_secs
+                .map_or_else(String::new, |k| format!("{k}"));
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                j.id.0,
+                j.model,
+                j.dataset,
+                j.dataset_size,
+                j.submit_batch,
+                j.max_safe_batch,
+                j.requested_gpus,
+                j.arrival_secs,
+                kill
+            ));
+        }
+        out
+    }
+
+    /// Parses a trace from CSV text: a header line (exactly the schema
+    /// columns) followed by one job per row. Blank lines and `#` comments
+    /// are skipped. Rows may arrive unsorted — real scrubbed traces often
+    /// are — and are re-sorted by arrival time.
+    ///
+    /// # Errors
+    /// Returns a description of the first syntactic or semantic problem;
+    /// never panics on malformed input.
+    pub fn from_csv(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = loop {
+            match lines.next() {
+                Some(l) if l.trim().is_empty() || l.trim_start().starts_with('#') => {}
+                Some(l) => break l,
+                None => return Err("empty CSV: missing header".into()),
+            }
+        };
+        let canonical: String = CSV_HEADER.split_whitespace().collect();
+        let seen: String = header.split_whitespace().collect();
+        if seen != canonical {
+            return Err(format!(
+                "unexpected CSV header {header:?} (expected {canonical:?})"
+            ));
+        }
+        Self::from_csv_rows(lines)
+    }
+
+    /// Parses a trace from pre-split CSV data rows (no header). Each row
+    /// follows [`CSV_HEADER`]; the hidden convergence model is rebuilt from
+    /// the per-family Table 2 parameters with the reference batch pinned to
+    /// the row's submitted batch.
+    ///
+    /// # Errors
+    /// Returns a description of the first bad row; never panics.
+    pub fn from_csv_rows<'a, I>(rows: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut jobs: Vec<JobSpec> = Vec::new();
+        for (lineno, row) in rows.into_iter().enumerate() {
+            let row = row.trim();
+            if row.is_empty() || row.starts_with('#') {
+                continue;
+            }
+            let job = parse_csv_row(row).map_err(|e| format!("row {}: {e}", lineno + 1))?;
+            jobs.push(job);
+        }
+        if jobs.is_empty() {
+            return Err("trace holds no jobs".into());
+        }
+        let mut ids = std::collections::BTreeSet::new();
+        for j in &jobs {
+            if !ids.insert(j.id) {
+                return Err(format!("duplicate job id {}", j.id));
+            }
+        }
+        jobs.sort_by(|a, b| {
+            a.arrival_secs
+                .partial_cmp(&b.arrival_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        for job in &jobs {
+            job.try_validate()
+                .map_err(|e| format!("invalid job {}: {e}", job.id))?;
+        }
+        let killed = jobs.iter().filter(|j| j.kill_after_secs.is_some()).count();
+        let mut trace = Trace {
+            config: TraceConfig {
+                num_jobs: jobs.len(),
+                arrival_rate: TraceConfig::default().arrival_rate,
+                seed: 0,
+                kill_fraction: killed as f64 / jobs.len() as f64,
+            },
+            jobs,
+        };
+        trace.config.arrival_rate = trace.observed_arrival_rate();
+        Ok(trace)
+    }
+}
+
+/// Parses one CSV data row into a [`JobSpec`].
+fn parse_csv_row(row: &str) -> Result<JobSpec, String> {
+    use crate::table2::{convergence_for, default_classes};
+    let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+    if fields.len() != 9 {
+        return Err(format!("expected 9 fields, found {}", fields.len()));
+    }
+    fn num<T: std::str::FromStr>(field: &str, name: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        field
+            .parse::<T>()
+            .map_err(|e| format!("bad {name} {field:?}: {e}"))
+    }
+    let id = JobId(num::<u64>(fields[0], "id")?);
+    let model: ones_dlperf::ModelKind = num(fields[1], "model")?;
+    let dataset: ones_dlperf::DatasetKind = num(fields[2], "dataset")?;
+    let dataset_size: u64 = num(fields[3], "dataset_size")?;
+    let submit_batch: u32 = num(fields[4], "submit_batch")?;
+    let max_safe_batch: u32 = num(fields[5], "max_safe_batch")?;
+    let requested_gpus: u32 = num(fields[6], "requested_gpus")?;
+    let arrival_secs: f64 = num(fields[7], "arrival_secs")?;
+    let kill_after_secs = match fields[8] {
+        "" | "-" => None,
+        k => Some(num::<f64>(k, "kill_after_secs")?),
+    };
+    let size_k = if dataset_size.is_multiple_of(1000) {
+        format!("{}k", dataset_size / 1000)
+    } else {
+        format!("{:.1}k", dataset_size as f64 / 1000.0)
+    };
+    Ok(JobSpec {
+        id,
+        name: format!("{model}/{dataset}-{size_k}"),
+        model,
+        dataset,
+        dataset_size,
+        submit_batch,
+        max_safe_batch,
+        requested_gpus,
+        arrival_secs,
+        kill_after_secs,
+        convergence: convergence_for(model, dataset, default_classes(dataset), submit_batch),
+    })
 }
 
 #[cfg(test)]
@@ -351,5 +543,141 @@ mod io_tests {
         });
         t.jobs[0].arrival_secs = 1e9;
         assert!(Trace::from_json(&t.to_json()).is_err());
+    }
+
+    fn small() -> Trace {
+        Trace::generate(TraceConfig {
+            num_jobs: 4,
+            arrival_rate: 0.1,
+            seed: 11,
+            kill_fraction: 0.25,
+        })
+    }
+
+    #[test]
+    fn json_rejects_semantically_invalid_jobs_without_panicking() {
+        // Hand-edited traces are exactly the ones with bad jobs; every one
+        // of these must come back as Err, not abort the process.
+        let mut t = small();
+        t.jobs[1].submit_batch = 0;
+        t.jobs[1].convergence.reference_batch = 0;
+        let err = Trace::from_json(&t.to_json()).unwrap_err();
+        assert!(err.contains("zero batch"), "{err}");
+
+        let mut t = small();
+        t.jobs[2].submit_batch = 1 << 20; // cannot fit on any GPU count here
+        t.jobs[2].convergence.reference_batch = 1 << 20;
+        t.jobs[2].max_safe_batch = 1 << 20;
+        assert!(Trace::from_json(&t.to_json()).is_err());
+
+        let mut t = small();
+        t.jobs[0].requested_gpus = 0;
+        assert!(Trace::from_json(&t.to_json()).is_err());
+
+        let mut t = small();
+        t.jobs[0].kill_after_secs = Some(-1.0);
+        assert!(Trace::from_json(&t.to_json()).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_submitted_fields() {
+        let t = small();
+        let parsed = Trace::from_csv(&t.to_csv()).expect("round trip");
+        assert_eq!(parsed.len(), t.len());
+        for (a, b) in parsed.jobs.iter().zip(&t.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.dataset, b.dataset);
+            assert_eq!(a.dataset_size, b.dataset_size);
+            assert_eq!(a.submit_batch, b.submit_batch);
+            assert_eq!(a.max_safe_batch, b.max_safe_batch);
+            assert_eq!(a.requested_gpus, b.requested_gpus);
+            assert_eq!(a.arrival_secs, b.arrival_secs);
+            assert_eq!(a.kill_after_secs, b.kill_after_secs);
+        }
+        // Observed kill fraction and arrival rate flow into the config.
+        let killed = t
+            .jobs
+            .iter()
+            .filter(|j| j.kill_after_secs.is_some())
+            .count();
+        assert!((parsed.config.kill_fraction - killed as f64 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_sorts_unsorted_rows_and_keeps_comments_out() {
+        let csv = "# scrubbed cluster trace\n\
+                   id,model,dataset,dataset_size,submit_batch,max_safe_batch,requested_gpus,arrival_secs,kill_after_secs\n\
+                   1,BERT,CoLA,8000,32,256,1,120.5,\n\
+                   \n\
+                   0,ResNet50,ImageNet,12000,256,2048,2,30.0,600.0\n";
+        let t = Trace::from_csv(csv).expect("valid csv");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.jobs[0].id, JobId(0));
+        assert_eq!(t.jobs[0].kill_after_secs, Some(600.0));
+        assert_eq!(t.jobs[1].name, "BERT/CoLA-8k");
+        assert_eq!(t.jobs[1].kill_after_secs, None);
+        for j in &t.jobs {
+            j.validate(); // ingested convergence models are consistent
+        }
+    }
+
+    #[test]
+    fn csv_rejects_bad_rows_with_errors_not_panics() {
+        let header = "id,model,dataset,dataset_size,submit_batch,max_safe_batch,requested_gpus,arrival_secs,kill_after_secs";
+        let cases = [
+            ("not,a,row", "expected 9 fields"),
+            (
+                "0,ResNet152,ImageNet,12000,256,2048,2,30.0,",
+                "unknown model",
+            ),
+            ("0,ResNet50,MNIST,12000,256,2048,2,30.0,", "unknown dataset"),
+            (
+                "0,ResNet50,ImageNet,12000,zero,2048,2,30.0,",
+                "bad submit_batch",
+            ),
+            ("0,ResNet50,ImageNet,12000,0,2048,2,30.0,", "zero batch"),
+            ("0,ResNet50,ImageNet,12000,4096,4096,1,30.0,", "cannot fit"),
+            ("0,ResNet50,ImageNet,12000,256,2048,2,-5.0,", "arrival"),
+            (
+                "0,ResNet50,ImageNet,12000,256,2048,2,30.0,-1.0",
+                "kill time",
+            ),
+        ];
+        for (row, needle) in cases {
+            let text = format!("{header}\n{row}\n");
+            let err = Trace::from_csv(&text).unwrap_err();
+            assert!(err.contains(needle), "{row}: {err}");
+        }
+        assert!(Trace::from_csv("").unwrap_err().contains("missing header"));
+        assert!(Trace::from_csv("a,b,c\n").unwrap_err().contains("header"));
+        assert!(Trace::from_csv(&format!("{header}\n"))
+            .unwrap_err()
+            .contains("no jobs"));
+        let dup = format!(
+            "{header}\n0,ResNet50,ImageNet,12000,256,2048,2,30.0,\n0,ResNet50,ImageNet,12000,256,2048,2,40.0,\n"
+        );
+        assert!(Trace::from_csv(&dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn observed_rate_is_total_and_unbiased() {
+        // Empty and single-job traces fall back to the configured rate.
+        let mut t = small();
+        t.jobs.truncate(1);
+        assert_eq!(t.observed_arrival_rate(), t.config.arrival_rate);
+        t.jobs.clear();
+        assert_eq!(t.observed_arrival_rate(), t.config.arrival_rate);
+
+        // Two arrivals one second apart => exactly 1 job/s over the span.
+        let mut t = small();
+        t.jobs.truncate(2);
+        t.jobs[0].arrival_secs = 10.0;
+        t.jobs[1].arrival_secs = 11.0;
+        assert!((t.observed_arrival_rate() - 1.0).abs() < 1e-12);
+
+        // Degenerate span (all arrivals equal) also falls back.
+        t.jobs[1].arrival_secs = 10.0;
+        assert_eq!(t.observed_arrival_rate(), t.config.arrival_rate);
     }
 }

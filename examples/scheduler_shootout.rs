@@ -7,7 +7,7 @@
 //! cargo run --release --example scheduler_shootout [-- <num_jobs>]
 //! ```
 
-use ones_repro::simulator::{run_sweep, ExperimentConfig, SchedulerKind};
+use ones_repro::simulator::{run_sweep, ExperimentConfig, SchedulerKind, TraceSource};
 use ones_repro::stats::Summary;
 use ones_repro::workload::TraceConfig;
 
@@ -36,7 +36,7 @@ fn main() {
         .iter()
         .map(|&scheduler| ExperimentConfig {
             gpus: 64,
-            trace,
+            source: TraceSource::Table2(trace),
             scheduler,
             sched_seed: 1,
             drl_pretrain_episodes: 2,

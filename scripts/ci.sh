@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Repository CI gate: tier-1 build + tests, lint, formatting.
 #
-#   scripts/ci.sh              # build, test, clippy, fmt
-#   RUN_BENCH=1 scripts/ci.sh  # also run the evolution micro-bench and the
-#                              # observability overhead bench, emitting
-#                              # BENCH_evolution.json and
-#                              # BENCH_observability.json at the repo root
+#   scripts/ci.sh              # build, test, clippy, fmt, trace-replay smoke
+#   RUN_BENCH=1 scripts/ci.sh  # also run the evolution micro-bench, the
+#                              # observability overhead bench and the
+#                              # trace-replay macro-bench, emitting
+#                              # BENCH_evolution.json,
+#                              # BENCH_observability.json and
+#                              # BENCH_trace_replay.json at the repo root
 #
 # Everything runs offline against the in-repo shim crates (shims/); no
 # network access or external dependencies are required.
@@ -24,12 +26,32 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> trace-replay smoke (every scheduler on a Philly-style trace)"
+for sched in ones drl tiresias optimus fifo; do
+    out="$(./target/release/ones-sim --scheduler "$sched" \
+        --trace-source philly --jobs 12 --gpus 16 --rate-secs 20 --seed 7 \
+        --json)"
+    if echo "$out" | grep -q '"completed_jobs": 0,'; then
+        echo "FAIL: $sched completed no jobs on the philly trace" >&2
+        exit 1
+    fi
+    if ! echo "$out" | grep -qE '"killed_jobs": [1-9]'; then
+        echo "FAIL: $sched reported no killed jobs on a trace with kills" >&2
+        exit 1
+    fi
+    echo "    $sched OK ($(echo "$out" | grep -o '"completed_jobs": [0-9]*') \
+$(echo "$out" | grep -o '"killed_jobs": [0-9]*'))"
+done
+
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
     echo "==> evolution micro-bench (BENCH_evolution.json)"
     BENCH_JSON="$PWD/BENCH_evolution.json" cargo bench -p ones-bench --bench evolution
 
     echo "==> observability overhead bench (BENCH_observability.json)"
     BENCH_JSON="$PWD/BENCH_observability.json" cargo bench -p ones-bench --bench observability
+
+    echo "==> trace-replay macro-bench (BENCH_trace_replay.json)"
+    BENCH_JSON="$PWD/BENCH_trace_replay.json" cargo bench -p ones-bench --bench trace_replay
 fi
 
 echo "CI OK"

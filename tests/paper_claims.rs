@@ -5,22 +5,31 @@
 use ones_repro::cluster::{ClusterSpec, Placement};
 use ones_repro::dlperf::{ConvergenceModel, ConvergenceState, DatasetKind, ModelKind, PerfModel};
 use ones_repro::ones::ScalingCostModel;
-use ones_repro::simulator::{run_experiment, ExperimentConfig, SchedulerKind};
+use ones_repro::simulator::{run_experiment, ExperimentConfig, SchedulerKind, TraceSource};
 use ones_repro::workload::TraceConfig;
 
-fn experiment(scheduler: SchedulerKind, jobs: usize, gpus: u32) -> ExperimentConfig {
+fn experiment_at_rate(
+    scheduler: SchedulerKind,
+    jobs: usize,
+    gpus: u32,
+    rate_secs: f64,
+) -> ExperimentConfig {
     ExperimentConfig {
         gpus,
-        trace: TraceConfig {
+        source: TraceSource::Table2(TraceConfig {
             num_jobs: jobs,
-            arrival_rate: 1.0 / 30.0,
+            arrival_rate: 1.0 / rate_secs,
             seed: 42,
             kill_fraction: 0.0,
-        },
+        }),
         scheduler,
         sched_seed: 1,
         drl_pretrain_episodes: 1,
     }
+}
+
+fn experiment(scheduler: SchedulerKind, jobs: usize, gpus: u32) -> ExperimentConfig {
+    experiment_at_rate(scheduler, jobs, gpus, 30.0)
 }
 
 /// §4.2 / Figure 15a: ONES achieves the smallest average JCT of all four
@@ -170,12 +179,8 @@ fn table4_shape() {
     // DRL vs ONES separates most clearly at this scale (the full Table 4
     // at 120 jobs / 64 GPUs is regenerated by the `table4_significance`
     // bench binary).
-    let mut cfg = experiment(SchedulerKind::Ones, 40, 32);
-    cfg.trace.arrival_rate = 1.0 / 20.0;
-    let ones = run_experiment(cfg);
-    let mut cfg = experiment(SchedulerKind::Drl, 40, 32);
-    cfg.trace.arrival_rate = 1.0 / 20.0;
-    let drl = run_experiment(cfg);
+    let ones = run_experiment(experiment_at_rate(SchedulerKind::Ones, 40, 32, 20.0));
+    let drl = run_experiment(experiment_at_rate(SchedulerKind::Drl, 40, 32, 20.0));
     let two = signed_rank_test(&ones.metrics.jct, &drl.metrics.jct, Alternative::TwoSided);
     let neg = signed_rank_test(&ones.metrics.jct, &drl.metrics.jct, Alternative::Greater);
     assert!(two.p_value < 0.05, "two-sided p = {}", two.p_value);
