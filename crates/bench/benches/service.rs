@@ -1,0 +1,223 @@
+//! Service macro-bench: hammer a live `ones-d` daemon over loopback HTTP
+//! while its scheduler core replays the submitted jobs, and report
+//! sustained request throughput and latency percentiles.
+//!
+//! Acceptance gate for the daemon PR: at least 5,000 combined
+//! submit+query requests with zero dropped or errored requests, with
+//! `GET /metrics` serving live `evo.search.*` / `simulator.*` series
+//! mid-run. Results land in `BENCH_service.json` (path overridable via
+//! the `BENCH_JSON` environment variable).
+
+use ones_cluster::ClusterSpec;
+use ones_d::{serve, Client, ServeOptions};
+use ones_simcore::DetRng;
+use ones_simulator::{SchedulerKind, SimBackend, SimConfig};
+use ones_workload::{Trace, TraceConfig};
+use std::time::{Duration, Instant};
+
+const GPUS: u32 = 32;
+const TOTAL_REQUESTS: usize = 6_000;
+const SUBMIT_EVERY: usize = 50; // 120 submissions inside 6,000 requests
+const REQUIRED_REQUESTS: usize = 5_000;
+
+/// Minimal wire bodies cycled through for submissions; ids and arrival
+/// times are assigned by the daemon.
+const SUBMIT_BODIES: [&str; 4] = [
+    r#"{"model": "ResNet18", "dataset": "CIFAR10", "dataset_size": 20000,
+        "submit_batch": 256, "requested_gpus": 1}"#,
+    r#"{"model": "ResNet50", "dataset": "ImageNet", "dataset_size": 12000,
+        "submit_batch": 256, "requested_gpus": 2}"#,
+    r#"{"model": "BERT", "dataset": "CoLA", "dataset_size": 8000,
+        "submit_batch": 32, "requested_gpus": 1}"#,
+    r#"{"model": "VGG16", "dataset": "CIFAR10", "dataset_size": 30000,
+        "submit_batch": 256, "requested_gpus": 2}"#,
+];
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
+fn stats(mut ns: Vec<u64>, elapsed: Duration) -> serde_json::Value {
+    ns.sort_unstable();
+    let count = ns.len();
+    let qps = if elapsed.is_zero() {
+        0.0
+    } else {
+        count as f64 / elapsed.as_secs_f64()
+    };
+    serde_json::json!({
+        "count": count as u64,
+        "qps": qps,
+        "p50_us": percentile_us(&ns, 0.50),
+        "p90_us": percentile_us(&ns, 0.90),
+        "p99_us": percentile_us(&ns, 0.99),
+        "max_us": percentile_us(&ns, 1.0),
+    })
+}
+
+fn main() {
+    ones_bench::print_header(&format!(
+        "service_{GPUS}gpu_{TOTAL_REQUESTS}req (live ones-d over loopback HTTP)"
+    ));
+    ones_obs::set_level(ones_obs::ObsLevel::Counters);
+
+    let spec = ClusterSpec::longhorn_subset(GPUS);
+    let trace = Trace {
+        config: TraceConfig {
+            num_jobs: 0,
+            arrival_rate: 1.0 / 10.0,
+            seed: 1,
+            kill_fraction: 0.0,
+        },
+        jobs: Vec::new(),
+    };
+    let scheduler = SchedulerKind::Ones.build(&spec, &trace, &DetRng::seed(1));
+    let backend = SimBackend::new(spec, &trace, scheduler, SimConfig::default());
+    let handle = serve(
+        Box::new(backend),
+        ServeOptions {
+            events_per_batch: 16,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(handle.local_addr()).expect("resolve daemon address");
+
+    let mut submit_ns: Vec<u64> = Vec::new();
+    let mut query_ns: Vec<u64> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    let mut since = 0u64;
+    let mut submitted_ids: Vec<u64> = Vec::new();
+    let mut metrics_live_mid_run = false;
+
+    let started = Instant::now();
+    for i in 0..TOTAL_REQUESTS {
+        let t0 = Instant::now();
+        if i % SUBMIT_EVERY == 0 {
+            let body = SUBMIT_BODIES[(i / SUBMIT_EVERY) % SUBMIT_BODIES.len()];
+            match client.post("/v1/jobs", body) {
+                Ok((201, reply)) => {
+                    submit_ns.push(t0.elapsed().as_nanos() as u64);
+                    if let Ok(v) = serde_json::from_str::<serde_json::Value>(&reply) {
+                        if let Some(id) = v.get("id").and_then(|x| x.as_u64()) {
+                            submitted_ids.push(id);
+                        }
+                    }
+                }
+                Ok((status, reply)) => errors.push(format!("submit -> {status}: {reply}")),
+                Err(e) => errors.push(format!("submit: {e}")),
+            }
+            continue;
+        }
+        // Query mix: cluster, event stream, job list, one job, metrics.
+        let result = match i % 5 {
+            0 => client.get("/v1/cluster"),
+            1 => {
+                let r = client.get(&format!("/v1/events?since={since}"));
+                if let Ok((200, body)) = &r {
+                    if let Ok(v) = serde_json::from_str::<serde_json::Value>(body) {
+                        since = v.get("next_seq").and_then(|x| x.as_u64()).unwrap_or(since);
+                    }
+                }
+                r
+            }
+            2 => client.get("/v1/jobs"),
+            3 => match submitted_ids.first() {
+                Some(id) => client.get(&format!("/v1/jobs/{id}")),
+                None => client.get("/v1/cluster"),
+            },
+            _ => {
+                let r = client.get("/metrics");
+                if let Ok((200, text)) = &r {
+                    if i > TOTAL_REQUESTS / 4
+                        && text.contains("evo_search_generations")
+                        && text.contains("simulator_engine_events")
+                    {
+                        metrics_live_mid_run = true;
+                    }
+                }
+                r
+            }
+        };
+        match result {
+            Ok((200, _)) => query_ns.push(t0.elapsed().as_nanos() as u64),
+            Ok((status, body)) => errors.push(format!("query {} -> {status}: {body}", i % 5)),
+            Err(e) => errors.push(format!("query {}: {e}", i % 5)),
+        }
+    }
+    let elapsed = started.elapsed();
+    let cluster = client
+        .get_json("/v1/cluster")
+        .expect("final cluster snapshot");
+    drop(handle.shutdown_and_wait());
+
+    let requests = submit_ns.len() + query_ns.len();
+    for e in errors.iter().take(5) {
+        eprintln!("request error: {e}");
+    }
+    assert!(
+        errors.is_empty(),
+        "{} of {TOTAL_REQUESTS} requests failed",
+        errors.len()
+    );
+    assert!(
+        requests >= REQUIRED_REQUESTS,
+        "only {requests} successful requests, need {REQUIRED_REQUESTS}"
+    );
+    assert!(
+        metrics_live_mid_run,
+        "/metrics never served live evo.search.*/simulator.* series mid-run"
+    );
+
+    let submit_stats = stats(submit_ns.clone(), elapsed);
+    let query_stats = stats(query_ns.clone(), elapsed);
+    let mut all_ns = submit_ns;
+    all_ns.extend_from_slice(&query_ns);
+    let overall = stats(all_ns, elapsed);
+
+    println!(
+        "  {} requests ({} submits, {} queries) in {:.2} s — {:.0} req/s sustained",
+        requests,
+        submit_stats.get("count").and_then(|v| v.as_u64()).unwrap(),
+        query_stats.get("count").and_then(|v| v.as_u64()).unwrap(),
+        elapsed.as_secs_f64(),
+        requests as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "  latency p50 {:.0} µs, p90 {:.0} µs, p99 {:.0} µs",
+        overall.get("p50_us").and_then(|v| v.as_f64()).unwrap(),
+        overall.get("p90_us").and_then(|v| v.as_f64()).unwrap(),
+        overall.get("p99_us").and_then(|v| v.as_f64()).unwrap(),
+    );
+    println!(
+        "  virtual time reached {:.1} s, {} jobs submitted, 0 errors",
+        cluster.get("now_secs").and_then(|v| v.as_f64()).unwrap(),
+        cluster.get("submitted").and_then(|v| v.as_u64()).unwrap(),
+    );
+
+    let report = serde_json::json!({
+        "bench": "service",
+        "gpus": GPUS,
+        "requests": requests as u64,
+        "errors": 0u64,
+        "elapsed_secs": elapsed.as_secs_f64(),
+        "sustained_qps": requests as f64 / elapsed.as_secs_f64(),
+        "submit": submit_stats,
+        "query": query_stats,
+        "overall": overall,
+        "metrics_live_mid_run": metrics_live_mid_run,
+        "final_vt_secs": cluster.get("now_secs").and_then(|v| v.as_f64()),
+        "jobs_submitted": cluster.get("submitted").and_then(|v| v.as_u64()),
+    });
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_service.json".to_string());
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialisable"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nresults written to {path}");
+}

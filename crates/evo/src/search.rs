@@ -139,6 +139,23 @@ impl EvolutionarySearch {
         self.generations
     }
 
+    /// Current tunables.
+    #[must_use]
+    pub fn config(&self) -> &EvoConfig {
+        &self.config
+    }
+
+    /// Swaps in new tunables mid-search (ones-d live reconfiguration).
+    /// The population carries over; a shrunken `population` size takes
+    /// effect at the next generation's selection.
+    ///
+    /// # Panics
+    /// Panics if `config.population` is zero.
+    pub fn set_config(&mut self, config: EvoConfig) {
+        assert!(config.population > 0, "population must be positive");
+        self.config = config;
+    }
+
     /// Current population (empty before the first generation).
     #[must_use]
     pub fn population(&self) -> &[Schedule] {

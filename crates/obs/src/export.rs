@@ -8,7 +8,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use crate::metrics::{snapshot, MetricValue};
+use crate::metrics::{registry_snapshot, MetricValue};
 use crate::span::{spans_snapshot, ArgValue, Clock, SpanEvent};
 
 /// Failure to write a sink file.
@@ -141,11 +141,13 @@ pub fn chrome_trace_json() -> String {
 
 /// Serialises the current metric registry as JSONL: one JSON object per
 /// line, in key order. Counters and gauges carry `value`; histograms carry
-/// `count`/`sum`/`min`/`max`/`p50`/`p95`/`p99`.
+/// `count`/`sum`/`min`/`max`/`p50`/`p95`/`p99` plus a `buckets` array of
+/// `{"le": <bound>, "count": <cumulative>}` objects (the overflow bucket
+/// spells its bound `"+Inf"`, since JSON has no infinity literal).
 #[must_use]
 pub fn metrics_jsonl() -> String {
     let mut out = String::new();
-    for sample in snapshot() {
+    for sample in registry_snapshot() {
         out.push_str("{\"key\":");
         push_json_str(&mut out, sample.key);
         match &sample.value {
@@ -169,9 +171,80 @@ pub fn metrics_jsonl() -> String {
                     let _ = write!(out, ",\"{field}\":");
                     push_json_f64(&mut out, v);
                 }
+                out.push_str(",\"buckets\":[");
+                for (i, (bound, cumulative)) in h.buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"le\":");
+                    if bound.is_finite() {
+                        push_json_f64(&mut out, *bound);
+                    } else {
+                        out.push_str("\"+Inf\"");
+                    }
+                    let _ = write!(out, ",\"count\":{cumulative}}}");
+                }
+                out.push(']');
             }
         }
         out.push_str("}\n");
+    }
+    out
+}
+
+/// Spells a histogram bucket bound the way Prometheus expects: `+Inf` for
+/// the overflow bucket, the shortest round-trip decimal otherwise.
+fn prometheus_bound(bound: f64) -> String {
+    if bound.is_finite() {
+        format!("{bound}")
+    } else {
+        "+Inf".to_string()
+    }
+}
+
+/// Renders the current metric registry in the Prometheus text exposition
+/// format (version 0.0.4), in stable key order. Registry keys use dots
+/// (`evo.search.generations`); Prometheus metric names cannot, so dots and
+/// dashes become underscores. Histograms render as native Prometheus
+/// histograms: cumulative `_bucket{le="..."}` series ending at `+Inf`,
+/// plus `_sum` and `_count`.
+#[must_use]
+pub fn prometheus_text() -> String {
+    let mut out = String::new();
+    for sample in registry_snapshot() {
+        let name: String = sample
+            .key
+            .chars()
+            .map(|c| if c == '.' || c == '-' { '_' } else { c })
+            .collect();
+        match &sample.value {
+            MetricValue::Counter(n) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {n}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let mut line = format!("{name} ");
+                push_json_f64(&mut line, *v);
+                out.push_str(&line);
+                out.push('\n');
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                for (bound, cumulative) in &h.buckets {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        prometheus_bound(*bound)
+                    );
+                }
+                let mut sum_line = format!("{name}_sum ");
+                push_json_f64(&mut sum_line, h.sum);
+                out.push_str(&sum_line);
+                out.push('\n');
+                let _ = writeln!(out, "{name}_count {}", h.count);
+            }
+        }
     }
     out
 }
@@ -224,6 +297,55 @@ mod tests {
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("]}"));
         assert_eq!(json.matches("process_name").count(), 2);
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        crate::reset();
+        crate::counter("obs.test.prom_counter").add(3);
+        crate::gauge("obs.test.prom_gauge").set(1.5);
+        let h = crate::histogram("obs.test.prom_hist");
+        h.observe(0.3);
+        h.observe(2e8);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE obs_test_prom_counter counter"));
+        assert!(text.contains("obs_test_prom_counter 3"));
+        assert!(text.contains("obs_test_prom_gauge 1.5"));
+        assert!(text.contains("# TYPE obs_test_prom_hist histogram"));
+        assert!(text.contains("obs_test_prom_hist_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("obs_test_prom_hist_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("obs_test_prom_hist_count 2"));
+        assert!(
+            !text.contains("obs.test"),
+            "metric names must not keep registry dots"
+        );
+    }
+
+    #[test]
+    fn jsonl_histogram_buckets_parse_back() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        crate::reset();
+        let h = crate::histogram("obs.test.jsonl_buckets");
+        h.observe(0.3);
+        let jsonl = metrics_jsonl();
+        let line = jsonl
+            .lines()
+            .find(|l| l.contains("obs.test.jsonl_buckets"))
+            .expect("histogram line present");
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        let buckets = v.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), crate::metrics::DEFAULT_BOUNDS.len() + 1);
+        assert_eq!(
+            buckets.last().unwrap().get("le").unwrap().as_str(),
+            Some("+Inf")
+        );
+        assert_eq!(
+            buckets.last().unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
     }
 
     #[test]

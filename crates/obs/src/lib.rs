@@ -16,8 +16,12 @@
 //!   p50/p95/p99 extraction), addressed by static string keys following
 //!   the `<crate>.<subsystem>.<name>` convention (DESIGN.md §5).
 //! * **Sinks** — the in-memory recorder exports Chrome-trace-format JSON
-//!   ([`chrome_trace_json`], loadable in Perfetto / `chrome://tracing`)
-//!   and a JSONL metrics snapshot ([`metrics_jsonl`]).
+//!   ([`chrome_trace_json`], loadable in Perfetto / `chrome://tracing`),
+//!   a JSONL metrics snapshot ([`metrics_jsonl`]), and the Prometheus
+//!   text exposition format ([`prometheus_text`], served by `ones-d` at
+//!   `GET /metrics`). [`registry_snapshot`] exposes the same state as a
+//!   typed, alphabetically-ordered [`Vec<MetricSample>`] including
+//!   cumulative histogram buckets.
 //!
 //! ## Verbosity
 //!
@@ -43,11 +47,12 @@ mod metrics;
 mod span;
 
 pub use export::{
-    chrome_trace_json, metrics_jsonl, write_chrome_trace, write_metrics_jsonl, ExportError,
+    chrome_trace_json, metrics_jsonl, prometheus_text, write_chrome_trace, write_metrics_jsonl,
+    ExportError,
 };
 pub use metrics::{
-    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricSample, MetricValue,
+    counter, gauge, histogram, registry_snapshot, snapshot, Counter, Gauge, Histogram,
+    HistogramSnapshot, MetricSample, MetricValue, DEFAULT_BOUNDS,
 };
 pub use span::{
     clear_spans, span, span_tid, spans_snapshot, virtual_instant, virtual_span, ArgValue, Clock,

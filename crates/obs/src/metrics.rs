@@ -103,6 +103,10 @@ pub struct HistogramSnapshot {
     pub p95: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// `(upper_bound, cumulative_count)` per bucket, Prometheus-style: the
+    /// count covers every observation `<= upper_bound`, and the final entry
+    /// is the overflow bucket with bound [`f64::INFINITY`].
+    pub buckets: Vec<(f64, u64)>,
 }
 
 impl Histogram {
@@ -174,6 +178,17 @@ impl Histogram {
             }
             s.max
         };
+        let mut buckets = Vec::with_capacity(s.counts.len());
+        let mut cumulative = 0u64;
+        for (i, &c) in s.counts.iter().enumerate() {
+            cumulative += c;
+            let bound = if i == self.bounds.len() {
+                f64::INFINITY
+            } else {
+                self.bounds[i]
+            };
+            buckets.push((bound, cumulative));
+        }
         HistogramSnapshot {
             count: s.count,
             sum: s.sum,
@@ -182,6 +197,7 @@ impl Histogram {
             p50: quantile(0.50),
             p95: quantile(0.95),
             p99: quantile(0.99),
+            buckets,
         }
     }
 
@@ -293,9 +309,13 @@ pub struct MetricSample {
     pub value: MetricValue,
 }
 
-/// A point-in-time reading of every registered metric, in key order.
+/// A point-in-time reading of every registered metric, in stable
+/// alphabetical key order. Counters and gauges carry their current value;
+/// histograms carry full aggregates including cumulative bucket counts
+/// ([`HistogramSnapshot::buckets`]), so scrapers see the same state the
+/// JSONL sink does.
 #[must_use]
-pub fn snapshot() -> Vec<MetricSample> {
+pub fn registry_snapshot() -> Vec<MetricSample> {
     let reg = REGISTRY.lock().expect("metric registry poisoned");
     reg.iter()
         .map(|(key, handle)| MetricSample {
@@ -307,6 +327,12 @@ pub fn snapshot() -> Vec<MetricSample> {
             },
         })
         .collect()
+}
+
+/// Alias for [`registry_snapshot`], kept for existing call sites.
+#[must_use]
+pub fn snapshot() -> Vec<MetricSample> {
+    registry_snapshot()
 }
 
 #[cfg(test)]
@@ -402,6 +428,37 @@ mod tests {
         h.reset();
         h.observe(f64::NAN);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_infinity() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        let h = histogram("obs.test.buckets");
+        h.reset();
+        // One observation in (0.2, 0.5], two overflow beyond the last bound.
+        h.observe(0.3);
+        h.observe(2e8);
+        h.observe(3e8);
+        let s = h.snapshot();
+        assert_eq!(s.buckets.len(), DEFAULT_BOUNDS.len() + 1);
+        assert!(s
+            .buckets
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        let (last_bound, last_count) = *s.buckets.last().unwrap();
+        assert!(last_bound.is_infinite());
+        assert_eq!(last_count, s.count);
+        let below_one = s.buckets.iter().find(|(b, _)| *b == 1.0).unwrap().1;
+        assert_eq!(below_one, 1);
+    }
+
+    #[test]
+    fn registry_snapshot_matches_snapshot() {
+        let _g = crate::test_level_lock();
+        crate::set_level(crate::ObsLevel::Counters);
+        let _ = counter("obs.test.reg_snap");
+        assert_eq!(registry_snapshot(), snapshot());
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Typed wire structs for the `ones-d` HTTP API.
+//!
+//! Responses derive both serde traits (the daemon always emits every key,
+//! so the shim derive's all-keys-present rule holds for clients too).
+//! Requests that allow omitted keys ([`ConfigRequest`]) hand-write
+//! `Deserialize`, following the [`ones_workload::WireJobSpec`] pattern.
+
+use ones_schedcore::{JobStatus, SchedTuning};
+use ones_simulator::{BackendEvent, BackendEventKind, BackendPhase, Occupancy};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A job as reported by `GET /v1/jobs` — submitted fields plus live
+/// telemetry, never the hidden ground-truth convergence model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobView {
+    /// Job id.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Model family display name.
+    pub model: String,
+    /// Dataset family display name.
+    pub dataset: String,
+    /// `queued` (submitted, arrival still in the future), `waiting`,
+    /// `running`, `completed` or `killed`.
+    pub phase: String,
+    /// Arrival time, virtual seconds.
+    pub arrival_secs: f64,
+    /// First time the job held GPUs, if ever.
+    pub first_start_secs: Option<f64>,
+    /// Completion time, if finished.
+    pub completion_secs: Option<f64>,
+    /// Job completion time (completion − arrival), if finished.
+    pub jct_secs: Option<f64>,
+    /// Training epochs completed.
+    pub epochs_done: u32,
+    /// Current global batch size (0 when not running).
+    pub batch: u32,
+    /// Current GPU count (0 when not running).
+    pub gpus: u32,
+    /// User-submitted batch size.
+    pub submit_batch: u32,
+    /// User-requested GPU count.
+    pub requested_gpus: u32,
+    /// Cumulative execution wall time, seconds.
+    pub exec_secs: f64,
+}
+
+impl JobView {
+    /// Projects backend telemetry onto the wire. `now_secs` distinguishes
+    /// queued (future-arrival) submissions from jobs already waiting.
+    #[must_use]
+    pub fn of(status: &JobStatus, now_secs: f64) -> Self {
+        let phase = if status.is_completed() {
+            if status.killed {
+                "killed"
+            } else {
+                "completed"
+            }
+        } else if status.is_running() {
+            "running"
+        } else if status.spec.arrival_secs > now_secs {
+            "queued"
+        } else {
+            "waiting"
+        };
+        JobView {
+            id: status.spec.id.0,
+            name: status.spec.name.clone(),
+            model: status.spec.model.to_string(),
+            dataset: status.spec.dataset.to_string(),
+            phase: phase.to_string(),
+            arrival_secs: status.spec.arrival_secs,
+            first_start_secs: status.first_start.map(|t| t.as_secs()),
+            completion_secs: status.completion.map(|t| t.as_secs()),
+            jct_secs: status.jct(),
+            epochs_done: status.epochs_done,
+            batch: status.current_batch,
+            gpus: status.current_gpus,
+            submit_batch: status.spec.submit_batch,
+            requested_gpus: status.spec.requested_gpus,
+            exec_secs: status.exec_time,
+        }
+    }
+}
+
+/// `GET /v1/jobs` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobsResponse {
+    /// All known jobs, in id order.
+    pub jobs: Vec<JobView>,
+}
+
+/// `POST /v1/jobs` success body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitReply {
+    /// Assigned (or echoed) job id.
+    pub id: u64,
+    /// Assigned (or echoed) display name.
+    pub name: String,
+    /// Effective arrival time after clamping, virtual seconds.
+    pub arrival_secs: f64,
+}
+
+/// One entry of the `GET /v1/events` stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Monotonic sequence number (gap-free per daemon lifetime).
+    pub seq: u64,
+    /// Virtual time of the observation, seconds.
+    pub vt_secs: f64,
+    /// Job id concerned.
+    pub job: u64,
+    /// `arrived`, `started`, `resized`, `preempted`, `epoch_ended`,
+    /// `completed` or `killed`.
+    pub kind: String,
+    /// Global batch size (on `started` / `resized`).
+    pub batch: Option<u32>,
+    /// GPU count (on `started` / `resized`).
+    pub gpus: Option<u32>,
+    /// Total epochs done (on `epoch_ended`).
+    pub epochs_done: Option<u32>,
+}
+
+impl EventRecord {
+    /// Stamps a backend event with its sequence number.
+    #[must_use]
+    pub fn of(seq: u64, event: &BackendEvent) -> Self {
+        let (batch, gpus, epochs_done) = match event.kind {
+            BackendEventKind::Started { batch, gpus }
+            | BackendEventKind::Resized { batch, gpus } => (Some(batch), Some(gpus), None),
+            BackendEventKind::EpochEnded { epochs_done } => (None, None, Some(epochs_done)),
+            _ => (None, None, None),
+        };
+        EventRecord {
+            seq,
+            vt_secs: event.vt_secs,
+            job: event.job.0,
+            kind: event.kind.name().to_string(),
+            batch,
+            gpus,
+            epochs_done,
+        }
+    }
+}
+
+/// `GET /v1/events` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventsResponse {
+    /// Events with `seq >= since`, oldest first.
+    pub events: Vec<EventRecord>,
+    /// Pass this as the next `since` to continue the stream.
+    pub next_seq: u64,
+    /// Events evicted from the ring before `since` could read them.
+    pub dropped: u64,
+}
+
+/// Per-node slice of `GET /v1/cluster`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeView {
+    /// Node index.
+    pub node: u32,
+    /// GPUs currently assigned to jobs.
+    pub busy_gpus: u32,
+    /// GPUs on the node.
+    pub total_gpus: u32,
+}
+
+/// `GET /v1/cluster` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterResponse {
+    /// Scheduler driving the cluster.
+    pub scheduler: String,
+    /// Current virtual time, seconds.
+    pub now_secs: f64,
+    /// `active`, `idle` or `capped`.
+    pub phase: String,
+    /// Whether the core loop is paused (submissions queue up).
+    pub paused: bool,
+    /// Whether the daemon refuses new submissions.
+    pub draining: bool,
+    /// Total GPUs.
+    pub total_gpus: u32,
+    /// GPUs currently assigned.
+    pub busy_gpus: u32,
+    /// Per-node occupancy.
+    pub nodes: Vec<NodeView>,
+    /// Jobs currently running.
+    pub running_jobs: u32,
+    /// Jobs waiting for GPUs.
+    pub waiting_jobs: u32,
+    /// Submitted jobs whose arrival is still in the future.
+    pub queued_jobs: u32,
+    /// Jobs ever submitted to this daemon.
+    pub submitted: u64,
+    /// Jobs that converged.
+    pub completed: u64,
+    /// Jobs that ended abnormally.
+    pub killed: u64,
+    /// Next event sequence number (the event stream's write head).
+    pub events_next_seq: u64,
+}
+
+/// Renders a backend phase on the wire.
+#[must_use]
+pub fn phase_name(phase: BackendPhase) -> &'static str {
+    match phase {
+        BackendPhase::Active => "active",
+        BackendPhase::Idle => "idle",
+        BackendPhase::Capped => "capped",
+    }
+}
+
+/// Converts an occupancy snapshot into wire node views.
+#[must_use]
+pub fn node_views(occupancy: &Occupancy) -> Vec<NodeView> {
+    occupancy
+        .nodes
+        .iter()
+        .map(|n| NodeView {
+            node: n.node,
+            busy_gpus: n.busy_gpus,
+            total_gpus: n.total_gpus,
+        })
+        .collect()
+}
+
+/// `POST /v1/config` body: live re-tuning of the evolutionary search plus
+/// core-loop pause control. Every key is optional.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ConfigRequest {
+    /// Evolutionary-search generations per scheduling event.
+    pub generations_per_event: Option<u32>,
+    /// Evolutionary-search population size.
+    pub population: Option<usize>,
+    /// Per-gene mutation probability.
+    pub mutation_rate: Option<f64>,
+    /// Crossover pairs drawn per generation.
+    pub crossover_pairs: Option<usize>,
+    /// Pause (`true`) or resume (`false`) the core loop.
+    pub pause: Option<bool>,
+}
+
+impl ConfigRequest {
+    /// The scheduler-tuning slice of this request.
+    #[must_use]
+    pub fn tuning(&self) -> SchedTuning {
+        SchedTuning {
+            generations_per_event: self.generations_per_event,
+            population: self.population,
+            mutation_rate: self.mutation_rate,
+            crossover_pairs: self.crossover_pairs,
+        }
+    }
+}
+
+/// Reads an optional field: absent and `null` both mean `None`.
+fn opt_field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<Option<T>, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        None | Some((_, Value::Null)) => Ok(None),
+        Some((_, v)) => Ok(Some(T::from_value(v)?)),
+    }
+}
+
+impl Deserialize for ConfigRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(obj) = value else {
+            return Err(DeError::custom(format!(
+                "expected config object, got {}",
+                value.kind()
+            )));
+        };
+        Ok(ConfigRequest {
+            generations_per_event: opt_field(obj, "generations_per_event")?,
+            population: opt_field(obj, "population")?,
+            mutation_rate: opt_field(obj, "mutation_rate")?,
+            crossover_pairs: opt_field(obj, "crossover_pairs")?,
+            pause: opt_field(obj, "pause")?,
+        })
+    }
+}
+
+/// `POST /v1/config` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigReply {
+    /// Whether the scheduler accepted any tuning field.
+    pub applied: bool,
+    /// Core-loop pause state after the request.
+    pub paused: bool,
+}
+
+/// `POST /v1/drain` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrainReply {
+    /// Always true once acknowledged.
+    pub draining: bool,
+    /// Jobs not yet finished at acknowledgement time.
+    pub outstanding: u64,
+}
+
+/// Error body for every non-2xx JSON response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable description of the problem.
+    pub error: String,
+}
+
+impl ErrorBody {
+    /// Renders an error response body.
+    #[must_use]
+    pub fn json(msg: impl Into<String>) -> String {
+        serde_json::to_string(&ErrorBody { error: msg.into() }).expect("serialisable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ones_simcore::SimTime;
+    use ones_workload::JobId;
+
+    #[test]
+    fn config_request_tolerates_partial_bodies() {
+        let req: ConfigRequest = serde_json::from_str(r#"{"population": 24}"#).unwrap();
+        assert_eq!(req.population, Some(24));
+        assert_eq!(req.pause, None);
+        assert_eq!(req.tuning().population, Some(24));
+        assert!(req.tuning().generations_per_event.is_none());
+
+        let req: ConfigRequest = serde_json::from_str(r#"{"pause": true}"#).unwrap();
+        assert!(req.tuning().is_empty());
+        assert_eq!(req.pause, Some(true));
+
+        let req: ConfigRequest = serde_json::from_str("{}").unwrap();
+        assert_eq!(req, ConfigRequest::default());
+
+        assert!(serde_json::from_str::<ConfigRequest>("[3]").is_err());
+        assert!(serde_json::from_str::<ConfigRequest>(r#"{"population": "x"}"#).is_err());
+    }
+
+    #[test]
+    fn event_record_carries_kind_specific_payloads() {
+        let started = BackendEvent {
+            vt_secs: 1.5,
+            job: JobId(4),
+            kind: BackendEventKind::Started {
+                batch: 512,
+                gpus: 2,
+            },
+        };
+        let rec = EventRecord::of(9, &started);
+        assert_eq!(rec.seq, 9);
+        assert_eq!(rec.kind, "started");
+        assert_eq!(rec.batch, Some(512));
+        assert_eq!(rec.gpus, Some(2));
+        assert_eq!(rec.epochs_done, None);
+
+        let epoch = BackendEvent {
+            vt_secs: 2.0,
+            job: JobId(4),
+            kind: BackendEventKind::EpochEnded { epochs_done: 3 },
+        };
+        let rec = EventRecord::of(10, &epoch);
+        assert_eq!(rec.kind, "epoch_ended");
+        assert_eq!(rec.epochs_done, Some(3));
+        assert_eq!(rec.batch, None);
+
+        // Wire round trip through the derive pair.
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: EventRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn job_view_distinguishes_queued_from_waiting() {
+        let trace = ones_workload::Trace::generate(ones_workload::TraceConfig {
+            num_jobs: 1,
+            arrival_rate: 0.1,
+            seed: 3,
+            kill_fraction: 0.0,
+        });
+        let mut status = JobStatus::submitted(trace.jobs[0].clone(), SimTime::ZERO);
+        status.spec.arrival_secs = 50.0;
+        assert_eq!(JobView::of(&status, 0.0).phase, "queued");
+        assert_eq!(JobView::of(&status, 50.0).phase, "waiting");
+        status.phase = ones_schedcore::JobPhase::Completed;
+        status.killed = true;
+        assert_eq!(JobView::of(&status, 60.0).phase, "killed");
+    }
+}

@@ -1,0 +1,147 @@
+//! `ones-ctl` — curl-style CLI for the `ones-d` control plane.
+//!
+//! ```text
+//! ones-ctl submit --model ResNet18 --dataset CIFAR10 \
+//!     --dataset-size 20000 --batch 256 --gpus 2
+//! ones-ctl jobs            ones-ctl job 0
+//! ones-ctl cluster         ones-ctl events --since 0
+//! ones-ctl config --population 24 --generations 2
+//! ones-ctl drain           ones-ctl metrics
+//! ```
+//!
+//! Exits 0 on a 2xx response (body printed to stdout), 1 otherwise.
+
+use ones_d::Client;
+use ones_workload::WireJobSpec;
+use std::collections::BTreeMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ones-ctl [--addr HOST:PORT] COMMAND [ARGS]\n\
+         \n\
+         commands:\n\
+         \tsubmit --model M --dataset D --dataset-size N --batch B --gpus G\n\
+         \t       [--name S] [--max-safe-batch N] [--arrival SECS]\n\
+         \t       [--kill-after SECS] | submit --json BODY\n\
+         \tjobs\t\tlist all jobs\n\
+         \tjob ID\t\tone job\n\
+         \tcluster\t\toccupancy and daemon status\n\
+         \tevents [--since N]\tevent stream from a cursor\n\
+         \tconfig [--generations N] [--population N] [--mutation-rate F]\n\
+         \t       [--crossover-pairs N] [--pause true|false]\n\
+         \tdrain\t\trefuse new jobs, finish in-flight ones\n\
+         \tmetrics\t\tPrometheus text exposition\n\
+         \thealth\t\tliveness probe"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut command: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args: BTreeMap<String, String> = BTreeMap::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(token) = iter.next() {
+        if let Some(name) = token.strip_prefix("--") {
+            let Some(value) = iter.next() else { usage() };
+            args.insert(name.to_string(), value);
+        } else if command.is_none() {
+            command = Some(token);
+        } else {
+            positional.push(token);
+        }
+    }
+    let Some(command) = command else { usage() };
+    let addr = args
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let mut client = Client::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("ones-ctl: bad address {addr}: {e}");
+        std::process::exit(1);
+    });
+
+    let result = match command.as_str() {
+        "submit" => {
+            let body = match args.get("json") {
+                Some(json) => json.clone(),
+                None => {
+                    let req = |k: &str| {
+                        args.get(k).cloned().unwrap_or_else(|| {
+                            eprintln!("ones-ctl submit: missing --{k}");
+                            usage()
+                        })
+                    };
+                    let num = |k: &str| -> Option<f64> {
+                        args.get(k).map(|v| {
+                            v.parse().unwrap_or_else(|_| {
+                                eprintln!("ones-ctl submit: bad --{k} {v:?}");
+                                usage()
+                            })
+                        })
+                    };
+                    let wire = WireJobSpec {
+                        id: num("id").map(|v| v as u64),
+                        name: args.get("name").cloned(),
+                        model: req("model"),
+                        dataset: req("dataset"),
+                        dataset_size: num("dataset-size").map_or_else(|| usage(), |v| v as u64),
+                        submit_batch: num("batch").map_or_else(|| usage(), |v| v as u32),
+                        max_safe_batch: num("max-safe-batch").map(|v| v as u32),
+                        requested_gpus: num("gpus").map_or_else(|| usage(), |v| v as u32),
+                        arrival_secs: num("arrival"),
+                        kill_after_secs: num("kill-after"),
+                    };
+                    wire.to_json()
+                }
+            };
+            client.post("/v1/jobs", &body)
+        }
+        "jobs" => client.get("/v1/jobs"),
+        "job" => {
+            let Some(id) = positional.first() else {
+                eprintln!("ones-ctl job: missing ID");
+                usage();
+            };
+            client.get(&format!("/v1/jobs/{id}"))
+        }
+        "cluster" => client.get("/v1/cluster"),
+        "events" => {
+            let since = args.get("since").map_or("0", String::as_str);
+            client.get(&format!("/v1/events?since={since}"))
+        }
+        "config" => {
+            let mut fields = Vec::new();
+            let mut push_num = |wire: &str, flag: &str| {
+                if let Some(v) = args.get(flag) {
+                    fields.push(format!("\"{wire}\": {v}"));
+                }
+            };
+            push_num("generations_per_event", "generations");
+            push_num("population", "population");
+            push_num("mutation_rate", "mutation-rate");
+            push_num("crossover_pairs", "crossover-pairs");
+            push_num("pause", "pause");
+            client.post("/v1/config", &format!("{{{}}}", fields.join(", ")))
+        }
+        "drain" => client.post("/v1/drain", "{}"),
+        "metrics" => client.get("/metrics"),
+        "health" => client.get("/healthz"),
+        _ => usage(),
+    };
+
+    match result {
+        Ok((status, body)) => {
+            println!("{body}");
+            if (200..300).contains(&status) {
+                std::process::exit(0);
+            }
+            eprintln!("ones-ctl: HTTP {status}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("ones-ctl: {e}");
+            std::process::exit(1);
+        }
+    }
+}

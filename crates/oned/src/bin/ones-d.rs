@@ -1,0 +1,213 @@
+//! `ones-d` — the ONES scheduler daemon.
+//!
+//! Boots a simulated cluster behind the HTTP control plane and runs until
+//! SIGTERM/SIGINT, then shuts down gracefully: stop accepting, finish
+//! in-flight requests, flush `--trace-out` / `--metrics-out`, exit 0.
+//!
+//! ```text
+//! ones-d --port 8080 --gpus 64 --scheduler ones
+//! ones-d --port 8080 --trace-source philly --jobs 24 --step-delay-ms 20
+//! ones-d --port 0 --paused            # ephemeral port, wait for POSTs
+//! ```
+
+use ones_cluster::ClusterSpec;
+use ones_d::{serve, ServeOptions};
+use ones_simcore::DetRng;
+use ones_simulator::{SchedulerKind, SimBackend, TraceSource};
+use ones_workload::{ReplayConfig, Trace, TraceConfig};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ones-d [--port N] [--gpus N] [--scheduler NAME] [--sched-seed N]\n\
+         \t[--trace-source none|table2|philly|file] [--trace-file FILE]\n\
+         \t[--jobs N] [--rate-secs SECONDS] [--seed N] [--kill-fraction F]\n\
+         \t[--paused] [--step-delay-ms MS] [--events-per-batch N]\n\
+         \t[--obs off|counters|full] [--trace-out FILE] [--metrics-out FILE]\n\
+         \n\
+         Serves the ONES scheduler control plane on 127.0.0.1 (port 0 =\n\
+         ephemeral; the chosen address is printed on stdout). With a\n\
+         --trace-source other than `none` the daemon preloads that trace\n\
+         and replays it; jobs can always be added live via POST /v1/jobs.\n\
+         --step-delay-ms throttles virtual time so wall-clock observers\n\
+         can watch a replay. On SIGTERM/SIGINT the daemon drains in-flight\n\
+         requests, flushes --trace-out/--metrics-out and exits 0."
+    );
+    std::process::exit(2);
+}
+
+fn parse_scheduler(name: &str) -> Option<SchedulerKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "ones" => Some(SchedulerKind::Ones),
+        "drl" => Some(SchedulerKind::Drl),
+        "tiresias" => Some(SchedulerKind::Tiresias),
+        "optimus" => Some(SchedulerKind::Optimus),
+        "fifo" => Some(SchedulerKind::Fifo),
+        "srtf" | "srtf-oracle" => Some(SchedulerKind::SrtfOracle),
+        "gandiva" => Some(SchedulerKind::Gandiva),
+        "slaq" => Some(SchedulerKind::Slaq),
+        "ones-greedy" => Some(SchedulerKind::OnesGreedy),
+        "ones-nopred" => Some(SchedulerKind::OnesNoPredictor),
+        "ones-noreorder" => Some(SchedulerKind::OnesNoReorder),
+        "ones-ckpt" => Some(SchedulerKind::OnesCheckpoint),
+        _ => None,
+    }
+}
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+fn main() {
+    let mut args: BTreeMap<String, String> = BTreeMap::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(key) = iter.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            usage();
+        };
+        match name {
+            "paused" | "help" => flags.push(name.to_string()),
+            _ => {
+                let Some(value) = iter.next() else { usage() };
+                args.insert(name.to_string(), value);
+            }
+        }
+    }
+    if flags.iter().any(|f| f == "help") {
+        usage();
+    }
+    let get = |k: &str, d: f64| -> f64 {
+        args.get(k)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(d)
+    };
+
+    let gpus = get("gpus", 64.0) as u32;
+    let scheduler = args
+        .get("scheduler")
+        .map(|s| parse_scheduler(s).unwrap_or_else(|| usage()))
+        .unwrap_or(SchedulerKind::Ones);
+    let rate_secs = get("rate-secs", 30.0);
+    let seed = get("seed", 42.0) as u64;
+    let sched_seed = get("sched-seed", 1.0) as u64;
+
+    // The preload trace, if any. Live submissions work either way.
+    let source = match args.get("trace-source").map(String::as_str) {
+        None | Some("none") => None,
+        Some("table2") => Some(TraceSource::Table2(TraceConfig {
+            num_jobs: get("jobs", 24.0) as usize,
+            arrival_rate: 1.0 / rate_secs,
+            seed,
+            kill_fraction: get("kill-fraction", 0.0),
+        })),
+        Some("philly") | Some("replay") => {
+            let defaults = ReplayConfig::default();
+            Some(TraceSource::Replay(ReplayConfig {
+                num_jobs: get("jobs", 24.0) as usize,
+                base_rate: 1.0 / rate_secs,
+                seed,
+                kill_fraction: get("kill-fraction", defaults.kill_fraction),
+                ..defaults
+            }))
+        }
+        Some("file") => {
+            let Some(path) = args.get("trace-file") else {
+                eprintln!("--trace-source file needs --trace-file FILE");
+                usage();
+            };
+            Some(TraceSource::File(path.clone()))
+        }
+        Some(other) => {
+            eprintln!("unknown trace source {other:?} (none|table2|philly|file)");
+            usage();
+        }
+    };
+
+    let obs_level = match args.get("obs") {
+        Some(s) => ones_obs::ObsLevel::parse(s).unwrap_or_else(|| usage()),
+        None if args.contains_key("trace-out") => ones_obs::ObsLevel::Full,
+        None => ones_obs::ObsLevel::Counters,
+    };
+    ones_obs::set_level(obs_level);
+
+    let trace = match &source {
+        Some(source) => source.materialise().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }),
+        // No preload: an empty trace whose arrival rate seeds the
+        // scheduler's λ estimate, exactly like the CSV-ingestion path.
+        None => Trace {
+            config: TraceConfig {
+                num_jobs: 0,
+                arrival_rate: 1.0 / rate_secs,
+                seed,
+                kill_fraction: 0.0,
+            },
+            jobs: Vec::new(),
+        },
+    };
+
+    let spec = ClusterSpec::longhorn_subset(gpus);
+    let sched = scheduler.build(&spec, &trace, &DetRng::seed(sched_seed));
+    let backend = SimBackend::new(spec, &trace, sched, ones_simulator::SimConfig::default());
+
+    let opts = ServeOptions {
+        port: get("port", 8080.0) as u16,
+        paused: flags.iter().any(|f| f == "paused"),
+        step_delay: Duration::from_millis(get("step-delay-ms", 0.0) as u64),
+        events_per_batch: get("events-per-batch", 64.0) as u64,
+    };
+    install_signal_handlers();
+    let handle = serve(Box::new(backend), opts).unwrap_or_else(|e| {
+        eprintln!("cannot bind 127.0.0.1:{}: {e}", opts.port);
+        std::process::exit(1);
+    });
+    println!("ones-d listening on {}", handle.local_addr());
+    println!(
+        "ones-d: {} on {} GPUs, {} preloaded job(s), obs {}",
+        scheduler.name(),
+        gpus,
+        trace.jobs.len(),
+        obs_level.name()
+    );
+    std::io::stdout().flush().ok();
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    eprintln!("ones-d: shutdown requested, draining in-flight requests");
+    drop(handle.shutdown_and_wait());
+    if let Some(path) = args.get("trace-out") {
+        match ones_obs::write_chrome_trace(path) {
+            Ok(()) => eprintln!("ones-d: chrome trace written to {path}"),
+            Err(e) => eprintln!("ones-d: cannot write {path}: {e}"),
+        }
+    }
+    if let Some(path) = args.get("metrics-out") {
+        match ones_obs::write_metrics_jsonl(path) {
+            Ok(()) => eprintln!("ones-d: metrics snapshot written to {path}"),
+            Err(e) => eprintln!("ones-d: cannot write {path}: {e}"),
+        }
+    }
+    eprintln!("ones-d: stopped");
+}

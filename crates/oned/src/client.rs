@@ -1,0 +1,122 @@
+//! A tiny blocking HTTP/1.1 client for the daemon's loopback API.
+//!
+//! Keep-alive with transparent one-shot reconnect: a request that fails
+//! on a previously-good connection (the server timed it out, or a
+//! keep-alive race) is retried once on a fresh socket. Used by
+//! `ones-ctl`, the integration tests and the service bench.
+
+use crate::http::read_response;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A keep-alive connection to one daemon.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// Resolves the address and prepares a (lazily-connected) client.
+    ///
+    /// # Errors
+    /// Fails if the address does not resolve.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address did not resolve")
+        })?;
+        Ok(Client { addr, conn: None })
+    }
+
+    fn stream(&mut self) -> Result<&mut BufReader<TcpStream>, String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))
+                .map_err(|e| format!("connect {}: {e}", self.addr))?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .map_err(|e| e.to_string())?;
+            stream.set_nodelay(true).map_err(|e| e.to_string())?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn send_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        let addr = self.addr;
+        let reader = self.stream()?;
+        let payload = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            payload.len()
+        );
+        let mut wire = Vec::with_capacity(head.len() + payload.len());
+        wire.extend_from_slice(head.as_bytes());
+        wire.extend_from_slice(payload.as_bytes());
+        reader
+            .get_mut()
+            .write_all(&wire)
+            .map_err(|e| format!("send: {e}"))?;
+        let (status, bytes) = read_response(reader)?;
+        let text = String::from_utf8(bytes).map_err(|e| format!("non-UTF-8 body: {e}"))?;
+        Ok((status, text))
+    }
+
+    /// Issues one request, returning `(status, body)`. Retries once on a
+    /// fresh connection if a reused one failed.
+    ///
+    /// # Errors
+    /// Fails when the daemon is unreachable or speaks malformed HTTP.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        let reused = self.conn.is_some();
+        match self.send_once(method, path, body) {
+            Ok(ok) => Ok(ok),
+            Err(first) => {
+                self.conn = None;
+                if reused {
+                    self.send_once(method, path, body)
+                } else {
+                    Err(first)
+                }
+            }
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn get(&mut self, path: &str) -> Result<(u16, String), String> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn post(&mut self, path: &str, body: &str) -> Result<(u16, String), String> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// `GET path`, requiring a 2xx JSON body, parsed.
+    ///
+    /// # Errors
+    /// Fails on transport errors, non-2xx statuses or non-JSON bodies.
+    pub fn get_json(&mut self, path: &str) -> Result<serde_json::Value, String> {
+        let (status, body) = self.get(path)?;
+        if !(200..300).contains(&status) {
+            return Err(format!("GET {path} -> {status}: {body}"));
+        }
+        serde_json::from_str(&body).map_err(|e| format!("GET {path}: bad JSON: {e}"))
+    }
+}

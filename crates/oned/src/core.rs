@@ -1,0 +1,268 @@
+//! The scheduler core: one thread that owns the [`ClusterBackend`].
+//!
+//! HTTP handlers never touch the backend directly — they send [`CoreMsg`]
+//! over a channel and (for submissions and config changes) block on a
+//! oneshot-style reply. The core interleaves control messages with
+//! stepping virtual time in bounded batches, republishing the shared
+//! [`ServiceState`] after every batch so readers stay close to live.
+
+use crate::api::{ConfigReply, ConfigRequest, JobView, SubmitReply};
+use crate::state::SharedState;
+use ones_simulator::{BackendEventKind, BackendPhase, ClusterBackend};
+use ones_workload::WireJobSpec;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::time::Duration;
+
+/// Control messages from HTTP handlers to the core thread.
+pub enum CoreMsg {
+    /// Submit a job; replies with the assigned id or a rejection.
+    Submit {
+        /// The submission as parsed off the wire.
+        wire: WireJobSpec,
+        /// Reply channel (bounded, size 1).
+        reply: SyncSender<Result<SubmitReply, String>>,
+    },
+    /// Apply a live tuning / pause change.
+    Config {
+        /// The parsed request.
+        req: ConfigRequest,
+        /// Reply channel (bounded, size 1).
+        reply: SyncSender<ConfigReply>,
+    },
+    /// Stop accepting new jobs; in-flight jobs keep running.
+    Drain {
+        /// Reply channel carrying the number of unfinished jobs.
+        reply: SyncSender<u64>,
+    },
+    /// Terminate the core loop after one final publish.
+    Stop,
+}
+
+/// Tunables for the core loop.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreOptions {
+    /// Start paused: queue submissions but do not advance virtual time.
+    pub paused: bool,
+    /// Host-time sleep between step batches (throttles replay so wall
+    /// clock observers can watch; zero = run flat out).
+    pub step_delay: Duration,
+    /// Scheduling events advanced per batch between control-message
+    /// polls.
+    pub events_per_batch: u64,
+}
+
+impl Default for CoreOptions {
+    fn default() -> Self {
+        CoreOptions {
+            paused: false,
+            step_delay: Duration::ZERO,
+            events_per_batch: 64,
+        }
+    }
+}
+
+/// How long the core blocks on the channel when there is nothing to step.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Runs the core loop until [`CoreMsg::Stop`] or channel disconnect.
+/// Returns the backend so the caller can extract final accounting.
+pub fn run_core(
+    mut backend: Box<dyn ClusterBackend>,
+    state: SharedState,
+    rx: &Receiver<CoreMsg>,
+    opts: CoreOptions,
+) -> Box<dyn ClusterBackend> {
+    let mut paused = opts.paused;
+    let mut draining = false;
+    let mut phase = BackendPhase::Active;
+    let mut next_id = backend
+        .job_statuses()
+        .keys()
+        .last()
+        .map_or(0, |id| id.0 + 1);
+    // Jobs preloaded from a trace count as submitted.
+    let preloaded = backend.job_statuses().len() as u64;
+    {
+        let mut st = state.write().expect("state lock");
+        st.submitted = preloaded;
+        st.paused = paused;
+    }
+    publish(backend.as_mut(), &state, phase, paused, draining);
+
+    loop {
+        // Drain every pending control message before stepping again.
+        let mut stop = false;
+        while let Ok(msg) = rx.try_recv() {
+            match handle(
+                msg,
+                backend.as_mut(),
+                &state,
+                &mut paused,
+                &mut draining,
+                &mut next_id,
+            ) {
+                Verdict::Continue => {}
+                Verdict::Woke => phase = BackendPhase::Active,
+                Verdict::Stop => stop = true,
+            }
+        }
+        if stop {
+            publish(backend.as_mut(), &state, phase, paused, draining);
+            return backend;
+        }
+
+        if paused || phase != BackendPhase::Active {
+            // Nothing to step: block on the channel instead of spinning.
+            match rx.recv_timeout(IDLE_POLL) {
+                Ok(msg) => match handle(
+                    msg,
+                    backend.as_mut(),
+                    &state,
+                    &mut paused,
+                    &mut draining,
+                    &mut next_id,
+                ) {
+                    Verdict::Continue => {}
+                    Verdict::Woke => phase = BackendPhase::Active,
+                    Verdict::Stop => {
+                        publish(backend.as_mut(), &state, phase, paused, draining);
+                        return backend;
+                    }
+                },
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    publish(backend.as_mut(), &state, phase, paused, draining);
+                    return backend;
+                }
+            }
+            continue;
+        }
+
+        let (events, next_phase) = backend.step(opts.events_per_batch);
+        phase = next_phase;
+        {
+            let mut st = state.write().expect("state lock");
+            for event in &events {
+                st.events.push(event);
+                match event.kind {
+                    BackendEventKind::Completed => st.completed += 1,
+                    BackendEventKind::Killed => st.killed += 1,
+                    _ => {}
+                }
+            }
+        }
+        publish(backend.as_mut(), &state, phase, paused, draining);
+        if !opts.step_delay.is_zero() {
+            std::thread::sleep(opts.step_delay);
+        }
+    }
+}
+
+enum Verdict {
+    Continue,
+    /// The message may have created new work; leave idle.
+    Woke,
+    Stop,
+}
+
+fn handle(
+    msg: CoreMsg,
+    backend: &mut dyn ClusterBackend,
+    state: &SharedState,
+    paused: &mut bool,
+    draining: &mut bool,
+    next_id: &mut u64,
+) -> Verdict {
+    match msg {
+        CoreMsg::Submit { wire, reply } => {
+            let result = if *draining {
+                Err("daemon is draining; not accepting new jobs".to_string())
+            } else {
+                submit(wire, backend, next_id)
+            };
+            let woke = result.is_ok();
+            let _ = reply.send(result);
+            if woke {
+                publish(backend, state, BackendPhase::Active, *paused, *draining);
+                let mut st = state.write().expect("state lock");
+                st.submitted += 1;
+                Verdict::Woke
+            } else {
+                Verdict::Continue
+            }
+        }
+        CoreMsg::Config { req, reply } => {
+            let tuning = req.tuning();
+            let applied = !tuning.is_empty() && backend.reconfigure(&tuning);
+            let mut woke = false;
+            if let Some(p) = req.pause {
+                woke = *paused && !p;
+                *paused = p;
+            }
+            let _ = reply.send(ConfigReply {
+                applied,
+                paused: *paused,
+            });
+            {
+                let mut st = state.write().expect("state lock");
+                st.paused = *paused;
+            }
+            if woke {
+                Verdict::Woke
+            } else {
+                Verdict::Continue
+            }
+        }
+        CoreMsg::Drain { reply } => {
+            *draining = true;
+            let outstanding = {
+                let mut st = state.write().expect("state lock");
+                st.draining = true;
+                st.outstanding()
+            };
+            let _ = reply.send(outstanding);
+            Verdict::Continue
+        }
+        CoreMsg::Stop => Verdict::Stop,
+    }
+}
+
+fn submit(
+    wire: WireJobSpec,
+    backend: &mut dyn ClusterBackend,
+    next_id: &mut u64,
+) -> Result<SubmitReply, String> {
+    let spec = wire.into_spec(*next_id, backend.now_secs())?;
+    let id = spec.id.0;
+    let name = spec.name.clone();
+    let arrival_secs = backend.submit(spec)?;
+    *next_id = (*next_id).max(id + 1);
+    Ok(SubmitReply {
+        id,
+        name,
+        arrival_secs,
+    })
+}
+
+/// Republishes the backend view into the shared state.
+fn publish(
+    backend: &mut dyn ClusterBackend,
+    state: &SharedState,
+    phase: BackendPhase,
+    paused: bool,
+    draining: bool,
+) {
+    let now = backend.now_secs();
+    let jobs = backend.job_statuses();
+    let occupancy = backend.occupancy();
+    let mut st = state.write().expect("state lock");
+    st.now_secs = now;
+    st.phase = phase;
+    st.paused = paused;
+    st.draining = draining;
+    st.occupancy = occupancy;
+    st.jobs = jobs
+        .iter()
+        .map(|(id, status)| (id.0, JobView::of(status, now)))
+        .collect();
+}

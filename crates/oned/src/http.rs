@@ -1,0 +1,372 @@
+//! Minimal HTTP/1.1 framing over std TCP — no external dependencies.
+//!
+//! Implements exactly what the daemon's JSON API needs: request-line +
+//! header parsing with hard size limits, `Content-Length`-framed bodies,
+//! keep-alive by default, and the matching client-side response reader.
+//! No chunked encoding, no TLS, no pipelining — a deliberate subset, the
+//! same trade real schedulers make for their loopback control planes.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request or response body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty if no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the request was HTTP/1.1 (keep-alive by default).
+    pub http11: bool,
+}
+
+impl Request {
+    /// First header with this (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with this name.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this exchange.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("close"),
+            None => !self.http11,
+        }
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    /// Fails if the body is not valid UTF-8.
+    pub fn body_str(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("body is not UTF-8: {e}"))
+    }
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// A socket error (includes read timeouts, surfaced for the caller to
+    /// decide whether to keep waiting).
+    Io(io::Error),
+    /// The bytes were not a well-formed request within the limits.
+    Malformed(String),
+}
+
+fn bad(msg: impl Into<String>) -> ReadError {
+    ReadError::Malformed(msg.into())
+}
+
+fn read_crlf_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                return Err(bad("connection closed mid-line"));
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(bad("request head too large"));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line).map_err(|_| bad("non-UTF-8 request head"));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one request off the stream (blocking until one arrives).
+///
+/// # Errors
+/// [`ReadError::Closed`] on clean EOF before the first byte,
+/// [`ReadError::Io`] on socket errors/timeouts, [`ReadError::Malformed`]
+/// when the peer speaks something that is not HTTP within the limits.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_crlf_line(reader, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad(format!("bad request line {request_line:?}")));
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(bad(format!("unsupported version {other:?}"))),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_crlf_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| bad("bad content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad(format!("body of {content_length} bytes exceeds limit")));
+    }
+    if content_length > 0 {
+        body.resize(content_length, 0);
+        reader.read_exact(&mut body).map_err(ReadError::Io)?;
+    }
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body,
+        http11,
+    })
+}
+
+/// Standard reason phrase for the status codes the daemon emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition, health checks).
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Serialises the response, tagging the connection disposition. Head
+    /// and body go out in a single write so Nagle's algorithm never holds
+    /// a partial response hostage to the peer's delayed ACK.
+    ///
+    /// # Errors
+    /// Propagates socket write errors.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        let mut wire = Vec::with_capacity(head.len() + self.body.len());
+        wire.extend_from_slice(head.as_bytes());
+        wire.extend_from_slice(&self.body);
+        writer.write_all(&wire)?;
+        writer.flush()
+    }
+}
+
+/// Reads one response off a client stream: `(status, body)`.
+///
+/// # Errors
+/// Fails on socket errors or malformed framing.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, Vec<u8>), String> {
+    let as_msg = |e: ReadError| match e {
+        ReadError::Closed => "server closed the connection".to_string(),
+        ReadError::Io(e) => format!("socket error: {e}"),
+        ReadError::Malformed(m) => m,
+    };
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = read_crlf_line(reader, &mut budget).map_err(as_msg)?;
+    let mut parts = status_line.split(' ');
+    let (Some(_version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(format!("bad status line {status_line:?}"));
+    };
+    let status: u16 = code
+        .parse()
+        .map_err(|_| format!("bad status code {code:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_crlf_line(reader, &mut budget).map_err(as_msg)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("response body of {content_length} bytes too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body: {e}"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_full_request() {
+        let raw = "POST /v1/jobs?since=7&dry HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut Cursor::new(raw)).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query_param("since"), Some("7"));
+        assert_eq!(req.query_param("dry"), Some(""));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body_str().unwrap(), "abcd");
+        assert!(req.http11);
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn connection_close_and_http10_end_the_exchange() {
+        let raw = "GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(read_request(&mut Cursor::new(raw)).unwrap().wants_close());
+        let raw = "GET / HTTP/1.0\r\n\r\n";
+        assert!(read_request(&mut Cursor::new(raw)).unwrap().wants_close());
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_a_clean_close() {
+        match read_request(&mut Cursor::new("")) {
+            Err(ReadError::Closed) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_heads() {
+        assert!(matches!(
+            read_request(&mut Cursor::new("nonsense\r\n\r\n")),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&mut Cursor::new("GET / SPDY/3\r\n\r\n")),
+            Err(ReadError::Malformed(_))
+        ));
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge)),
+            Err(ReadError::Malformed(_))
+        ));
+        let fat = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(matches!(
+            read_request(&mut Cursor::new(fat)),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_reader() {
+        let resp = Response::json(201, "{\"id\":3}".to_string());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let (status, body) = read_response(&mut Cursor::new(wire)).expect("parses");
+        assert_eq!(status, 201);
+        assert_eq!(body, b"{\"id\":3}");
+    }
+}

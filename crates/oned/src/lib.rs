@@ -1,0 +1,36 @@
+//! # ones-d — the ONES scheduler as a long-running service
+//!
+//! Turns the batch experiment harness into an online daemon (DESIGN.md
+//! §6): a scheduler core thread owns a [`ones_simulator::ClusterBackend`]
+//! and advances virtual time, while a hand-rolled HTTP/1.1 front end
+//! (std-only TCP, no external dependencies) serves a JSON control plane:
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/jobs` | submit a [`ones_workload::WireJobSpec`] |
+//! | `GET /v1/jobs`, `GET /v1/jobs/{id}` | job telemetry views |
+//! | `GET /v1/cluster` | node/GPU occupancy and daemon status |
+//! | `GET /v1/events?since=N` | sequence-numbered scheduling events |
+//! | `POST /v1/config` | live evolutionary-search re-tuning / pause |
+//! | `POST /v1/drain` | refuse new jobs, finish the in-flight ones |
+//! | `GET /metrics` | Prometheus text exposition of `ones-obs` |
+//!
+//! The crate ships two binaries: `ones-d` (the daemon, with graceful
+//! SIGTERM/SIGINT shutdown that flushes observability exports) and
+//! `ones-ctl` (a curl-style CLI used by CI smoke tests).
+
+pub mod api;
+pub mod client;
+pub mod core;
+pub mod http;
+pub mod server;
+pub mod state;
+
+pub use api::{
+    ClusterResponse, ConfigReply, ConfigRequest, DrainReply, ErrorBody, EventRecord,
+    EventsResponse, JobView, JobsResponse, NodeView, SubmitReply,
+};
+pub use client::Client;
+pub use core::{CoreMsg, CoreOptions};
+pub use server::{serve, ServeOptions, ServerHandle};
+pub use state::{EventLog, ServiceState, SharedState};

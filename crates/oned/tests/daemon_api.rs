@@ -1,0 +1,274 @@
+//! End-to-end API tests: a live `ones-d` server on an ephemeral loopback
+//! port, driven purely over HTTP.
+//!
+//! The centrepiece is the daemon-vs-batch determinism check: submitting a
+//! Philly-style replay job-by-job through `POST /v1/jobs` (daemon booted
+//! paused, then resumed) must reproduce exactly the outcomes of the
+//! offline `run_experiment` harness on the same trace and seeds.
+
+use ones_cluster::ClusterSpec;
+use ones_d::{serve, Client, ServeOptions};
+use ones_simcore::DetRng;
+use ones_simulator::{
+    run_experiment, ExperimentConfig, SchedulerKind, SimBackend, SimConfig, TraceSource,
+};
+use ones_workload::{ReplayConfig, Trace, WireJobSpec};
+use std::time::{Duration, Instant};
+
+fn replay_source() -> TraceSource {
+    TraceSource::Replay(ReplayConfig {
+        num_jobs: 12,
+        base_rate: 1.0 / 10.0,
+        seed: 7,
+        kill_fraction: 0.3,
+        ..ReplayConfig::default()
+    })
+}
+
+/// Boots a paused daemon whose scheduler saw `trace` (for its λ estimate)
+/// but whose event queue is empty — jobs arrive via the API.
+fn serve_paused(
+    kind: SchedulerKind,
+    gpus: u32,
+    trace: &Trace,
+    sched_seed: u64,
+) -> ones_d::ServerHandle {
+    let spec = ClusterSpec::longhorn_subset(gpus);
+    let scheduler = kind.build(&spec, trace, &DetRng::seed(sched_seed));
+    let empty = Trace {
+        config: trace.config,
+        jobs: Vec::new(),
+    };
+    let backend = SimBackend::new(spec, &empty, scheduler, SimConfig::default());
+    serve(
+        Box::new(backend),
+        ServeOptions {
+            paused: true,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn daemon_replay_matches_offline_experiment() {
+    ones_obs::set_level(ones_obs::ObsLevel::Counters);
+    let offline = run_experiment(ExperimentConfig {
+        gpus: 32,
+        source: replay_source(),
+        scheduler: SchedulerKind::Ones,
+        sched_seed: 1,
+        drl_pretrain_episodes: 0,
+    });
+
+    let trace = replay_source().materialise().expect("replay materialises");
+    let handle = serve_paused(SchedulerKind::Ones, 32, &trace, 1);
+    let mut client = Client::connect(handle.local_addr()).expect("resolve");
+
+    // Submit the full trace in arrival order while paused: the daemon
+    // sees exactly the arrival sequence the batch run dispatches.
+    for job in &trace.jobs {
+        let wire = WireJobSpec::from_spec(job);
+        let (status, body) = client.post("/v1/jobs", &wire.to_json()).expect("submit");
+        assert_eq!(status, 201, "submit failed: {body}");
+        let reply: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(reply.get("id").and_then(|v| v.as_u64()), Some(job.id.0));
+    }
+    let cluster = client.get_json("/v1/cluster").expect("cluster");
+    assert_eq!(cluster.get("paused").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        cluster.get("submitted").and_then(|v| v.as_u64()),
+        Some(trace.jobs.len() as u64)
+    );
+
+    // Resume and follow the event stream to completion.
+    let (status, body) = client
+        .post("/v1/config", r#"{"pause": false}"#)
+        .expect("resume");
+    assert_eq!(status, 200, "{body}");
+
+    let mut since = 0u64;
+    let (mut completed, mut killed) = (0u64, 0u64);
+    let mut last_end_vt = 0.0f64;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let events = client
+            .get_json(&format!("/v1/events?since={since}"))
+            .expect("events");
+        assert_eq!(events.get("dropped").and_then(|v| v.as_u64()), Some(0));
+        let batch = match events.get("events") {
+            Some(serde_json::Value::Array(items)) => items.clone(),
+            other => panic!("bad events body: {other:?}"),
+        };
+        for event in &batch {
+            let kind = event
+                .get("kind")
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .to_string();
+            let vt = event.get("vt_secs").and_then(|v| v.as_f64()).unwrap();
+            match kind.as_str() {
+                "completed" => {
+                    completed += 1;
+                    last_end_vt = last_end_vt.max(vt);
+                }
+                "killed" => {
+                    killed += 1;
+                    last_end_vt = last_end_vt.max(vt);
+                }
+                _ => {}
+            }
+        }
+        since = events.get("next_seq").and_then(|v| v.as_u64()).unwrap();
+        if completed + killed == trace.jobs.len() as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out at {completed} completed / {killed} killed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Outcome counts agree with the offline experiment harness on the
+    // same trace and seeds (the wire format rebuilds each job's hidden
+    // convergence model from Table 2 family defaults, so per-job timings
+    // may shift slightly — outcomes must not).
+    assert_eq!(completed, offline.completed_jobs as u64);
+    assert_eq!(killed, offline.killed_jobs as u64);
+    assert_eq!(offline.incomplete_jobs, 0);
+
+    // And against a batch run over the *round-tripped* specs — exactly
+    // what the daemon ingested — the virtual timeline is bit-identical.
+    let round_tripped: Vec<_> = trace
+        .jobs
+        .iter()
+        .map(|j| {
+            WireJobSpec::from_spec(j)
+                .into_spec(j.id.0, j.arrival_secs)
+                .expect("round trip stays valid")
+        })
+        .collect();
+    let trace2 = Trace {
+        config: trace.config,
+        jobs: round_tripped,
+    };
+    let spec = ClusterSpec::longhorn_subset(32);
+    let scheduler = SchedulerKind::Ones.build(&spec, &trace2, &DetRng::seed(1));
+    let batch = ones_simulator::Simulation::new(
+        ones_dlperf::PerfModel::new(spec),
+        &trace2,
+        scheduler,
+        SimConfig::default(),
+    )
+    .run();
+    assert_eq!(batch.completed_jobs as u64, completed);
+    assert_eq!(batch.killed_jobs as u64, killed);
+    assert!(
+        (last_end_vt - batch.makespan).abs() < 1e-9,
+        "daemon makespan {last_end_vt} != batch {}",
+        batch.makespan
+    );
+
+    // Job views agree with the event stream.
+    let jobs = client.get_json("/v1/jobs").expect("jobs");
+    let views = match jobs.get("jobs") {
+        Some(serde_json::Value::Array(items)) => items.clone(),
+        other => panic!("bad jobs body: {other:?}"),
+    };
+    assert_eq!(views.len(), trace.jobs.len());
+    let phase_count = |name: &str| {
+        views
+            .iter()
+            .filter(|j| j.get("phase").and_then(|v| v.as_str()) == Some(name))
+            .count() as u64
+    };
+    assert_eq!(phase_count("completed"), completed);
+    assert_eq!(phase_count("killed"), killed);
+
+    // Acceptance criterion: /metrics serves live evolutionary-search and
+    // simulator series after an ONES run.
+    let (status, metrics) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("evo_search_generations"),
+        "no evo.search.* series in /metrics"
+    );
+    assert!(
+        metrics.contains("simulator_engine_events"),
+        "no simulator.* series in /metrics"
+    );
+
+    drop(handle.shutdown_and_wait());
+}
+
+#[test]
+fn api_surfaces_errors_and_lifecycle_controls() {
+    ones_obs::set_level(ones_obs::ObsLevel::Counters);
+    let trace = Trace::generate(ones_workload::TraceConfig {
+        num_jobs: 2,
+        arrival_rate: 1.0 / 5.0,
+        seed: 3,
+        kill_fraction: 0.0,
+    });
+    let handle = serve_paused(SchedulerKind::Ones, 16, &trace, 5);
+    let mut client = Client::connect(handle.local_addr()).expect("resolve");
+
+    // Health and routing basics.
+    assert_eq!(client.get("/healthz").unwrap().0, 200);
+    assert_eq!(client.get("/nope").unwrap().0, 404);
+    assert_eq!(client.request("DELETE", "/v1/jobs", None).unwrap().0, 405);
+    assert_eq!(client.get("/v1/jobs/99").unwrap().0, 404);
+    assert_eq!(client.get("/v1/jobs/xyz").unwrap().0, 400);
+    assert_eq!(client.get("/v1/events?since=banana").unwrap().0, 400);
+
+    // Bad submissions are 400 with a JSON error body.
+    let (status, body) = client.post("/v1/jobs", "not json").unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("error"));
+    let (status, _) = client.post("/v1/jobs", r#"{"model": "GPT5"}"#).unwrap();
+    assert_eq!(status, 400);
+
+    // A valid submission gets an id; a duplicate id is rejected.
+    let wire = WireJobSpec::from_spec(&trace.jobs[0]);
+    let (status, body) = client.post("/v1/jobs", &wire.to_json()).unwrap();
+    assert_eq!(status, 201, "{body}");
+    let (status, body) = client.post("/v1/jobs", &wire.to_json()).unwrap();
+    assert_eq!(status, 400, "duplicate id must be rejected: {body}");
+
+    // Live tuning applies to ONES; a pure pause toggles without tuning.
+    let (status, body) = client
+        .post(
+            "/v1/config",
+            r#"{"population": 16, "generations_per_event": 2}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"applied\":true"), "{body}");
+    let (status, body) = client.post("/v1/config", r#"{"pause": false}"#).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"paused\":false"), "{body}");
+
+    // Drain: acknowledged, then new submissions are refused with 409.
+    let (status, body) = client.post("/v1/drain", "{}").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"draining\":true"), "{body}");
+    let wire2 = WireJobSpec::from_spec(&trace.jobs[1]);
+    let (status, _) = client.post("/v1/jobs", &wire2.to_json()).unwrap();
+    assert_eq!(status, 409);
+
+    // The in-flight job still runs to completion after drain.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let job = client
+            .get_json(&format!("/v1/jobs/{}", trace.jobs[0].id.0))
+            .unwrap();
+        if job.get("phase").and_then(|v| v.as_str()) == Some("completed") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "drained job never completed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    drop(handle.shutdown_and_wait());
+}

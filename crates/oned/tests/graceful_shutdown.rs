@@ -1,0 +1,163 @@
+//! Graceful-shutdown test against the real `ones-d` binary: SIGTERM a
+//! daemon mid-replay and assert it exits 0 with parseable observability
+//! exports (the Chrome trace must still be valid JSON — satellite
+//! criterion for the shutdown path flushing `--trace-out`).
+
+use ones_d::Client;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("ones-d-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("mkdir tempdir");
+        TempDir(path)
+    }
+
+    fn file(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn wait_for_exit(child: &mut Child, within: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + within;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("ones-d did not exit within {within:?} after SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigterm_mid_replay_exits_zero_and_flushes_exports() {
+    let dir = TempDir::new("shutdown");
+    let trace_out = dir.file("trace.json");
+    let metrics_out = dir.file("metrics.jsonl");
+
+    // Throttled replay: 25 ms per step batch keeps the run alive long
+    // enough to be interrupted in the middle.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ones-d"))
+        .args([
+            "--port",
+            "0",
+            "--gpus",
+            "16",
+            "--scheduler",
+            "ones",
+            "--trace-source",
+            "philly",
+            "--jobs",
+            "12",
+            "--rate-secs",
+            "10",
+            "--seed",
+            "7",
+            "--step-delay-ms",
+            "25",
+            "--events-per-batch",
+            "4",
+            "--trace-out",
+            trace_out.to_str().unwrap(),
+            "--metrics-out",
+            metrics_out.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ones-d");
+
+    // The daemon prints its ephemeral address first.
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("ones-d closed stdout before announcing its address")
+            .expect("read stdout");
+        if let Some(rest) = line.strip_prefix("ones-d listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    // Let the replay progress: wait until virtual time moves and at least
+    // one scheduling event is published.
+    let mut client = Client::connect(addr.as_str()).expect("resolve daemon address");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(cluster) = client.get_json("/v1/cluster") {
+            let now = cluster
+                .get("now_secs")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            let seq = cluster
+                .get("events_next_seq")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0);
+            if now > 0.0 && seq > 0 {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replay never started progressing"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // SIGTERM (std's child.kill() is SIGKILL, which must NOT be the path
+    // under test).
+    let term = Command::new("/bin/kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run /bin/kill");
+    assert!(term.success(), "kill -TERM failed");
+
+    let status = wait_for_exit(&mut child, Duration::from_secs(30));
+    assert_eq!(status.code(), Some(0), "graceful shutdown must exit 0");
+
+    // The Chrome trace flushed on the way out still parses as JSON with
+    // the Perfetto-compatible envelope.
+    let trace_text = std::fs::read_to_string(&trace_out).expect("trace-out written");
+    let trace: serde_json::Value =
+        serde_json::from_str(&trace_text).expect("chrome trace parses as JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array present");
+    assert!(
+        !events.is_empty(),
+        "an interrupted replay must still have recorded spans"
+    );
+
+    // Every metrics snapshot line is standalone JSON.
+    let metrics_text = std::fs::read_to_string(&metrics_out).expect("metrics-out written");
+    let mut saw_simulator_series = false;
+    for line in metrics_text.lines().filter(|l| !l.trim().is_empty()) {
+        let sample: serde_json::Value = serde_json::from_str(line).expect("JSONL line parses");
+        if sample
+            .get("key")
+            .and_then(|v| v.as_str())
+            .is_some_and(|n| n.starts_with("simulator."))
+        {
+            saw_simulator_series = true;
+        }
+    }
+    assert!(
+        saw_simulator_series,
+        "metrics snapshot misses simulator.* series"
+    );
+}

@@ -17,7 +17,8 @@ use crate::policies::{BatchLimits, PolicyConfig};
 use ones_evo::{EvoConfig, EvoContext, EvolutionarySearch};
 use ones_predictor::{FeatureSnapshot, PredictorConfig, ProgressPredictor};
 use ones_schedcore::{
-    ClusterView, ScalingMechanism, SchedEvent, Schedule, Scheduler, SchedulerPerfCounters,
+    ClusterView, ScalingMechanism, SchedEvent, SchedTuning, Schedule, Scheduler,
+    SchedulerPerfCounters,
 };
 use ones_simcore::DetRng;
 use ones_stats::Beta;
@@ -241,6 +242,44 @@ impl Scheduler for OnesScheduler {
         })
     }
 
+    /// Live evolution-parameter changes (ones-d `POST /v1/config`). The
+    /// search population carries over, so tuning adjusts the ongoing
+    /// search rather than restarting it. Out-of-range values (zero
+    /// population, mutation rate outside [0, 1]) are ignored.
+    fn reconfigure(&mut self, tuning: &SchedTuning) -> bool {
+        let mut applied = false;
+        if let Some(g) = tuning.generations_per_event {
+            if g > 0 {
+                self.config.generations_per_event = g as usize;
+                applied = true;
+            }
+        }
+        let mut evo = *self.search.config();
+        let mut evo_changed = false;
+        if let Some(p) = tuning.population {
+            if p > 0 {
+                evo.population = p;
+                evo_changed = true;
+            }
+        }
+        if let Some(m) = tuning.mutation_rate {
+            if (0.0..=1.0).contains(&m) {
+                evo.mutation_rate = m;
+                evo_changed = true;
+            }
+        }
+        if let Some(c) = tuning.crossover_pairs {
+            evo.crossover_pairs = c;
+            evo_changed = true;
+        }
+        if evo_changed {
+            self.search.set_config(evo);
+            self.config.evo = evo;
+            applied = true;
+        }
+        applied
+    }
+
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
         let _round_span = ones_obs::span!("ones", "scheduling_round")
             .with_arg("event", event_kind(event))
@@ -422,6 +461,32 @@ mod tests {
 
     fn sched() -> OnesScheduler {
         OnesScheduler::new(OnesConfig::for_cluster(8, 1.0 / 30.0), &DetRng::seed(5))
+    }
+
+    #[test]
+    fn reconfigure_applies_valid_tuning_and_ignores_garbage() {
+        let mut s = sched();
+        assert!(!s.reconfigure(&SchedTuning::default()));
+        let applied = s.reconfigure(&SchedTuning {
+            generations_per_event: Some(5),
+            population: Some(16),
+            mutation_rate: Some(0.35),
+            crossover_pairs: Some(4),
+        });
+        assert!(applied);
+        assert_eq!(s.config.generations_per_event, 5);
+        assert_eq!(s.search.config().population, 16);
+        assert_eq!(s.search.config().mutation_rate, 0.35);
+        assert_eq!(s.search.config().crossover_pairs, 4);
+        // Out-of-range values leave everything untouched.
+        assert!(!s.reconfigure(&SchedTuning {
+            generations_per_event: Some(0),
+            population: Some(0),
+            mutation_rate: Some(1.5),
+            crossover_pairs: None,
+        }));
+        assert_eq!(s.config.generations_per_event, 5);
+        assert_eq!(s.search.config().population, 16);
     }
 
     #[test]

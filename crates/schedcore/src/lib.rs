@@ -22,5 +22,7 @@ pub mod scheduler;
 pub mod status;
 
 pub use schedule::{JobSignature, Schedule, Slot};
-pub use scheduler::{ClusterView, ScalingMechanism, SchedEvent, Scheduler, SchedulerPerfCounters};
+pub use scheduler::{
+    ClusterView, ScalingMechanism, SchedEvent, SchedTuning, Scheduler, SchedulerPerfCounters,
+};
 pub use status::{JobPhase, JobStatus};

@@ -135,11 +135,35 @@ impl SchedulerPerfCounters {
     }
 }
 
+/// A live tuning change for a running scheduler (ones-d `POST
+/// /v1/config`). Every field is optional; `None` leaves the current value
+/// untouched. Schedulers ignore fields that have no meaning for them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SchedTuning {
+    /// Evolutionary-search generations per scheduling event.
+    pub generations_per_event: Option<u32>,
+    /// Evolutionary-search population size.
+    pub population: Option<usize>,
+    /// Per-gene mutation probability.
+    pub mutation_rate: Option<f64>,
+    /// Crossover pairs drawn per generation.
+    pub crossover_pairs: Option<usize>,
+}
+
+impl SchedTuning {
+    /// Whether any field is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == SchedTuning::default()
+    }
+}
+
 /// An online DL cluster scheduler.
 ///
 /// Implementations: ONES (`ones-sched`), Tiresias / Optimus / DRL / FIFO /
-/// SRTF (`ones-baselines`).
-pub trait Scheduler {
+/// SRTF (`ones-baselines`). `Send` so a boxed scheduler can be owned by a
+/// service thread (ones-d) or cross into a sweep worker.
+pub trait Scheduler: Send {
     /// Human-readable name used in experiment output.
     fn name(&self) -> &'static str;
 
@@ -170,6 +194,13 @@ pub trait Scheduler {
     /// scheduler keeps any. Read once by the simulator when the run ends.
     fn perf_counters(&self) -> Option<SchedulerPerfCounters> {
         None
+    }
+
+    /// Applies a live tuning change mid-run (ones-d `POST /v1/config`).
+    /// Returns whether anything was applied; the default ignores all
+    /// tuning (baselines have no evolutionary knobs).
+    fn reconfigure(&mut self, _tuning: &SchedTuning) -> bool {
+        false
     }
 }
 

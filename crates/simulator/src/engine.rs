@@ -95,6 +95,20 @@ struct SimJob {
     segment: Option<Segment>,
 }
 
+/// What one call to [`Simulation::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event (or a stall-probe tick) was dispatched; more work may
+    /// remain.
+    Progressed,
+    /// Nothing left to do: every arrived job is finished and the queue is
+    /// drained (or the scheduler was probed once and produced no new
+    /// work). Injecting a new job makes the simulation progress again.
+    Idle,
+    /// The time or event cap fired; the run should stop.
+    Capped,
+}
+
 /// Result of a completed simulation run.
 #[derive(Debug)]
 pub struct SimResult {
@@ -194,6 +208,8 @@ pub struct Simulation {
     deployments: u64,
     transitions: u64,
     total_overhead: f64,
+    events_processed: u64,
+    stalled_once: bool,
 }
 
 impl Simulation {
@@ -228,6 +244,8 @@ impl Simulation {
             deployments: 0,
             transitions: 0,
             total_overhead: 0.0,
+            events_processed: 0,
+            stalled_once: false,
         }
     }
 
@@ -242,30 +260,138 @@ impl Simulation {
     /// survive the run.
     #[must_use]
     pub fn run_returning_scheduler(mut self) -> (SimResult, Box<dyn Scheduler>) {
-        let mut events: u64 = 0;
-        let mut stalled_once = false;
-        loop {
-            if self.all_completed() {
-                break;
-            }
-            let Some((now, event)) = self.queue.pop() else {
-                // Queue drained with incomplete jobs: poke the scheduler
-                // once; if nothing changes, declare a stall.
-                if stalled_once {
-                    break;
-                }
-                stalled_once = true;
-                let now = self.last_time();
-                self.dispatch(now, Event::Tick);
-                continue;
-            };
-            events += 1;
-            if now.as_secs() > self.config.max_time || events > self.config.max_events {
-                break;
-            }
-            stalled_once = false;
-            self.dispatch(now, event);
+        while self.step() == StepOutcome::Progressed {}
+        self.into_result()
+    }
+
+    /// Dispatches the next pending event and returns what happened.
+    ///
+    /// This is the incremental face of the engine: `run` is exactly
+    /// `while step() == Progressed {}`. A long-running service (`ones-d`)
+    /// interleaves `step` with [`Simulation::inject`] to feed arrivals in
+    /// while virtual time advances. When the queue drains with unfinished
+    /// jobs the scheduler is probed once with a tick before `Idle` is
+    /// declared, mirroring the batch run's stall handling.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.all_completed() {
+            return StepOutcome::Idle;
         }
+        let Some((now, event)) = self.queue.pop() else {
+            // Queue drained with incomplete jobs: poke the scheduler
+            // once; if nothing changes, declare a stall.
+            if self.stalled_once {
+                return StepOutcome::Idle;
+            }
+            self.stalled_once = true;
+            let now = self.last_time();
+            self.dispatch(now, Event::Tick);
+            return StepOutcome::Progressed;
+        };
+        self.events_processed += 1;
+        if now.as_secs() > self.config.max_time || self.events_processed > self.config.max_events {
+            return StepOutcome::Capped;
+        }
+        self.stalled_once = false;
+        self.dispatch(now, event);
+        StepOutcome::Progressed
+    }
+
+    /// Adds a job to the simulation after construction (live submission).
+    ///
+    /// The spec is validated like trace ingestion; an arrival time in the
+    /// simulated past is clamped forward to the current virtual time (the
+    /// event queue is monotonic). Returns the effective arrival time in
+    /// seconds.
+    ///
+    /// # Errors
+    /// Fails on an invalid spec or a duplicate job id.
+    pub fn inject(&mut self, mut spec: ones_workload::JobSpec) -> Result<f64, String> {
+        let id = spec.id;
+        if self.pending.contains_key(&id) || self.jobs.contains_key(&id) {
+            return Err(format!("duplicate job id {id}"));
+        }
+        let at = SimTime::from_secs(spec.arrival_secs).max(self.queue.now());
+        spec.arrival_secs = at.as_secs();
+        spec.try_validate()?;
+        self.queue.push(at, Event::Arrival(id));
+        self.pending.insert(id, spec);
+        // New work: an earlier stall probe no longer means "done".
+        self.stalled_once = false;
+        Ok(at.as_secs())
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Events dispatched so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The currently deployed schedule.
+    #[must_use]
+    pub fn deployed(&self) -> &Schedule {
+        &self.deployed
+    }
+
+    /// The cluster this simulation runs on.
+    #[must_use]
+    pub fn cluster_spec(&self) -> &ones_cluster::ClusterSpec {
+        self.perf.spec()
+    }
+
+    /// Statuses of jobs whose arrival event has been dispatched (what the
+    /// scheduler can see). Jobs submitted but not yet arrived in virtual
+    /// time are excluded; [`Simulation::job_statuses`] includes them.
+    #[must_use]
+    pub fn arrived_job_statuses(&self) -> BTreeMap<JobId, JobStatus> {
+        self.jobs
+            .iter()
+            .map(|(id, job)| (*id, job.status.clone()))
+            .collect()
+    }
+
+    /// Number of submitted jobs whose arrival is still in the future.
+    #[must_use]
+    pub fn queued_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Point-in-time status of every job the engine knows about: arrived
+    /// jobs carry their live [`JobStatus`]; jobs still pending arrival are
+    /// reported as freshly submitted at their (future) arrival time.
+    #[must_use]
+    pub fn job_statuses(&self) -> BTreeMap<JobId, JobStatus> {
+        let mut out = self.arrived_job_statuses();
+        for (id, spec) in &self.pending {
+            out.insert(
+                *id,
+                JobStatus::submitted(spec.clone(), SimTime::from_secs(spec.arrival_secs)),
+            );
+        }
+        out
+    }
+
+    /// Forwards a live tuning change to the scheduler; returns whether the
+    /// scheduler applied anything.
+    pub fn reconfigure_scheduler(&mut self, tuning: &ones_schedcore::SchedTuning) -> bool {
+        self.scheduler.reconfigure(tuning)
+    }
+
+    /// The driving scheduler's display name.
+    #[must_use]
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Consumes the simulation and produces the final accounting, exactly
+    /// as a completed [`Simulation::run`] would.
+    #[must_use]
+    pub fn into_result(mut self) -> (SimResult, Box<dyn Scheduler>) {
         let makespan = self.last_time().as_secs();
         let all_completed = self.all_completed();
         for (id, job) in &self.jobs {
@@ -786,6 +912,75 @@ mod tests {
         let jct =
             |r: &SimResult| -> Vec<f64> { r.jobs.values().map(|j| j.jct().unwrap()).collect() };
         assert_eq!(jct(&a), jct(&b));
+    }
+
+    #[test]
+    fn stepped_run_with_injection_matches_batch() {
+        let trace = small_trace(5, 7);
+        let spec = ClusterSpec::longhorn_subset(16);
+        let scheduler = SchedulerKind::Ones.build(&spec, &trace, &DetRng::seed(11));
+        let batch = Simulation::new(
+            PerfModel::new(spec.clone()),
+            &trace,
+            scheduler,
+            SimConfig::default(),
+        )
+        .run();
+
+        // Same jobs, but fed through inject() before stepping, the way the
+        // daemon submits a pre-loaded trace while paused.
+        let empty = Trace {
+            config: trace.config.clone(),
+            jobs: Vec::new(),
+        };
+        let scheduler = SchedulerKind::Ones.build(&spec, &trace, &DetRng::seed(11));
+        let mut sim = Simulation::new(
+            PerfModel::new(spec),
+            &empty,
+            scheduler,
+            SimConfig::default(),
+        );
+        for job in &trace.jobs {
+            sim.inject(job.clone()).unwrap();
+        }
+        assert!(sim.inject(trace.jobs[0].clone()).is_err(), "duplicate id");
+        while sim.step() == StepOutcome::Progressed {}
+        let (stepped, _) = sim.into_result();
+
+        assert_eq!(batch.makespan, stepped.makespan);
+        assert_eq!(batch.completed_jobs, stepped.completed_jobs);
+        let jct =
+            |r: &SimResult| -> Vec<f64> { r.jobs.values().map(|j| j.jct().unwrap()).collect() };
+        assert_eq!(jct(&batch), jct(&stepped));
+    }
+
+    #[test]
+    fn injection_after_idle_resumes_the_run() {
+        let trace = small_trace(2, 7);
+        let spec = ClusterSpec::longhorn_subset(16);
+        let scheduler = SchedulerKind::Fifo.build(&spec, &trace, &DetRng::seed(11));
+        let empty = Trace {
+            config: trace.config.clone(),
+            jobs: Vec::new(),
+        };
+        let mut sim = Simulation::new(
+            PerfModel::new(spec),
+            &empty,
+            scheduler,
+            SimConfig::default(),
+        );
+        sim.inject(trace.jobs[0].clone()).unwrap();
+        while sim.step() == StepOutcome::Progressed {}
+        assert_eq!(sim.step(), StepOutcome::Idle);
+        let first_done = sim.now();
+
+        // A job whose arrival is now in the simulated past is clamped
+        // forward and still runs.
+        let at = sim.inject(trace.jobs[1].clone()).unwrap();
+        assert!(at >= first_done.as_secs());
+        while sim.step() == StepOutcome::Progressed {}
+        let (r, _) = sim.into_result();
+        assert_eq!(r.completed_jobs, 2);
     }
 
     #[test]

@@ -14,12 +14,17 @@
 //! * [`experiment`] — named scheduler construction, single-run and
 //!   rayon-parallel sweep harnesses used by every bench binary.
 
+pub mod backend;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod timeline;
 
-pub use engine::{SimConfig, SimResult, Simulation};
+pub use backend::{
+    BackendEvent, BackendEventKind, BackendPhase, ClusterBackend, NodeOccupancy, Occupancy,
+    SimBackend,
+};
+pub use engine::{SimConfig, SimResult, Simulation, StepOutcome};
 pub use experiment::{
     run_experiment, run_sweep, ExperimentConfig, ExperimentResult, SchedulerKind, TraceSource,
 };

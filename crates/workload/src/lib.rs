@@ -13,8 +13,10 @@ pub mod replay;
 pub mod spec;
 pub mod table2;
 pub mod trace;
+pub mod wire;
 
 pub use replay::ReplayConfig;
 pub use spec::{JobId, JobSpec};
 pub use table2::{table2_catalog, WorkloadTemplate};
 pub use trace::{Trace, TraceConfig, CSV_HEADER};
+pub use wire::WireJobSpec;

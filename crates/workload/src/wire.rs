@@ -1,0 +1,275 @@
+//! The JSON wire format for live job submission (`ones-d POST /v1/jobs`).
+//!
+//! A [`WireJobSpec`] carries only the *submitted* fields a real user could
+//! supply — the same nine columns as the scrubbed-CSV schema
+//! ([`crate::trace::CSV_HEADER`]) — never the hidden ground-truth
+//! convergence model, which is rebuilt from the per-family Table 2
+//! parameters on ingestion exactly like CSV replay. Most fields are
+//! optional on the wire so `curl` submissions stay short: the daemon
+//! assigns ids, derives names, defaults the arrival time to "now", and
+//! picks the paper-style safe-batch ceiling when none is given.
+//!
+//! Deserialisation is hand-written (the serde shim's derive requires every
+//! key to be present); absent and `null` optional keys both read as
+//! `None`.
+
+use crate::spec::{JobId, JobSpec};
+use crate::table2::{convergence_for, default_classes};
+use ones_dlperf::{DatasetKind, ModelKind};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A job submission as it travels over HTTP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireJobSpec {
+    /// Job id; `None` lets the daemon assign the next free one.
+    pub id: Option<u64>,
+    /// Display name; `None` derives `"<model>/<dataset>-<size>k"`.
+    pub name: Option<String>,
+    /// Model family, by its display name (e.g. `"ResNet50"`).
+    pub model: String,
+    /// Dataset family, by its display name (e.g. `"ImageNet"`).
+    pub dataset: String,
+    /// Number of training samples.
+    pub dataset_size: u64,
+    /// User-submitted (reference) global batch size.
+    pub submit_batch: u32,
+    /// Largest validated global batch; `None` uses the family's
+    /// noise-scale ceiling (the trace generator's default).
+    pub max_safe_batch: Option<u32>,
+    /// Requested GPU count.
+    pub requested_gpus: u32,
+    /// Arrival time in virtual seconds; `None` (or a time already in the
+    /// past) means "now" — the daemon clamps it forward.
+    pub arrival_secs: Option<f64>,
+    /// Kill the job this many seconds after arrival (trace replay of
+    /// abnormal endings).
+    pub kill_after_secs: Option<f64>,
+}
+
+impl WireJobSpec {
+    /// Re-projects a full [`JobSpec`] onto the wire (daemon responses,
+    /// tests). The hidden convergence model is dropped.
+    #[must_use]
+    pub fn from_spec(spec: &JobSpec) -> Self {
+        WireJobSpec {
+            id: Some(spec.id.0),
+            name: Some(spec.name.clone()),
+            model: spec.model.to_string(),
+            dataset: spec.dataset.to_string(),
+            dataset_size: spec.dataset_size,
+            submit_batch: spec.submit_batch,
+            max_safe_batch: Some(spec.max_safe_batch),
+            requested_gpus: spec.requested_gpus,
+            arrival_secs: Some(spec.arrival_secs),
+            kill_after_secs: spec.kill_after_secs,
+        }
+    }
+
+    /// Materialises the submission into a validated [`JobSpec`],
+    /// rebuilding the convergence model from the Table 2 family
+    /// parameters with the reference batch pinned to the submitted batch
+    /// (the CSV-ingestion contract). `assign_id` is used when the wire
+    /// spec carries no id; a missing arrival time becomes `default_arrival`.
+    ///
+    /// # Errors
+    /// Returns a description of the first problem: unknown model/dataset
+    /// or any [`JobSpec::try_validate`] failure.
+    pub fn into_spec(self, assign_id: u64, default_arrival: f64) -> Result<JobSpec, String> {
+        let model: ModelKind = self
+            .model
+            .parse()
+            .map_err(|e| format!("bad model {:?}: {e}", self.model))?;
+        let dataset: DatasetKind = self
+            .dataset
+            .parse()
+            .map_err(|e| format!("bad dataset {:?}: {e}", self.dataset))?;
+        let convergence =
+            convergence_for(model, dataset, default_classes(dataset), self.submit_batch);
+        let max_safe_batch = self
+            .max_safe_batch
+            .unwrap_or_else(|| (convergence.noise_scale as u32).max(self.submit_batch));
+        let name = self.name.unwrap_or_else(|| {
+            let size_k = if self.dataset_size.is_multiple_of(1000) {
+                format!("{}k", self.dataset_size / 1000)
+            } else {
+                format!("{:.1}k", self.dataset_size as f64 / 1000.0)
+            };
+            format!("{model}/{dataset}-{size_k}")
+        });
+        let spec = JobSpec {
+            id: JobId(self.id.unwrap_or(assign_id)),
+            name,
+            model,
+            dataset,
+            dataset_size: self.dataset_size,
+            submit_batch: self.submit_batch,
+            max_safe_batch,
+            requested_gpus: self.requested_gpus,
+            arrival_secs: self.arrival_secs.unwrap_or(default_arrival),
+            kill_after_secs: self.kill_after_secs,
+            convergence,
+        };
+        spec.try_validate()?;
+        Ok(spec)
+    }
+
+    /// Serialises to compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("wire spec is serialisable")
+    }
+
+    /// Parses a wire spec from JSON text.
+    ///
+    /// # Errors
+    /// Fails on malformed JSON, a non-object body, wrong field types, or a
+    /// missing required field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+impl Serialize for WireJobSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".into(), self.id.to_value()),
+            ("name".into(), self.name.to_value()),
+            ("model".into(), self.model.to_value()),
+            ("dataset".into(), self.dataset.to_value()),
+            ("dataset_size".into(), self.dataset_size.to_value()),
+            ("submit_batch".into(), self.submit_batch.to_value()),
+            ("max_safe_batch".into(), self.max_safe_batch.to_value()),
+            ("requested_gpus".into(), self.requested_gpus.to_value()),
+            ("arrival_secs".into(), self.arrival_secs.to_value()),
+            ("kill_after_secs".into(), self.kill_after_secs.to_value()),
+        ])
+    }
+}
+
+/// Reads an optional field: absent and `null` both mean `None`.
+fn opt_field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<Option<T>, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        None => Ok(None),
+        Some((_, Value::Null)) => Ok(None),
+        Some((_, v)) => Ok(Some(T::from_value(v)?)),
+    }
+}
+
+fn req_field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    T::from_value(serde::field(obj, name)?)
+}
+
+impl Deserialize for WireJobSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(obj) = value else {
+            return Err(DeError::custom(format!(
+                "expected job object, got {}",
+                value.kind()
+            )));
+        };
+        Ok(WireJobSpec {
+            id: opt_field(obj, "id")?,
+            name: opt_field(obj, "name")?,
+            model: req_field(obj, "model")?,
+            dataset: req_field(obj, "dataset")?,
+            dataset_size: req_field(obj, "dataset_size")?,
+            submit_batch: req_field(obj, "submit_batch")?,
+            max_safe_batch: opt_field(obj, "max_safe_batch")?,
+            requested_gpus: req_field(obj, "requested_gpus")?,
+            arrival_secs: opt_field(obj, "arrival_secs")?,
+            kill_after_secs: opt_field(obj, "kill_after_secs")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Trace, TraceConfig};
+
+    #[test]
+    fn full_json_round_trip_is_lossless() {
+        let trace = Trace::generate(TraceConfig {
+            num_jobs: 6,
+            arrival_rate: 0.05,
+            seed: 13,
+            kill_fraction: 0.3,
+        });
+        for job in &trace.jobs {
+            let wire = WireJobSpec::from_spec(job);
+            let parsed = WireJobSpec::from_json(&wire.to_json()).expect("round trip");
+            assert_eq!(parsed, wire);
+            let spec = parsed.into_spec(999, 0.0).expect("valid spec");
+            assert_eq!(spec.id, job.id);
+            assert_eq!(spec.name, job.name);
+            assert_eq!(spec.model, job.model);
+            assert_eq!(spec.dataset, job.dataset);
+            assert_eq!(spec.dataset_size, job.dataset_size);
+            assert_eq!(spec.submit_batch, job.submit_batch);
+            assert_eq!(spec.max_safe_batch, job.max_safe_batch);
+            assert_eq!(spec.requested_gpus, job.requested_gpus);
+            assert_eq!(spec.arrival_secs, job.arrival_secs);
+            assert_eq!(spec.kill_after_secs, job.kill_after_secs);
+            // Convergence rebuilds deterministically from family params.
+            assert_eq!(spec.convergence.reference_batch, job.submit_batch);
+        }
+    }
+
+    #[test]
+    fn minimal_submission_fills_defaults() {
+        let json = r#"{"model": "ResNet50", "dataset": "ImageNet",
+                       "dataset_size": 12000, "submit_batch": 256,
+                       "requested_gpus": 2}"#;
+        let wire = WireJobSpec::from_json(json).expect("minimal body parses");
+        assert_eq!(wire.id, None);
+        assert_eq!(wire.arrival_secs, None);
+        let spec = wire.into_spec(7, 42.5).expect("valid spec");
+        assert_eq!(spec.id, JobId(7));
+        assert_eq!(spec.name, "ResNet50/ImageNet-12k");
+        assert_eq!(spec.arrival_secs, 42.5);
+        assert!(spec.max_safe_batch >= spec.submit_batch);
+        assert_eq!(spec.kill_after_secs, None);
+        spec.validate();
+    }
+
+    #[test]
+    fn explicit_nulls_read_as_none() {
+        let json = r#"{"id": null, "name": null, "model": "BERT",
+                       "dataset": "CoLA", "dataset_size": 8000,
+                       "submit_batch": 32, "max_safe_batch": null,
+                       "requested_gpus": 1, "arrival_secs": null,
+                       "kill_after_secs": null}"#;
+        let wire = WireJobSpec::from_json(json).expect("nulls parse");
+        assert_eq!(wire.id, None);
+        assert_eq!(wire.name, None);
+        assert_eq!(wire.max_safe_batch, None);
+        let spec = wire.into_spec(0, 0.0).expect("valid spec");
+        assert_eq!(spec.name, "BERT/CoLA-8k");
+    }
+
+    #[test]
+    fn bad_submissions_error_instead_of_panicking() {
+        // Missing required field.
+        let err = WireJobSpec::from_json(r#"{"model": "BERT"}"#).unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+        // Unknown model family.
+        let json = r#"{"model": "GPT5", "dataset": "CoLA", "dataset_size": 8000,
+                       "submit_batch": 32, "requested_gpus": 1}"#;
+        let err = WireJobSpec::from_json(json)
+            .unwrap()
+            .into_spec(0, 0.0)
+            .unwrap_err();
+        assert!(err.contains("bad model"), "{err}");
+        // Semantically invalid spec (batch cannot fit).
+        let json = r#"{"model": "ResNet50", "dataset": "ImageNet",
+                       "dataset_size": 12000, "submit_batch": 4096,
+                       "max_safe_batch": 4096, "requested_gpus": 1}"#;
+        let err = WireJobSpec::from_json(json)
+            .unwrap()
+            .into_spec(0, 0.0)
+            .unwrap_err();
+        assert!(err.contains("cannot fit"), "{err}");
+        // Not an object at all.
+        assert!(WireJobSpec::from_json("[1, 2]").is_err());
+    }
+}

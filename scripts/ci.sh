@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
 # Repository CI gate: tier-1 build + tests, lint, formatting.
 #
-#   scripts/ci.sh              # build, test, clippy, fmt, trace-replay smoke
+#   scripts/ci.sh              # build, test, clippy, fmt, trace-replay and
+#                              # daemon smoke
 #   RUN_BENCH=1 scripts/ci.sh  # also run the evolution micro-bench, the
-#                              # observability overhead bench and the
-#                              # trace-replay macro-bench, emitting
+#                              # observability overhead bench, the
+#                              # trace-replay macro-bench and the ones-d
+#                              # service bench, emitting
 #                              # BENCH_evolution.json,
-#                              # BENCH_observability.json and
-#                              # BENCH_trace_replay.json at the repo root
+#                              # BENCH_observability.json,
+#                              # BENCH_trace_replay.json and
+#                              # BENCH_service.json at the repo root
 #
 # Everything runs offline against the in-repo shim crates (shims/); no
 # network access or external dependencies are required.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test (workspace)"
 cargo test -q
@@ -43,6 +46,43 @@ for sched in ones drl tiresias optimus fifo; do
 $(echo "$out" | grep -o '"killed_jobs": [0-9]*'))"
 done
 
+echo "==> daemon smoke (ones-d API round trip over loopback)"
+DLOG="$(mktemp)"
+./target/release/ones-d --port 0 --gpus 16 --scheduler ones >"$DLOG" 2>&1 &
+DPID=$!
+trap 'kill "$DPID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$DLOG" && break
+    sleep 0.1
+done
+ADDR="$(sed -n 's/.*listening on //p' "$DLOG" | head -1)"
+if [[ -z "$ADDR" ]]; then
+    echo "FAIL: ones-d never reported a listen address" >&2
+    cat "$DLOG" >&2
+    exit 1
+fi
+CTL="./target/release/ones-ctl --addr $ADDR"
+$CTL health >/dev/null
+$CTL submit --model ResNet18 --dataset CIFAR10 --dataset-size 20000 \
+    --batch 256 --gpus 2 --name smoke | grep -q '"id"'
+$CTL jobs | grep -q '"smoke"'
+$CTL cluster | grep -q '"scheduler":"ONES"'
+for _ in $(seq 1 100); do
+    $CTL metrics | grep -q 'simulator_engine_events' && break
+    sleep 0.1
+done
+$CTL metrics | grep -q 'evo_search_generations'
+$CTL drain | grep -q '"draining":true'
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+    echo "FAIL: ones-d did not exit cleanly on SIGTERM" >&2
+    cat "$DLOG" >&2
+    exit 1
+fi
+trap - EXIT
+rm -f "$DLOG"
+echo "    ones-d OK ($ADDR)"
+
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
     echo "==> evolution micro-bench (BENCH_evolution.json)"
     BENCH_JSON="$PWD/BENCH_evolution.json" cargo bench -p ones-bench --bench evolution
@@ -52,6 +92,9 @@ if [[ "${RUN_BENCH:-0}" == "1" ]]; then
 
     echo "==> trace-replay macro-bench (BENCH_trace_replay.json)"
     BENCH_JSON="$PWD/BENCH_trace_replay.json" cargo bench -p ones-bench --bench trace_replay
+
+    echo "==> ones-d service bench (BENCH_service.json)"
+    BENCH_JSON="$PWD/BENCH_service.json" cargo bench -p ones-bench --bench service
 fi
 
 echo "CI OK"
