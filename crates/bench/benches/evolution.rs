@@ -2,12 +2,26 @@
 //! loop (§3.2 claims evolutionary search has "relatively fast iterative
 //! speed"; this bench quantifies it).
 //!
-//! Sweeps cluster sizes 16/32/64 GPUs and all four combinations of the
-//! two hot-loop accelerations (generation-scoped throughput cache,
-//! parallel candidate derivation), reporting per-generation latency and
-//! the scoring-phase share from the search's own perf counters. Results
-//! are also written to `BENCH_evolution.json` (path overridable via the
-//! `BENCH_JSON` environment variable).
+//! Sweeps cluster sizes 16/32/64 GPUs with all combinations of the three
+//! hot-loop accelerations (search-scoped throughput cache, parallel
+//! candidate derivation, delta scoring), then scale rows at 1 024 and
+//! 10 240 GPUs comparing the cached full-rescore path ("cache" — the
+//! pre-delta baseline) against delta scoring with and without parallel
+//! derivation. Every acceleration is exact: before timing, each size
+//! runs all of its variants lockstep from the same seed and asserts the
+//! per-generation best schedules are bit-identical.
+//!
+//! Reported per variant: per-generation latency, the scoring-phase share
+//! from the search's own perf counters, the lifetime cache hit rate and
+//! the warm (last-generation) hit rate — the cross-generation reuse
+//! signal. Results are also written to `BENCH_evolution.json` (path
+//! overridable via the `BENCH_JSON` environment variable).
+//!
+//! Knobs:
+//! * `BENCH_SIZES=16,1024` — override the swept cluster sizes.
+//! * `BENCH_MIN_SCORING_SPEEDUP=5.0` — fail (non-zero exit) unless the
+//!   1 024-GPU delta-vs-cache scoring-phase speedup meets the floor;
+//!   `scripts/ci.sh` derives the floor from the committed baseline JSON.
 
 use ones_bench::harness::{bench_with, fmt_ns, BenchOpts, Measurement};
 use ones_cluster::ClusterSpec;
@@ -73,13 +87,130 @@ fn fixture(gpus: u32, n_jobs: u64) -> Fixture {
     }
 }
 
-/// The four feature combinations under test, in report order.
-const VARIANTS: [(&str, bool, bool); 4] = [
-    ("baseline", false, false),
-    ("cache", true, false),
-    ("parallel", false, true),
-    ("cache_parallel", true, true),
+/// One feature combination under test: `(name, use_cache, parallel_derive,
+/// delta_score)`.
+type Variant = (&'static str, bool, bool, bool);
+
+const ALL_VARIANTS: [Variant; 6] = [
+    ("baseline", false, false, false),
+    ("cache", true, false, false),
+    ("parallel", false, true, false),
+    ("cache_parallel", true, true, false),
+    ("delta", true, false, true),
+    ("delta_parallel", true, true, true),
 ];
+
+/// The subset swept at the 1k/10k scale rows: cache on everywhere —
+/// "cache" is the measured baseline (full rescore over a warm cache, the
+/// hot loop as of the cache PR), "delta" isolates delta scoring,
+/// "delta_parallel" adds parallel derivation.
+const SCALE_VARIANTS: [Variant; 3] = [
+    ("cache", true, false, false),
+    ("delta", true, false, true),
+    ("delta_parallel", true, true, true),
+];
+
+/// The cached-but-full-rescore variant: the reference the delta-scoring
+/// speedup is measured against (the hot loop as of the cache PR).
+const CACHED_BASELINE: &str = "cache";
+/// All accelerations on.
+const FULL: &str = "delta_parallel";
+
+/// How one cluster size is swept.
+struct Plan {
+    /// Jobs in the fixture.
+    jobs: u64,
+    /// Population K and crossover pairs (capped below the paper's
+    /// K = |C| at scale rows so a single bench run stays tractable; the
+    /// cap is recorded in the JSON row as `population`).
+    population: usize,
+    variants: &'static [Variant],
+    opts: BenchOpts,
+    /// Settling generations before timing (also the lockstep
+    /// bit-identical verification length).
+    warm: u32,
+}
+
+fn plan_for(gpus: u32) -> Plan {
+    if gpus <= 64 {
+        Plan {
+            jobs: u64::from(gpus),
+            population: gpus as usize,
+            variants: &ALL_VARIANTS,
+            opts: BenchOpts::coarse(),
+            warm: 3,
+        }
+    } else {
+        Plan {
+            jobs: u64::from(gpus / 8).min(1024),
+            population: if gpus <= 2048 { 128 } else { 64 },
+            variants: &SCALE_VARIANTS,
+            opts: BenchOpts {
+                samples: 3,
+                target_sample_nanos: 1,
+                warmup: 0,
+            },
+            warm: 2,
+        }
+    }
+}
+
+fn config(gpus: u32, plan: &Plan, v: &Variant) -> EvoConfig {
+    let &(_, use_cache, parallel_derive, delta_score) = v;
+    let mut cfg = EvoConfig::for_cluster(gpus);
+    cfg.population = plan.population;
+    cfg.crossover_pairs = plan.population;
+    cfg.use_cache = use_cache;
+    cfg.parallel_derive = parallel_derive;
+    cfg.delta_score = delta_score;
+    cfg
+}
+
+fn view_of(fx: &Fixture) -> ClusterView<'_> {
+    ClusterView {
+        now: SimTime::from_secs(1000.0),
+        spec: &fx.spec,
+        perf: &fx.perf,
+        jobs: &fx.jobs,
+        deployed: &fx.deployed,
+    }
+}
+
+/// Runs every planned variant lockstep from the same seed and asserts the
+/// per-generation best schedules are bit-identical — the accelerations
+/// must be transparent before their speed is worth reporting.
+fn verify_bit_identical(gpus: u32, fx: &Fixture, plan: &Plan) {
+    let view = view_of(fx);
+    let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
+    let mut searches: Vec<(&str, EvolutionarySearch)> = plan
+        .variants
+        .iter()
+        .map(|v| {
+            (
+                v.0,
+                EvolutionarySearch::new(config(gpus, plan, v), DetRng::seed(1)),
+            )
+        })
+        .collect();
+    for gen in 0..plan.warm {
+        let mut reference: Option<(&str, Schedule)> = None;
+        for (name, search) in &mut searches {
+            let best = search.generation(&ctx);
+            match &reference {
+                None => reference = Some((name, best)),
+                Some((ref_name, ref_best)) => assert!(
+                    best == *ref_best,
+                    "{gpus} GPUs gen {gen}: variant {name} diverged from {ref_name}"
+                ),
+            }
+        }
+    }
+    println!(
+        "  bit-identical best schedules across {} variants for {} generations",
+        searches.len(),
+        plan.warm
+    );
+}
 
 struct VariantResult {
     name: &'static str,
@@ -87,70 +218,88 @@ struct VariantResult {
     /// Scoring-phase wall time per generation (perf-counter delta).
     score_ns_per_gen: f64,
     cache_hit_rate: f64,
+    /// Hit rate of the most recent generation alone — cross-generation
+    /// (warm) cache reuse.
+    warm_hit_rate: f64,
 }
 
-fn run_variant(
-    gpus: u32,
-    fx: &Fixture,
-    name: &'static str,
-    use_cache: bool,
-    parallel_derive: bool,
-) -> VariantResult {
-    let view = ClusterView {
-        now: SimTime::from_secs(1000.0),
-        spec: &fx.spec,
-        perf: &fx.perf,
-        jobs: &fx.jobs,
-        deployed: &fx.deployed,
-    };
+fn run_variant(gpus: u32, fx: &Fixture, plan: &Plan, v: &Variant) -> VariantResult {
+    let view = view_of(fx);
     let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
-    let mut cfg = EvoConfig::for_cluster(gpus);
-    cfg.use_cache = use_cache;
-    cfg.parallel_derive = parallel_derive;
-    let mut search = EvolutionarySearch::new(cfg, DetRng::seed(1));
+    let mut search = EvolutionarySearch::new(config(gpus, plan, v), DetRng::seed(1));
     // Warm: populate G_0 and let the population settle before timing.
-    for _ in 0..3 {
+    for _ in 0..plan.warm {
         let _ = search.generation(&ctx);
     }
     let before = search.perf_counters();
-    let measurement = bench_with(BenchOpts::coarse(), &format!("{gpus}gpu/{name}"), || {
+    let measurement = bench_with(plan.opts, &format!("{gpus}gpu/{}", v.0), || {
         search.generation(&ctx)
     });
     let after = search.perf_counters();
     let gens = (after.generations - before.generations).max(1) as f64;
     VariantResult {
-        name,
+        name: v.0,
         measurement,
         score_ns_per_gen: (after.score_nanos - before.score_nanos) as f64 / gens,
         cache_hit_rate: after.cache_hit_rate(),
+        warm_hit_rate: after.warm_hit_rate(),
+    }
+}
+
+fn sizes_from_env() -> Vec<u32> {
+    match std::env::var("BENCH_SIZES") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("BENCH_SIZES: bad size {s}"))
+            })
+            .collect(),
+        Err(_) => vec![16, 32, 64, 1024, 10_240],
     }
 }
 
 fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let mut by_gpus: Vec<(String, Value)> = Vec::new();
-    for gpus in [16u32, 32, 64] {
+    let mut speedup_at_1024: Option<f64> = None;
+    for gpus in sizes_from_env() {
         ones_bench::print_header(&format!("evolution_generation_{gpus}gpu"));
-        let fx = fixture(gpus, u64::from(gpus));
-        let results: Vec<VariantResult> = VARIANTS
+        let plan = plan_for(gpus);
+        let fx = fixture(gpus, plan.jobs);
+        verify_bit_identical(gpus, &fx, &plan);
+        let results: Vec<VariantResult> = plan
+            .variants
             .iter()
-            .map(|&(name, cache, parallel)| run_variant(gpus, &fx, name, cache, parallel))
+            .map(|v| run_variant(gpus, &fx, &plan, v))
             .collect();
 
-        let baseline = &results[0];
-        let full = results
+        // Headline ratios: the plan's first variant (true baseline on
+        // small rows, cache_parallel on scale rows) vs everything-on,
+        // plus the delta-scoring speedup over the cached full rescore.
+        let reference = &results[0];
+        let full = results.iter().find(|r| r.name == FULL).expect("full");
+        let cached = results
             .iter()
-            .find(|r| r.name == "cache_parallel")
-            .expect("variant present");
-        let generation_speedup = baseline.measurement.median_ns() / full.measurement.median_ns();
-        let scoring_speedup = baseline.score_ns_per_gen / full.score_ns_per_gen;
+            .find(|r| r.name == CACHED_BASELINE)
+            .expect("cached baseline");
+        let generation_speedup = reference.measurement.median_ns() / full.measurement.median_ns();
+        let scoring_speedup = reference.score_ns_per_gen / full.score_ns_per_gen;
+        let delta_vs_cache = cached.score_ns_per_gen / full.score_ns_per_gen;
+        if gpus == 1024 {
+            speedup_at_1024 = Some(delta_vs_cache);
+        }
 
         let mut variants: Vec<(String, Value)> = Vec::new();
         for r in &results {
             r.measurement.print();
             println!(
-                "    scoring phase {:>12} per generation, cache hit rate {:.1}%",
+                "    scoring phase {:>12} per generation, cache hit rate {:.1}% \
+                 (warm {:.1}%)",
                 fmt_ns(r.score_ns_per_gen),
-                100.0 * r.cache_hit_rate
+                100.0 * r.cache_hit_rate,
+                100.0 * r.warm_hit_rate
             );
             variants.push((
                 r.name.to_string(),
@@ -175,17 +324,27 @@ fn main() {
                         "cache_hit_rate".to_string(),
                         serde_json::to_value(&r.cache_hit_rate),
                     ),
+                    (
+                        "warm_hit_rate".to_string(),
+                        serde_json::to_value(&r.warm_hit_rate),
+                    ),
                 ]),
             ));
         }
         println!(
-            "  cache+parallel vs baseline: {generation_speedup:.2}x per generation, \
-             {scoring_speedup:.2}x scoring phase"
+            "  {} vs {}: {generation_speedup:.2}x per generation, \
+             {scoring_speedup:.2}x scoring phase; delta vs cached rescore: \
+             {delta_vs_cache:.2}x scoring phase",
+            FULL, reference.name
         );
         by_gpus.push((
             gpus.to_string(),
             Value::Object(vec![
-                ("jobs".to_string(), serde_json::to_value(&u64::from(gpus))),
+                ("jobs".to_string(), serde_json::to_value(&plan.jobs)),
+                (
+                    "population".to_string(),
+                    serde_json::to_value(&(plan.population as u64)),
+                ),
                 ("variants".to_string(), Value::Object(variants)),
                 (
                     "generation_speedup".to_string(),
@@ -195,17 +354,32 @@ fn main() {
                     "scoring_speedup".to_string(),
                     serde_json::to_value(&scoring_speedup),
                 ),
+                (
+                    "scoring_speedup_delta_vs_cache".to_string(),
+                    serde_json::to_value(&delta_vs_cache),
+                ),
             ]),
         ));
     }
 
-    let report = Value::Object(vec![
+    let mut report_fields = vec![
         (
             "bench".to_string(),
             serde_json::to_value("evolution_generation"),
         ),
+        (
+            "threads".to_string(),
+            serde_json::to_value(&(threads as u64)),
+        ),
         ("gpus".to_string(), Value::Object(by_gpus)),
-    ]);
+    ];
+    if let Some(speedup) = speedup_at_1024 {
+        report_fields.push((
+            "scoring_speedup_1024_delta_vs_cache".to_string(),
+            serde_json::to_value(&speedup),
+        ));
+    }
+    let report = Value::Object(report_fields);
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_evolution.json".to_string());
     std::fs::write(
         &path,
@@ -213,4 +387,23 @@ fn main() {
     )
     .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nresults written to {path}");
+
+    // Regression gate: scripts/ci.sh passes the floor derived from the
+    // committed baseline JSON.
+    if let Ok(floor) = std::env::var("BENCH_MIN_SCORING_SPEEDUP") {
+        let floor: f64 = floor
+            .parse()
+            .unwrap_or_else(|_| panic!("BENCH_MIN_SCORING_SPEEDUP: bad value {floor}"));
+        match speedup_at_1024 {
+            Some(got) => {
+                assert!(
+                    got >= floor,
+                    "scoring-phase speedup regression at 1024 GPUs: \
+                     {got:.2}x < required {floor:.2}x"
+                );
+                println!("scoring-speedup gate OK: {got:.2}x >= {floor:.2}x at 1024 GPUs");
+            }
+            None => println!("scoring-speedup gate skipped: no 1024-GPU row in BENCH_SIZES"),
+        }
+    }
 }

@@ -4,7 +4,18 @@
 //!
 //! ```text
 //! cargo run --release -p ones-bench --bin fig17_scalability \
-//!     [--jobs 120] [--seed 42] [--rate-secs 30]
+//!     [--jobs 120] [--seed 42] [--rate-secs 30] \
+//!     [--sizes 16,32,48,64] [--schedulers ONES,DRL,Tiresias,Optimus]
+//! ```
+//!
+//! Scale rows beyond the paper's figure are reachable with `--sizes` —
+//! e.g. a 1k/10k-GPU check of the evolutionary search inside a full
+//! simulation (restrict to ONES; the planning baselines dominate the
+//! sweep wall time at these sizes):
+//!
+//! ```text
+//! cargo run --release -p ones-bench --bin fig17_scalability \
+//!     --sizes 1024,10240 --schedulers ONES --jobs 240 --rate-secs 5
 //! ```
 
 use ones_bench::{print_header, Args};
@@ -19,20 +30,35 @@ fn main() {
         seed: args.get_u64("seed", 42),
         kill_fraction: 0.0,
     };
-    let sizes = [16u32, 32, 48, 64];
+    let sizes = args.get_u32_list("sizes", &[16, 32, 48, 64]);
+    let schedulers: Vec<SchedulerKind> = {
+        let sel = args.get_str("schedulers", "");
+        if sel.is_empty() {
+            SchedulerKind::PAPER.to_vec()
+        } else {
+            sel.split(',')
+                .map(|n| {
+                    let n = n.trim();
+                    SchedulerKind::PAPER
+                        .iter()
+                        .copied()
+                        .find(|s| s.name().eq_ignore_ascii_case(n))
+                        .unwrap_or_else(|| panic!("--schedulers: unknown scheduler {n}"))
+                })
+                .collect()
+        }
+    };
 
     let configs: Vec<ExperimentConfig> = sizes
         .iter()
         .flat_map(|&gpus| {
-            SchedulerKind::PAPER
-                .iter()
-                .map(move |&scheduler| ExperimentConfig {
-                    gpus,
-                    source: TraceSource::Table2(trace),
-                    scheduler,
-                    sched_seed: 1,
-                    drl_pretrain_episodes: 3,
-                })
+            schedulers.iter().map(move |&scheduler| ExperimentConfig {
+                gpus,
+                source: TraceSource::Table2(trace),
+                scheduler,
+                sched_seed: 1,
+                drl_pretrain_episodes: 3,
+            })
         })
         .collect();
     let results = run_sweep(&configs);
@@ -45,45 +71,51 @@ fn main() {
 
     print_header("Figure 17 — average JCT (s) vs cluster size");
     print!("{:<10}", "scheduler");
-    for g in sizes {
+    for &g in &sizes {
         print!(" {:>9}", format!("{g} GPUs"));
     }
     println!();
-    for s in SchedulerKind::PAPER {
+    for &s in &schedulers {
         print!("{:<10}", s.name());
-        for g in sizes {
+        for &g in &sizes {
             print!(" {:>9.1}", find(g, s).metrics.mean_jct());
         }
         println!();
     }
 
     print_header("Figure 17 — average queueing time (s) vs cluster size");
-    for s in SchedulerKind::PAPER {
+    for &s in &schedulers {
         print!("{:<10}", s.name());
-        for g in sizes {
+        for &g in &sizes {
             print!(" {:>9.1}", find(g, s).metrics.mean_queue());
         }
         println!();
     }
 
-    print_header("Figure 18 — ONES improvement in average JCT (%)");
-    print!("{:<12}", "vs");
-    for g in sizes {
-        print!(" {:>9}", format!("{g} GPUs"));
-    }
-    println!();
-    for s in [
+    let baselines: Vec<SchedulerKind> = [
         SchedulerKind::Drl,
         SchedulerKind::Tiresias,
         SchedulerKind::Optimus,
-    ] {
-        print!("{:<12}", s.name());
-        for g in sizes {
-            let ones = find(g, SchedulerKind::Ones).metrics.mean_jct();
-            let base = find(g, s).metrics.mean_jct();
-            print!(" {:>8.1}%", 100.0 * (1.0 - ones / base));
+    ]
+    .into_iter()
+    .filter(|s| schedulers.contains(s))
+    .collect();
+    if schedulers.contains(&SchedulerKind::Ones) && !baselines.is_empty() {
+        print_header("Figure 18 — ONES improvement in average JCT (%)");
+        print!("{:<12}", "vs");
+        for &g in &sizes {
+            print!(" {:>9}", format!("{g} GPUs"));
         }
         println!();
+        for &s in &baselines {
+            print!("{:<12}", s.name());
+            for &g in &sizes {
+                let ones = find(g, SchedulerKind::Ones).metrics.mean_jct();
+                let base = find(g, s).metrics.mean_jct();
+                print!(" {:>8.1}%", 100.0 * (1.0 - ones / base));
+            }
+            println!();
+        }
     }
     println!(
         "\nPaper shape: average JCT falls roughly linearly with cluster\n\

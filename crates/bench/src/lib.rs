@@ -103,6 +103,36 @@ impl Args {
                 .unwrap_or_else(|_| panic!("--{name}: bad value {v}"))
         })
     }
+
+    /// String argument with default.
+    #[must_use]
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Comma-separated `u32` list argument with default (e.g.
+    /// `--sizes 16,32,1024`).
+    ///
+    /// # Panics
+    /// Panics when any element is unparsable.
+    #[must_use]
+    pub fn get_u32_list(&self, name: &str, default: &[u32]) -> Vec<u32> {
+        self.values.get(name).map_or_else(
+            || default.to_vec(),
+            |v| {
+                v.split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("--{name}: bad value {v}"))
+                    })
+                    .collect()
+            },
+        )
+    }
 }
 
 /// Prints a section header, for readable series output.
@@ -133,6 +163,13 @@ mod tests {
         assert_eq!(a.get_u32("gpus", 64), 32);
         assert_eq!(a.get_u64("seed", 42), 42);
         assert_eq!(a.get_f64("rate", 0.5), 0.5);
+    }
+
+    #[test]
+    fn args_u32_list() {
+        let a = Args::parse_from(["--sizes", "16, 32,1024"]);
+        assert_eq!(a.get_u32_list("sizes", &[1]), vec![16, 32, 1024]);
+        assert_eq!(a.get_u32_list("other", &[48, 64]), vec![48, 64]);
     }
 
     #[test]

@@ -270,6 +270,34 @@ mod tests {
     }
 
     #[test]
+    fn throughput_is_shape_pure() {
+        // The model reads a placement only through (len, nodes spanned,
+        // max runs per node) — the quantities the schedule-signature
+        // shape hash folds. Placements with equal shape must therefore
+        // have bit-identical throughput; throughput memoisation keyed on
+        // the shape hash depends on this.
+        let m = model(); // 4-GPU nodes
+        let prof = ModelKind::Vgg16.profile();
+        let same_shape = [
+            (pl(&[0, 1]), pl(&[2, 3])),               // shifted within a node
+            (pl(&[0, 1]), pl(&[5, 6])),               // different node entirely
+            (pl(&[3, 4]), pl(&[7, 8])),               // spanning a node boundary
+            (pl(&[0, 2]), pl(&[5, 7])),               // fragmented, 2 runs
+            (pl(&[0, 1, 2, 3]), pl(&[8, 9, 10, 11])), // full node
+        ];
+        for (a, b) in same_shape {
+            let spec = m.spec();
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.nodes_spanned(spec), b.nodes_spanned(spec));
+            assert_eq!(a.max_runs_per_node(spec), b.max_runs_per_node(spec));
+            let batches = vec![32u32; a.len()];
+            let xa = m.throughput(&prof, &batches, &a);
+            let xb = m.throughput(&prof, &batches, &b);
+            assert_eq!(xa.to_bits(), xb.to_bits(), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "one local batch per worker")]
     fn mismatched_batches_rejected() {
         let m = model();

@@ -1,9 +1,9 @@
 //! Evolution context: the live state a generation is evaluated against.
 
 use crate::cache::ThroughputCache;
-use ones_cluster::GpuId;
+use ones_cluster::{GpuId, Placement};
 use ones_dlperf::ModelProfile;
-use ones_schedcore::{ClusterView, JobStatus, Schedule};
+use ones_schedcore::{ClusterView, JobSignature, JobStatus, Schedule};
 use ones_stats::Beta;
 use ones_workload::JobId;
 use std::collections::BTreeMap;
@@ -27,8 +27,8 @@ pub struct EvoContext<'a> {
     /// Optional throughput memo table consulted by
     /// [`EvoContext::throughput_in`]. The memoised value is exact for a
     /// fixed view, so results are identical with or without it; the
-    /// search installs a fresh cache per generation (see
-    /// [`crate::cache`]).
+    /// search owns one cache for its whole lifetime and invalidates
+    /// per-job on view changes (see [`crate::cache`]).
     pub cache: Option<&'a ThroughputCache>,
 }
 
@@ -108,13 +108,20 @@ impl EvoContext<'_> {
             .unwrap_or_else(|| Beta::new(1.0, 30.0))
     }
 
+    /// GPUs per node of the cluster under evaluation — the parameter the
+    /// placement-shape signatures fold.
+    #[must_use]
+    pub fn gpus_per_node(&self) -> u32 {
+        self.view.spec.gpus_per_node
+    }
+
     /// Throughput `X_j` of a job under a candidate schedule, samples/s.
     /// Zero if the job is not placed.
     ///
     /// When a [`ThroughputCache`] is installed the model is evaluated at
-    /// most once per distinct `(job, placement, batches)` configuration;
-    /// the cached value is the model's own output, so caching never
-    /// changes a score.
+    /// most once per distinct `(job, placement shape, batches)`
+    /// configuration; the cached value is the model's own output, so
+    /// caching never changes a score.
     #[must_use]
     pub fn throughput_in(&self, schedule: &Schedule, job: JobId) -> f64 {
         let placement = schedule.placement(job);
@@ -128,8 +135,56 @@ impl EvoContext<'_> {
         };
         match self.cache {
             Some(cache) => {
-                let (p, b) = schedule.job_signature(job);
-                cache.get_or_insert_with((job, p, b), compute)
+                let sig = schedule
+                    .job_signature(job, self.gpus_per_node())
+                    .expect("job is placed");
+                cache.get_or_insert_with((job, sig.placement, sig.batches), compute)
+            }
+            None => compute(),
+        }
+    }
+
+    /// Throughput `X_j` of a *hypothetical* assignment: `job` spread over
+    /// `gpus` (in assignment order, as [`EvoContext::assign_evenly`] would
+    /// place it) without materialising a trial schedule. Bit-identical to
+    /// cloning the schedule, assigning, and calling
+    /// [`EvoContext::throughput_in`] — the fill/scale-up search probes
+    /// dozens of configurations per idle GPU, and the `O(total gpus)`
+    /// clone per probe is what kept the derive phase from scaling past a
+    /// few hundred GPUs.
+    #[must_use]
+    pub fn probe_throughput(&self, job: JobId, gpus: &[GpuId]) -> f64 {
+        if gpus.is_empty() {
+            return 0.0;
+        }
+        let profile = self.profile(job);
+        // Replicate assign_evenly's split: target batch over |gpus|
+        // workers, remainder to the first-listed.
+        let c = gpus.len() as u32;
+        let target = self.limit(job).min(profile.max_local_batch * c).max(c);
+        let base = target / c;
+        let rem = target % c;
+        let mut pairs: Vec<(GpuId, u32)> = gpus
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, (base + u32::from((i as u32) < rem)).max(1)))
+            .collect();
+        // The model (and the batch-sequence hash) consume batches in
+        // GPU-id order, exactly as a schedule would report them.
+        pairs.sort_unstable_by_key(|&(g, _)| g);
+        let placement: Placement = pairs.iter().map(|&(g, _)| g).collect();
+        let batches: Vec<u32> = pairs.iter().map(|&(_, b)| b).collect();
+        let compute = || self.view.perf.throughput(&profile, &batches, &placement);
+        match self.cache {
+            Some(cache) => {
+                let spec = self.view.spec;
+                let psig = JobSignature::placement_shape_hash(
+                    placement.len() as u32,
+                    placement.nodes_spanned(spec) as u32,
+                    placement.max_runs_per_node(spec) as u32,
+                );
+                let bsig = JobSignature::batches_hash(batches.iter().copied());
+                cache.get_or_insert_with((job, psig, bsig), compute)
             }
             None => compute(),
         }
@@ -172,14 +227,17 @@ impl EvoContext<'_> {
     /// Caps every job in `schedule` at its limit `R_j`: if `B_j > R_j` the
     /// job keeps `⌊R_j·c_j/B_j⌋` GPUs (the refresh scale-down rule) and its
     /// batch is re-split to `R_j`; a job that would keep zero GPUs is
-    /// evicted.
-    pub fn enforce_limits(&self, schedule: &mut Schedule) {
+    /// evicted. Returns the jobs whose configuration changed, for
+    /// delta-scoring dirty sets.
+    pub fn enforce_limits(&self, schedule: &mut Schedule) -> Vec<JobId> {
         let running: Vec<(JobId, (u32, u32))> = schedule.running_jobs().into_iter().collect();
+        let mut touched = Vec::new();
         for (job, (batch, gpus)) in running {
             let limit = self.limit(job);
             if batch <= limit {
                 continue;
             }
+            touched.push(job);
             let keep = (limit * gpus / batch) as usize;
             let placement = schedule.placement(job);
             schedule.evict(job);
@@ -189,6 +247,7 @@ impl EvoContext<'_> {
             let kept: Vec<GpuId> = placement.gpus().iter().copied().take(keep).collect();
             self.assign_evenly(schedule, job, &kept);
         }
+        touched
     }
 }
 
@@ -394,6 +453,37 @@ mod tests {
         // Unplaced jobs bypass the cache entirely.
         assert_eq!(cached.throughput_in(&Schedule::empty(8), JobId(0)), 0.0);
         assert_eq!(cache.misses() + cache.hits(), 4);
+    }
+
+    #[test]
+    fn probe_throughput_matches_trial_schedule() {
+        // probe_throughput must be bit-identical to materialising the
+        // trial schedule it describes — the fill search compares its
+        // results against schedule-derived throughputs.
+        let mut fx = Fixture::new(2);
+        fx.start_job(0, 3);
+        let view = fx.view();
+        let cache = crate::cache::ThroughputCache::new();
+        let c = ctx(&fx, &view).with_cache(&cache);
+        let plain = ctx(&fx, &view);
+        for gpus in [
+            vec![GpuId(0)],
+            vec![GpuId(1), GpuId(2), GpuId(0)], // assignment order ≠ id order
+            vec![GpuId(4), GpuId(2)],           // cross-node
+            (0..8).map(GpuId).collect::<Vec<_>>(),
+        ] {
+            let probe = c.probe_throughput(JobId(0), &gpus);
+            let mut trial = Schedule::empty(8);
+            plain.assign_evenly(&mut trial, JobId(0), &gpus);
+            let direct = plain.throughput_in(&trial, JobId(0));
+            assert_eq!(probe.to_bits(), direct.to_bits(), "gpus={gpus:?}");
+            // And the probe's cache entry serves the schedule-keyed
+            // lookup for the same configuration (shared signature space).
+            let hits = cache.hits();
+            assert_eq!(c.throughput_in(&trial, JobId(0)).to_bits(), probe.to_bits());
+            assert_eq!(cache.hits(), hits + 1, "schedule lookup should hit");
+        }
+        assert_eq!(c.probe_throughput(JobId(0), &[]), 0.0);
     }
 
     #[test]

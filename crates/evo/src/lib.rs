@@ -23,12 +23,15 @@
 //! Candidate scoring inside a generation is embarrassingly parallel and
 //! uses rayon when the population is large.
 //!
-//! Two transparent accelerations ride along (see [`cache`] and the
-//! determinism notes in [`search`]): a per-generation [`ThroughputCache`]
-//! memoising the pure `(job, placement, batches) → X_j` evaluations, and
-//! parallel candidate derivation on per-child forked RNG streams. Both
-//! are exact — `S_*` selection is bit-identical with them on or off —
-//! and both are observable through [`EvoPerfCounters`].
+//! Three transparent accelerations ride along (see [`cache`] and the
+//! determinism notes in [`search`]): a search-scoped [`ThroughputCache`]
+//! memoising the pure `(job, placement shape, batches) → X_j` evaluations
+//! across generations (with per-job invalidation on job events), parallel
+//! candidate derivation on per-child forked RNG streams, and delta
+//! scoring — every op reports the jobs it touched, and each candidate's
+//! [`scoring::ScoreCard`] is derived from its parent's by re-resolving
+//! only those. All are exact — `S_*` selection is bit-identical with them
+//! on or off — and all are observable through [`EvoPerfCounters`].
 
 pub mod cache;
 pub mod context;
@@ -40,5 +43,7 @@ pub mod search;
 pub use cache::ThroughputCache;
 pub use context::EvoContext;
 pub use perfcounters::EvoPerfCounters;
-pub use scoring::{sample_rhos, score_schedule};
+pub use scoring::{
+    remaining_workloads, sample_rhos, score_schedule, RemainingWorkloads, ScoreCard,
+};
 pub use search::{EvoConfig, EvolutionarySearch};

@@ -9,18 +9,31 @@
 //! * [`mutate`] — uniform mutation (Figure 9): each running job is
 //!   preempted with probability θ and the freed GPUs are refilled.
 //! * reorder — [`ones_schedcore::Schedule::reordered`] (Figure 10).
+//!
+//! Every op additionally reports the *dirty set*: the jobs whose
+//! configuration it may have changed relative to the input candidate(s).
+//! Delta-scoring ([`crate::scoring::ScoreCard::derive`]) recomputes only
+//! those jobs' Eq 8 terms; the sets are deliberately over-approximations
+//! (marking an untouched job dirty costs a recompute, missing a touched
+//! one would corrupt scores).
 
 use crate::context::EvoContext;
 use crate::scoring;
 use ones_cluster::GpuId;
-use ones_schedcore::Schedule;
+use ones_schedcore::{DirtySet, Schedule};
 use ones_simcore::DetRng;
 use ones_workload::JobId;
 
 /// The *refresh* operation: updates a candidate with real-time job status.
+/// Returns the refreshed schedule and the jobs it touched.
 #[must_use]
-pub fn refresh(ctx: &EvoContext<'_>, candidate: &Schedule, rng: &mut DetRng) -> Schedule {
+pub fn refresh(
+    ctx: &EvoContext<'_>,
+    candidate: &Schedule,
+    rng: &mut DetRng,
+) -> (Schedule, DirtySet) {
     let mut s = candidate.clone();
+    let mut dirty = DirtySet::new();
 
     // (1) Clean up GPUs of completed jobs (and of jobs unknown to the
     // view, which can linger in stale candidates).
@@ -32,10 +45,11 @@ pub fn refresh(ctx: &EvoContext<'_>, candidate: &Schedule, rng: &mut DetRng) -> 
         .collect();
     for j in stale {
         s.evict(j);
+        dirty.insert(j);
     }
 
     // (2) Scale down any job whose global batch exceeds its limit R_j.
-    ctx.enforce_limits(&mut s);
+    dirty.extend(ctx.enforce_limits(&mut s));
 
     // (3) Allocate new jobs (never started) one GPU each, preferentially:
     // if idle GPUs run out, take GPUs from the jobs with the largest
@@ -49,21 +63,27 @@ pub fn refresh(ctx: &EvoContext<'_>, candidate: &Schedule, rng: &mut DetRng) -> 
     for job in new_jobs {
         let gpu = match s.idle_gpus().first() {
             Some(&g) => Some(g),
-            None => steal_gpu_from_longest(ctx, &mut s),
+            None => steal_gpu_from_longest(ctx, &mut s, &mut dirty),
         };
         if let Some(g) = gpu {
             ctx.assign_evenly(&mut s, job, &[g]);
+            dirty.insert(job);
         }
     }
 
     // (4) Fill any remaining idle GPUs (Figure 7).
-    fill_idle(ctx, &mut s, rng);
-    s
+    dirty.extend(fill_idle(ctx, &mut s, rng));
+    (s, dirty)
 }
 
 /// Takes one GPU from the running job with the largest processed time that
-/// still holds more than zero GPUs. Returns the freed GPU.
-fn steal_gpu_from_longest(ctx: &EvoContext<'_>, s: &mut Schedule) -> Option<GpuId> {
+/// still holds more than zero GPUs. Returns the freed GPU and marks the
+/// victim dirty.
+fn steal_gpu_from_longest(
+    ctx: &EvoContext<'_>,
+    s: &mut Schedule,
+    dirty: &mut DirtySet,
+) -> Option<GpuId> {
     let victim = s
         .running_jobs()
         .keys()
@@ -74,6 +94,7 @@ fn steal_gpu_from_longest(ctx: &EvoContext<'_>, s: &mut Schedule) -> Option<GpuI
                 .expect("exec times are finite")
         })?
         .id();
+    dirty.insert(victim);
     // Free the victim's last GPU (keep its remaining workers contiguous).
     let placement = s.placement(victim);
     let &last = placement.gpus().last()?;
@@ -91,26 +112,37 @@ fn steal_gpu_from_longest(ctx: &EvoContext<'_>, s: &mut Schedule) -> Option<GpuI
 
 /// Fills idle GPUs by resuming waiting jobs or scaling up running jobs,
 /// repeatedly selecting the candidate with the smallest utilisation
-/// increase `Δφ_j · Y_j` via Algorithm 1 sampling (Figure 7).
-pub fn fill_idle(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng) {
-    fill(ctx, s, rng, true);
+/// increase `Δφ_j · Y_j` via Algorithm 1 sampling (Figure 7). Returns the
+/// jobs whose slots changed.
+pub fn fill_idle(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng) -> DirtySet {
+    fill(ctx, s, rng, true)
 }
 
 /// Resume-only filling: places waiting jobs on idle GPUs (one each, SRUF
 /// order) without touching any running job's slots. Used by the scheduler
 /// to respond immediately to arrivals/completions while the §3.2.2 update
-/// rule blocks disruptive redeployments.
-pub fn admit_waiting(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng) {
-    fill(ctx, s, rng, false);
+/// rule blocks disruptive redeployments. Returns the jobs placed.
+pub fn admit_waiting(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng) -> DirtySet {
+    fill(ctx, s, rng, false)
 }
 
-fn fill(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng, allow_scale_up: bool) {
+fn fill(
+    ctx: &EvoContext<'_>,
+    s: &mut Schedule,
+    rng: &mut DetRng,
+    allow_scale_up: bool,
+) -> DirtySet {
     let rhos = scoring::sample_rhos(ctx, rng);
+    let mut dirty = DirtySet::new();
     loop {
         let idle = s.idle_gpus();
         if idle.is_empty() {
-            return;
+            return dirty;
         }
+        // One slot walk per round covers both the resume membership test
+        // and the scale-up candidate scan (`is_running` per schedulable
+        // job would make each round O(jobs · gpus)).
+        let running = s.running_jobs();
         let mut best: Option<(f64, FillAction)> = None;
 
         // Resume candidates: schedulable jobs not currently in the genome.
@@ -119,16 +151,15 @@ fn fill(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng, allow_scale_up
         // growing an already-running job (§2.2: "execute some job with a
         // smaller size first ... reduce waiting time of the jobs"), so
         // resumes are ranked first, by SRUF (smallest estimated remaining
-        // time).
+        // time). `probe_throughput` evaluates the hypothetical one-GPU
+        // assignment without materialising a trial schedule.
         for j in ctx.schedulable() {
             let job = j.id();
-            if s.is_running(job) {
+            if running.contains_key(&job) {
                 continue;
             }
             let Some(&rho) = rhos.get(&job) else { continue };
-            let mut trial = s.clone();
-            ctx.assign_evenly(&mut trial, job, &[idle[0]]);
-            let x = ctx.throughput_in(&trial, job);
+            let x = ctx.probe_throughput(job, &idle[..1]);
             if x <= 0.0 {
                 continue;
             }
@@ -139,20 +170,21 @@ fn fill(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng, allow_scale_up
         }
         if let Some((_, FillAction::Resume(job))) = best {
             ctx.assign_evenly(s, job, &[idle[0]]);
+            dirty.insert(job);
             continue;
         }
 
         // Past the resume shortcut, `best` is empty; in resume-only mode
         // there is nothing else to try.
         if !allow_scale_up {
-            return;
+            return dirty;
         }
         // Scale-up candidates: running jobs below their limit. The limit
         // justifies up to ⌊R·c/B⌋ − c extra GPUs (Figure 7); intermediate
         // power-of-two counts are also evaluated because communication
         // overhead can make the maximal spread worse than a smaller one
         // (e.g. a config that stays within one node).
-        for (job, (batch, gpus)) in s.running_jobs() {
+        for (&job, &(batch, gpus)) in &running {
             let limit = ctx.limit(job);
             if batch >= limit {
                 continue;
@@ -162,15 +194,19 @@ fn fill(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng, allow_scale_up
             if max_extra == 0 {
                 continue;
             }
-            let before_u = utilisation(ctx, s, job, rho);
+            let rem = ctx.remaining_workload(job, rho);
+            let before_u = utilisation(ctx, s, job, rem);
+            let held: Vec<GpuId> = s.placement(job).gpus().to_vec();
             let mut extra = 1usize;
             loop {
-                let mut trial = s.clone();
-                let mut all: Vec<GpuId> = trial.placement(job).gpus().to_vec();
+                let mut all = held.clone();
                 all.extend(idle.iter().copied().take(extra));
-                trial.evict(job);
-                ctx.assign_evenly(&mut trial, job, &all);
-                let after_u = utilisation(ctx, &trial, job, rho);
+                let x = ctx.probe_throughput(job, &all);
+                let after_u = if x <= 0.0 {
+                    0.0
+                } else {
+                    rem * (all.len() as f64) / x
+                };
                 let delta = after_u - before_u;
                 if best.as_ref().is_none_or(|(d, _)| delta < *d) {
                     best = Some((delta, FillAction::ScaleUp(job, extra)));
@@ -185,26 +221,29 @@ fn fill(ctx: &EvoContext<'_>, s: &mut Schedule, rng: &mut DetRng, allow_scale_up
         match best {
             Some((_, FillAction::Resume(job))) => {
                 ctx.assign_evenly(s, job, &[idle[0]]);
+                dirty.insert(job);
             }
             Some((_, FillAction::ScaleUp(job, extra))) => {
                 let mut all: Vec<GpuId> = s.placement(job).gpus().to_vec();
                 all.extend(idle.iter().copied().take(extra));
                 s.evict(job);
                 ctx.assign_evenly(s, job, &all);
+                dirty.insert(job);
             }
-            None => return, // nothing can use the idle GPUs
+            None => return dirty, // nothing can use the idle GPUs
         }
     }
 }
 
-/// Remaining utilisation `T_j · c_j` of one job under a schedule.
-fn utilisation(ctx: &EvoContext<'_>, s: &Schedule, job: JobId, rho: f64) -> f64 {
+/// Remaining utilisation `T_j · c_j` of one job under a schedule, given
+/// its remaining workload `Y_j = rem`.
+fn utilisation(ctx: &EvoContext<'_>, s: &Schedule, job: JobId, rem: f64) -> f64 {
     let x = ctx.throughput_in(s, job);
     if x <= 0.0 {
         return 0.0;
     }
     let c = f64::from(s.gpu_count(job));
-    ctx.remaining_workload(job, rho) * c / x
+    rem * c / x
 }
 
 enum FillAction {
@@ -212,16 +251,33 @@ enum FillAction {
     ScaleUp(JobId, usize),
 }
 
-/// Uniform crossover (Figure 8): returns two children.
+/// Uniform crossover (Figure 8): returns two children plus the jobs whose
+/// slots changed relative to the respective parent.
+///
+/// Child 1 differs from parent `a` (and child 2 from parent `b`) exactly
+/// at the GPUs where the coin picked the swapped order *and* the parents'
+/// slots disagree — so a single dirty set (both slots' jobs at every such
+/// GPU) is valid for deriving child 1's card from `a`'s and child 2's
+/// card from `b`'s.
 #[must_use]
-pub fn crossover(a: &Schedule, b: &Schedule, rng: &mut DetRng) -> (Schedule, Schedule) {
+pub fn crossover(a: &Schedule, b: &Schedule, rng: &mut DetRng) -> (Schedule, Schedule, DirtySet) {
     assert_eq!(a.num_gpus(), b.num_gpus(), "parents must share a cluster");
     let n = a.num_gpus();
     let mut c1 = Schedule::empty(n);
     let mut c2 = Schedule::empty(n);
+    let mut dirty = DirtySet::new();
     for i in 0..n {
         let g = GpuId(i);
-        let (first, second) = if rng.chance(0.5) { (a, b) } else { (b, a) };
+        let swapped = !rng.chance(0.5);
+        let (first, second) = if swapped { (b, a) } else { (a, b) };
+        if swapped && a.slot(g) != b.slot(g) {
+            if let Some(slot) = a.slot(g) {
+                dirty.insert(slot.job);
+            }
+            if let Some(slot) = b.slot(g) {
+                dirty.insert(slot.job);
+            }
+        }
         if let Some(slot) = first.slot(g) {
             c1.assign(g, slot.job, slot.local_batch);
         }
@@ -229,22 +285,30 @@ pub fn crossover(a: &Schedule, b: &Schedule, rng: &mut DetRng) -> (Schedule, Sch
             c2.assign(g, slot.job, slot.local_batch);
         }
     }
-    (c1, c2)
+    (c1, c2, dirty)
 }
 
 /// Uniform mutation (Figure 9): preempts each running job with probability
-/// `rate` and refills the freed GPUs.
+/// `rate` and refills the freed GPUs. Returns the mutated schedule and the
+/// jobs it touched (preempted and/or refilled).
 #[must_use]
-pub fn mutate(ctx: &EvoContext<'_>, candidate: &Schedule, rate: f64, rng: &mut DetRng) -> Schedule {
+pub fn mutate(
+    ctx: &EvoContext<'_>,
+    candidate: &Schedule,
+    rate: f64,
+    rng: &mut DetRng,
+) -> (Schedule, DirtySet) {
     assert!((0.0..=1.0).contains(&rate), "mutation rate out of range");
     let mut s = candidate.clone();
+    let mut dirty = DirtySet::new();
     for job in candidate.running_jobs().keys() {
         if rng.chance(rate) {
             s.evict(*job);
+            dirty.insert(*job);
         }
     }
-    fill_idle(ctx, &mut s, rng);
-    s
+    dirty.extend(fill_idle(ctx, &mut s, rng));
+    (s, dirty)
 }
 
 #[cfg(test)]
@@ -263,7 +327,7 @@ mod tests {
         let mut s = Schedule::empty(8);
         s.assign(GpuId(0), JobId(0), 256);
         let mut rng = DetRng::seed(1);
-        let r = refresh(&c, &s, &mut rng);
+        let (r, _) = refresh(&c, &s, &mut rng);
         assert!(!r.is_running(JobId(0)));
     }
 
@@ -273,7 +337,7 @@ mod tests {
         let view = fx.view();
         let c = ctx(&fx, &view);
         let mut rng = DetRng::seed(2);
-        let r = refresh(&c, &Schedule::empty(8), &mut rng);
+        let (r, dirty) = refresh(&c, &Schedule::empty(8), &mut rng);
         // All three jobs placed, and no idle GPU left (all jobs can scale
         // up to R with the spare GPUs... R=256 and max_local=2048, so a
         // single GPU each caps at R; the remaining 5 GPUs can only be used
@@ -282,6 +346,7 @@ mod tests {
         for i in 0..3 {
             assert!(r.is_running(JobId(i)), "job {i} not placed");
             assert!(r.global_batch(JobId(i)) <= 256);
+            assert!(dirty.contains(&JobId(i)), "placed job {i} must be dirty");
         }
     }
 
@@ -300,7 +365,7 @@ mod tests {
             s.assign(GpuId(i), JobId(u64::from(i)), 256);
         }
         let mut rng = DetRng::seed(3);
-        let r = refresh(&c, &s, &mut rng);
+        let (r, _) = refresh(&c, &s, &mut rng);
         assert!(r.is_running(JobId(8)), "new job must be placed");
         // The victim giving up its (only) GPU is the longest-processed job.
         assert!(
@@ -321,7 +386,7 @@ mod tests {
             s.assign(GpuId(g), JobId(0), 64); // B = 256 > R = 64
         }
         let mut rng = DetRng::seed(4);
-        let r = refresh(&c, &s, &mut rng);
+        let (r, _) = refresh(&c, &s, &mut rng);
         assert!(r.global_batch(JobId(0)) <= 64);
         assert_eq!(r.gpu_count(JobId(0)), 1);
     }
@@ -373,7 +438,7 @@ mod tests {
             b.assign(GpuId(g), JobId(2 + u64::from(g % 2)), 64); // jobs 2, 3
         }
         let mut rng = DetRng::seed(5);
-        let (c1, c2) = crossover(&a, &b, &mut rng);
+        let (c1, c2, _) = crossover(&a, &b, &mut rng);
         for g in 0..8u32 {
             let slots = [c1.slot(GpuId(g)), c2.slot(GpuId(g))];
             let parents = [a.slot(GpuId(g)), b.slot(GpuId(g))];
@@ -397,8 +462,8 @@ mod tests {
         let mut b = Schedule::empty(4);
         a.assign(GpuId(0), JobId(1), 32);
         b.assign(GpuId(1), JobId(2), 32);
-        let (c1, c2) = crossover(&a, &b, &mut DetRng::seed(9));
-        let (d1, d2) = crossover(&a, &b, &mut DetRng::seed(9));
+        let (c1, c2, _) = crossover(&a, &b, &mut DetRng::seed(9));
+        let (d1, d2, _) = crossover(&a, &b, &mut DetRng::seed(9));
         assert_eq!(c1, d1);
         assert_eq!(c2, d2);
     }
@@ -414,8 +479,19 @@ mod tests {
         s.assign(GpuId(0), JobId(0), 256);
         s.assign(GpuId(1), JobId(1), 256);
 
-        let kept = mutate(&c, &s, 0.0, &mut DetRng::seed(6));
+        let (kept, touched) = mutate(&c, &s, 0.0, &mut DetRng::seed(6));
         assert!(kept.is_running(JobId(0)) && kept.is_running(JobId(1)));
+        // Dirty-set contract: every job whose slots changed is reported.
+        for g in 0..8u32 {
+            if s.slot(GpuId(g)) != kept.slot(GpuId(g)) {
+                for slot in [s.slot(GpuId(g)), kept.slot(GpuId(g))]
+                    .into_iter()
+                    .flatten()
+                {
+                    assert!(touched.contains(&slot.job), "changed job not in dirty set");
+                }
+            }
+        }
 
         // Rate 1: both evicted, then the fill step may re-admit them (it
         // considers all schedulable jobs) — but the *slots* will have been
@@ -424,7 +500,7 @@ mod tests {
         // with no fill candidates the GPUs empty out. Use unknown limits:
         // simplest: verify the mutated schedule differs or jobs were
         // reassigned fresh at their limit.
-        let mutated = mutate(&c, &s, 1.0, &mut DetRng::seed(6));
+        let (mutated, _) = mutate(&c, &s, 1.0, &mut DetRng::seed(6));
         for j in [JobId(0), JobId(1)] {
             if mutated.is_running(j) {
                 assert!(mutated.global_batch(j) <= c.limit(j));

@@ -2,10 +2,14 @@
 //!
 //! The search accumulates these across generations: how much work each
 //! phase did (refresh / derive+legalise / score+select wall time), how
-//! many candidates were scored, and how the generation-scoped
-//! [`ThroughputCache`](crate::cache::ThroughputCache) performed. They are
-//! diagnostics only — wall times come from [`std::time::Instant`] and are
-//! excluded from any determinism guarantee.
+//! many candidates were scored, and how the search-scoped
+//! [`ThroughputCache`](crate::cache::ThroughputCache) performed. The cache
+//! outlives generations, so besides the cumulative hit/miss totals the
+//! search records the *last generation's* hits and misses — their ratio
+//! ([`EvoPerfCounters::warm_hit_rate`]) is the cross-generation reuse
+//! signal (a generation-scoped cache would restart cold every time). They
+//! are diagnostics only — wall times come from [`std::time::Instant`] and
+//! are excluded from any determinism guarantee.
 
 use std::sync::LazyLock;
 
@@ -21,6 +25,10 @@ static REG_CACHE_HITS: LazyLock<&'static ones_obs::Counter> =
     LazyLock::new(|| ones_obs::counter("evo.search.cache_hits"));
 static REG_CACHE_MISSES: LazyLock<&'static ones_obs::Counter> =
     LazyLock::new(|| ones_obs::counter("evo.search.cache_misses"));
+static REG_CACHE_DUP: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("evo.search.cache_duplicate_computes"));
+static REG_CACHE_INVAL: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("evo.search.cache_invalidations"));
 static REG_REFRESH_NANOS: LazyLock<&'static ones_obs::Counter> =
     LazyLock::new(|| ones_obs::counter("evo.search.refresh_nanos"));
 static REG_DERIVE_NANOS: LazyLock<&'static ones_obs::Counter> =
@@ -41,6 +49,17 @@ pub struct EvoPerfCounters {
     pub cache_hits: u64,
     /// Throughput-cache lookups that evaluated the model.
     pub cache_misses: u64,
+    /// Model evaluations whose result lost an insert race (the work was
+    /// duplicated but the lookup still counts as a hit — see
+    /// [`ThroughputCache::get_or_insert_with`](crate::cache::ThroughputCache::get_or_insert_with)).
+    pub cache_duplicate_computes: u64,
+    /// Per-job invalidations applied to the search-scoped cache
+    /// (arrivals, epoch ends, completions).
+    pub cache_invalidations: u64,
+    /// Cache hits during the most recent generation only.
+    pub cache_hits_last_gen: u64,
+    /// Cache misses during the most recent generation only.
+    pub cache_misses_last_gen: u64,
     /// Wall time in the refresh phase, nanoseconds.
     pub refresh_nanos: u64,
     /// Wall time deriving and legalising children, nanoseconds.
@@ -62,6 +81,20 @@ impl EvoPerfCounters {
         }
     }
 
+    /// Fraction of the *last* generation's throughput lookups served by
+    /// the cache, in [0, 1]. On a warm search-scoped cache this stays
+    /// high across generations; a generation-scoped cache would pay the
+    /// cold misses every time.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.cache_hits_last_gen + self.cache_misses_last_gen;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits_last_gen as f64 / total as f64
+        }
+    }
+
     /// Total measured wall time across the three phases, nanoseconds.
     #[must_use]
     pub fn total_nanos(&self) -> u64 {
@@ -75,6 +108,8 @@ impl EvoPerfCounters {
         REG_SCORED.add(self.candidates_scored - before.candidates_scored);
         REG_CACHE_HITS.add(self.cache_hits - before.cache_hits);
         REG_CACHE_MISSES.add(self.cache_misses - before.cache_misses);
+        REG_CACHE_DUP.add(self.cache_duplicate_computes - before.cache_duplicate_computes);
+        REG_CACHE_INVAL.add(self.cache_invalidations - before.cache_invalidations);
         REG_REFRESH_NANOS.add(self.refresh_nanos - before.refresh_nanos);
         REG_DERIVE_NANOS.add(self.derive_nanos - before.derive_nanos);
         REG_SCORE_NANOS.add(self.score_nanos - before.score_nanos);
@@ -90,6 +125,12 @@ impl EvoPerfCounters {
             candidates_scored: REG_SCORED.value(),
             cache_hits: REG_CACHE_HITS.value(),
             cache_misses: REG_CACHE_MISSES.value(),
+            cache_duplicate_computes: REG_CACHE_DUP.value(),
+            cache_invalidations: REG_CACHE_INVAL.value(),
+            // Last-generation deltas are a property of one live search;
+            // the process-wide registry only carries cumulative totals.
+            cache_hits_last_gen: 0,
+            cache_misses_last_gen: 0,
             refresh_nanos: REG_REFRESH_NANOS.value(),
             derive_nanos: REG_DERIVE_NANOS.value(),
             score_nanos: REG_SCORE_NANOS.value(),

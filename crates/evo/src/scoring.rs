@@ -6,8 +6,20 @@
 //! Algorithm 1 draws one ρ_j per job from its Beta prediction, scores every
 //! candidate with that shared sample, and selects the smallest score.
 
+//! ## Delta-scoring
+//!
+//! A child produced by one evolution operation differs from its parent
+//! in only a few jobs, and Eq 8 is a per-job sum — so each candidate
+//! carries a [`ScoreCard`]: its jobs' ρ-independent utilisation factors
+//! `u_j = c_j / X_j` keyed by configuration signature. Deriving a child's
+//! card copies the parent's entries for untouched jobs and recomputes
+//! only the dirty set, and scoring a generation multiplies the cards by
+//! one shared per-job remaining-workload table. Both paths sum terms in
+//! ascending job order with identical arithmetic, so delta-scored totals
+//! are bit-identical to a full rescore (guarded by proptests).
+
 use crate::context::EvoContext;
-use ones_schedcore::Schedule;
+use ones_schedcore::{DirtySet, JobRun, JobSignature, Schedule};
 use ones_simcore::DetRng;
 use ones_workload::JobId;
 use std::collections::BTreeMap;
@@ -55,7 +67,7 @@ pub fn score_schedule(
             // recompute an O(gpus) signature and the cache could never
             // beat the model evaluation it replaces.
             let mut total = 0.0;
-            for (job, sig) in schedule.job_signatures() {
+            for (job, sig) in schedule.job_signatures(ctx.gpus_per_node()) {
                 let Some(&rho) = rhos.get(&job) else {
                     continue;
                 };
@@ -65,7 +77,7 @@ pub fn score_schedule(
                     let placement = schedule.placement(job);
                     ctx.view.perf.throughput(&profile, &batches, &placement)
                 });
-                total += score_term(ctx, job, rho, sig.gpus, x);
+                total += ctx.remaining_workload(job, rho) * utilisation_factor(sig.gpus, x);
             }
             total
         }
@@ -76,25 +88,290 @@ pub fn score_schedule(
                     continue;
                 };
                 let x = ctx.throughput_in(schedule, job);
-                total += score_term(ctx, job, rho, gpus, x);
+                total += ctx.remaining_workload(job, rho) * utilisation_factor(gpus, x);
             }
             total
         }
     }
 }
 
-/// One job's Eq 8 contribution: `Y_j · c_j / X_j`, or the
+/// The ρ-independent part of one job's Eq 8 term: `c_j / X_j`, or the
 /// [`ZERO_THROUGHPUT_PENALTY`] charge when the job makes no progress.
-fn score_term(ctx: &EvoContext<'_>, job: JobId, rho: f64, gpus: u32, x: f64) -> f64 {
-    let remaining = ctx.remaining_workload(job, rho);
+/// Every scoring path — full or delta — multiplies exactly this factor
+/// by the remaining workload, which is what makes the two bit-identical.
+#[must_use]
+pub fn utilisation_factor(gpus: u32, x: f64) -> f64 {
     if x <= 0.0 {
         // A placed job that makes no progress pins its GPUs forever;
         // charge it as if each held GPU-sample cost PENALTY seconds
         // instead of silently dropping the term (which would *reward*
         // throughput-starving placements).
-        remaining * f64::from(gpus) * ZERO_THROUGHPUT_PENALTY
+        f64::from(gpus) * ZERO_THROUGHPUT_PENALTY
     } else {
-        remaining * f64::from(gpus) / x
+        f64::from(gpus) / x
+    }
+}
+
+/// One job's entry in a [`ScoreCard`]: its configuration signatures (for
+/// reuse checks) and the ρ-independent utilisation factor `u = c_j/X_j`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CardEntry {
+    /// The placed job.
+    pub job: JobId,
+    /// Placement-shape hash (see [`ones_schedcore::JobSignature`]).
+    pub placement: u64,
+    /// Batch-sequence hash.
+    pub batches: u64,
+    /// GPUs held (`c_j`).
+    pub gpus: u32,
+    /// `c_j / X_j` (or the zero-throughput penalty charge).
+    pub u: f64,
+}
+
+/// A candidate's per-job scoring breakdown, entries ascending by job id.
+///
+/// ρ-samples are redrawn every generation, so raw Eq 8 terms cannot be
+/// reused — but `u_j = c_j/X_j` is ρ-independent and survives as long as
+/// the job's configuration does. A card outlives its generation: the
+/// search keeps each population member's card and derives children's
+/// cards from their parents', recomputing only dirty jobs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScoreCard {
+    entries: Vec<CardEntry>,
+}
+
+/// The per-generation remaining-workload table `Y_j(ρ_j)`, ascending by
+/// job id — computed once from the shared ρ-sample and multiplied into
+/// every candidate's card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemainingWorkloads {
+    entries: Vec<(JobId, f64)>,
+}
+
+/// Evaluates `Y_j = remaining_workload(j, ρ_j)` for every sampled job,
+/// in ascending job order (the iteration order of the ρ map).
+#[must_use]
+pub fn remaining_workloads(
+    ctx: &EvoContext<'_>,
+    rhos: &BTreeMap<JobId, f64>,
+) -> RemainingWorkloads {
+    RemainingWorkloads {
+        entries: rhos
+            .iter()
+            .map(|(&job, &rho)| (job, ctx.remaining_workload(job, rho)))
+            .collect(),
+    }
+}
+
+impl ScoreCard {
+    /// Builds a card from scratch: one model/cache resolution per placed
+    /// job, via the same single-pass signature gather as
+    /// [`score_schedule`].
+    #[must_use]
+    pub fn build(ctx: &EvoContext<'_>, schedule: &Schedule) -> ScoreCard {
+        let entries = schedule
+            .job_signatures(ctx.gpus_per_node())
+            .into_iter()
+            .map(|(job, sig)| {
+                let x = resolve_throughput(ctx, schedule, job, &sig);
+                CardEntry {
+                    job,
+                    placement: sig.placement,
+                    batches: sig.batches,
+                    gpus: sig.gpus,
+                    u: utilisation_factor(sig.gpus, x),
+                }
+            })
+            .collect();
+        ScoreCard { entries }
+    }
+
+    /// Derives `child`'s card from its parent's: entries of jobs outside
+    /// `dirty` are copied verbatim, dirty jobs are re-resolved against
+    /// `child`. When `layout` is given (the child was reordered,
+    /// [`Schedule::reordered_with_layout`]), every job's new placement
+    /// shape comes from its contiguous block in `O(1)`; untouched jobs
+    /// whose shape changed under packing keep their batch hash (reorder
+    /// preserves batch sequences) and re-resolve only the throughput.
+    ///
+    /// `dirty` must contain every job whose configuration differs from
+    /// the parent's (an over-approximation is safe); with `layout` it
+    /// must also hold that `layout` covers exactly `child`'s placed jobs.
+    #[must_use]
+    pub fn derive(
+        ctx: &EvoContext<'_>,
+        child: &Schedule,
+        parent: &ScoreCard,
+        dirty: &DirtySet,
+        layout: Option<&[JobRun]>,
+    ) -> ScoreCard {
+        let gpn = ctx.gpus_per_node();
+        let mut entries: Vec<CardEntry> = match layout {
+            Some(runs) => runs
+                .iter()
+                .map(|run| {
+                    let placement = JobSignature::contiguous_shape_hash(run.start, run.len, gpn);
+                    if !dirty.contains(&run.job) {
+                        if let Some(pe) = parent.find(run.job) {
+                            debug_assert_eq!(pe.gpus, run.len, "clean job changed size");
+                            if pe.placement == placement {
+                                return *pe;
+                            }
+                            // Packing changed the job's shape but not its
+                            // batches: the batch hash carries over and only
+                            // the throughput is re-resolved (usually a hit —
+                            // some earlier candidate packed it the same way).
+                            let sig = JobSignature {
+                                placement,
+                                batches: pe.batches,
+                                gpus: pe.gpus,
+                            };
+                            let x = resolve_throughput_run(ctx, child, run, &sig);
+                            return CardEntry {
+                                job: run.job,
+                                placement,
+                                batches: pe.batches,
+                                gpus: pe.gpus,
+                                u: utilisation_factor(pe.gpus, x),
+                            };
+                        }
+                    }
+                    let batches = JobSignature::batches_hash(
+                        child.slots()[run.start as usize..(run.start + run.len) as usize]
+                            .iter()
+                            .map(|s| s.expect("layout block is dense").local_batch),
+                    );
+                    let sig = JobSignature {
+                        placement,
+                        batches,
+                        gpus: run.len,
+                    };
+                    let x = resolve_throughput_run(ctx, child, run, &sig);
+                    CardEntry {
+                        job: run.job,
+                        placement,
+                        batches,
+                        gpus: run.len,
+                        u: utilisation_factor(run.len, x),
+                    }
+                })
+                .collect(),
+            None => {
+                // No reorder: untouched jobs keep identical slots, so
+                // their parent entries transfer; dirty jobs re-walk the
+                // child's slots individually.
+                let mut out: Vec<CardEntry> = parent
+                    .entries
+                    .iter()
+                    .filter(|e| !dirty.contains(&e.job))
+                    .copied()
+                    .collect();
+                for &job in dirty {
+                    if let Some(sig) = child.job_signature(job, gpn) {
+                        let x = resolve_throughput(ctx, child, job, &sig);
+                        out.push(CardEntry {
+                            job,
+                            placement: sig.placement,
+                            batches: sig.batches,
+                            gpus: sig.gpus,
+                            u: utilisation_factor(sig.gpus, x),
+                        });
+                    }
+                }
+                out
+            }
+        };
+        entries.sort_unstable_by_key(|e| e.job);
+        ScoreCard { entries }
+    }
+
+    fn find(&self, job: JobId) -> Option<&CardEntry> {
+        self.entries
+            .binary_search_by_key(&job, |e| e.job)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Number of placed jobs on the card.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the card covers no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The card's entries, ascending by job id.
+    #[must_use]
+    pub fn entries(&self) -> &[CardEntry] {
+        &self.entries
+    }
+
+    /// Eq 8 total: `Σ_j Y_j · u_j` over jobs present in both the card and
+    /// the workload table, in ascending job order — the same terms in the
+    /// same order as [`score_schedule`], hence bit-identical.
+    #[must_use]
+    pub fn score(&self, remaining: &RemainingWorkloads) -> f64 {
+        // Both sides are ascending by job id: lockstep merge.
+        let mut total = 0.0;
+        let mut ri = 0usize;
+        let rem = &remaining.entries;
+        for e in &self.entries {
+            while ri < rem.len() && rem[ri].0 < e.job {
+                ri += 1;
+            }
+            if ri < rem.len() && rem[ri].0 == e.job {
+                total += rem[ri].1 * e.u;
+            }
+        }
+        total
+    }
+}
+
+/// Resolves one job's throughput for a known signature, via the cache
+/// when installed (the same keys [`score_schedule`] uses).
+fn resolve_throughput(
+    ctx: &EvoContext<'_>,
+    schedule: &Schedule,
+    job: JobId,
+    sig: &JobSignature,
+) -> f64 {
+    let compute = || {
+        let profile = ctx.profile(job);
+        let batches = schedule.local_batches(job);
+        let placement = schedule.placement(job);
+        ctx.view.perf.throughput(&profile, &batches, &placement)
+    };
+    match ctx.cache {
+        Some(cache) => cache.get_or_insert_with((job, sig.placement, sig.batches), compute),
+        None => compute(),
+    }
+}
+
+/// [`resolve_throughput`] for a job known to occupy one contiguous block:
+/// the miss path reads only the block's slots instead of re-walking the
+/// whole schedule.
+fn resolve_throughput_run(
+    ctx: &EvoContext<'_>,
+    child: &Schedule,
+    run: &JobRun,
+    sig: &JobSignature,
+) -> f64 {
+    let compute = || {
+        let profile = ctx.profile(run.job);
+        let batches: Vec<u32> = child.slots()[run.start as usize..(run.start + run.len) as usize]
+            .iter()
+            .map(|s| s.expect("layout block is dense").local_batch)
+            .collect();
+        let placement = ones_cluster::Placement::contiguous(run.start, run.len);
+        ctx.view.perf.throughput(&profile, &batches, &placement)
+    };
+    match ctx.cache {
+        Some(cache) => cache.get_or_insert_with((run.job, sig.placement, sig.batches), compute),
+        None => compute(),
     }
 }
 
@@ -309,8 +586,13 @@ mod tests {
         healthy.assign(GpuId(0), ones_workload::JobId(0), 256);
         let mut poisoned = Schedule::empty(8);
         poisoned.assign(GpuId(0), ones_workload::JobId(1), 256);
-        let (p, b) = poisoned.job_signature(ones_workload::JobId(1));
-        cache.get_or_insert_with((ones_workload::JobId(1), p, b), || f64::NAN);
+        let sig = poisoned
+            .job_signature(ones_workload::JobId(1), c.gpus_per_node())
+            .unwrap();
+        cache.get_or_insert_with(
+            (ones_workload::JobId(1), sig.placement, sig.batches),
+            || f64::NAN,
+        );
 
         for seed in 0..10 {
             let mut rng = DetRng::seed(seed);
@@ -338,8 +620,13 @@ mod tests {
         healthy.assign(GpuId(0), ones_workload::JobId(0), 256);
         let mut starved = Schedule::empty(8);
         starved.assign(GpuId(0), ones_workload::JobId(1), 256);
-        let (p, b) = starved.job_signature(ones_workload::JobId(1));
-        cache.get_or_insert_with((ones_workload::JobId(1), p, b), || 0.0);
+        let sig = starved
+            .job_signature(ones_workload::JobId(1), c.gpus_per_node())
+            .unwrap();
+        cache.get_or_insert_with(
+            (ones_workload::JobId(1), sig.placement, sig.batches),
+            || 0.0,
+        );
 
         let mut rng = DetRng::seed(4);
         let rhos = sample_rhos(&c, &mut rng);

@@ -35,10 +35,11 @@ use crate::cache::ThroughputCache;
 use crate::context::EvoContext;
 use crate::ops;
 use crate::perfcounters::EvoPerfCounters;
-use crate::scoring;
-use ones_schedcore::Schedule;
+use crate::scoring::{self, ScoreCard};
+use ones_schedcore::{DirtySet, JobRun, Schedule};
 use ones_simcore::DetRng;
 use ones_workload::JobId;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Evolutionary search tunables.
@@ -58,9 +59,15 @@ pub struct EvoConfig {
     /// Derive candidates across threads (see the module docs on
     /// determinism; results are bit-identical either way).
     pub parallel_derive: bool,
-    /// Memoise throughput evaluations in a fresh per-generation
-    /// [`ThroughputCache`]. Exact — scores are unchanged.
+    /// Memoise throughput evaluations in the search-scoped
+    /// [`ThroughputCache`] (entries survive across generations; job
+    /// events invalidate per-job). Exact — scores are unchanged.
     pub use_cache: bool,
+    /// Score candidates by deriving per-job [`ScoreCard`]s from their
+    /// parents' (only op-touched jobs re-resolve throughput) instead of
+    /// rescoring every job of every candidate. Exact — bit-identical to
+    /// the full rescore (see `tests/determinism_props.rs`).
+    pub delta_score: bool,
 }
 
 impl EvoConfig {
@@ -74,6 +81,7 @@ impl EvoConfig {
             reorder: true,
             parallel_derive: true,
             use_cache: true,
+            delta_score: true,
         }
     }
 }
@@ -97,14 +105,23 @@ where
 
 /// Legalises a derived candidate: cap batches at `R_j`, fill idle GPUs
 /// so the Eq 4 full-utilisation constraint holds, and optionally reorder
-/// for locality (Figure 10).
-fn legalise(ctx: &EvoContext<'_>, mut child: Schedule, mut rng: DetRng, reorder: bool) -> Schedule {
-    ctx.enforce_limits(&mut child);
-    ops::fill_idle(ctx, &mut child, &mut rng);
+/// for locality (Figure 10). Returns the jobs it touched and, when the
+/// child was reordered, its packed per-job layout (which lets delta
+/// scoring hash every job's new placement shape in `O(1)`).
+fn legalise(
+    ctx: &EvoContext<'_>,
+    mut child: Schedule,
+    mut rng: DetRng,
+    reorder: bool,
+) -> (Schedule, DirtySet, Option<Vec<JobRun>>) {
+    let mut dirty = DirtySet::new();
+    dirty.extend(ctx.enforce_limits(&mut child));
+    dirty.extend(ops::fill_idle(ctx, &mut child, &mut rng));
     if reorder {
-        child.reordered()
+        let (packed, layout) = child.reordered_with_layout();
+        (packed, dirty, Some(layout))
     } else {
-        child
+        (child, dirty, None)
     }
 }
 
@@ -113,6 +130,15 @@ fn legalise(ctx: &EvoContext<'_>, mut child: Schedule, mut rng: DetRng, reorder:
 pub struct EvolutionarySearch {
     config: EvoConfig,
     population: Vec<Schedule>,
+    /// Per-member score cards, aligned with `population`; empty until the
+    /// first delta-scored generation completes.
+    cards: Vec<ScoreCard>,
+    /// Search-scoped throughput memo table: entries are pure in
+    /// `(job, placement shape, batches)` and survive across generations.
+    cache: Arc<ThroughputCache>,
+    /// Jobs invalidated since the last generation; their card entries are
+    /// re-resolved at the next derivation.
+    pending_invalidations: DirtySet,
     rng: DetRng,
     generations: u64,
     counters: EvoPerfCounters,
@@ -127,10 +153,24 @@ impl EvolutionarySearch {
         EvolutionarySearch {
             config,
             population: Vec::new(),
+            cards: Vec::new(),
+            cache: Arc::new(ThroughputCache::new()),
+            pending_invalidations: DirtySet::new(),
             rng,
             generations: 0,
             counters: EvoPerfCounters::default(),
         }
+    }
+
+    /// Drops every cached state derived from `job`'s configuration: its
+    /// throughput-cache entries (the entries are pure in placement and
+    /// batches, but the job's *model profile* is only fixed while the job
+    /// is known — arrival, epoch end and completion may all change what
+    /// the view reports) and its score-card terms, which re-resolve at
+    /// the next generation. Call on every job event.
+    pub fn invalidate_job(&mut self, job: JobId) {
+        self.cache.invalidate_job(job);
+        self.pending_invalidations.insert(job);
     }
 
     /// Generations evolved so far.
@@ -177,6 +217,7 @@ impl EvolutionarySearch {
         let gpus = ctx.view.spec.total_gpus();
         if ctx.schedulable().is_empty() {
             self.population.clear();
+            self.cards.clear();
             return Schedule::empty(gpus);
         }
         self.generations += 1;
@@ -185,16 +226,20 @@ impl EvolutionarySearch {
         let mut gen_span = ones_obs::span!("evo", "generation");
         gen_span.arg("generation", self.generations);
 
-        // Generation-scoped throughput memoisation: the view is frozen for
-        // the duration of this call, so every (job, placement, batches)
-        // evaluation is pure and cacheable. A caller-installed cache is
-        // kept when ours is disabled.
-        let cache = ThroughputCache::new();
+        // Search-scoped throughput memoisation: every (job, placement
+        // shape, batches) evaluation is pure for as long as the job's
+        // profile is, so entries survive across generations; job events
+        // drop per-job entries via [`Self::invalidate_job`]. A
+        // caller-installed cache is kept when ours is disabled. (The
+        // local Arc clone keeps the borrow away from `self` so the
+        // counters below stay mutably reachable.)
+        let cache = Arc::clone(&self.cache);
         let gctx = if self.config.use_cache {
             ctx.with_cache(&cache)
         } else {
             *ctx
         };
+        let delta = self.config.delta_score;
 
         // Base stream for this generation; every work unit below forks its
         // own child stream, so no RNG state is shared across units.
@@ -203,20 +248,38 @@ impl EvolutionarySearch {
 
         if self.population.is_empty() {
             self.initialize(&gctx);
+            self.cards.clear();
         }
 
         // Refresh every member against live state (this is also where new
-        // arrivals enter every candidate).
+        // arrivals enter every candidate), and carry each member's score
+        // card forward: only refresh-touched and invalidated jobs
+        // re-resolve their throughput.
         let t_refresh = Instant::now();
         let member_idx: Vec<usize> = (0..self.population.len()).collect();
         let population = &self.population;
-        let refreshed: Vec<Schedule> = map_maybe_parallel(parallel, &member_idx, |&i| {
-            ops::refresh(
-                &gctx,
-                &population[i],
-                &mut base.fork_idx("refresh", i as u64),
-            )
-        });
+        let cards = &self.cards;
+        let have_cards = delta && cards.len() == population.len();
+        let pending = std::mem::take(&mut self.pending_invalidations);
+        let refreshed: Vec<(Schedule, ScoreCard)> =
+            map_maybe_parallel(parallel, &member_idx, |&i| {
+                let (s, mut dirty) = ops::refresh(
+                    &gctx,
+                    &population[i],
+                    &mut base.fork_idx("refresh", i as u64),
+                );
+                let card = if have_cards {
+                    dirty.extend(pending.iter().copied());
+                    ScoreCard::derive(&gctx, &s, &cards[i], &dirty, None)
+                } else if delta {
+                    ScoreCard::build(&gctx, &s)
+                } else {
+                    ScoreCard::default()
+                };
+                (s, card)
+            });
+        let (refreshed, refreshed_cards): (Vec<Schedule>, Vec<ScoreCard>) =
+            refreshed.into_iter().unzip();
         self.counters.refresh_nanos += t_refresh.elapsed().as_nanos() as u64;
 
         // Derive children: K crossover pairs -> 2K children, K mutants.
@@ -238,73 +301,119 @@ impl EvolutionarySearch {
         let mutation_rate = self.config.mutation_rate;
         let crossover_pairs = self.config.crossover_pairs;
 
+        // Derive one child's schedule *and* score card in the same task:
+        // the card comes from the parent's via the op's dirty set (union
+        // the legalise touches), with the reorder layout giving every
+        // job's packed placement shape in O(1).
+        let derive_card = |child: &Schedule,
+                           parent_card: &ScoreCard,
+                           mut dirty: DirtySet,
+                           legal_dirty: DirtySet,
+                           layout: Option<&[JobRun]>| {
+            if !delta {
+                return ScoreCard::default();
+            }
+            dirty.extend(legal_dirty);
+            ScoreCard::derive(&gctx, child, parent_card, &dirty, layout)
+        };
         let pair_idx: Vec<usize> = (0..pairs.len()).collect();
-        let crossed: Vec<(Schedule, Schedule)> = map_maybe_parallel(parallel, &pair_idx, |&p| {
-            let (ai, bi) = pairs[p];
-            let (c1, c2) = ops::crossover(
-                &refreshed[ai],
-                &refreshed[bi],
-                &mut base.fork_idx("cross", p as u64),
-            );
-            (
-                legalise(&gctx, c1, base.fork_idx("legalise", 2 * p as u64), reorder),
-                legalise(
+        let crossed: Vec<((Schedule, ScoreCard), (Schedule, ScoreCard))> =
+            map_maybe_parallel(parallel, &pair_idx, |&p| {
+                let (ai, bi) = pairs[p];
+                let (c1, c2, xdirty) = ops::crossover(
+                    &refreshed[ai],
+                    &refreshed[bi],
+                    &mut base.fork_idx("cross", p as u64),
+                );
+                let (s1, d1, l1) =
+                    legalise(&gctx, c1, base.fork_idx("legalise", 2 * p as u64), reorder);
+                let (s2, d2, l2) = legalise(
                     &gctx,
                     c2,
                     base.fork_idx("legalise", 2 * p as u64 + 1),
                     reorder,
-                ),
-            )
-        });
+                );
+                let card1 =
+                    derive_card(&s1, &refreshed_cards[ai], xdirty.clone(), d1, l1.as_deref());
+                let card2 = derive_card(&s2, &refreshed_cards[bi], xdirty, d2, l2.as_deref());
+                ((s1, card1), (s2, card2))
+            });
         let mutant_idx: Vec<usize> = (0..parents.len()).collect();
-        let mutants: Vec<Schedule> = map_maybe_parallel(parallel, &mutant_idx, |&m| {
-            let child = ops::mutate(
+        let mutants: Vec<(Schedule, ScoreCard)> = map_maybe_parallel(parallel, &mutant_idx, |&m| {
+            let (child, mdirty) = ops::mutate(
                 &gctx,
                 &refreshed[parents[m]],
                 mutation_rate,
                 &mut base.fork_idx("mutate", m as u64),
             );
-            legalise(
+            let (s, d, l) = legalise(
                 &gctx,
                 child,
                 base.fork_idx("legalise", (2 * crossover_pairs + m) as u64),
                 reorder,
-            )
+            );
+            let card = derive_card(&s, &refreshed_cards[parents[m]], mdirty, d, l.as_deref());
+            (s, card)
         });
         self.counters.derive_nanos += t_derive.elapsed().as_nanos() as u64;
 
         // Pool in the documented order: survivors, crossover children
         // (pair-major), mutants.
         let mut pool: Vec<Schedule> = refreshed;
-        for (c1, c2) in crossed {
-            pool.push(c1);
-            pool.push(c2);
+        let mut pool_cards: Vec<ScoreCard> = refreshed_cards;
+        for ((s1, card1), (s2, card2)) in crossed {
+            pool.push(s1);
+            pool_cards.push(card1);
+            pool.push(s2);
+            pool_cards.push(card2);
         }
-        pool.extend(mutants);
+        for (s, card) in mutants {
+            pool.push(s);
+            pool_cards.push(card);
+        }
 
         // Selection: Algorithm 1 sampling, keep the K best. The sort is
         // stable under total_cmp, so equal scores keep pool order and the
         // lowest-index candidate wins ties deterministically; NaN scores
-        // sort last instead of panicking.
+        // sort last instead of panicking. Delta scoring multiplies each
+        // card's ρ-independent factors by this generation's remaining
+        // workloads — the same terms in the same order as the full
+        // rescore, so the totals are bit-identical.
         let t_score = Instant::now();
         let rhos = scoring::sample_rhos(&gctx, &mut base.fork("rhos"));
-        let scores = scoring::score_all(&gctx, &pool, &rhos);
+        let scores: Vec<f64> = if delta {
+            let remaining = scoring::remaining_workloads(&gctx, &rhos);
+            pool_cards.iter().map(|c| c.score(&remaining)).collect()
+        } else {
+            scoring::score_all(&gctx, &pool, &rhos)
+        };
         self.counters.candidates_scored += pool.len() as u64;
         let mut order: Vec<usize> = (0..pool.len()).collect();
         order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
         self.counters.score_nanos += t_score.elapsed().as_nanos() as u64;
         if self.config.use_cache {
-            self.counters.cache_hits += cache.hits();
-            self.counters.cache_misses += cache.misses();
+            // The cache is cumulative across the search's lifetime;
+            // counters mirror its totals and keep the last generation's
+            // delta for the cross-generation (warm) hit-rate signal.
+            self.counters.cache_hits = cache.hits();
+            self.counters.cache_misses = cache.misses();
+            self.counters.cache_duplicate_computes = cache.duplicate_computes();
+            self.counters.cache_invalidations = cache.invalidations();
+            self.counters.cache_hits_last_gen =
+                self.counters.cache_hits - counters_before.cache_hits;
+            self.counters.cache_misses_last_gen =
+                self.counters.cache_misses - counters_before.cache_misses;
         }
         gen_span.arg("pool", pool.len());
         self.counters.forward_delta_to_registry(&counters_before);
         let best = pool[order[0]].clone();
-        self.population = order
-            .into_iter()
-            .take(self.config.population)
-            .map(|i| pool[i].clone())
-            .collect();
+        let keep: Vec<usize> = order.into_iter().take(self.config.population).collect();
+        self.population = keep.iter().map(|&i| pool[i].clone()).collect();
+        self.cards = if delta {
+            keep.iter().map(|&i| pool_cards[i].clone()).collect()
+        } else {
+            Vec::new()
+        };
         best
     }
 

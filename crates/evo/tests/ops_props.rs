@@ -128,7 +128,7 @@ proptest! {
         let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
         let stale = genome(&slots);
         let mut rng = DetRng::seed(seed);
-        let refreshed = ops::refresh(&ctx, &stale, &mut rng);
+        let (refreshed, _) = ops::refresh(&ctx, &stale, &mut rng);
         assert_legal(&fx, &refreshed)?;
     }
 
@@ -144,7 +144,7 @@ proptest! {
         let a = genome(&a_slots);
         let b = genome(&b_slots);
         let mut rng = DetRng::seed(seed);
-        let (c1, c2) = ops::crossover(&a, &b, &mut rng);
+        let (c1, c2, dirty) = ops::crossover(&a, &b, &mut rng);
         for g in 0..GPUS {
             let gpu = GpuId(g);
             let child = [c1.slot(gpu), c2.slot(gpu)];
@@ -152,6 +152,13 @@ proptest! {
             let direct = child[0] == parent[0] && child[1] == parent[1];
             let swapped = child[0] == parent[1] && child[1] == parent[0];
             prop_assert!(direct || swapped, "gpu {g}: slots invented or lost");
+            // Dirty-set contract: any slot that changed relative to the
+            // same-side parent names only dirty jobs.
+            if child[0] != parent[0] {
+                for slot in [child[0], parent[0], child[1], parent[1]].into_iter().flatten() {
+                    prop_assert!(dirty.contains(&slot.job), "gpu {g}: changed job not dirty");
+                }
+            }
         }
     }
 
@@ -173,7 +180,7 @@ proptest! {
         };
         let ctx = EvoContext::new(&view, &fx.limits, &fx.betas);
         let mut rng = DetRng::seed(seed);
-        let mutated = ops::mutate(&ctx, &genome(&slots), rate, &mut rng);
+        let (mutated, _) = ops::mutate(&ctx, &genome(&slots), rate, &mut rng);
         // Mutation fills via resume/scale-up which respect limits; the
         // input genome itself may be over-limit, so only check structure +
         // no phantom/completed jobs here plus memory validity.

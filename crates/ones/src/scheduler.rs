@@ -133,7 +133,17 @@ impl OnesScheduler {
     }
 
     /// Applies the event's effect on policies, predictor and histories.
+    /// Every per-job event also invalidates that job's entries in the
+    /// search's cross-generation throughput cache and score cards — the
+    /// cached values are pure in the job's profile and configuration,
+    /// which only these events can change.
     fn ingest(&mut self, event: SchedEvent, view: &ClusterView<'_>) {
+        match event {
+            SchedEvent::JobArrived(id)
+            | SchedEvent::EpochEnded(id)
+            | SchedEvent::JobCompleted(id) => self.search.invalidate_job(id),
+            SchedEvent::Tick => {}
+        }
         match event {
             SchedEvent::JobArrived(id) => {
                 if let Some(job) = view.jobs.get(&id) {
@@ -236,6 +246,10 @@ impl Scheduler for OnesScheduler {
             candidates_scored: c.candidates_scored,
             cache_hits: c.cache_hits,
             cache_misses: c.cache_misses,
+            cache_duplicate_computes: c.cache_duplicate_computes,
+            cache_invalidations: c.cache_invalidations,
+            cache_hits_last_gen: c.cache_hits_last_gen,
+            cache_misses_last_gen: c.cache_misses_last_gen,
             refresh_nanos: c.refresh_nanos,
             derive_nanos: c.derive_nanos,
             score_nanos: c.score_nanos,

@@ -21,7 +21,7 @@ pub mod schedule;
 pub mod scheduler;
 pub mod status;
 
-pub use schedule::{JobSignature, Schedule, Slot};
+pub use schedule::{DirtySet, JobRun, JobSignature, Schedule, Slot};
 pub use scheduler::{
     ClusterView, ScalingMechanism, SchedEvent, SchedTuning, Scheduler, SchedulerPerfCounters,
 };

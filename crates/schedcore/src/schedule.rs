@@ -9,24 +9,139 @@
 use ones_cluster::{ClusterSpec, GpuId, Placement};
 use ones_workload::JobId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// FNV-1a offset basis / prime, used for the per-job configuration
 /// signatures ([`Schedule::job_signature`]).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+#[inline]
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// The set of jobs an evolution operation touched relative to the parent
+/// schedule: every job whose `(placement shape, batch split)` may differ.
+/// Delta-scoring recomputes exactly these jobs' Eq 8 terms and reuses the
+/// parent's for the rest, so completeness of this set is a correctness
+/// requirement (over-approximation is always safe).
+pub type DirtySet = BTreeSet<JobId>;
+
 /// One placed job's configuration signature within a schedule, gathered
-/// by [`Schedule::job_signatures`]: FNV-1a folds of its GPU indices and
-/// local batches (in GPU-id order) plus its GPU count.
+/// by [`Schedule::job_signatures`].
+///
+/// The placement component hashes the placement *shape* — `(GPU count,
+/// nodes spanned, max contiguous runs per node)` — not the absolute GPU
+/// indices. The throughput model reads a placement only through those
+/// three quantities (`dlperf::throughput` bottlenecks on
+/// `nodes_spanned`/`max_runs_per_node`), so two placements with equal
+/// shape have bit-identical model throughput and may share cache
+/// entries. This also makes the signature invariant under the *reorder*
+/// operation whenever packing does not change a job's node span, which
+/// is what lets score cards survive reordering. Heterogeneous clusters
+/// (per-node GPU classes) would break this purity and must extend the
+/// key before landing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobSignature {
-    /// Hash of the job's GPU indices.
+    /// Hash of the job's placement shape (gpus, nodes spanned, max runs
+    /// per node).
     pub placement: u64,
-    /// Hash of the job's local batches, order-sensitive.
+    /// Hash of the job's local batches, order-sensitive in GPU-id order.
     pub batches: u64,
     /// GPUs the job holds (`c_j`).
     pub gpus: u32,
+}
+
+impl JobSignature {
+    /// Hash of a placement shape. The single definition every signature
+    /// producer folds through — [`Schedule::job_signature`], the
+    /// contiguous-layout fast path, and direct `Placement` probes must
+    /// all agree bit-for-bit for throughput memoisation to be sound.
+    #[must_use]
+    pub fn placement_shape_hash(gpus: u32, nodes_spanned: u32, max_runs_per_node: u32) -> u64 {
+        let mut h = fnv_fold(FNV_OFFSET, u64::from(gpus));
+        h = fnv_fold(h, u64::from(nodes_spanned));
+        fnv_fold(h, u64::from(max_runs_per_node))
+    }
+
+    /// Shape hash of a contiguous run of `len` GPUs starting at GPU id
+    /// `start`: contiguous ids mean one run per node, and the node span
+    /// is pure index arithmetic. `O(1)` — the reorder fast path.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero or `gpus_per_node` is zero.
+    #[must_use]
+    pub fn contiguous_shape_hash(start: u32, len: u32, gpus_per_node: u32) -> u64 {
+        assert!(len > 0 && gpus_per_node > 0);
+        let nodes = (start + len - 1) / gpus_per_node - start / gpus_per_node + 1;
+        JobSignature::placement_shape_hash(len, nodes, 1)
+    }
+
+    /// Order-sensitive hash of local batches (must be fed in GPU-id
+    /// order to match [`Schedule::job_signature`]).
+    #[must_use]
+    pub fn batches_hash(batches: impl IntoIterator<Item = u32>) -> u64 {
+        batches
+            .into_iter()
+            .fold(FNV_OFFSET, |h, b| fnv_fold(h, u64::from(b)))
+    }
+}
+
+/// One job's contiguous block in a reordered schedule: workers occupy
+/// GPUs `start..start + len`. Produced by
+/// [`Schedule::reordered_with_layout`] so delta-scoring can re-derive
+/// every job's signature in `O(1)` per job instead of re-walking slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRun {
+    /// The job owning the block.
+    pub job: JobId,
+    /// First GPU id of the block.
+    pub start: u32,
+    /// Number of GPUs in the block.
+    pub len: u32,
+}
+
+/// Incremental placement-shape accumulator for an ascending GPU-id walk:
+/// counts GPUs, distinct nodes (ids ascend, so node changes are
+/// transitions) and contiguous-id runs per node, mirroring
+/// `Placement::nodes_spanned` / `Placement::max_runs_per_node` exactly.
+#[derive(Default)]
+struct ShapeAcc {
+    gpus: u32,
+    nodes: u32,
+    max_runs: u32,
+    runs_on_node: u32,
+    last_node: u32,
+    last_gpu: u32,
+}
+
+impl ShapeAcc {
+    #[inline]
+    fn push(&mut self, gpu: u32, gpus_per_node: u32) {
+        let node = gpu / gpus_per_node;
+        if self.gpus == 0 {
+            self.nodes = 1;
+            self.runs_on_node = 1;
+        } else if node != self.last_node {
+            self.nodes += 1;
+            self.runs_on_node = 1;
+        } else if gpu != self.last_gpu + 1 {
+            self.runs_on_node += 1;
+        }
+        self.max_runs = self.max_runs.max(self.runs_on_node);
+        self.last_node = node;
+        self.last_gpu = gpu;
+        self.gpus += 1;
+    }
+
+    fn finish(&self, batches: u64) -> JobSignature {
+        JobSignature {
+            placement: JobSignature::placement_shape_hash(self.gpus, self.nodes, self.max_runs),
+            batches,
+            gpus: self.gpus,
+        }
+    }
 }
 
 /// One GPU's assignment: a job and its local batch `b_j^i ≥ 1` on this GPU.
@@ -176,26 +291,26 @@ impl Schedule {
         &self.slots
     }
 
-    /// FNV-1a signatures of one job's configuration in this schedule:
-    /// `(placement hash, batch hash)`, folded over the job's workers in
-    /// GPU-id order in a single pass. Two schedules that place `job` on
-    /// the same GPUs with the same per-GPU batches produce equal
-    /// signatures, so the pair (plus the job id) keys throughput
+    /// FNV-1a signature of one job's configuration in this schedule,
+    /// folded over the job's workers in GPU-id order. `None` if the job
+    /// is not placed. Two schedules that give `job` the same placement
+    /// *shape* and per-GPU batches produce equal signatures (see
+    /// [`JobSignature`]), so the pair (plus the job id) keys throughput
     /// memoisation. Hash collisions between distinct configurations are
     /// possible in principle but negligible at 2×64 bits.
     #[must_use]
-    pub fn job_signature(&self, job: JobId) -> (u64, u64) {
-        let mut placement = FNV_OFFSET;
+    pub fn job_signature(&self, job: JobId, gpus_per_node: u32) -> Option<JobSignature> {
+        let mut acc = ShapeAcc::default();
         let mut batches = FNV_OFFSET;
         for (i, s) in self.slots.iter().enumerate() {
             if let Some(slot) = s {
                 if slot.job == job {
-                    placement = (placement ^ (i as u64 + 1)).wrapping_mul(FNV_PRIME);
-                    batches = (batches ^ u64::from(slot.local_batch)).wrapping_mul(FNV_PRIME);
+                    acc.push(i as u32, gpus_per_node);
+                    batches = fnv_fold(batches, u64::from(slot.local_batch));
                 }
             }
         }
-        (placement, batches)
+        (acc.gpus > 0).then(|| acc.finish(batches))
     }
 
     /// Signatures of every placed job, gathered in a single pass over the
@@ -204,8 +319,8 @@ impl Schedule {
     /// instead of `O(gpus)` each — the difference that makes cached
     /// candidate scoring cheaper than re-evaluating the throughput model.
     #[must_use]
-    pub fn job_signatures(&self) -> BTreeMap<JobId, JobSignature> {
-        let mut map: BTreeMap<JobId, JobSignature> = BTreeMap::new();
+    pub fn job_signatures(&self, gpus_per_node: u32) -> BTreeMap<JobId, JobSignature> {
+        let mut map: BTreeMap<JobId, (ShapeAcc, u64)> = BTreeMap::new();
         // Fold contiguous runs of the same job with a single map lookup:
         // reordered schedules pack each job's workers together, so this
         // is ~one lookup per job. The fold itself still walks slots in
@@ -217,22 +332,21 @@ impl Schedule {
                 i += 1;
                 continue;
             };
-            let e = map.entry(first.job).or_insert(JobSignature {
-                placement: FNV_OFFSET,
-                batches: FNV_OFFSET,
-                gpus: 0,
-            });
+            let e = map
+                .entry(first.job)
+                .or_insert((ShapeAcc::default(), FNV_OFFSET));
             while let Some(Some(slot)) = self.slots.get(i) {
                 if slot.job != first.job {
                     break;
                 }
-                e.placement = (e.placement ^ (i as u64 + 1)).wrapping_mul(FNV_PRIME);
-                e.batches = (e.batches ^ u64::from(slot.local_batch)).wrapping_mul(FNV_PRIME);
-                e.gpus += 1;
+                e.0.push(i as u32, gpus_per_node);
+                e.1 = fnv_fold(e.1, u64::from(slot.local_batch));
                 i += 1;
             }
         }
-        map
+        map.into_iter()
+            .map(|(job, (acc, batches))| (job, acc.finish(batches)))
+            .collect()
     }
 
     /// Packs the workers of each job contiguously, in order of each job's
@@ -240,6 +354,15 @@ impl Schedule {
     /// Figure 10). Idle slots move to the end.
     #[must_use]
     pub fn reordered(&self) -> Schedule {
+        self.reordered_with_layout().0
+    }
+
+    /// [`Schedule::reordered`], additionally returning the packed layout:
+    /// one contiguous [`JobRun`] per job, in pack (first-occurrence)
+    /// order. Delta-scoring consumes the layout to rebuild every job's
+    /// signature in `O(len_j)` without re-walking the whole schedule.
+    #[must_use]
+    pub fn reordered_with_layout(&self) -> (Schedule, Vec<JobRun>) {
         let mut order: Vec<JobId> = Vec::new();
         for s in self.slots.iter().flatten() {
             if !order.contains(&s.job) {
@@ -247,14 +370,21 @@ impl Schedule {
             }
         }
         let mut out = Schedule::empty(self.num_gpus());
+        let mut layout = Vec::with_capacity(order.len());
         let mut next = 0usize;
         for job in order {
+            let start = next as u32;
             for s in self.slots.iter().flatten().filter(|s| s.job == job) {
                 out.slots[next] = Some(*s);
                 next += 1;
             }
+            layout.push(JobRun {
+                job,
+                start,
+                len: next as u32 - start,
+            });
         }
-        out
+        (out, layout)
     }
 
     /// Re-maps this schedule's workers to minimise disruption relative to
@@ -477,6 +607,8 @@ mod tests {
 
     #[test]
     fn job_signature_distinguishes_configurations() {
+        // 8 GPUs on a 2×4 cluster throughout (gpus_per_node = 4).
+        const GPN: u32 = 4;
         let mut a = Schedule::empty(8);
         a.assign(GpuId(0), j(1), 64);
         a.assign(GpuId(1), j(1), 64);
@@ -487,51 +619,158 @@ mod tests {
         b.assign(GpuId(0), j(1), 64);
         b.assign(GpuId(1), j(1), 64);
         b.assign(GpuId(5), j(9), 16);
-        assert_eq!(a.job_signature(j(1)), b.job_signature(j(1)));
+        assert_eq!(a.job_signature(j(1), GPN), b.job_signature(j(1), GPN));
 
-        // Moved placement: placement hash changes, batch hash does not.
-        let mut moved = Schedule::empty(8);
-        moved.assign(GpuId(3), j(1), 64);
-        moved.assign(GpuId(4), j(1), 64);
-        let (pa, ba) = a.job_signature(j(1));
-        let (pm, bm) = moved.job_signature(j(1));
-        assert_ne!(pa, pm);
-        assert_eq!(ba, bm);
+        // Moved across a node boundary: shape (and hash) changes.
+        let mut spanning = Schedule::empty(8);
+        spanning.assign(GpuId(3), j(1), 64);
+        spanning.assign(GpuId(4), j(1), 64);
+        let sa = a.job_signature(j(1), GPN).unwrap();
+        let ss = spanning.job_signature(j(1), GPN).unwrap();
+        assert_ne!(sa.placement, ss.placement);
+        assert_eq!(sa.batches, ss.batches);
+
+        // Moved within a node keeping the same shape: signatures are
+        // deliberately equal — the throughput model reads a placement
+        // only through (gpus, nodes spanned, runs per node), so the
+        // configurations are interchangeable for memoisation.
+        let mut shifted = Schedule::empty(8);
+        shifted.assign(GpuId(2), j(1), 64);
+        shifted.assign(GpuId(3), j(1), 64);
+        assert_eq!(a.job_signature(j(1), GPN), shifted.job_signature(j(1), GPN));
+
+        // Fragmented on one node: runs-per-node rises, shape changes.
+        let mut fragmented = Schedule::empty(8);
+        fragmented.assign(GpuId(0), j(1), 64);
+        fragmented.assign(GpuId(2), j(1), 64);
+        let sf = fragmented.job_signature(j(1), GPN).unwrap();
+        assert_ne!(sa.placement, sf.placement);
 
         // Changed batch split: batch hash changes.
         let mut resized = Schedule::empty(8);
         resized.assign(GpuId(0), j(1), 32);
         resized.assign(GpuId(1), j(1), 96);
-        let (pr, br) = resized.job_signature(j(1));
-        assert_eq!(pa, pr);
-        assert_ne!(ba, br);
+        let sr = resized.job_signature(j(1), GPN).unwrap();
+        assert_eq!(sa.placement, sr.placement);
+        assert_ne!(sa.batches, sr.batches);
 
-        // An absent job hashes like an empty placement, same everywhere.
-        assert_eq!(
-            a.job_signature(j(77)),
-            Schedule::empty(8).job_signature(j(77))
-        );
+        // An absent job has no signature.
+        assert_eq!(a.job_signature(j(77), GPN), None);
     }
 
     #[test]
     fn job_signatures_gather_matches_per_job_queries() {
+        const GPN: u32 = 4;
         let mut s = Schedule::empty(8);
         s.assign(GpuId(0), j(1), 64);
         s.assign(GpuId(2), j(2), 32);
         s.assign(GpuId(3), j(1), 128);
         s.assign(GpuId(7), j(5), 16);
 
-        let sigs = s.job_signatures();
+        let sigs = s.job_signatures(GPN);
         assert_eq!(sigs.len(), 3);
         for (&job, sig) in &sigs {
             assert_eq!(
-                (sig.placement, sig.batches),
-                s.job_signature(job),
+                Some(*sig),
+                s.job_signature(job, GPN),
                 "gathered signature diverges for {job}"
             );
             assert_eq!(sig.gpus, s.gpu_count(job));
         }
-        assert!(Schedule::empty(8).job_signatures().is_empty());
+        assert!(Schedule::empty(8).job_signatures(GPN).is_empty());
+    }
+
+    #[test]
+    fn shape_hash_matches_placement_metrics() {
+        // The incremental ShapeAcc walk must agree with the Placement
+        // metrics the throughput model actually reads, for scattered and
+        // multi-node placements alike.
+        let spec = ClusterSpec::new(4, 4);
+        const GPN: u32 = 4;
+        for gpus in [
+            vec![0u32],
+            vec![0, 1, 2, 3],
+            vec![0, 2],
+            vec![0, 1, 3],
+            vec![3, 4],
+            vec![0, 5, 10, 15],
+            vec![0, 1, 4, 8, 9, 10],
+            vec![2, 3, 4, 5, 9, 11, 13],
+        ] {
+            let mut s = Schedule::empty(16);
+            for &g in &gpus {
+                s.assign(GpuId(g), j(1), 8);
+            }
+            let sig = s.job_signature(j(1), GPN).unwrap();
+            let p = Placement::new(gpus.iter().map(|&g| GpuId(g)).collect());
+            let expect = JobSignature::placement_shape_hash(
+                p.len() as u32,
+                p.nodes_spanned(&spec) as u32,
+                p.max_runs_per_node(&spec) as u32,
+            );
+            assert_eq!(sig.placement, expect, "shape hash diverges for {gpus:?}");
+            assert_eq!(
+                sig.batches,
+                JobSignature::batches_hash(s.local_batches(j(1)))
+            );
+        }
+    }
+
+    #[test]
+    fn contiguous_shape_hash_matches_walk() {
+        const GPN: u32 = 4;
+        for (start, len) in [(0u32, 1u32), (0, 4), (2, 3), (3, 2), (1, 7), (4, 4)] {
+            let mut s = Schedule::empty(16);
+            for g in start..start + len {
+                s.assign(GpuId(g), j(1), 8);
+            }
+            assert_eq!(
+                s.job_signature(j(1), GPN).unwrap().placement,
+                JobSignature::contiguous_shape_hash(start, len, GPN),
+                "contiguous fast path diverges for start={start} len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn reordered_layout_describes_packed_blocks() {
+        let mut s = Schedule::empty(6);
+        s.assign(GpuId(0), j(1), 32);
+        s.assign(GpuId(1), j(2), 16);
+        s.assign(GpuId(2), j(1), 32);
+        s.assign(GpuId(4), j(2), 16);
+        s.assign(GpuId(5), j(3), 8);
+        let (r, layout) = s.reordered_with_layout();
+        assert_eq!(
+            layout,
+            vec![
+                JobRun {
+                    job: j(1),
+                    start: 0,
+                    len: 2
+                },
+                JobRun {
+                    job: j(2),
+                    start: 2,
+                    len: 2
+                },
+                JobRun {
+                    job: j(3),
+                    start: 4,
+                    len: 1
+                },
+            ]
+        );
+        // Each block's signature from the layout matches a fresh walk.
+        const GPN: u32 = 4;
+        for run in &layout {
+            let sig = r.job_signature(run.job, GPN).unwrap();
+            assert_eq!(
+                sig.placement,
+                JobSignature::contiguous_shape_hash(run.start, run.len, GPN)
+            );
+            assert_eq!(sig.gpus, run.len);
+        }
     }
 
     #[test]

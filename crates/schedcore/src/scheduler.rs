@@ -107,6 +107,15 @@ pub struct SchedulerPerfCounters {
     pub cache_hits: u64,
     /// Throughput lookups that evaluated the model.
     pub cache_misses: u64,
+    /// Model evaluations duplicated by concurrent lookups racing on the
+    /// same key (the lookup still counts as a hit).
+    pub cache_duplicate_computes: u64,
+    /// Per-job cache invalidations applied on job events.
+    pub cache_invalidations: u64,
+    /// Cache hits during the most recent search generation.
+    pub cache_hits_last_gen: u64,
+    /// Cache misses during the most recent search generation.
+    pub cache_misses_last_gen: u64,
     /// Host wall time refreshing candidates, nanoseconds.
     pub refresh_nanos: u64,
     /// Host wall time deriving/legalising candidates, nanoseconds.
@@ -125,6 +134,18 @@ impl SchedulerPerfCounters {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of the most recent generation's lookups served by the
+    /// cache, in [0, 1] — the cross-generation (warm) reuse signal.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.cache_hits_last_gen + self.cache_misses_last_gen;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits_last_gen as f64 / total as f64
         }
     }
 

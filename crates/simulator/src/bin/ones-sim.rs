@@ -212,6 +212,9 @@ fn main() {
                 "cache_hits": p.cache_hits,
                 "cache_misses": p.cache_misses,
                 "cache_hit_rate": p.cache_hit_rate(),
+                "cache_warm_hit_rate": p.warm_hit_rate(),
+                "cache_duplicate_computes": p.cache_duplicate_computes,
+                "cache_invalidations": p.cache_invalidations,
                 "refresh_ms": p.refresh_nanos as f64 / 1e6,
                 "derive_ms": p.derive_nanos as f64 / 1e6,
                 "score_ms": p.score_nanos as f64 / 1e6,
@@ -271,10 +274,14 @@ fn main() {
                 p.generations, p.candidates_scored
             );
             println!(
-                "  throughput cache   {:>9.1}% hit rate ({} hits / {} misses)",
+                "  throughput cache   {:>9.1}% hit rate ({} hits / {} misses, \
+                 {} dup computes, {} invalidations, warm {:.1}%)",
                 100.0 * p.cache_hit_rate(),
                 p.cache_hits,
-                p.cache_misses
+                p.cache_misses,
+                p.cache_duplicate_computes,
+                p.cache_invalidations,
+                100.0 * p.warm_hit_rate()
             );
             println!(
                 "  search wall time   {:>10.1} ms (refresh {:.1}, derive {:.1}, score {:.1})",

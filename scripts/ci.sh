@@ -85,7 +85,22 @@ echo "    ones-d OK ($ADDR)"
 
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
     echo "==> evolution micro-bench (BENCH_evolution.json)"
-    BENCH_JSON="$PWD/BENCH_evolution.json" cargo bench -p ones-bench --bench evolution
+    # Scoring-phase regression gate: the 1 024-GPU delta-scoring speedup
+    # over the cached full rescore must stay within 30% of the committed
+    # baseline, and never drop below the 5x acceptance floor. The bench
+    # itself enforces the floor (non-zero exit on regression).
+    floor="5.0"
+    if [[ -f BENCH_evolution.json ]]; then
+        committed="$(grep -o '"scoring_speedup_1024_delta_vs_cache": *[0-9.eE+-]*' \
+            BENCH_evolution.json | grep -o '[0-9.eE+-]*$' || true)"
+        if [[ -n "${committed:-}" ]]; then
+            floor="$(awk -v c="$committed" \
+                'BEGIN { f = 0.7 * c; if (f < 5.0) f = 5.0; printf "%.2f", f }')"
+            echo "    committed speedup ${committed}x -> gate floor ${floor}x"
+        fi
+    fi
+    BENCH_JSON="$PWD/BENCH_evolution.json" BENCH_MIN_SCORING_SPEEDUP="$floor" \
+        cargo bench -p ones-bench --bench evolution
 
     echo "==> observability overhead bench (BENCH_observability.json)"
     BENCH_JSON="$PWD/BENCH_observability.json" cargo bench -p ones-bench --bench observability
