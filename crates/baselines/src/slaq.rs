@@ -88,8 +88,7 @@ impl Slaq {
         let mut jobs: Vec<&JobStatus> = view.jobs.values().filter(|j| !j.is_completed()).collect();
         jobs.sort_by(|a, b| {
             self.quality_gradient(b)
-                .partial_cmp(&self.quality_gradient(a))
-                .expect("gradients are finite")
+                .total_cmp(&self.quality_gradient(a))
         });
         let total = view.spec.total_gpus();
         let mut alloc: Vec<(JobId, u32)> = Vec::new();

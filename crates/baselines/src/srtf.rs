@@ -66,9 +66,7 @@ impl Scheduler for SrtfOracle {
         // that do not fit.
         let mut order: Vec<&JobStatus> = view.jobs.values().filter(|j| !j.is_completed()).collect();
         order.sort_by(|a, b| {
-            Self::true_remaining_secs(view, a)
-                .partial_cmp(&Self::true_remaining_secs(view, b))
-                .expect("remaining times are finite")
+            Self::true_remaining_secs(view, a).total_cmp(&Self::true_remaining_secs(view, b))
         });
         let wants: Vec<(ones_workload::JobId, u32)> = order
             .iter()

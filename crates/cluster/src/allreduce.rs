@@ -17,8 +17,8 @@
 
 use crate::placement::Placement;
 use crate::topology::ClusterSpec;
+use ones_sync::LazyLock;
 use serde::{Deserialize, Serialize};
-use std::sync::LazyLock;
 
 // Model-evaluation counters (DESIGN.md §5). Handles are interned once;
 // each evaluation pays a single gated relaxed-atomic increment, cheap

@@ -27,11 +27,11 @@
 //! epoch stamp closes the race where a compute that started before an
 //! invalidation would otherwise insert a stale value after it.
 
+use ones_sync::atomic::{AtomicU64, Ordering};
+use ones_sync::Mutex;
 use ones_workload::JobId;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Cache key: the job plus its configuration signatures in a candidate.
 pub type CacheKey = (JobId, u64, u64);
@@ -175,6 +175,7 @@ impl ThroughputCache {
     pub fn get_or_insert_with(&self, key: CacheKey, compute: impl FnOnce() -> f64) -> f64 {
         let shard = self.shard(&key);
         if let Some(&v) = shard.lock().expect("cache shard poisoned").get(&key) {
+            // relaxed: diagnostic counter; reads tolerate staleness.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
@@ -184,6 +185,7 @@ impl ThroughputCache {
             // The job was invalidated while we evaluated the model: the
             // value is (potentially) stale, so serve it to this caller
             // but do not publish it.
+            // relaxed: diagnostic counter; reads tolerate staleness.
             self.misses.fetch_add(1, Ordering::Relaxed);
             return v;
         }
@@ -192,7 +194,9 @@ impl ThroughputCache {
             Entry::Occupied(e) => {
                 // Lost the race: another thread's insert landed first.
                 let v = *e.get();
+                // relaxed: diagnostic counters; reads tolerate staleness.
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                // relaxed: diagnostic counter; reads tolerate staleness.
                 self.duplicate_computes.fetch_add(1, Ordering::Relaxed);
                 return v;
             }
@@ -200,6 +204,7 @@ impl ThroughputCache {
                 e.insert(v);
             }
         }
+        // relaxed: diagnostic counter; reads tolerate staleness.
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Record the key for per-job invalidation. If an invalidation
         // slipped in between the insert above and this record, remove the
@@ -234,6 +239,8 @@ impl ThroughputCache {
                 .expect("cache shard poisoned")
                 .remove(&key);
         }
+        // relaxed: diagnostic counter; the stamp/key removal above is
+        // the synchronised part of invalidation, not this count.
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -241,6 +248,7 @@ impl ThroughputCache {
     /// another thread's insert).
     #[must_use]
     pub fn hits(&self) -> u64 {
+        // relaxed: diagnostic read; may lag in-flight updates.
         self.hits.load(Ordering::Relaxed)
     }
 
@@ -248,6 +256,7 @@ impl ThroughputCache {
     /// stamp-raced computes, at least evaluated) a value.
     #[must_use]
     pub fn misses(&self) -> u64 {
+        // relaxed: diagnostic read; may lag in-flight updates.
         self.misses.load(Ordering::Relaxed)
     }
 
@@ -256,12 +265,14 @@ impl ThroughputCache {
     /// accounting error.
     #[must_use]
     pub fn duplicate_computes(&self) -> u64 {
+        // relaxed: diagnostic read; may lag in-flight updates.
         self.duplicate_computes.load(Ordering::Relaxed)
     }
 
     /// Calls to [`ThroughputCache::invalidate_job`].
     #[must_use]
     pub fn invalidations(&self) -> u64 {
+        // relaxed: diagnostic read; may lag in-flight updates.
         self.invalidations.load(Ordering::Relaxed)
     }
 

@@ -88,11 +88,7 @@ fn steal_gpu_from_longest(
         .running_jobs()
         .keys()
         .filter_map(|j| ctx.view.jobs.get(j))
-        .max_by(|a, b| {
-            a.exec_time
-                .partial_cmp(&b.exec_time)
-                .expect("exec times are finite")
-        })?
+        .max_by(|a, b| a.exec_time.total_cmp(&b.exec_time))?
         .id();
     dirty.insert(victim);
     // Free the victim's last GPU (keep its remaining workers contiguous).

@@ -11,7 +11,7 @@
 //! are diagnostics only — wall times come from [`std::time::Instant`] and
 //! are excluded from any determinism guarantee.
 
-use std::sync::LazyLock;
+use ones_sync::LazyLock;
 
 // Registry mirrors of the per-search counters (DESIGN.md §5). Every
 // generation forwards its deltas here, so [`EvoPerfCounters::from_registry`]

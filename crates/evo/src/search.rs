@@ -38,8 +38,8 @@ use crate::perfcounters::EvoPerfCounters;
 use crate::scoring::{self, ScoreCard};
 use ones_schedcore::{DirtySet, JobRun, Schedule};
 use ones_simcore::DetRng;
+use ones_sync::Arc;
 use ones_workload::JobId;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Evolutionary search tunables.

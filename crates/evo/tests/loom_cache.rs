@@ -1,0 +1,107 @@
+//! Model-checked interleavings of the throughput cache's two protocols:
+//! the racing-compute accounting and the invalidation-stamp discard.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg ones_loom"`; run via
+//! `RUN_LOOM=1 scripts/ci.sh` or directly with
+//! `RUSTFLAGS="--cfg ones_loom" cargo test -p ones-evo --test loom_cache`.
+//! Every assertion executes inside the model, i.e. once per explored
+//! interleaving — a counterexample panics with the failing schedule.
+#![cfg(ones_loom)]
+
+use ones_evo::cache::ThroughputCache;
+use ones_sync::atomic::{AtomicU64, Ordering};
+use ones_sync::model::{model_with, thread, Options};
+use ones_sync::Arc;
+use ones_workload::JobId;
+
+fn opts(preemption_bound: u32) -> Options {
+    Options {
+        preemption_bound,
+        ..Options::default()
+    }
+}
+
+/// Two threads race `get_or_insert_with` on one key of a single-shard
+/// cache. In *every* interleaving: exactly one insert lands, the loser is
+/// served the landed value, and the counters balance exactly —
+/// `hits + misses == lookups`, with any duplicated model evaluation in
+/// `duplicate_computes` rather than inflating `misses`.
+#[test]
+fn racing_computes_account_exactly() {
+    let iterations = model_with(opts(2), || {
+        let cache = Arc::new(ThroughputCache::with_shards(1));
+        let key = (JobId(1), 10, 20);
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    let v = cache.get_or_insert_with(key, || 42.5);
+                    assert_eq!(v, 42.5);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let (hits, misses) = (cache.hits(), cache.misses());
+        assert_eq!(hits + misses, 2, "hits + misses == lookups, exactly");
+        assert_eq!(misses, 1, "exactly one insert lands per key");
+        assert_eq!(hits, 1, "the second lookup is served, however it raced");
+        assert!(cache.duplicate_computes() <= 1);
+        assert_eq!(cache.len(), 1);
+    });
+    assert!(
+        iterations >= 10,
+        "expected a real interleaving space, explored only {iterations}"
+    );
+}
+
+/// A compute can straddle `invalidate_job`: it reads the pre-update
+/// ground truth but finishes after the invalidation. The stamp protocol
+/// must discard its insert, so no interleaving leaves the stale value in
+/// the table — the cache either ends empty or holds the new truth.
+#[test]
+fn invalidation_stamp_blocks_stale_republish() {
+    let iterations = model_with(opts(2), || {
+        let cache = Arc::new(ThroughputCache::with_shards(1));
+        // Ground truth the cached values are computed from; bumped by the
+        // invalidator to 1 before the invalidation, so any 0.0 left in
+        // the table afterwards is a stale republish.
+        let truth = Arc::new(AtomicU64::new(0));
+        let key = (JobId(7), 1, 2);
+
+        let reader = {
+            let (cache, truth) = (Arc::clone(&cache), Arc::clone(&truth));
+            thread::spawn(move || {
+                cache.get_or_insert_with(key, || truth.load(Ordering::SeqCst) as f64)
+            })
+        };
+        let invalidator = {
+            let (cache, truth) = (Arc::clone(&cache), Arc::clone(&truth));
+            thread::spawn(move || {
+                truth.store(1, Ordering::SeqCst);
+                cache.invalidate_job(JobId(7));
+            })
+        };
+        let served = reader.join().unwrap();
+        invalidator.join().unwrap();
+
+        // The racer was served *some* consistent evaluation…
+        assert!(served == 0.0 || served == 1.0);
+        // …but whatever survived in the table must be the new truth: a
+        // fresh lookup may recompute (cache empty) or hit, never see 0.0.
+        let fresh = cache.get_or_insert_with(key, || truth.load(Ordering::SeqCst) as f64);
+        assert_eq!(fresh, 1.0, "stale pre-invalidation value republished");
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            2,
+            "accounting stays exact across the invalidation race"
+        );
+    });
+    assert!(
+        iterations >= 10,
+        "expected a real interleaving space, explored only {iterations}"
+    );
+}

@@ -1,0 +1,147 @@
+//! The `lint.allow` allowlist.
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! # comment
+//! <rule-id> <repo-relative-path> <justification…>
+//! ```
+//!
+//! An entry suppresses every finding of `<rule-id>` in exactly that file
+//! (no globs — an allowlist that can wildcard is an allowlist that
+//! rots). The justification is mandatory; `ones-lint` refuses an entry
+//! without one, and reports entries that no longer suppress anything so
+//! they get deleted when the code they excused goes away.
+
+use crate::rules::{Finding, RULES};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub reason: String,
+    /// 1-based line in lint.allow, for error reporting.
+    pub line: u32,
+}
+
+/// Parses `lint.allow` content. Returns entries and any format errors.
+pub fn parse(content: &str) -> (Vec<AllowEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let mut parts = text.splitn(3, char::is_whitespace);
+        let rule = parts.next().unwrap_or_default().to_string();
+        let path = parts.next().unwrap_or_default().to_string();
+        let reason = parts.next().unwrap_or_default().trim().to_string();
+        if !RULES.contains(&rule.as_str()) {
+            errors.push(format!(
+                "lint.allow:{line}: unknown rule {rule:?} (known: {})",
+                RULES.join(", ")
+            ));
+            continue;
+        }
+        if path.is_empty() {
+            errors.push(format!("lint.allow:{line}: missing path after rule {rule}"));
+            continue;
+        }
+        if reason.is_empty() {
+            errors.push(format!(
+                "lint.allow:{line}: entry `{rule} {path}` has no justification — \
+                 say why the exception is sound"
+            ));
+            continue;
+        }
+        entries.push(AllowEntry {
+            rule,
+            path,
+            reason,
+            line,
+        });
+    }
+    (entries, errors)
+}
+
+/// Splits findings into (kept, suppressed) and reports entries that
+/// suppressed nothing (stale — the excused code is gone).
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> (Vec<Finding>, usize, Vec<&AllowEntry>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in findings {
+        match entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.path == f.path)
+        {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(f),
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e)
+        .collect();
+    (kept, suppressed, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_rejects_bad_ones() {
+        let (entries, errors) = parse(
+            "# header\n\
+             wall-clock-in-det crates/evo/src/search.rs perf timers are diagnostics\n\
+             no-such-rule crates/x.rs whatever\n\
+             std-sync crates/y.rs\n",
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "wall-clock-in-det");
+        assert_eq!(errors.len(), 2);
+        assert!(errors[0].contains("unknown rule"));
+        assert!(errors[1].contains("no justification"));
+    }
+
+    #[test]
+    fn apply_suppresses_exact_file_matches_and_flags_stale() {
+        let (entries, errors) = parse(
+            "std-sync crates/a.rs legacy\n\
+             std-sync crates/gone.rs removed file\n",
+        );
+        assert!(errors.is_empty());
+        let findings = vec![
+            Finding {
+                rule: "std-sync",
+                path: "crates/a.rs".into(),
+                line: 1,
+                msg: String::new(),
+            },
+            Finding {
+                rule: "std-sync",
+                path: "crates/b.rs".into(),
+                line: 2,
+                msg: String::new(),
+            },
+        ];
+        let (kept, suppressed, stale) = apply(findings, &entries);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].path, "crates/b.rs");
+        assert_eq!(suppressed, 1);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path, "crates/gone.rs");
+    }
+}

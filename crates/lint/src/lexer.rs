@@ -1,0 +1,370 @@
+//! A small token-level lexer for Rust source.
+//!
+//! This is *not* a parser: it produces a flat token stream good enough
+//! for the pattern rules in [`crate::rules`] — identifiers, punctuation
+//! (with `::` fused into one token), literals — with comments and string
+//! contents stripped so they can never produce false positives. Line
+//! numbers are 1-based. The corners that matter for correctness here are
+//! the ones that would otherwise corrupt the stream: nested block
+//! comments, raw strings (`r#"…"#`), byte strings, and the `'a` lifetime
+//! vs `'x'` char-literal ambiguity.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`Ordering`, `fn`, `unwrap`, …).
+    Ident,
+    /// Punctuation; `::` is fused, everything else is one char.
+    Punct,
+    /// String, raw-string, byte-string or char literal (content dropped).
+    Literal,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`) — distinct so `'de` never looks like an ident.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// The lexed file: the token stream plus the comment text per line
+/// (needed by the `relaxed-ordering` rule, which looks for `relaxed:`
+/// justification comments near an atomic-ordering site).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    /// `(start_line, comment_text)` for every `//` and `/* */` comment.
+    pub comments: Vec<(u32, String)>,
+}
+
+impl Lexed {
+    /// True if some comment starting on a line in `lo..=hi` contains `needle`.
+    pub fn comment_in_range_contains(&self, lo: u32, hi: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|(l, text)| (lo..=hi).contains(l) && text.contains(needle))
+    }
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = line;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push((start, text));
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump_line!(chars[i]);
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push((start, text));
+            continue;
+        }
+
+        // Identifier / keyword — or a raw/byte string prefix.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let ident: String = chars[start..i].iter().collect();
+
+            // r"…" / r#"…"# / b"…" / br"…" / rb not a thing; handle the
+            // string-prefix idents by re-entering literal lexing.
+            let is_raw_prefix = matches!(ident.as_str(), "r" | "br")
+                && matches!(chars.get(i), Some('"') | Some('#'));
+            let is_byte_prefix = ident == "b" && chars.get(i) == Some(&'"');
+            if is_raw_prefix {
+                // Count the #s, then consume to the matching "#… close.
+                let mut hashes = 0usize;
+                while chars.get(i) == Some(&'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'"') {
+                    i += 1; // opening quote
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if chars.get(i + 1 + k) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        bump_line!(chars[i]);
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through, emit as ident.
+                let raw_ident_start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[raw_ident_start..i].iter().collect();
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                continue;
+            }
+            if is_byte_prefix {
+                i += 1; // opening quote; fall into escaped-string scan
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        ch => {
+                            bump_line!(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                continue;
+            }
+
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: ident,
+                line,
+            });
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    ch => {
+                        bump_line!(ch);
+                        i += 1;
+                    }
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // `'\…'` is always a char literal; `'x'` is a char literal;
+            // `'ident` with no closing quote is a lifetime.
+            if chars.get(i + 1) == Some(&'\\') {
+                i += 2; // skip '\ and the escaped char intro
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                i += 3;
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                continue;
+            }
+            // Lifetime.
+            let start = i + 1;
+            i += 1;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+            });
+            continue;
+        }
+
+        // Number (consume a trailing fraction only when `.` is followed
+        // by a digit, so `1.0` is one token but `x.0.partial_cmp` still
+        // surfaces `partial_cmp`).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            continue;
+        }
+
+        // `::` fused; all other punctuation single-char.
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// True if the idents/puncts starting at `i` match `pat` exactly.
+pub fn seq_matches(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter()
+        .enumerate()
+        .all(|(k, p)| toks.get(i + k).is_some_and(|t| t.text == *p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let lx = lex(r##"
+            // Ordering::Relaxed in a comment
+            /* partial_cmp in /* a nested */ block */
+            let s = "std::sync::Mutex";
+            let r = r#"thread_rng()"#;
+            let c = 'x';
+            let lt: &'static str = "y";
+        "##);
+        assert!(!lx.toks.iter().any(|t| t.text == "Relaxed"));
+        assert!(!lx.toks.iter().any(|t| t.text == "partial_cmp"));
+        assert!(!lx.toks.iter().any(|t| t.text == "thread_rng"));
+        assert!(!lx.toks.iter().any(|t| t.text == "Mutex"));
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn double_colon_fuses_and_lines_track() {
+        let lx = lex("a::b\nc :: d\ne:f");
+        let texts: Vec<&str> = lx.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "::", "b", "c", "::", "d", "e", ":", "f"]);
+        assert_eq!(lx.toks[3].line, 2);
+        assert_eq!(lx.toks[6].line, 3);
+    }
+
+    #[test]
+    fn numeric_field_access_still_exposes_method() {
+        let lx = lex("score.0.partial_cmp(&other.0)");
+        assert!(lx.toks.iter().any(|t| t.text == "partial_cmp"));
+    }
+
+    #[test]
+    fn seq_matcher_walks_fused_paths() {
+        let lx = lex("Ordering::Relaxed");
+        assert!(seq_matches(&lx.toks, 0, &["Ordering", "::", "Relaxed"]));
+        assert!(!seq_matches(&lx.toks, 0, &["Ordering", "::", "SeqCst"]));
+    }
+}

@@ -1,0 +1,131 @@
+//! # ones-lint — concurrency & determinism rules for this workspace
+//!
+//! A repo-local static-analysis pass with zero dependencies: a
+//! token-level lexer ([`lexer`]), a rule catalog ([`rules`]) and an
+//! allowlist ([`allow`]). It runs as a CI gate (`scripts/ci.sh`) and by
+//! hand via `cargo ones-lint` (alias in `.cargo/config.toml`).
+//!
+//! The rules encode the invariants the loom models in
+//! `crates/{evo,obs,oned}/tests/loom_*.rs` rely on — e.g. the model
+//! checker can only see locks that go through the `ones_sync` facade,
+//! so `std-sync` is what keeps the models sound as the code evolves.
+//! The full catalog with rationale lives in DESIGN.md §"Concurrency
+//! model".
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Directories under the repo root that are scanned.
+const SCAN_ROOTS: &[&str] = &["crates", "src"];
+
+/// Path prefixes never scanned: vendored shims (external API surface,
+/// not ours) and the linter's own rule-violation fixtures.
+const SKIP_PREFIXES: &[&str] = &["shims/", "crates/lint/tests/fixtures/"];
+
+/// The outcome of a full run.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations that survived the allowlist, sorted by (path, line).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by lint.allow entries.
+    pub suppressed: usize,
+    /// lint.allow entries that suppressed nothing (stale).
+    pub stale_allows: Vec<String>,
+    /// lint.allow format errors (these fail the run).
+    pub allow_errors: Vec<String>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when CI should go red.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.allow_errors.is_empty()
+    }
+}
+
+/// Lints every scanned `.rs` file under `root`, applying the allowlist
+/// at `root/lint.allow` if present.
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rs_files(&root.join(dir), &mut files)?;
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
+        scanned += 1;
+        let src = std::fs::read_to_string(path)?;
+        findings.extend(rules::check_file(&rel, &lexer::lex(&src)));
+    }
+
+    let allow_path = root.join("lint.allow");
+    let (entries, allow_errors) = if allow_path.exists() {
+        allow::parse(&std::fs::read_to_string(&allow_path)?)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let (mut kept, suppressed, stale) = allow::apply(findings, &entries);
+    kept.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+
+    Ok(Report {
+        findings: kept,
+        suppressed,
+        stale_allows: stale
+            .into_iter()
+            .map(|e| {
+                format!(
+                    "lint.allow:{}: `{} {}` suppresses nothing",
+                    e.line, e.rule, e.path
+                )
+            })
+            .collect(),
+        allow_errors,
+        files: scanned,
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        if path.is_dir() {
+            if name != "target" {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root this binary was built in: the linter is a
+/// repo-local tool, so baking the path in at compile time makes
+/// `cargo ones-lint` work from any cwd.
+#[must_use]
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate sits two levels below the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,67 @@
+//! CLI for ones-lint. See the lib docs and DESIGN.md §"Concurrency
+//! model" for the rule catalog.
+//!
+//! ```text
+//! cargo ones-lint            # lint the workspace (alias in .cargo/config.toml)
+//! cargo run -p ones-lint -- [ROOT]
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations or a malformed lint.allow,
+//! 2 usage/IO error. Stale allowlist entries are warnings, not errors,
+//! so deleting code never turns the build red for the wrong reason.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!(
+                    "usage: ones-lint [ROOT]\n\n\
+                     Lints the workspace at ROOT (default: the workspace this\n\
+                     binary was built in) against the concurrency & determinism\n\
+                     rule catalog. Exceptions live in ROOT/lint.allow."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            other => {
+                eprintln!("ones-lint: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(ones_lint::default_root);
+
+    let report = match ones_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ones-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for err in &report.allow_errors {
+        eprintln!("error: {err}");
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for warning in &report.stale_allows {
+        eprintln!("warning: {warning}");
+    }
+
+    eprintln!(
+        "ones-lint: {} file(s), {} violation(s), {} suppressed by lint.allow",
+        report.files,
+        report.findings.len(),
+        report.suppressed
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

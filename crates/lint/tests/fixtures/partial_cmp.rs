@@ -1,0 +1,6 @@
+// Fixture: violates `float-partial-cmp` once; total_cmp is clean and a
+// comment mention of partial_cmp must not count.
+fn rank(mut xs: Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b)); // clean
+}

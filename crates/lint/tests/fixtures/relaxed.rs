@@ -1,0 +1,8 @@
+// Fixture: an unjustified Ordering::Relaxed (violation) followed by a
+// justified one (clean). Checked as text by the rules test.
+
+fn touch(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+    // relaxed: diagnostic counter, readers tolerate staleness
+    c.load(Ordering::Relaxed);
+}

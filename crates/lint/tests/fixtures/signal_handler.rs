@@ -1,0 +1,22 @@
+// Fixture: a registered signal handler that allocates and prints — two
+// `signal-handler-safety` violations (`println` and `format`). The
+// second handler only flips an atomic and is clean.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn bad_handler(_signum: i32) {
+    println!("caught {}", format!("{_signum}"));
+}
+
+extern "C" fn good_handler(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+fn install() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, bad_handler);
+        signal(SIGINT, good_handler);
+    }
+}

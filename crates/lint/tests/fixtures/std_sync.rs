@@ -1,0 +1,11 @@
+// Fixture: violates `std-sync` twice (use-import and inline path) and is
+// otherwise clean. Checked as text by the rules test, never compiled.
+use std::sync::Mutex;
+
+fn takes_a_lock() {
+    let m: std::sync::MutexGuard<'_, u32> = GLOBAL.lock().unwrap();
+    drop(m);
+}
+
+// A string mentioning std::sync::Mutex must NOT count.
+const DOC: &str = "prefer std::sync::Mutex";

@@ -1,0 +1,16 @@
+// Fixture: two `unwrap-in-request-path` violations (an .unwrap() and an
+// .expect()) plus exempt test code and clean alternatives.
+fn handle(req: Request) -> Response {
+    let st = state.read().unwrap();
+    let body = req.body_str().expect("body");
+    let ok = state.read().unwrap_or_else(PoisonError::into_inner); // clean
+    respond(st, body, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        route(&req()).body_str().unwrap();
+    }
+}

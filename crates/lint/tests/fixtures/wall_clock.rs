@@ -1,0 +1,16 @@
+// Fixture: three `wall-clock-in-det` violations in production code; the
+// #[cfg(test)] module at the bottom is exempt.
+fn decide() {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let mut rng = thread_rng();
+    let _ = (t0, wall, rng.gen::<u64>());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_a_test_is_fine() {
+        let _t = Instant::now();
+    }
+}

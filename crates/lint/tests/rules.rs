@@ -1,0 +1,133 @@
+//! Fixture tests — every rule fires on its fixture with the expected
+//! count and lines — plus the self-check: the linter must run clean on
+//! this repository (same invocation as the CI gate).
+
+use ones_lint::lexer::lex;
+use ones_lint::rules::{check_file, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints a fixture as if it lived at `as_path` in the repo.
+fn lint_fixture(name: &str, as_path: &str) -> Vec<Finding> {
+    check_file(as_path, &lex(&fixture(name)))
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn std_sync_fires_on_imports_and_paths_but_not_strings() {
+    let f = lint_fixture("std_sync.rs", "crates/evo/src/cache.rs");
+    assert_eq!(rules_of(&f), ["std-sync", "std-sync"], "{f:?}");
+    assert_eq!([f[0].line, f[1].line], [3, 6]);
+
+    // The same file inside the facade crate is allowed.
+    assert!(lint_fixture("std_sync.rs", "crates/sync/src/lib.rs").is_empty());
+}
+
+#[test]
+fn float_partial_cmp_fires_once_in_selection_crates() {
+    let f = lint_fixture("partial_cmp.rs", "crates/evo/src/scoring.rs");
+    assert_eq!(rules_of(&f), ["float-partial-cmp"], "{f:?}");
+    assert_eq!(f[0].line, 4);
+
+    // Outside the selection crates the rule is silent.
+    assert!(lint_fixture("partial_cmp.rs", "crates/workload/src/trace.rs").is_empty());
+}
+
+#[test]
+fn relaxed_ordering_requires_a_justification_comment() {
+    let f = lint_fixture("relaxed.rs", "crates/obs/src/metrics.rs");
+    assert_eq!(rules_of(&f), ["relaxed-ordering"], "{f:?}");
+    assert_eq!(f[0].line, 5, "only the unjustified site fires");
+}
+
+#[test]
+fn wall_clock_fires_in_deterministic_crates_outside_tests() {
+    let f = lint_fixture("wall_clock.rs", "crates/schedcore/src/policy.rs");
+    assert_eq!(
+        rules_of(&f),
+        ["wall-clock-in-det"; 3],
+        "Instant::now, SystemTime::now, thread_rng: {f:?}"
+    );
+    assert!(
+        f.iter().all(|x| x.line <= 7),
+        "test module is exempt: {f:?}"
+    );
+
+    // Non-deterministic crates may read wall clocks.
+    assert!(lint_fixture("wall_clock.rs", "crates/oned/src/core.rs").is_empty());
+}
+
+#[test]
+fn unwrap_fires_on_request_path_files_outside_tests() {
+    let f = lint_fixture("unwrap_request.rs", "crates/oned/src/server.rs");
+    assert_eq!(
+        rules_of(&f),
+        ["unwrap-in-request-path", "unwrap-in-request-path"],
+        "{f:?}"
+    );
+    assert_eq!(
+        [f[0].line, f[1].line],
+        [4, 5],
+        "unwrap_or_else and tests are clean"
+    );
+
+    // The same code elsewhere in the daemon is not on the request path.
+    assert!(lint_fixture("unwrap_request.rs", "crates/oned/src/core.rs").is_empty());
+}
+
+#[test]
+fn signal_handler_rule_audits_only_registered_handlers() {
+    let f = lint_fixture("signal_handler.rs", "crates/oned/src/bin/ones-d.rs");
+    assert_eq!(
+        rules_of(&f),
+        ["signal-handler-safety", "signal-handler-safety"],
+        "{f:?}"
+    );
+    let flagged: Vec<&str> = f.iter().map(|x| x.msg.split('`').nth(1).unwrap()).collect();
+    assert_eq!(flagged, ["println", "format"]);
+    assert!(
+        f.iter().all(|x| x.msg.contains("bad_handler")),
+        "good_handler is clean: {f:?}"
+    );
+}
+
+/// The gate itself: the repository must lint clean with the checked-in
+/// allowlist, and the allowlist must carry no stale entries. This is the
+/// exact check `scripts/ci.sh` runs.
+#[test]
+fn repo_self_check_is_clean() {
+    let report = ones_lint::run(&ones_lint::default_root()).expect("scan repo");
+    assert!(
+        report.findings.is_empty(),
+        "ones-lint found violations:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.allow_errors.is_empty(), "{:?}", report.allow_errors);
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale lint.allow entries: {:?}",
+        report.stale_allows
+    );
+    assert!(
+        report.files > 50,
+        "suspiciously few files scanned ({}) — did the walk break?",
+        report.files
+    );
+    assert!(
+        report.suppressed > 0,
+        "lint.allow should be exercising at least one suppression"
+    );
+}

@@ -59,7 +59,7 @@ pub use span::{
     ScopedSpan, SpanEvent,
 };
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use ones_sync::atomic::{AtomicU8, Ordering};
 
 /// Observability verbosity (see the crate docs table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -100,12 +100,15 @@ static LEVEL: AtomicU8 = AtomicU8::new(ObsLevel::Counters as u8);
 
 /// Sets the process-global verbosity.
 pub fn set_level(level: ObsLevel) {
+    // relaxed: the level is a lone flag; recording code reads nothing
+    // else through it, so no release ordering is needed.
     LEVEL.store(level as u8, Ordering::Relaxed);
 }
 
 /// The current process-global verbosity.
 #[must_use]
 pub fn level() -> ObsLevel {
+    // relaxed: lone flag, see set_level.
     match LEVEL.load(Ordering::Relaxed) {
         0 => ObsLevel::Off,
         1 => ObsLevel::Counters,
@@ -117,6 +120,7 @@ pub fn level() -> ObsLevel {
 #[inline]
 #[must_use]
 pub fn counters_enabled() -> bool {
+    // relaxed: lone flag, see set_level.
     LEVEL.load(Ordering::Relaxed) >= ObsLevel::Counters as u8
 }
 
@@ -124,6 +128,7 @@ pub fn counters_enabled() -> bool {
 #[inline]
 #[must_use]
 pub fn spans_enabled() -> bool {
+    // relaxed: lone flag, see set_level.
     LEVEL.load(Ordering::Relaxed) >= ObsLevel::Full as u8
 }
 
@@ -151,15 +156,17 @@ macro_rules! span {
 }
 
 /// Serialises tests that flip the process-global level (the cargo test
-/// harness runs tests of one binary on concurrent threads).
-#[cfg(test)]
-pub(crate) static TEST_LEVEL_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+/// harness runs tests of one binary on concurrent threads). Public so
+/// integration tests — e.g. the loom models in `tests/loom_metrics.rs` —
+/// can take the same lock as the unit tests; not part of the API proper.
+#[doc(hidden)]
+pub static TEST_LEVEL_GUARD: ones_sync::Mutex<()> = ones_sync::Mutex::new(());
 
-#[cfg(test)]
-pub(crate) fn test_level_lock() -> std::sync::MutexGuard<'static, ()> {
+#[doc(hidden)]
+pub fn test_level_lock() -> ones_sync::MutexGuard<'static, ()> {
     TEST_LEVEL_GUARD
         .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(ones_sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

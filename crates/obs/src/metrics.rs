@@ -6,9 +6,9 @@
 //! and pay one relaxed atomic per update. Keys follow the
 //! `<crate>.<subsystem>.<name>` convention documented in DESIGN.md §5.
 
+use ones_sync::atomic::{AtomicU64, Ordering};
+use ones_sync::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// A monotonic counter.
 #[derive(Debug)]
@@ -21,6 +21,7 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if crate::counters_enabled() {
+            // relaxed: independent metric cell; scrapes tolerate lag.
             self.value.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -34,6 +35,7 @@ impl Counter {
     /// Current value.
     #[must_use]
     pub fn value(&self) -> u64 {
+        // relaxed: independent metric cell; scrapes tolerate lag.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -49,6 +51,7 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: f64) {
         if crate::counters_enabled() {
+            // relaxed: independent metric cell; scrapes tolerate lag.
             self.bits.store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -56,6 +59,7 @@ impl Gauge {
     /// Current value.
     #[must_use]
     pub fn value(&self) -> f64 {
+        // relaxed: independent metric cell; scrapes tolerate lag.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -282,7 +286,10 @@ pub(crate) fn reset_metrics() {
     let reg = REGISTRY.lock().expect("metric registry poisoned");
     for handle in reg.values() {
         match handle {
+            // relaxed: reset is not synchronised against concurrent
+            // updates; callers quiesce recording first.
             Handle::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            // relaxed: same as the counter reset above.
             Handle::Gauge(g) => g.bits.store(0.0f64.to_bits(), Ordering::Relaxed),
             Handle::Histogram(h) => h.reset(),
         }

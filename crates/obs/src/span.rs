@@ -12,7 +12,7 @@
 //! separate tracks instead of interleaving nanosecond-scale host costs
 //! with second-scale simulated intervals.
 
-use std::sync::{LazyLock, Mutex};
+use ones_sync::{LazyLock, Mutex};
 use std::time::Instant;
 
 /// Which clock a span's timestamps live on.

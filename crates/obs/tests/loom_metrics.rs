@@ -1,0 +1,81 @@
+//! Model-checked interleavings of the metrics registry: concurrent
+//! interning of one key must yield one handle (no lost updates through
+//! split identities), and histogram aggregates must stay internally
+//! consistent under concurrent observation.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg ones_loom"`; run via
+//! `RUN_LOOM=1 scripts/ci.sh`. The registry is process-global, so each
+//! iteration starts with `reset()` and the tests serialise on the obs
+//! test-level lock (model explorations must not overlap).
+#![cfg(ones_loom)]
+
+use ones_sync::model::{model_with, thread, Options};
+
+fn opts(preemption_bound: u32) -> Options {
+    Options {
+        preemption_bound,
+        ..Options::default()
+    }
+}
+
+/// Two threads intern the *same* counter key and increment it. In every
+/// interleaving the registry must hand both threads the same cell:
+/// exactly 2 lands, never a count split across two identities.
+#[test]
+fn counter_interning_race_loses_no_update() {
+    let _guard = ones_obs::test_level_lock();
+    let iterations = model_with(opts(3), || {
+        ones_obs::set_level(ones_obs::ObsLevel::Counters);
+        ones_obs::reset();
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                thread::spawn(|| {
+                    ones_obs::counter("loom.interning.counter").inc();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        assert_eq!(
+            ones_obs::counter("loom.interning.counter").value(),
+            2,
+            "an increment was lost — interning split the key across cells"
+        );
+    });
+    assert!(
+        iterations >= 10,
+        "expected a real interleaving space, explored only {iterations}"
+    );
+}
+
+/// Two threads observe into one histogram. After both land, count, sum,
+/// min/max and the cumulative bucket counts must describe the same two
+/// observations — no interleaving may tear the aggregate.
+#[test]
+fn histogram_publication_stays_consistent() {
+    let _guard = ones_obs::test_level_lock();
+    let iterations = model_with(opts(3), || {
+        ones_obs::set_level(ones_obs::ObsLevel::Counters);
+        ones_obs::reset();
+
+        let t1 = thread::spawn(|| ones_obs::histogram("loom.hist").observe(1.0));
+        let t2 = thread::spawn(|| ones_obs::histogram("loom.hist").observe(3.0));
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        let snap = ones_obs::histogram("loom.hist").snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 4.0);
+        assert_eq!((snap.min, snap.max), (1.0, 3.0));
+        let (_, cumulative) = *snap.buckets.last().expect("overflow bucket");
+        assert_eq!(cumulative, 2, "buckets disagree with count");
+        assert!(snap.p50 >= snap.min && snap.p99 <= snap.max);
+    });
+    assert!(
+        iterations >= 10,
+        "expected a real interleaving space, explored only {iterations}"
+    );
+}

@@ -4,15 +4,15 @@
 //! These run in their own process (integration test binary), so flipping
 //! the process-global level here cannot disturb other test binaries.
 
+use ones_sync::Mutex;
 use serde_json::Value;
-use std::sync::Mutex;
 
 // The three tests share the process-global recorder; serialise them.
 static LOCK: Mutex<()> = Mutex::new(());
 
-fn lock() -> std::sync::MutexGuard<'static, ()> {
+fn lock() -> ones_sync::MutexGuard<'static, ()> {
     LOCK.lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(ones_sync::PoisonError::into_inner)
 }
 
 fn recorded_fixture() {

@@ -307,9 +307,31 @@ pub struct ErrorBody {
 
 impl ErrorBody {
     /// Renders an error response body.
+    ///
+    /// Hand-rolled rather than going through `serde_json` so the error
+    /// path is infallible: a request handler must never panic (the
+    /// `unwrap-in-request-path` lint rule), least of all while reporting
+    /// another failure.
     #[must_use]
     pub fn json(msg: impl Into<String>) -> String {
-        serde_json::to_string(&ErrorBody { error: msg.into() }).expect("serialisable")
+        let msg = msg.into();
+        let mut out = String::with_capacity(msg.len() + 16);
+        out.push_str("{\"error\":\"");
+        for c in msg.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push_str("\"}");
+        out
     }
 }
 

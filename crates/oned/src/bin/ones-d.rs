@@ -14,10 +14,10 @@ use ones_cluster::ClusterSpec;
 use ones_d::{serve, ServeOptions};
 use ones_simcore::DetRng;
 use ones_simulator::{SchedulerKind, SimBackend, TraceSource};
+use ones_sync::atomic::{AtomicBool, Ordering};
 use ones_workload::{ReplayConfig, Trace, TraceConfig};
 use std::collections::BTreeMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 fn usage() -> ! {

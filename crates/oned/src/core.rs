@@ -9,8 +9,8 @@
 use crate::api::{ConfigReply, ConfigRequest, JobView, SubmitReply};
 use crate::state::SharedState;
 use ones_simulator::{BackendEventKind, BackendPhase, ClusterBackend};
+use ones_sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use ones_workload::WireJobSpec;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::time::Duration;
 
 /// Control messages from HTTP handlers to the core thread.

@@ -12,12 +12,12 @@ use crate::core::{run_core, CoreMsg, CoreOptions};
 use crate::http::{read_request, ReadError, Response};
 use crate::state::{shared, SharedState};
 use ones_simulator::ClusterBackend;
+use ones_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use ones_sync::mpsc::{self, Receiver, SyncSender};
+use ones_sync::Arc;
 use ones_workload::WireJobSpec;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -243,6 +243,17 @@ fn reply_channel<T>() -> (SyncSender<T>, Receiver<T>) {
     mpsc::sync_channel(1)
 }
 
+/// Reads the shared state, recovering from lock poisoning.
+///
+/// A handler thread that panicked while holding the write lock must cost
+/// one degraded snapshot, not convert every later request into a panic —
+/// the `unwrap-in-request-path` lint rule bans `.expect` here.
+fn read_state(state: &SharedState) -> ones_sync::RwLockReadGuard<'_, crate::state::ServiceState> {
+    state
+        .read()
+        .unwrap_or_else(ones_sync::PoisonError::into_inner)
+}
+
 fn json_ok<T: serde::Serialize>(status: u16, body: &T) -> Response {
     match serde_json::to_string(body) {
         Ok(text) => Response::json(status, text),
@@ -261,7 +272,7 @@ pub fn route(
         ("GET", "/healthz") => Response::text(200, "ok\n".to_string()),
         ("GET", "/metrics") => Response::text(200, ones_obs::prometheus_text()),
         ("GET", "/v1/jobs") => {
-            let st = state.read().expect("state lock");
+            let st = read_state(state);
             let jobs = st.jobs.values().cloned().collect();
             json_ok(200, &JobsResponse { jobs })
         }
@@ -270,14 +281,14 @@ pub fn route(
             let Ok(id) = tail.parse::<u64>() else {
                 return Response::json(400, ErrorBody::json(format!("bad job id {tail:?}")));
             };
-            let st = state.read().expect("state lock");
+            let st = read_state(state);
             match st.jobs.get(&id) {
                 Some(job) => json_ok(200, job),
                 None => Response::json(404, ErrorBody::json(format!("no job {id}"))),
             }
         }
         ("POST", "/v1/jobs") => {
-            if state.read().expect("state lock").draining {
+            if read_state(state).draining {
                 return Response::json(409, ErrorBody::json("daemon is draining"));
             }
             let body = match req.body_str() {
@@ -302,7 +313,7 @@ pub fn route(
             }
         }
         ("GET", "/v1/cluster") => {
-            let st = state.read().expect("state lock");
+            let st = read_state(state);
             json_ok(200, &st.cluster_response())
         }
         ("GET", "/v1/events") => {
@@ -318,7 +329,7 @@ pub fn route(
                     }
                 },
             };
-            let st = state.read().expect("state lock");
+            let st = read_state(state);
             json_ok(200, &st.events.since(since))
         }
         ("POST", "/v1/config") => {

@@ -7,8 +7,8 @@
 
 use crate::api::{node_views, phase_name, ClusterResponse, EventRecord, EventsResponse, JobView};
 use ones_simulator::{BackendEvent, BackendPhase, Occupancy};
+use ones_sync::{Arc, RwLock};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, RwLock};
 
 /// Default capacity of the event ring (old events are evicted FIFO; the
 /// sequence numbers of evicted events remain burned).

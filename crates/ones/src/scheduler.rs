@@ -22,9 +22,9 @@ use ones_schedcore::{
 };
 use ones_simcore::DetRng;
 use ones_stats::Beta;
+use ones_sync::LazyLock;
 use ones_workload::JobId;
 use std::collections::BTreeMap;
-use std::sync::LazyLock;
 
 // Scheduling-round observability (DESIGN.md §5): how often ONES is
 // invoked, how often it proposes a deployment, and how many running jobs

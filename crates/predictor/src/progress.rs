@@ -9,8 +9,8 @@ use crate::features::FeatureSnapshot;
 use ones_schedcore::JobStatus;
 use ones_simcore::DetRng;
 use ones_stats::{Beta, GpRegressor, LinearRegression};
+use ones_sync::LazyLock;
 use serde::{Deserialize, Serialize};
-use std::sync::LazyLock;
 use std::time::Instant;
 
 // Observability handles (DESIGN.md §5): fit/predict latency histograms

@@ -15,9 +15,9 @@ use ones_schedcore::{
     SchedulerPerfCounters, Slot,
 };
 use ones_simcore::{EventQueue, SimTime, TraceLog};
+use ones_sync::LazyLock;
 use ones_workload::{JobId, Trace};
 use std::collections::BTreeMap;
-use std::sync::LazyLock;
 
 // Engine observability (DESIGN.md §5). Wall-time spans cover the host
 // cost of processing each event; virtual-time spans and instants replay

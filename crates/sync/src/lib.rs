@@ -1,0 +1,111 @@
+//! # ones-sync — the workspace's single door to synchronization
+//!
+//! Every concurrent crate in this workspace imports its primitives from
+//! here instead of `std::sync` (enforced by `ones-lint`'s `std-sync`
+//! rule). In a normal build the facade is a zero-cost re-export of
+//! `std::sync`. Under `RUSTFLAGS="--cfg ones_loom"` the lock and atomic
+//! types switch to the vendored loom shim (`shims/loom`), whose types
+//! behave identically outside a model but become *visible operations* of
+//! a bounded-exhaustive interleaving exploration inside
+//! [`loom::model`](mod@model) — that is what lets the loom tests in
+//! `crates/{evo,obs,oned}/tests/loom_*.rs` model-check the cache
+//! racing-compute protocol, the metrics registry and the daemon
+//! snapshot/event-log publishing without changing a line of production
+//! code.
+//!
+//! What switches and what does not:
+//!
+//! | item | normal build | `--cfg ones_loom` |
+//! |---|---|---|
+//! | [`Mutex`], [`RwLock`] + guards | `std::sync` | loom shim (model-aware) |
+//! | [`atomic`] types | `std::sync::atomic` | loom shim (model-aware, SC) |
+//! | [`Arc`], [`Weak`] | `std::sync` | `std::sync` |
+//! | [`LazyLock`], [`OnceLock`] | `std::sync` | `std::sync` (not modeled) |
+//! | [`mpsc`], [`Condvar`], [`Barrier`] | `std::sync` | `std::sync` (not modeled) |
+//! | [`model`]/[`thread`] helpers | absent | loom shim |
+//!
+//! `LazyLock`/`OnceLock` initialization and `mpsc` channels are not
+//! interleaving-explored: the loom tests model the protocols this repo
+//! owns (lock/atomic state machines), and one-time init plus channel
+//! handoff are `std` guarantees, not ours. ThreadSanitizer (opt-in CI
+//! stage) covers them dynamically.
+
+#![cfg_attr(ones_loom, allow(unused_imports))]
+
+// ---------------------------------------------------------------------
+// Lock types: std in production, loom shim under the model cfg.
+// ---------------------------------------------------------------------
+
+#[cfg(not(ones_loom))]
+pub use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(ones_loom)]
+pub use loom::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Atomic types and memory orderings.
+///
+/// Under `--cfg ones_loom` these are the loom shim's model-aware atomics
+/// (explored under sequential consistency); otherwise `std::sync::atomic`
+/// re-exports.
+pub mod atomic {
+    #[cfg(not(ones_loom))]
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+
+    #[cfg(ones_loom)]
+    pub use loom::sync::atomic::{
+        AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Always-std items (see the crate docs table for why).
+// ---------------------------------------------------------------------
+
+pub use std::sync::{
+    mpsc, Arc, Barrier, Condvar, LazyLock, LockResult, OnceLock, PoisonError, Weak,
+};
+
+/// Model-checking entry points, present only under `--cfg ones_loom`.
+///
+/// ```ignore
+/// ones_sync::model::model(|| {
+///     // build state, spawn ones_sync::model::thread::spawn(..), assert
+/// });
+/// ```
+#[cfg(ones_loom)]
+pub mod model {
+    pub use loom::thread;
+    pub use loom::{model, model_with, Options};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicU64, Ordering};
+    use super::{Arc, LazyLock, Mutex, RwLock};
+
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static TABLE: LazyLock<Mutex<Vec<u32>>> = LazyLock::new(|| Mutex::new(Vec::new()));
+
+    #[test]
+    fn facade_types_work_in_statics_and_threads() {
+        // relaxed: test-only counter, no cross-thread ordering needed.
+        HITS.fetch_add(1, Ordering::Relaxed);
+        // relaxed: same counter as above.
+        assert!(HITS.load(Ordering::Relaxed) >= 1);
+        TABLE.lock().expect("table").push(1);
+        assert!(!TABLE.lock().expect("table").is_empty());
+
+        let shared = Arc::new(RwLock::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    *shared.write().expect("rwlock") += 1;
+                });
+            }
+        });
+        assert_eq!(*shared.read().expect("rwlock"), 4);
+    }
+}

@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Repository CI gate: tier-1 build + tests, lint, formatting.
 #
-#   scripts/ci.sh              # build, test, clippy, fmt, trace-replay and
-#                              # daemon smoke
+#   scripts/ci.sh              # build, test, ones-lint, clippy, fmt,
+#                              # trace-replay and daemon smoke
+#   RUN_LOOM=1 scripts/ci.sh   # also model-check the loom tests in
+#                              # crates/{evo,obs,oned}/tests/loom_*.rs
+#                              # under RUSTFLAGS="--cfg ones_loom"
+#   RUN_TSAN=1 scripts/ci.sh   # also run ThreadSanitizer over the
+#                              # concurrent test suites (needs a nightly
+#                              # toolchain with rust-src; skipped with a
+#                              # notice otherwise)
+#   RUN_MIRI=1 scripts/ci.sh   # also run Miri over the sync-facade and
+#                              # cache tests (needs `cargo +nightly miri`;
+#                              # skipped with a notice otherwise)
 #   RUN_BENCH=1 scripts/ci.sh  # also run the evolution micro-bench, the
 #                              # observability overhead bench, the
 #                              # trace-replay macro-bench and the ones-d
@@ -22,6 +32,9 @@ cargo build --release --workspace
 
 echo "==> cargo test (workspace)"
 cargo test -q
+
+echo "==> ones-lint (concurrency & determinism rules; lint.allow for exceptions)"
+cargo run -q --release -p ones-lint
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
@@ -82,6 +95,42 @@ fi
 trap - EXIT
 rm -f "$DLOG"
 echo "    ones-d OK ($ADDR)"
+
+if [[ "${RUN_LOOM:-0}" == "1" ]]; then
+    echo "==> loom model checking (RUSTFLAGS=--cfg ones_loom)"
+    # Each test explores every thread interleaving of its protocol up to
+    # the preemption bound (ONES_LOOM_* env knobs override the defaults;
+    # see shims/loom). A counterexample panics with the failing schedule.
+    RUSTFLAGS="--cfg ones_loom" cargo test -q -p ones-evo --test loom_cache
+    RUSTFLAGS="--cfg ones_loom" cargo test -q -p ones-obs --test loom_metrics
+    RUSTFLAGS="--cfg ones_loom" cargo test -q -p ones-d --test loom_state
+    echo "    loom OK"
+fi
+
+if [[ "${RUN_TSAN:-0}" == "1" ]]; then
+    echo "==> ThreadSanitizer (concurrent suites)"
+    # -Z sanitizer needs nightly plus rust-src for -Z build-std; this box
+    # may have neither, so detect and skip rather than fail.
+    if rustup run nightly rustc --version >/dev/null 2>&1 \
+        && [[ -d "$(rustup run nightly rustc --print sysroot)/lib/rustlib/src/rust/library" ]]; then
+        RUSTFLAGS="-Z sanitizer=thread" cargo +nightly test -Z build-std \
+            --target "$(rustc -vV | sed -n 's/^host: //p')" \
+            -p ones-sync -p ones-evo -p ones-obs -p ones-d
+        echo "    tsan OK"
+    else
+        echo "    SKIP: nightly toolchain with rust-src not available"
+    fi
+fi
+
+if [[ "${RUN_MIRI:-0}" == "1" ]]; then
+    echo "==> Miri (sync facade + cache)"
+    if cargo +nightly miri --version >/dev/null 2>&1; then
+        cargo +nightly miri test -p ones-sync -p ones-evo cache
+        echo "    miri OK"
+    else
+        echo "    SKIP: cargo +nightly miri not available"
+    fi
+fi
 
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
     echo "==> evolution micro-bench (BENCH_evolution.json)"

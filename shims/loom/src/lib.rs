@@ -1,0 +1,227 @@
+//! In-repo stand-in for the `loom` crate (see `shims/README.md`):
+//! bounded exhaustive exploration of thread interleavings.
+//!
+//! [`model`] runs a closure once per distinct schedule of its *visible
+//! operations* (atomic accesses, lock acquires/releases, spawns, joins,
+//! yields), exploring the space depth-first with a CHESS-style
+//! **preemption bound**: within one execution the scheduler switches away
+//! from a runnable thread at most `preemption_bound` times (forced
+//! switches — the active thread blocked or finished — are free). For the
+//! two-to-three-thread models in this repository that covers every
+//! interleaving reachable with up to N preemptions, which is where
+//! protocol bugs live (CHESS: most concurrency bugs manifest within two
+//! preemptions).
+//!
+//! Differences from upstream loom, by design of a ~zero-dependency shim:
+//!
+//! * **Sequential consistency only.** Atomics are explored as one total
+//!   order of operations; `Ordering` arguments are accepted but not used
+//!   to generate weak-memory reorderings. The shim finds interleaving
+//!   bugs (lost updates, stale republish, broken accounting), not
+//!   relaxed-memory bugs — ThreadSanitizer covers those in CI when the
+//!   toolchain allows.
+//! * **No `UnsafeCell` modeling / no causality checking.** Data under
+//!   test must go through the [`sync`] types.
+//! * **Model types degrade gracefully outside [`model`]**: they behave
+//!   exactly like their `std::sync` counterparts (same `const`
+//!   constructors, same `LockResult` signatures), which lets the
+//!   `ones-sync` facade switch the whole workspace onto these types under
+//!   `--cfg ones_loom` while only the model tests actually explore.
+//!
+//! A failing execution panics with the schedule (the chosen thread id per
+//! decision) so the report is reproducible; executions are replayed
+//! deterministically from that prefix.
+//!
+//! Environment knobs: `ONES_LOOM_PREEMPTION_BOUND` (default 3),
+//! `ONES_LOOM_MAX_ITERATIONS` (default 200 000, exceeded = test failure),
+//! `ONES_LOOM_MAX_OPS` (per-execution visible-op budget, default
+//! 100 000), `ONES_LOOM_LOG` (print the execution count).
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::Options;
+
+/// Explores every schedule of `f` within the default [`Options`]
+/// (environment-overridable), panicking on the first failing execution.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::explore(Options::default(), f);
+}
+
+/// [`model`] with explicit exploration options; returns the number of
+/// executions explored.
+pub fn model_with<F>(opts: Options, f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::explore(opts, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex, RwLock};
+    use super::*;
+
+    fn opts(bound: u32) -> Options {
+        Options {
+            preemption_bound: bound,
+            max_iterations: 1_000_000,
+            max_ops: 100_000,
+        }
+    }
+
+    #[test]
+    fn explores_more_than_one_schedule() {
+        let n = model_with(opts(2), || {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.store(1, Ordering::SeqCst);
+            });
+            let _ = a.load(Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 1);
+        });
+        assert!(n > 1, "expected >1 executions, got {n}");
+    }
+
+    #[test]
+    fn finds_lost_update_with_non_atomic_rmw() {
+        // load-then-store on two threads must lose an update in SOME
+        // interleaving; the model must find it.
+        let found = std::panic::catch_unwind(|| {
+            model_with(opts(2), || {
+                let a = Arc::new(AtomicU64::new(0));
+                let t = {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        let v = a.load(Ordering::SeqCst);
+                        a.store(v + 1, Ordering::SeqCst);
+                    })
+                };
+                let v = a.load(Ordering::SeqCst);
+                a.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(found.is_err(), "the lost-update interleaving must be found");
+    }
+
+    #[test]
+    fn mutex_protects_a_read_modify_write() {
+        // The same RMW under a mutex is race-free: every schedule passes.
+        model_with(opts(2), || {
+            let m = Arc::new(Mutex::new(0u64));
+            let t = {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    let mut g = m.lock().unwrap();
+                    *g += 1;
+                })
+            };
+            {
+                let mut g = m.lock().unwrap();
+                *g += 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn fetch_add_is_atomic() {
+        model_with(opts(2), || {
+            let a = Arc::new(AtomicU64::new(0));
+            let t = {
+                let a = Arc::clone(&a);
+                thread::spawn(move || {
+                    a.fetch_add(1, Ordering::SeqCst);
+                })
+            };
+            a.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn rwlock_readers_see_complete_writes() {
+        model_with(opts(2), || {
+            let l = Arc::new(RwLock::new((0u64, 0u64)));
+            let t = {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    let mut g = l.write().unwrap();
+                    g.0 = 1;
+                    g.1 = 1;
+                })
+            };
+            {
+                let g = l.read().unwrap();
+                // Both fields written under one write guard: a reader
+                // never sees them torn.
+                assert_eq!(g.0, g.1);
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            model_with(opts(0), || {
+                let t = thread::spawn(|| panic!("inner failure"));
+                // Not consuming the panic: the model reports it.
+                let _ = t.join();
+                panic!("outer sees it via join");
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn types_work_outside_a_model() {
+        // Facade compatibility: same code path must behave std-like with
+        // no model running.
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        static TABLE: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        COUNTER.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(COUNTER.load(Ordering::Relaxed), 3);
+        TABLE.lock().unwrap().push(7);
+        assert_eq!(TABLE.lock().unwrap().len(), 1);
+        let rw = RwLock::new(5u32);
+        assert_eq!(*rw.read().unwrap(), 5);
+        *rw.write().unwrap() = 6;
+        assert_eq!(*rw.read().unwrap(), 6);
+    }
+
+    #[test]
+    fn preemption_bound_limits_exploration() {
+        let run = |bound| {
+            model_with(opts(bound), || {
+                let a = Arc::new(AtomicU64::new(0));
+                let t = {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        for _ in 0..3 {
+                            a.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                };
+                for _ in 0..3 {
+                    a.fetch_add(1, Ordering::SeqCst);
+                }
+                t.join().unwrap();
+                assert_eq!(a.load(Ordering::SeqCst), 6);
+            })
+        };
+        let (zero, one, two) = (run(0), run(1), run(2));
+        assert!(zero < one && one < two, "{zero} {one} {two}");
+    }
+}

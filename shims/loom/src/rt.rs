@@ -1,0 +1,577 @@
+//! The model-checking runtime: one serialized execution per schedule,
+//! explored depth-first with a preemption bound.
+//!
+//! Every *visible operation* (atomic access, lock acquire/release, spawn,
+//! join, yield) is a decision point: the scheduler picks which model
+//! thread performs its next operation. Exactly one model thread runs at a
+//! time — threads are real OS threads, but a token (the `active` id)
+//! serializes them, so an execution is one total order of visible
+//! operations. The explorer re-runs the closure once per schedule,
+//! backtracking over the recorded decisions ([`Decision`]) to the deepest
+//! point with an untried alternative whose cost stays within the
+//! preemption bound (CHESS-style context-bounded search).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+/// Panic payload used to unwind model threads when an iteration is torn
+/// down early (deadlock, runaway op budget, or a sibling thread's
+/// failure). The thread wrapper swallows it; it is never a test failure
+/// by itself.
+pub(crate) struct AbortIteration;
+
+/// How a model thread may currently proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    /// May be scheduled.
+    Runnable,
+    /// Waiting for a lock keyed by address.
+    BlockedLock(usize),
+    /// Waiting for another model thread to finish.
+    BlockedJoin(usize),
+    /// Done (normally or by panic).
+    Finished,
+}
+
+/// Shared-lock state for one `Mutex`/`RwLock`, keyed by object address.
+#[derive(Debug, Default, Clone, Copy)]
+struct Lock {
+    writer: bool,
+    readers: usize,
+}
+
+/// Lock-acquisition mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Access {
+    /// `Mutex::lock` / `RwLock::write`.
+    Exclusive,
+    /// `RwLock::read`.
+    Shared,
+}
+
+struct ThreadState {
+    run: Run,
+    /// Panic message, if the thread's closure panicked.
+    panic: Option<String>,
+    /// Whether a `JoinHandle::join` observed the panic (a consumed panic
+    /// is the joiner's to re-raise, not the model's).
+    panic_consumed: bool,
+}
+
+/// One scheduling decision: which runnable thread performed the next
+/// visible operation, out of which candidates.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    /// Candidate thread ids in exploration order (the previously active
+    /// thread first when runnable, then the rest ascending).
+    pub candidates: Vec<usize>,
+    /// Index into `candidates` that this execution took.
+    pub chosen: usize,
+    /// Id of the thread that was active when the decision was made.
+    pub current: usize,
+    /// Whether `current` was itself runnable (choosing someone else then
+    /// costs a preemption).
+    pub current_runnable: bool,
+    /// Preemptions spent on the path before this decision.
+    pub preemptions_before: u32,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadState>,
+    active: usize,
+    /// Schedule prefix to replay: chosen thread id per decision.
+    prefix: Vec<usize>,
+    trace: Vec<Decision>,
+    preemptions: u32,
+    locks: HashMap<usize, Lock>,
+    aborted: bool,
+    /// Why the iteration was torn down, if abnormally.
+    abort_reason: Option<String>,
+    ops: u64,
+}
+
+/// One serialized execution (a single schedule). Shared by every model
+/// thread of the iteration via `Arc`.
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cvar: Condvar,
+    /// Visible-operation budget per iteration; beyond it the model is
+    /// declared runaway and the iteration aborts loudly.
+    max_ops: u64,
+    /// OS handles of spawned model threads, joined at iteration end.
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Thread-local model context: set while a model thread runs user code.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub exec: Arc<Execution>,
+    pub id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's model context, if it is a model thread.
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(c: Option<Ctx>) {
+    CTX.with(|cell| *cell.borrow_mut() = c);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>, max_ops: u64) -> Self {
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: vec![ThreadState {
+                    run: Run::Runnable,
+                    panic: None,
+                    panic_consumed: false,
+                }],
+                active: 0,
+                prefix,
+                trace: Vec::new(),
+                preemptions: 0,
+                locks: HashMap::new(),
+                aborted: false,
+                abort_reason: None,
+                ops: 0,
+            }),
+            cvar: Condvar::new(),
+            max_ops,
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Locks the scheduler state, recovering from poison: state-lock
+    /// poisoning only happens while an iteration is already unwinding,
+    /// and the structure stays consistent because mutations are
+    /// small and guarded.
+    fn lock_state(&self) -> StdMutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn abort(&self, st: &mut ExecState, reason: String) {
+        if !st.aborted {
+            st.aborted = true;
+            st.abort_reason = Some(reason);
+        }
+        self.cvar.notify_all();
+    }
+
+    /// Picks the next thread to run and records the decision. Must be
+    /// called by the active thread (or a finishing one).
+    fn schedule_next(&self, me: usize, st: &mut ExecState) {
+        if st.aborted {
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.run == Run::Finished) {
+                // Execution complete; wake anything still draining.
+                self.cvar.notify_all();
+            } else {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.run != Run::Finished)
+                    .map(|(i, t)| format!("thread {i} {:?}", t.run))
+                    .collect();
+                self.abort(
+                    st,
+                    format!("deadlock: no runnable thread ({})", blocked.join(", ")),
+                );
+            }
+            return;
+        }
+        let current_runnable = runnable.contains(&me);
+        let mut candidates = Vec::with_capacity(runnable.len());
+        if current_runnable {
+            candidates.push(me);
+        }
+        candidates.extend(runnable.iter().copied().filter(|&t| t != me));
+        let pos = st.trace.len();
+        let chosen_idx = if pos < st.prefix.len() {
+            let want = st.prefix[pos];
+            match candidates.iter().position(|&c| c == want) {
+                Some(i) => i,
+                None => {
+                    self.abort(
+                        st,
+                        format!(
+                            "replay divergence at decision {pos}: thread {want} not runnable \
+                             (model closure must be deterministic up to scheduling)"
+                        ),
+                    );
+                    return;
+                }
+            }
+        } else {
+            0
+        };
+        let chosen = candidates[chosen_idx];
+        let preemptions_before = st.preemptions;
+        if current_runnable && chosen != me {
+            st.preemptions += 1;
+        }
+        st.trace.push(Decision {
+            candidates,
+            chosen: chosen_idx,
+            current: me,
+            current_runnable,
+            preemptions_before,
+        });
+        st.active = chosen;
+        self.cvar.notify_all();
+    }
+
+    /// Blocks until this thread holds the token and is runnable. Panics
+    /// with [`AbortIteration`] if the iteration is torn down meanwhile.
+    fn wait_for_token<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, ExecState> {
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(AbortIteration);
+            }
+            if st.active == me && st.threads[me].run == Run::Runnable {
+                return st;
+            }
+            st = self.cvar.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// One visible operation: yield the token for a scheduling decision,
+    /// then return holding it (and the state lock) so the caller performs
+    /// the operation serialized. No-op during unwinding — a panicking
+    /// thread keeps the token until its wrapper finishes it.
+    pub(crate) fn yield_op(&self, me: usize) -> Option<StdMutexGuard<'_, ExecState>> {
+        if std::thread::panicking() {
+            return None;
+        }
+        let mut st = self.lock_state();
+        st.ops += 1;
+        if st.ops > self.max_ops {
+            let max = self.max_ops;
+            self.abort(
+                &mut st,
+                format!("model exceeded {max} visible operations in one execution"),
+            );
+            drop(st);
+            std::panic::panic_any(AbortIteration);
+        }
+        self.schedule_next(me, &mut st);
+        Some(self.wait_for_token(st, me))
+    }
+
+    /// Acquires the model-level lock at `addr`, blocking (in model time)
+    /// while unavailable.
+    pub(crate) fn acquire(&self, me: usize, addr: usize, access: Access) {
+        let Some(mut st) = self.yield_op(me) else {
+            return;
+        };
+        loop {
+            let lock = st.locks.entry(addr).or_default();
+            let free = match access {
+                Access::Exclusive => !lock.writer && lock.readers == 0,
+                Access::Shared => !lock.writer,
+            };
+            if free {
+                match access {
+                    Access::Exclusive => lock.writer = true,
+                    Access::Shared => lock.readers += 1,
+                }
+                return;
+            }
+            st.threads[me].run = Run::BlockedLock(addr);
+            self.schedule_next(me, &mut st);
+            st = self.wait_for_token(st, me);
+        }
+    }
+
+    /// Releases the model-level lock at `addr` and wakes its waiters.
+    pub(crate) fn release(&self, me: usize, addr: usize, access: Access) {
+        // During unwinding, release without scheduling: the panicking
+        // thread still holds the token, so the mutation stays serialized.
+        let mut st = if std::thread::panicking() {
+            self.lock_state()
+        } else {
+            match self.yield_op(me) {
+                Some(st) => st,
+                None => self.lock_state(),
+            }
+        };
+        let lock = st.locks.entry(addr).or_default();
+        match access {
+            Access::Exclusive => lock.writer = false,
+            Access::Shared => lock.readers = lock.readers.saturating_sub(1),
+        }
+        for t in &mut st.threads {
+            if t.run == Run::BlockedLock(addr) {
+                t.run = Run::Runnable;
+            }
+        }
+        self.cvar.notify_all();
+    }
+
+    /// Registers a new runnable model thread, returning its id.
+    fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(ThreadState {
+            run: Run::Runnable,
+            panic: None,
+            panic_consumed: false,
+        });
+        st.threads.len() - 1
+    }
+
+    /// First wait of a freshly spawned model thread: it may not touch
+    /// user code until a decision schedules it.
+    fn wait_first(&self, me: usize) {
+        let st = self.lock_state();
+        drop(self.wait_for_token(st, me));
+    }
+
+    /// Marks `me` finished, wakes joiners and hands the token onward.
+    fn finish(&self, me: usize, panic: Option<String>) {
+        let mut st = self.lock_state();
+        st.threads[me].run = Run::Finished;
+        st.threads[me].panic = panic;
+        for t in &mut st.threads {
+            if t.run == Run::BlockedJoin(me) {
+                t.run = Run::Runnable;
+            }
+        }
+        if st.aborted {
+            self.cvar.notify_all();
+        } else {
+            self.schedule_next(me, &mut st);
+        }
+    }
+
+    /// Blocks (in model time) until thread `target` finishes; returns its
+    /// panic message if it panicked. Used by `JoinHandle::join`.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) -> Option<String> {
+        let mut st = self.yield_op(me)?;
+        loop {
+            if st.threads[target].run == Run::Finished {
+                st.threads[target].panic_consumed = true;
+                return st.threads[target].panic.clone();
+            }
+            st.threads[me].run = Run::BlockedJoin(target);
+            self.schedule_next(me, &mut st);
+            st = self.wait_for_token(st, me);
+        }
+    }
+
+    fn trace_string(&self) -> String {
+        let st = self.lock_state();
+        let steps: Vec<String> = st
+            .trace
+            .iter()
+            .map(|d| d.candidates[d.chosen].to_string())
+            .collect();
+        format!("[{}]", steps.join(" "))
+    }
+}
+
+/// Spawns a model thread running `f`. See `loom::thread::spawn`.
+pub(crate) fn spawn_model_thread<F, T>(f: F) -> (usize, Arc<StdMutex<Option<T>>>, Arc<Execution>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Ctx { exec, id: parent } = ctx().expect("loom::thread::spawn outside loom::model");
+    // Spawning is itself a visible operation.
+    drop(exec.yield_op(parent));
+    let id = exec.register_thread();
+    let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let exec2 = Arc::clone(&exec);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: Arc::clone(&exec2),
+                id,
+            }));
+            exec2.wait_first(id);
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let panic = match result {
+                Ok(v) => {
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                    None
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<AbortIteration>().is_some() {
+                        None
+                    } else {
+                        Some(panic_message(payload.as_ref()))
+                    }
+                }
+            };
+            exec2.finish(id, panic);
+            set_ctx(None);
+        })
+        .expect("spawn loom model thread");
+    exec.handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(os);
+    (id, slot, exec)
+}
+
+/// Exploration options for [`explore`].
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Maximum context switches away from a runnable thread per
+    /// execution (CHESS-style context bound). Forced switches — the
+    /// active thread blocked or finished — are free.
+    pub preemption_bound: u32,
+    /// Hard cap on explored executions; exceeding it fails the test so a
+    /// model that outgrew its budget is caught rather than silently
+    /// truncated.
+    pub max_iterations: u64,
+    /// Visible-operation budget per execution (runaway-model backstop).
+    pub max_ops: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        let env_u = |k: &str, d: u64| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Options {
+            preemption_bound: u32::try_from(env_u("ONES_LOOM_PREEMPTION_BOUND", 3)).unwrap_or(3),
+            max_iterations: env_u("ONES_LOOM_MAX_ITERATIONS", 200_000),
+            max_ops: env_u("ONES_LOOM_MAX_OPS", 100_000),
+        }
+    }
+}
+
+/// The deepest-first backtracking step: the next schedule prefix to run,
+/// or `None` when the (bounded) space is exhausted.
+fn next_prefix(trace: &[Decision], bound: u32) -> Option<Vec<usize>> {
+    for d in (0..trace.len()).rev() {
+        let dec = &trace[d];
+        for idx in dec.chosen + 1..dec.candidates.len() {
+            let cost = u32::from(dec.current_runnable && dec.candidates[idx] != dec.current);
+            if dec.preemptions_before + cost <= bound {
+                let mut prefix: Vec<usize> =
+                    trace[..d].iter().map(|p| p.candidates[p.chosen]).collect();
+                prefix.push(dec.candidates[idx]);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}
+
+/// Runs `f` once per schedule until the bounded interleaving space is
+/// exhausted, panicking on the first execution where a model thread
+/// panics (assertion failure) or the threads deadlock. Returns the number
+/// of executions explored.
+pub fn explore<F>(opts: Options, f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        ctx().is_none(),
+        "nested loom::model is not supported by the shim"
+    );
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= opts.max_iterations,
+            "loom shim: exceeded {} executions (raise ONES_LOOM_MAX_ITERATIONS or \
+             lower ONES_LOOM_PREEMPTION_BOUND)",
+            opts.max_iterations
+        );
+        let exec = Arc::new(Execution::new(std::mem::take(&mut prefix), opts.max_ops));
+        set_ctx(Some(Ctx {
+            exec: Arc::clone(&exec),
+            id: 0,
+        }));
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        let main_panic = match &result {
+            Ok(()) => None,
+            Err(payload) => {
+                if payload.downcast_ref::<AbortIteration>().is_some() {
+                    None
+                } else {
+                    Some(panic_message(payload.as_ref()))
+                }
+            }
+        };
+        exec.finish(0, main_panic.clone());
+        set_ctx(None);
+        // Drain every model thread: after `finish` handed the token on,
+        // the remaining threads run to completion (or unwind on abort).
+        let handles =
+            std::mem::take(&mut *exec.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+        let (abort_reason, failure, trace) = {
+            let st = exec.lock_state();
+            let failure = st
+                .threads
+                .iter()
+                .enumerate()
+                .find(|(_, t)| t.panic.is_some() && !t.panic_consumed)
+                .map(|(i, t)| (i, t.panic.clone().unwrap_or_default()));
+            (st.abort_reason.clone(), failure, st.trace.clone())
+        };
+        if let Some(reason) = abort_reason {
+            // Replay-divergence / deadlock / runaway: always fatal.
+            panic!(
+                "loom shim: {reason}\n  execution {iterations}, schedule {}",
+                exec.trace_string()
+            );
+        }
+        if let Some((tid, msg)) = failure {
+            panic!(
+                "loom shim: thread {tid} panicked: {msg}\n  execution {iterations}, schedule {}",
+                exec.trace_string()
+            );
+        }
+        match next_prefix(&trace, opts.preemption_bound) {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    if std::env::var("ONES_LOOM_LOG").is_ok() {
+        eprintln!("loom shim: explored {iterations} executions");
+    }
+    iterations
+}

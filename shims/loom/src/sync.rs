@@ -1,0 +1,368 @@
+//! Model-aware `std::sync` subset: [`Mutex`], [`RwLock`] and the
+//! [`atomic`] types.
+//!
+//! Every type here wraps its `std::sync` counterpart and is a drop-in
+//! replacement **outside** a model (`const` constructors included, so
+//! statics keep working). Inside [`crate::model`] each operation becomes
+//! a visible operation of the explored execution: acquisition order,
+//! blocking and atomic access order are all scheduler decisions.
+//!
+//! Two documented divergences from `std` under a model: lock poisoning is
+//! not modeled (`lock()` recovers and returns `Ok`, like real loom), and
+//! atomic operations explore sequentially consistent interleavings only —
+//! the shim finds ordering-of-operations bugs, not weak-memory reorderings.
+
+use crate::rt::{self, Access};
+use std::sync::{LockResult, PoisonError};
+
+/// Identity of a lock inside one execution: its address. Locks shared
+/// between model threads live behind `Arc`/statics and do not move.
+fn addr<T: ?Sized>(v: &T) -> usize {
+    std::ptr::from_ref(v) as *const () as usize
+}
+
+fn model_ctx() -> Option<rt::Ctx> {
+    rt::ctx()
+}
+
+/// Mutual exclusion wrapping [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex::lock`]; releases on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(rt::Ctx, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex (usable in statics).
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex. Inside a model, acquisition is a visible
+    /// operation and contention blocks in model time.
+    ///
+    /// # Errors
+    /// Outside a model, propagates `std` poisoning. Inside a model,
+    /// always `Ok` (poisoning is not modeled).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(ctx) = model_ctx() {
+            let a = addr(self);
+            ctx.exec.acquire(ctx.id, a, Access::Exclusive);
+            let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            return Ok(MutexGuard {
+                inner: Some(guard),
+                model: Some((ctx, a)),
+            });
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                inner: Some(g),
+                model: None,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                inner: Some(p.into_inner()),
+                model: None,
+            })),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the data guard before the model-level release so no other
+        // model thread can observe the std lock still held.
+        self.inner = None;
+        if let Some((ctx, a)) = self.model.take() {
+            ctx.exec.release(ctx.id, a, Access::Exclusive);
+        }
+    }
+}
+
+/// Reader-writer lock wrapping [`std::sync::RwLock`].
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: Option<(rt::Ctx, usize)>,
+}
+
+/// Guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: Option<(rt::Ctx, usize)>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a reader-writer lock (usable in statics).
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    ///
+    /// # Errors
+    /// Outside a model, propagates `std` poisoning. Inside a model,
+    /// always `Ok`.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let Some(ctx) = model_ctx() {
+            let a = addr(self);
+            ctx.exec.acquire(ctx.id, a, Access::Shared);
+            let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            return Ok(RwLockReadGuard {
+                inner: Some(guard),
+                model: Some((ctx, a)),
+            });
+        }
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                inner: Some(g),
+                model: None,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                inner: Some(p.into_inner()),
+                model: None,
+            })),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    ///
+    /// # Errors
+    /// Outside a model, propagates `std` poisoning. Inside a model,
+    /// always `Ok`.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let Some(ctx) = model_ctx() {
+            let a = addr(self);
+            ctx.exec.acquire(ctx.id, a, Access::Exclusive);
+            let guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            return Ok(RwLockWriteGuard {
+                inner: Some(guard),
+                model: Some((ctx, a)),
+            });
+        }
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                inner: Some(g),
+                model: None,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                inner: Some(p.into_inner()),
+                model: None,
+            })),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((ctx, a)) = self.model.take() {
+            ctx.exec.release(ctx.id, a, Access::Shared);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((ctx, a)) = self.model.take() {
+            ctx.exec.release(ctx.id, a, Access::Exclusive);
+        }
+    }
+}
+
+/// Model-aware atomics. Inside a model every access is a visible
+/// operation explored under sequential consistency; outside, each call
+/// passes straight through to `std` with the caller's ordering.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    /// One scheduling point before an atomic access.
+    fn visible() {
+        if !std::thread::panicking() {
+            if let Some(ctx) = crate::rt::ctx() {
+                drop(ctx.exec.yield_op(ctx.id));
+            }
+        }
+    }
+
+    macro_rules! atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates the atomic (usable in statics).
+                #[must_use]
+                pub const fn new(v: $ty) -> Self {
+                    $name { inner: std::sync::atomic::$std::new(v) }
+                }
+
+                /// Atomic load.
+                #[must_use]
+                pub fn load(&self, order: Ordering) -> $ty {
+                    visible();
+                    self.inner.load(order)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    visible();
+                    self.inner.store(v, order);
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    visible();
+                    self.inner.swap(v, order)
+                }
+
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    visible();
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    visible();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                /// Atomic compare-exchange.
+                ///
+                /// # Errors
+                /// Returns the current value when it differs from
+                /// `current`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    visible();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        /// Model-aware `AtomicU8`.
+        AtomicU8,
+        AtomicU8,
+        u8
+    );
+    atomic_int!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    atomic_int!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    atomic_int!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+
+    /// Model-aware `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic (usable in statics).
+        #[must_use]
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Atomic load.
+        #[must_use]
+        pub fn load(&self, order: Ordering) -> bool {
+            visible();
+            self.inner.load(order)
+        }
+
+        /// Atomic store.
+        pub fn store(&self, v: bool, order: Ordering) {
+            visible();
+            self.inner.store(v, order);
+        }
+
+        /// Atomic swap, returning the previous value.
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            visible();
+            self.inner.swap(v, order)
+        }
+    }
+}
+
+/// Shared ownership: re-exported from `std` unchanged. The shim explores
+/// sequentially consistent executions, where `Arc`'s reference counting
+/// needs no extra modeling.
+pub use std::sync::Arc;

@@ -1,0 +1,54 @@
+//! Model-aware `std::thread` subset: [`spawn`], [`JoinHandle`],
+//! [`yield_now`]. Usable only inside [`crate::model`].
+
+use crate::rt;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+/// Handle to a spawned model thread (mirrors `std::thread::JoinHandle`).
+pub struct JoinHandle<T> {
+    id: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+    exec: Arc<rt::Execution>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes. Mirrors
+    /// `std::thread::JoinHandle::join`: a panicking thread yields `Err`
+    /// with the panic message as the payload.
+    ///
+    /// # Errors
+    /// Returns the joined thread's panic payload if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        let me = rt::ctx().map_or(0, |c| c.id);
+        match self.exec.join_thread(me, self.id) {
+            Some(panic_msg) => Err(Box::new(panic_msg)),
+            None => match self
+                .slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+            {
+                Some(v) => Ok(v),
+                None => Err(Box::new("loom model thread produced no value".to_string())),
+            },
+        }
+    }
+}
+
+/// Spawns a model thread. Panics outside [`crate::model`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (id, slot, exec) = rt::spawn_model_thread(f);
+    JoinHandle { id, slot, exec }
+}
+
+/// A pure scheduling point: lets the explorer switch threads here.
+/// Outside a model this is a no-op.
+pub fn yield_now() {
+    if let Some(c) = rt::ctx() {
+        drop(c.exec.yield_op(c.id));
+    }
+}
