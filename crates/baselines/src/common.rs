@@ -6,8 +6,24 @@
 //! and the batch split, shared by all five baselines.
 
 use ones_cluster::GpuId;
-use ones_schedcore::{ClusterView, Schedule};
+use ones_schedcore::{ClusterView, SchedEvent, Schedule};
 use ones_workload::JobId;
+
+/// Opens the per-round wall span every baseline scheduler records, using
+/// the same `scheduling_round` taxonomy as `ones::scheduler` (event kind
+/// from [`SchedEvent::kind`], virtual time in `vt`) plus a `scheduler`
+/// tag, so cross-scheduler Perfetto traces compare like-for-like.
+#[must_use]
+pub fn round_span(
+    scheduler: &'static str,
+    event: SchedEvent,
+    view: &ClusterView<'_>,
+) -> ones_obs::ScopedSpan {
+    ones_obs::span!("baselines", "scheduling_round")
+        .with_arg("scheduler", scheduler)
+        .with_arg("event", event.kind())
+        .with_arg("vt", view.now.as_secs())
+}
 
 /// Picks `count` GPUs from the idle set of `schedule`, preferring a
 /// contiguous id range (same-node locality), else falling back to the

@@ -22,8 +22,14 @@ use crate::common::{assign_fixed_batch, pick_gang};
 use mlp::Mlp;
 use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::DetRng;
+use ones_sync::LazyLock;
 use ones_workload::JobId;
 use std::collections::BTreeMap;
+
+static ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.drl.rounds"));
+static DEPLOYMENTS_PROPOSED: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.drl.deployments_proposed"));
 
 /// GPU-count actions available to the policy.
 pub const ACTIONS: [u32; 4] = [1, 2, 4, 8];
@@ -149,6 +155,8 @@ impl Scheduler for DrlScheduler {
     }
 
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        let _round_span = crate::common::round_span("DRL", event, view);
+        ROUNDS.inc();
         if let SchedEvent::JobCompleted(id) = event {
             if let Some(jct) = view.jobs.get(&id).and_then(JobStatus::jct) {
                 self.learn(id, jct);
@@ -176,6 +184,9 @@ impl Scheduler for DrlScheduler {
                 }
                 _ => break,
             }
+        }
+        if changed {
+            DEPLOYMENTS_PROPOSED.inc();
         }
         changed.then_some(schedule)
     }

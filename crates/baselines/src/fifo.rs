@@ -7,6 +7,12 @@
 
 use crate::common::{assign_fixed_batch, effective_request, pick_gang};
 use ones_schedcore::{ClusterView, ScalingMechanism, SchedEvent, Schedule, Scheduler};
+use ones_sync::LazyLock;
+
+static ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.fifo.rounds"));
+static DEPLOYMENTS_PROPOSED: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.fifo.deployments_proposed"));
 
 /// First-in-first-out gang scheduler.
 #[derive(Debug, Default)]
@@ -30,6 +36,8 @@ impl Scheduler for Fifo {
     }
 
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        let _round_span = crate::common::round_span("FIFO", event, view);
+        ROUNDS.inc();
         // Only react when the set of runnable jobs or free GPUs changes.
         if matches!(event, SchedEvent::EpochEnded(_)) {
             return None;
@@ -49,6 +57,9 @@ impl Scheduler for Fifo {
                 }
                 None => break,
             }
+        }
+        if changed {
+            DEPLOYMENTS_PROPOSED.inc();
         }
         changed.then_some(schedule)
     }

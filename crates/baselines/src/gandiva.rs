@@ -16,7 +16,15 @@
 use crate::common::{allocate_sticky, effective_request};
 use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::SimTime;
+use ones_sync::LazyLock;
 use serde::{Deserialize, Serialize};
+
+static ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.gandiva.rounds"));
+static DEPLOYMENTS_PROPOSED: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.gandiva.deployments_proposed"));
+static ROTATIONS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.gandiva.rotations"));
 
 /// Gandiva tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,13 +92,20 @@ impl Scheduler for Gandiva {
     }
 
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        let _round_span = crate::common::round_span("Gandiva", event, view);
+        ROUNDS.inc();
         if matches!(event, SchedEvent::Tick) {
             // A quantum elapsed: rotate priorities so suspended jobs get
             // their turn.
             self.cursor = self.cursor.wrapping_add(1);
+            ROTATIONS.inc();
         }
         let schedule = self.plan(view);
-        (&schedule != view.deployed).then_some(schedule)
+        let out = (&schedule != view.deployed).then_some(schedule);
+        if out.is_some() {
+            DEPLOYMENTS_PROPOSED.inc();
+        }
+        out
     }
 
     fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {

@@ -24,9 +24,19 @@ use ones_cluster::GpuId;
 use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::SimTime;
 use ones_stats::LinearRegression;
+use ones_sync::LazyLock;
 use ones_workload::JobId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+static ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.optimus.rounds"));
+static DEPLOYMENTS_PROPOSED: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.optimus.deployments_proposed"));
+static PLAN_ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.optimus.plan_rounds"));
+static LOSS_POINTS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.optimus.loss_points"));
 
 /// Optimus tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -213,6 +223,8 @@ impl Scheduler for Optimus {
     }
 
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        let _round_span = crate::common::round_span("Optimus", event, view);
+        ROUNDS.inc();
         // Arm the periodic timer on the first event ever seen.
         if self.next_tick.is_none() {
             self.next_tick = Some(view.now + self.config.interval);
@@ -224,6 +236,7 @@ impl Scheduler for Optimus {
                         .entry(id)
                         .or_default()
                         .push((f64::from(job.epochs_done), job.current_loss));
+                    LOSS_POINTS.inc();
                 }
                 None
             }
@@ -234,6 +247,7 @@ impl Scheduler for Optimus {
             SchedEvent::JobArrived(_) => None, // arrivals wait for the round
             SchedEvent::Tick => {
                 self.next_tick = Some(view.now + self.config.interval);
+                PLAN_ROUNDS.inc();
                 let alloc = self.plan(view);
                 // Pack jobs contiguously in id order.
                 let mut schedule = Schedule::empty(view.spec.total_gpus());
@@ -250,7 +264,11 @@ impl Scheduler for Optimus {
                 // Jobs whose worker count is unchanged keep their GPUs —
                 // Optimus only migrates what it resizes.
                 let schedule = schedule.aligned_with(view.deployed);
-                (&schedule != view.deployed).then_some(schedule)
+                let out = (&schedule != view.deployed).then_some(schedule);
+                if out.is_some() {
+                    DEPLOYMENTS_PROPOSED.inc();
+                }
+                out
             }
         }
     }

@@ -13,9 +13,17 @@ use crate::common::assign_fixed_batch;
 use ones_cluster::GpuId;
 use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::SimTime;
+use ones_sync::LazyLock;
 use ones_workload::JobId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+static ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.slaq.rounds"));
+static DEPLOYMENTS_PROPOSED: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.slaq.deployments_proposed"));
+static PLAN_ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.slaq.plan_rounds"));
 
 /// SLAQ tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,6 +90,7 @@ impl Slaq {
     }
 
     fn plan(&self, view: &ClusterView<'_>) -> Schedule {
+        PLAN_ROUNDS.inc();
         // Rank jobs by quality gradient, then allocate greedily: one GPU
         // each first (fairness floor), then extra GPUs to the steepest
         // improvers up to their request.
@@ -144,10 +153,12 @@ impl Scheduler for Slaq {
     }
 
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        let _round_span = crate::common::round_span("SLAQ", event, view);
+        ROUNDS.inc();
         if self.next_tick.is_none() {
             self.next_tick = Some(view.now + self.config.interval);
         }
-        match event {
+        let replan = match event {
             SchedEvent::EpochEnded(id) => {
                 if let Some(job) = view.jobs.get(&id) {
                     let h = self.loss_history.entry(id).or_default();
@@ -156,23 +167,27 @@ impl Scheduler for Slaq {
                         h.remove(0);
                     }
                 }
-                None
+                false
             }
             SchedEvent::JobCompleted(id) => {
                 self.loss_history.remove(&id);
-                let schedule = self.plan(view);
-                (&schedule != view.deployed).then_some(schedule)
+                true
             }
-            SchedEvent::JobArrived(_) => {
-                let schedule = self.plan(view);
-                (&schedule != view.deployed).then_some(schedule)
-            }
+            SchedEvent::JobArrived(_) => true,
             SchedEvent::Tick => {
                 self.next_tick = Some(view.now + self.config.interval);
-                let schedule = self.plan(view);
-                (&schedule != view.deployed).then_some(schedule)
+                true
             }
+        };
+        if !replan {
+            return None;
         }
+        let schedule = self.plan(view);
+        let out = (&schedule != view.deployed).then_some(schedule);
+        if out.is_some() {
+            DEPLOYMENTS_PROPOSED.inc();
+        }
+        out
     }
 
     fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {

@@ -10,6 +10,12 @@
 use crate::common::effective_request;
 use ones_dlperf::ConvergenceState;
 use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
+use ones_sync::LazyLock;
+
+static ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.srtf.rounds"));
+static DEPLOYMENTS_PROPOSED: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.srtf.deployments_proposed"));
 
 /// Preemptive oracle shortest-remaining-time-first gang scheduler.
 #[derive(Debug, Default)]
@@ -58,6 +64,8 @@ impl Scheduler for SrtfOracle {
     }
 
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        let _round_span = crate::common::round_span("SRTF-oracle", event, view);
+        ROUNDS.inc();
         if matches!(event, SchedEvent::Tick) {
             return None;
         }
@@ -73,7 +81,11 @@ impl Scheduler for SrtfOracle {
             .map(|j| (j.id(), effective_request(view, j.id())))
             .collect();
         let schedule = crate::common::allocate_sticky(view, &wants);
-        (&schedule != view.deployed).then_some(schedule)
+        let out = (&schedule != view.deployed).then_some(schedule);
+        if out.is_some() {
+            DEPLOYMENTS_PROPOSED.inc();
+        }
+        out
     }
 }
 

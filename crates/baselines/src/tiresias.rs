@@ -16,7 +16,15 @@
 use crate::common::effective_request;
 use ones_schedcore::{ClusterView, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler};
 use ones_simcore::SimTime;
+use ones_sync::LazyLock;
 use serde::{Deserialize, Serialize};
+
+static ROUNDS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.tiresias.rounds"));
+static DEPLOYMENTS_PROPOSED: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.tiresias.deployments_proposed"));
+static STARVATION_PROMOTIONS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("baselines.tiresias.starvation_promotions"));
 
 /// Tiresias tunables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,14 +77,19 @@ impl Tiresias {
         Tiresias { config }
     }
 
+    /// Whether the STARVELIMIT promotion applies to `job` right now.
+    fn is_starved(&self, job: &JobStatus, now: SimTime) -> bool {
+        self.config.starve_limit > 0.0
+            && job.is_waiting()
+            && job.exec_time > 0.0
+            && job.queueing_time(now) > self.config.starve_limit * job.exec_time
+    }
+
     /// Queue index of a job (0 = highest priority).
     #[must_use]
     pub fn queue_of(&self, job: &JobStatus, now: SimTime) -> usize {
-        if self.config.starve_limit > 0.0 && job.is_waiting() && job.exec_time > 0.0 {
-            let waited = job.queueing_time(now);
-            if waited > self.config.starve_limit * job.exec_time {
-                return 0; // starvation promotion
-            }
+        if self.is_starved(job, now) {
+            return 0; // starvation promotion
         }
         self.config
             .thresholds
@@ -101,10 +114,19 @@ impl Scheduler for Tiresias {
         ScalingMechanism::CheckpointRestart
     }
 
-    fn on_event(&mut self, _event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+    fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        let _round_span = crate::common::round_span("Tiresias", event, view);
+        ROUNDS.inc();
         // Rank all incomplete jobs: (queue level, arrival) — MLFQ with
         // per-queue FIFO.
         let mut order: Vec<&JobStatus> = view.jobs.values().filter(|j| !j.is_completed()).collect();
+        if ones_obs::counters_enabled() {
+            let starved = order
+                .iter()
+                .filter(|j| self.is_starved(j, view.now))
+                .count();
+            STARVATION_PROMOTIONS.add(starved as u64);
+        }
         order.sort_by(|a, b| {
             self.queue_of(a, view.now)
                 .cmp(&self.queue_of(b, view.now))
@@ -117,7 +139,11 @@ impl Scheduler for Tiresias {
             .map(|j| (j.id(), effective_request(view, j.id())))
             .collect();
         let schedule = crate::common::allocate_sticky(view, &wants);
-        (&schedule != view.deployed).then_some(schedule)
+        let out = (&schedule != view.deployed).then_some(schedule);
+        if out.is_some() {
+            DEPLOYMENTS_PROPOSED.inc();
+        }
+        out
     }
 
     fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {

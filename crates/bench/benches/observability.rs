@@ -100,6 +100,92 @@ fn main() {
         if within_budget { "PASS" } else { "FAIL" }
     );
 
+    // Streaming row: a million spans through a chunked sink must drain to
+    // disk with zero drops and an in-memory high-water mark bounded by the
+    // chunk size — far below the old 4M in-memory cap.
+    const STREAM_EVENTS: usize = 1_000_000;
+    const STREAM_CHUNK: usize = 65_536;
+    ones_obs::set_level(ones_obs::ObsLevel::Full);
+    ones_obs::reset();
+    let dir = std::env::temp_dir().join(format!("ones-bench-streaming-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir bench temp dir");
+    let trace_path = dir.join("trace.json");
+    ones_obs::attach_trace_sink(&trace_path, STREAM_CHUNK).expect("attach sink");
+    let start = std::time::Instant::now();
+    for i in 0..STREAM_EVENTS {
+        let t = i as f64;
+        ones_obs::virtual_span(
+            "epoch",
+            "simulator",
+            (i % 7) as u64,
+            t,
+            t + 0.5,
+            vec![("batch", (64 + i as u64).into())],
+        );
+    }
+    ones_obs::finalize_trace_sink().expect("finalize sink");
+    let elapsed = start.elapsed();
+    let streamed_bytes = std::fs::metadata(&trace_path).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    ones_obs::set_level(ones_obs::ObsLevel::Counters);
+
+    let dropped = ones_obs::counter("obs.recorder.dropped_spans").value();
+    let flushes = ones_obs::counter("obs.sink.flushes").value();
+    let high_water = ones_obs::recorder_status().high_water;
+    let events_per_sec = STREAM_EVENTS as f64 / elapsed.as_secs_f64();
+    let zero_drops = dropped == 0;
+    // One chunk is the bound — four orders of magnitude under the old
+    // 4M-span in-memory cap.
+    let bounded = high_water <= STREAM_CHUNK;
+    println!(
+        "  streaming {STREAM_EVENTS} events: {events_per_sec:.0} ev/s, \
+         {streamed_bytes} bytes in {flushes} flushes, high-water {high_water} \
+         (chunk {STREAM_CHUNK}), dropped {dropped}: {}",
+        if zero_drops && bounded {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    assert!(zero_drops, "streaming sink dropped {dropped} spans");
+    assert!(
+        bounded,
+        "recorder high-water {high_water} exceeds the chunk bound {STREAM_CHUNK}"
+    );
+    let streaming_row = Value::Object(vec![
+        (
+            "events".to_string(),
+            serde_json::to_value(&(STREAM_EVENTS as u64)),
+        ),
+        (
+            "chunk_events".to_string(),
+            serde_json::to_value(&(STREAM_CHUNK as u64)),
+        ),
+        (
+            "elapsed_ns".to_string(),
+            serde_json::to_value(&(elapsed.as_nanos() as u64)),
+        ),
+        (
+            "events_per_sec".to_string(),
+            serde_json::to_value(&events_per_sec),
+        ),
+        (
+            "bytes_written".to_string(),
+            serde_json::to_value(&streamed_bytes),
+        ),
+        ("flushes".to_string(), serde_json::to_value(&flushes)),
+        (
+            "buffer_high_water".to_string(),
+            serde_json::to_value(&(high_water as u64)),
+        ),
+        ("dropped".to_string(), serde_json::to_value(&dropped)),
+        ("zero_drops".to_string(), serde_json::to_value(&zero_drops)),
+        (
+            "high_water_bounded".to_string(),
+            serde_json::to_value(&bounded),
+        ),
+    ]);
+
     let report = Value::Object(vec![
         (
             "bench".to_string(),
@@ -117,6 +203,7 @@ fn main() {
             "within_budget".to_string(),
             serde_json::to_value(&within_budget),
         ),
+        ("streaming".to_string(), streaming_row),
     ]);
     let path =
         std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_observability.json".to_string());

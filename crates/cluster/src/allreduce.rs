@@ -30,6 +30,17 @@ static TREE_EVALS: LazyLock<&'static ones_obs::Counter> =
     LazyLock::new(|| ones_obs::counter("cluster.allreduce.tree_evals"));
 static BROADCAST_EVALS: LazyLock<&'static ones_obs::Counter> =
     LazyLock::new(|| ones_obs::counter("cluster.allreduce.broadcast_evals"));
+// Predicted-time distributions. Observing on every evaluation would cost a
+// mutex lock in the throughput-model hot loop (millions of evals per search
+// round), so these are gated on the Full level — the same gate as spans —
+// keeping the default-level overhead inside the <5% observability budget
+// (DESIGN.md §5).
+static RING_TIME_US: LazyLock<&'static ones_obs::Histogram> =
+    LazyLock::new(|| ones_obs::histogram("cluster.allreduce.ring_time_us"));
+static TREE_TIME_US: LazyLock<&'static ones_obs::Histogram> =
+    LazyLock::new(|| ones_obs::histogram("cluster.allreduce.tree_time_us"));
+static BROADCAST_TIME_US: LazyLock<&'static ones_obs::Histogram> =
+    LazyLock::new(|| ones_obs::histogram("cluster.allreduce.broadcast_time_us"));
 
 /// All-reduce cost model bound to a cluster fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,7 +81,11 @@ impl AllReduceModel {
         let (lat, bw) = bottleneck(&self.spec, placement);
         // Pipelined ring broadcast: latency per hop + full payload once
         // through the bottleneck.
-        (n - 1) as f64 * lat + bytes / bw
+        let t = (n - 1) as f64 * lat + bytes / bw;
+        if ones_obs::spans_enabled() {
+            BROADCAST_TIME_US.observe(t * 1e6);
+        }
+        t
     }
 }
 
@@ -106,7 +121,11 @@ pub fn tree_allreduce_time(spec: &ClusterSpec, placement: &Placement, bytes: f64
     let levels = (n as f64).log2().ceil().max(1.0);
     let (lat, bw) = bottleneck(spec, placement);
     // Reduce + broadcast: 2·levels hops, each carrying the full payload.
-    2.0 * levels * (lat + bytes / bw)
+    let t = 2.0 * levels * (lat + bytes / bw);
+    if ones_obs::spans_enabled() {
+        TREE_TIME_US.observe(t * 1e6);
+    }
+    t
 }
 
 /// Bottleneck `(latency, per-flow bandwidth)` of a ring over `placement`.
@@ -143,7 +162,11 @@ pub fn allreduce_time(spec: &ClusterSpec, placement: &Placement, bytes: f64) -> 
     }
     let nf = n as f64;
     let (lat, bw) = bottleneck(spec, placement);
-    2.0 * (nf - 1.0) * lat + 2.0 * (nf - 1.0) / nf * bytes / bw
+    let t = 2.0 * (nf - 1.0) * lat + 2.0 * (nf - 1.0) / nf * bytes / bw;
+    if ones_obs::spans_enabled() {
+        RING_TIME_US.observe(t * 1e6);
+    }
+    t
 }
 
 #[cfg(test)]

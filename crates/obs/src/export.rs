@@ -38,7 +38,7 @@ impl std::error::Error for ExportError {
 }
 
 /// Appends `s` as a JSON string literal (quoted, escaped).
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -58,7 +58,7 @@ fn push_json_str(out: &mut String, s: &str) {
 
 /// Appends an f64 as a JSON number (non-finite values, which JSON cannot
 /// represent, become 0).
-fn push_json_f64(out: &mut String, v: f64) {
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -85,7 +85,7 @@ fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
     out.push('}');
 }
 
-fn push_trace_event(out: &mut String, event: &SpanEvent) {
+pub(crate) fn push_trace_event(out: &mut String, event: &SpanEvent) {
     let pid = match event.clock {
         Clock::Wall => 0,
         Clock::Virtual => 1,
@@ -113,6 +113,17 @@ fn push_trace_event(out: &mut String, event: &SpanEvent) {
     out.push('}');
 }
 
+/// Everything in a Chrome-trace file before the first real event: the
+/// opening of the `traceEvents` array plus the two `ph:"M"` process-name
+/// metadata records. Shared verbatim by the in-memory serialiser below and
+/// the chunked writer in [`crate::stream`], which is what makes the two
+/// sinks byte-equivalent.
+pub(crate) const TRACE_PREFIX: &str = "{\"traceEvents\":[\
+    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+    \"args\":{\"name\":\"wall clock\"}},\
+    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+    \"args\":{\"name\":\"virtual clock (simulated)\"}}";
+
 /// Serialises every recorded span as Chrome-trace-format JSON:
 /// `{"traceEvents":[...]}` with `ph:"X"` duration events (`name`, `cat`,
 /// `ts`, `dur` in microseconds), `ph:"i"` instants, and `ph:"M"` metadata
@@ -122,15 +133,7 @@ fn push_trace_event(out: &mut String, event: &SpanEvent) {
 pub fn chrome_trace_json() -> String {
     let spans = spans_snapshot();
     let mut out = String::with_capacity(128 + spans.len() * 160);
-    out.push_str("{\"traceEvents\":[");
-    out.push_str(
-        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
-         \"args\":{\"name\":\"wall clock\"}},",
-    );
-    out.push_str(
-        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
-         \"args\":{\"name\":\"virtual clock (simulated)\"}}",
-    );
+    out.push_str(TRACE_PREFIX);
     for event in &spans {
         out.push(',');
         push_trace_event(&mut out, event);
@@ -146,9 +149,25 @@ pub fn chrome_trace_json() -> String {
 /// spells its bound `"+Inf"`, since JSON has no infinity literal).
 #[must_use]
 pub fn metrics_jsonl() -> String {
+    metrics_jsonl_at(None, None)
+}
+
+/// [`metrics_jsonl`] with streaming-snapshot options: `t_secs` prepends a
+/// `"t"` (virtual-clock seconds) field to every line so a file of
+/// concatenated snapshots stays a self-describing time series, and
+/// `max_buckets` downsamples each histogram's bucket array via
+/// [`crate::HistogramSnapshot::downsample`] before serialising.
+#[must_use]
+pub(crate) fn metrics_jsonl_at(t_secs: Option<f64>, max_buckets: Option<usize>) -> String {
     let mut out = String::new();
     for sample in registry_snapshot() {
-        out.push_str("{\"key\":");
+        out.push('{');
+        if let Some(t) = t_secs {
+            out.push_str("\"t\":");
+            push_json_f64(&mut out, t);
+            out.push(',');
+        }
+        out.push_str("\"key\":");
         push_json_str(&mut out, sample.key);
         match &sample.value {
             MetricValue::Counter(n) => {
@@ -158,7 +177,15 @@ pub fn metrics_jsonl() -> String {
                 out.push_str(",\"type\":\"gauge\",\"value\":");
                 push_json_f64(&mut out, *v);
             }
-            MetricValue::Histogram(h) => {
+            MetricValue::Histogram(full) => {
+                let downsampled;
+                let h = match max_buckets {
+                    Some(limit) => {
+                        downsampled = full.downsample(limit);
+                        &downsampled
+                    }
+                    None => full,
+                };
                 let _ = write!(out, ",\"type\":\"histogram\",\"count\":{}", h.count);
                 for (field, v) in [
                     ("sum", h.sum),

@@ -45,6 +45,7 @@
 mod export;
 mod metrics;
 mod span;
+pub mod stream;
 
 pub use export::{
     chrome_trace_json, metrics_jsonl, prometheus_text, write_chrome_trace, write_metrics_jsonl,
@@ -55,8 +56,16 @@ pub use metrics::{
     HistogramSnapshot, MetricSample, MetricValue, DEFAULT_BOUNDS,
 };
 pub use span::{
-    clear_spans, span, span_tid, spans_snapshot, virtual_instant, virtual_span, ArgValue, Clock,
-    ScopedSpan, SpanEvent,
+    clear_spans, record_event, recorder_status, reset_recorder_cap_for_tests,
+    set_recorder_cap_for_tests, span, span_tid, spans_snapshot, virtual_instant, virtual_span,
+    ArgValue, Clock, RecorderStatus, ScopedSpan, SpanEvent,
+};
+pub use stream::{
+    attach_metrics_sink, attach_trace_sink, finalize_metrics_sink, finalize_trace_sink,
+    flush_trace_sink, force_metrics_snapshot, metrics_sink_attached, metrics_sink_status,
+    metrics_tick, rotate_trace_sink, trace_sink_attached, trace_sink_status, MetricsSinkStatus,
+    TraceSinkStatus, DEFAULT_METRICS_INTERVAL_SECS, DEFAULT_METRICS_MAX_BUCKETS,
+    DEFAULT_TRACE_CHUNK_EVENTS,
 };
 
 use ones_sync::atomic::{AtomicU8, Ordering};

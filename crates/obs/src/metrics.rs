@@ -113,6 +113,65 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Merges adjacent buckets down to at most `max_buckets` entries
+    /// (scalar aggregates — count/sum/min/max and the pre-computed
+    /// quantiles — are untouched).
+    ///
+    /// Because buckets are cumulative, merging is pure bound *selection*:
+    /// dropping an intermediate bound folds its bucket into the next kept
+    /// one without touching any count. The rule always keeps the overflow
+    /// (`+Inf`) bound plus **both edges of the buckets containing p50, p95
+    /// and p99**, then spends the remaining budget on evenly spaced
+    /// bounds. Keeping both edges of a quantile's containing bucket means
+    /// re-interpolating that quantile from the downsampled buckets walks
+    /// the same `(lo, hi, seen, count)` numbers as the full histogram —
+    /// the estimate is preserved exactly, not just to within one bucket.
+    #[must_use]
+    pub fn downsample(&self, max_buckets: usize) -> HistogramSnapshot {
+        let n = self.buckets.len();
+        if n <= max_buckets.max(1) {
+            return self.clone();
+        }
+        let mut keep = std::collections::BTreeSet::new();
+        keep.insert(n - 1);
+        if self.count > 0 {
+            for q in [0.50, 0.95, 0.99] {
+                let target = q * self.count as f64;
+                // First bucket whose cumulative count reaches the quantile
+                // target: the containing bucket under the interpolation
+                // rule in `Histogram::snapshot`.
+                let i = self
+                    .buckets
+                    .iter()
+                    .position(|&(_, cum)| cum as f64 >= target)
+                    .unwrap_or(n - 1);
+                keep.insert(i);
+                if i > 0 {
+                    keep.insert(i - 1);
+                }
+            }
+        }
+        let budget = max_buckets.max(keep.len());
+        let spare = budget - keep.len();
+        if spare > 0 {
+            // Evenly spaced fill over the remaining index range.
+            for k in 0..spare {
+                let idx = (k + 1) * (n - 1) / (spare + 1);
+                if keep.len() >= budget {
+                    break;
+                }
+                keep.insert(idx);
+            }
+        }
+        let buckets = keep.into_iter().map(|i| self.buckets[i]).collect();
+        HistogramSnapshot {
+            buckets,
+            ..self.clone()
+        }
+    }
+}
+
 impl Histogram {
     fn new(bounds: &'static [f64]) -> Self {
         assert!(

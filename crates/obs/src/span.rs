@@ -87,11 +87,45 @@ pub struct SpanEvent {
 }
 
 /// Spans kept in memory before a runaway run starts dropping (a 64-GPU
-/// sweep records well under a million).
+/// sweep records well under a million). Backpressure for the no-sink
+/// configuration only: with a chunked [`crate::stream`] sink attached the
+/// buffer drains to disk long before the cap.
 const MAX_SPANS: usize = 4_000_000;
 
-static SPANS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+/// The process-global span recorder: the in-memory buffer plus the
+/// optional streaming trace sink it drains into. One mutex covers both so
+/// a flush triggered mid-`push` cannot race a concurrent snapshot or
+/// sink attach/detach.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    pub(crate) spans: Vec<SpanEvent>,
+    pub(crate) sink: Option<crate::stream::TraceSink>,
+    /// Drop threshold for the no-sink configuration ([`MAX_SPANS`] except
+    /// under tests that shrink it to exercise the overflow path).
+    pub(crate) cap: usize,
+    /// Largest buffer length ever observed (mirrored into the
+    /// `obs.recorder.buffer_high_water` gauge on change).
+    pub(crate) high_water: usize,
+}
+
+static RECORDER: Mutex<Recorder> = Mutex::new(Recorder {
+    spans: Vec::new(),
+    sink: None,
+    cap: MAX_SPANS,
+    high_water: 0,
+});
+
+pub(crate) fn recorder() -> ones_sync::MutexGuard<'static, Recorder> {
+    RECORDER.lock().expect("span recorder poisoned")
+}
+
 static EPOCH: LazyLock<Instant> = LazyLock::new(Instant::now);
+static RECORDED: LazyLock<&'static crate::Counter> =
+    LazyLock::new(|| crate::counter("obs.recorder.recorded_spans"));
+static DROPPED: LazyLock<&'static crate::Counter> =
+    LazyLock::new(|| crate::counter("obs.recorder.dropped_spans"));
+static HIGH_WATER: LazyLock<&'static crate::Gauge> =
+    LazyLock::new(|| crate::gauge("obs.recorder.buffer_high_water"));
 
 /// Microseconds of wall time since the process-global epoch.
 #[must_use]
@@ -99,26 +133,99 @@ pub(crate) fn wall_ts_us() -> f64 {
     EPOCH.elapsed().as_nanos() as f64 / 1e3
 }
 
-fn push(event: SpanEvent) {
-    let mut spans = SPANS.lock().expect("span sink poisoned");
-    if spans.len() < MAX_SPANS {
-        spans.push(event);
-    } else {
-        crate::counter("obs.recorder.dropped_spans").add(1);
+/// Records a pre-built [`SpanEvent`]. This is the single entry point into
+/// the recorder: every span/instant helper lands here, and tests use it to
+/// replay captured events through an attached streaming sink.
+///
+/// With a sink attached the buffer drains to disk whenever it reaches the
+/// sink's chunk size, so nothing is ever dropped; without one, events past
+/// the in-memory cap are dropped and counted in
+/// `obs.recorder.dropped_spans`. Either way every call is counted in
+/// `obs.recorder.recorded_spans`, giving the conservation invariant
+/// `written + buffered + dropped == recorded`.
+pub fn record_event(event: SpanEvent) {
+    RECORDED.add(1);
+    let mut rec = recorder();
+    let rec = &mut *rec;
+    if rec.sink.is_none() && rec.spans.len() >= rec.cap {
+        DROPPED.add(1);
+        return;
     }
+    rec.spans.push(event);
+    if rec.spans.len() > rec.high_water {
+        rec.high_water = rec.spans.len();
+        HIGH_WATER.set(rec.high_water as f64);
+    }
+    if let Some(sink) = rec.sink.as_mut() {
+        if rec.spans.len() >= sink.chunk_events() {
+            if let Err(err) = sink.write_chunk(&rec.spans) {
+                // A failing disk must not wedge recording: detach the sink,
+                // fall back to the capped in-memory mode, and surface the
+                // error at finalize time.
+                crate::stream::note_sink_error(&mut rec.sink, err);
+            } else {
+                rec.spans.clear();
+            }
+        }
+    }
+}
+
+fn push(event: SpanEvent) {
+    record_event(event);
 }
 
 /// Discards every recorded span while keeping metrics and the level
 /// intact — e.g. between benchmark iterations, or after exporting a
-/// trace, to bound the recorder's memory.
+/// trace, to bound the recorder's memory. Spans already flushed to an
+/// attached streaming sink are untouched.
 pub fn clear_spans() {
-    SPANS.lock().expect("span sink poisoned").clear();
+    let mut rec = recorder();
+    rec.spans.clear();
+    rec.high_water = 0;
 }
 
-/// A copy of every recorded span, in recording order.
+/// Shrinks the in-memory drop cap so tests can exercise the overflow path
+/// without recording four million spans. Not part of the API proper.
+#[doc(hidden)]
+pub fn set_recorder_cap_for_tests(cap: usize) {
+    recorder().cap = cap;
+}
+
+#[doc(hidden)]
+pub fn reset_recorder_cap_for_tests() {
+    recorder().cap = MAX_SPANS;
+}
+
+/// A copy of every span still buffered in memory, in recording order.
+/// With a streaming sink attached this is only the tail that has not yet
+/// been flushed to disk.
 #[must_use]
 pub fn spans_snapshot() -> Vec<SpanEvent> {
-    SPANS.lock().expect("span sink poisoned").clone()
+    recorder().spans.clone()
+}
+
+/// Cheap accounting snapshot of the span recorder (no span copies) —
+/// what `GET /v1/obs` and status displays read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderStatus {
+    /// Spans currently buffered in memory (with a streaming sink
+    /// attached, only the unflushed tail).
+    pub buffered: usize,
+    /// Largest buffer length observed since the last [`clear_spans`].
+    pub high_water: usize,
+    /// Drop threshold for the no-sink configuration.
+    pub cap: usize,
+}
+
+/// The recorder's current buffer accounting.
+#[must_use]
+pub fn recorder_status() -> RecorderStatus {
+    let rec = recorder();
+    RecorderStatus {
+        buffered: rec.spans.len(),
+        high_water: rec.high_water,
+        cap: rec.cap,
+    }
 }
 
 /// An open wall-time span; records itself on drop. A guard created while

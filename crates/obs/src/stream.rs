@@ -1,0 +1,479 @@
+//! Streaming sinks: a chunked Chrome-trace writer and periodic
+//! metrics-JSONL snapshots, for runs too long to buffer in memory.
+//!
+//! ## Chunked trace layout
+//!
+//! The writer keeps the file **valid, Perfetto-loadable JSON at every
+//! flush boundary**. On attach it writes the shared trace prefix (the
+//! `traceEvents` opening plus the two process-name metadata records —
+//! byte-identical to [`crate::chrome_trace_json`]) followed by the `]}`
+//! terminator. Each chunk flush then seeks back over the trailing two
+//! bytes and writes `,<event>,<event>,…]}` in one `write_all`. A SIGTERM
+//! between flushes therefore still yields a loadable trace, and the bytes
+//! at finalize are exactly what the in-memory serialiser would have
+//! produced for the same events.
+//!
+//! Spans *drain* into the sink: the recorder buffer empties whenever it
+//! reaches the chunk size, so peak memory is bounded by the chunk size
+//! regardless of run length and nothing is dropped. The in-memory cap
+//! stays as backpressure for the no-sink configuration only.
+//!
+//! ## Metrics snapshots
+//!
+//! [`metrics_tick`] stamps the registry to a JSONL file at a fixed
+//! virtual-clock interval (one line per metric per snapshot, each carrying
+//! a `"t"` field), with histogram buckets downsampled via
+//! [`crate::HistogramSnapshot::downsample`]. Timestamps ride the
+//! *virtual* clock so replays of the same trace produce the same series.
+//!
+//! Sink self-metrics: `obs.sink.flushes`, `obs.sink.bytes_written`,
+//! `obs.sink.events_written`, `obs.sink.write_errors`,
+//! `obs.sink.metrics_snapshots`, and the recorder's
+//! `obs.recorder.buffer_high_water` gauge.
+
+use ones_sync::atomic::{AtomicU64, Ordering};
+use ones_sync::{LazyLock, Mutex};
+use std::fs::File;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::export::{metrics_jsonl_at, push_trace_event, ExportError, TRACE_PREFIX};
+use crate::span::{recorder, SpanEvent};
+
+/// Default chunk size for the streaming trace writer: small enough to
+/// bound the recorder to a few MB, large enough that flush syscalls are
+/// noise next to serialisation.
+pub const DEFAULT_TRACE_CHUNK_EVENTS: usize = 65_536;
+
+/// Default virtual-time spacing between streamed metrics snapshots.
+pub const DEFAULT_METRICS_INTERVAL_SECS: f64 = 300.0;
+
+/// Default histogram bucket budget for streamed snapshots (the quantile
+/// edges survive downsampling, see
+/// [`crate::HistogramSnapshot::downsample`]).
+pub const DEFAULT_METRICS_MAX_BUCKETS: usize = 10;
+
+static FLUSHES: LazyLock<&'static crate::Counter> =
+    LazyLock::new(|| crate::counter("obs.sink.flushes"));
+static BYTES_WRITTEN: LazyLock<&'static crate::Counter> =
+    LazyLock::new(|| crate::counter("obs.sink.bytes_written"));
+static EVENTS_WRITTEN: LazyLock<&'static crate::Counter> =
+    LazyLock::new(|| crate::counter("obs.sink.events_written"));
+static WRITE_ERRORS: LazyLock<&'static crate::Counter> =
+    LazyLock::new(|| crate::counter("obs.sink.write_errors"));
+static METRICS_SNAPSHOTS: LazyLock<&'static crate::Counter> =
+    LazyLock::new(|| crate::counter("obs.sink.metrics_snapshots"));
+
+/// The streaming half of the span recorder (held inside the recorder
+/// mutex, see [`crate::span`]).
+#[derive(Debug)]
+pub(crate) struct TraceSink {
+    file: File,
+    /// Path of the file currently being appended to.
+    path: PathBuf,
+    /// Path the sink was attached with; rotations derive siblings from it.
+    base: PathBuf,
+    chunk_events: usize,
+    rotations: u32,
+    events_written: u64,
+}
+
+/// A point-in-time description of the attached trace sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSinkStatus {
+    /// File currently being appended to.
+    pub path: PathBuf,
+    /// Buffered events per flushed chunk.
+    pub chunk_events: usize,
+    /// Events flushed to this sink since attach (across rotations).
+    pub events_written: u64,
+    /// Completed [`rotate_trace_sink`] calls.
+    pub rotations: u32,
+}
+
+impl TraceSink {
+    fn open(
+        path: &Path,
+        base: &Path,
+        chunk_events: usize,
+        rotations: u32,
+    ) -> std::io::Result<Self> {
+        let mut file = File::create(path)?;
+        let mut header = String::with_capacity(TRACE_PREFIX.len() + 2);
+        header.push_str(TRACE_PREFIX);
+        header.push_str("]}");
+        file.write_all(header.as_bytes())?;
+        BYTES_WRITTEN.add(header.len() as u64);
+        Ok(TraceSink {
+            file,
+            path: path.to_path_buf(),
+            base: base.to_path_buf(),
+            chunk_events: chunk_events.max(1),
+            rotations,
+            events_written: 0,
+        })
+    }
+
+    pub(crate) fn chunk_events(&self) -> usize {
+        self.chunk_events
+    }
+
+    /// Appends `events` before the trailing `]}` terminator in one write.
+    pub(crate) fn write_chunk(&mut self, events: &[SpanEvent]) -> std::io::Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut buf = String::with_capacity(events.len() * 160 + 2);
+        for event in events {
+            buf.push(',');
+            push_trace_event(&mut buf, event);
+        }
+        buf.push_str("]}");
+        self.file.seek(SeekFrom::End(-2))?;
+        self.file.write_all(buf.as_bytes())?;
+        self.events_written += events.len() as u64;
+        FLUSHES.inc();
+        BYTES_WRITTEN.add(buf.len() as u64);
+        EVENTS_WRITTEN.add(events.len() as u64);
+        Ok(())
+    }
+}
+
+/// An io error from a mid-run chunk flush, surfaced at the next
+/// `flush`/`finalize` call (the recording hot path cannot return it).
+static PENDING_TRACE_ERROR: Mutex<Option<ExportError>> = Mutex::new(None);
+
+/// Detaches a sink that failed to write: counts the error, stashes it for
+/// [`finalize_trace_sink`], and falls the recorder back to the capped
+/// in-memory mode.
+pub(crate) fn note_sink_error(sink: &mut Option<TraceSink>, source: std::io::Error) {
+    WRITE_ERRORS.inc();
+    if let Some(s) = sink.take() {
+        let mut pending = PENDING_TRACE_ERROR
+            .lock()
+            .expect("sink error slot poisoned");
+        pending.get_or_insert(ExportError {
+            path: s.path,
+            source,
+        });
+    }
+}
+
+fn take_pending_trace_error() -> Option<ExportError> {
+    PENDING_TRACE_ERROR
+        .lock()
+        .expect("sink error slot poisoned")
+        .take()
+}
+
+/// Attaches a chunked Chrome-trace sink at `path`: the recorder drains
+/// into it in `chunk_events`-sized chunks and the file is valid JSON at
+/// every flush boundary. Replaces (and finalizes) any previously attached
+/// sink; spans already buffered in memory are carried over into the new
+/// stream.
+pub fn attach_trace_sink(path: impl AsRef<Path>, chunk_events: usize) -> Result<(), ExportError> {
+    let path = path.as_ref();
+    let sink = TraceSink::open(path, path, chunk_events, 0).map_err(|source| ExportError {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let mut rec = recorder();
+    let previous = rec.sink.replace(sink);
+    drop(rec);
+    if let Some(previous) = previous {
+        // The old stream ends here; it keeps the events it already has
+        // (buffered spans continue into the new stream instead).
+        let _ = previous.file.sync_all();
+    }
+    Ok(())
+}
+
+/// Whether a streaming trace sink is currently attached.
+#[must_use]
+pub fn trace_sink_attached() -> bool {
+    recorder().sink.is_some()
+}
+
+/// The attached trace sink's path and progress, if any.
+#[must_use]
+pub fn trace_sink_status() -> Option<TraceSinkStatus> {
+    recorder().sink.as_ref().map(|s| TraceSinkStatus {
+        path: s.path.clone(),
+        chunk_events: s.chunk_events,
+        events_written: s.events_written,
+        rotations: s.rotations,
+    })
+}
+
+/// Forces the buffered spans out to the attached trace sink (no-op
+/// without one). Returns whether a sink was attached.
+pub fn flush_trace_sink() -> Result<bool, ExportError> {
+    let mut rec = recorder();
+    let rec = &mut *rec;
+    let Some(sink) = rec.sink.as_mut() else {
+        return match take_pending_trace_error() {
+            Some(err) => Err(err),
+            None => Ok(false),
+        };
+    };
+    match sink.write_chunk(&rec.spans) {
+        Ok(()) => {
+            rec.spans.clear();
+            Ok(true)
+        }
+        Err(source) => {
+            note_sink_error(&mut rec.sink, source);
+            Err(take_pending_trace_error().expect("error just noted"))
+        }
+    }
+}
+
+/// Flushes the remaining buffered spans, syncs, and detaches the sink.
+/// Returns the finalized file's path, or `None` when no sink was attached
+/// (surfacing any error a mid-run flush deferred).
+pub fn finalize_trace_sink() -> Result<Option<PathBuf>, ExportError> {
+    let mut rec = recorder();
+    let rec = &mut *rec;
+    let Some(mut sink) = rec.sink.take() else {
+        return match take_pending_trace_error() {
+            Some(err) => Err(err),
+            None => Ok(None),
+        };
+    };
+    let result = sink
+        .write_chunk(&rec.spans)
+        .and_then(|()| sink.file.sync_all());
+    rec.spans.clear();
+    match result {
+        Ok(()) => Ok(Some(sink.path)),
+        Err(source) => {
+            WRITE_ERRORS.inc();
+            Err(ExportError {
+                path: sink.path,
+                source,
+            })
+        }
+    }
+}
+
+/// `trace.json` → `trace.1.json` (or `trace` → `trace.1`).
+fn rotated_path(base: &Path, n: u32) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let name = match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}.{n}.{ext}"),
+        None => format!("{stem}.{n}"),
+    };
+    base.with_file_name(name)
+}
+
+/// Rotates the attached trace sink: flushes and finalizes the current
+/// file in place, then continues streaming into a numbered sibling
+/// (`trace.json`, `trace.1.json`, `trace.2.json`, … in time order). Every
+/// finalized file is independently Perfetto-loadable. Returns the path of
+/// the file just finalized, or `None` when no sink is attached.
+pub fn rotate_trace_sink() -> Result<Option<PathBuf>, ExportError> {
+    let mut rec = recorder();
+    let rec = &mut *rec;
+    let Some(mut sink) = rec.sink.take() else {
+        return Ok(None);
+    };
+    let sealed = sink
+        .write_chunk(&rec.spans)
+        .and_then(|()| sink.file.sync_all())
+        .map_err(|source| ExportError {
+            path: sink.path.clone(),
+            source,
+        });
+    rec.spans.clear();
+    sealed?;
+    let rotations = sink.rotations + 1;
+    let next_path = rotated_path(&sink.base, rotations);
+    let mut next = TraceSink::open(&next_path, &sink.base, sink.chunk_events, rotations).map_err(
+        |source| ExportError {
+            path: next_path.clone(),
+            source,
+        },
+    )?;
+    next.events_written = sink.events_written;
+    rec.sink = Some(next);
+    Ok(Some(sink.path))
+}
+
+// ---------------------------------------------------------------------
+// Periodic metrics snapshots
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct MetricsSink {
+    file: File,
+    path: PathBuf,
+    interval_secs: f64,
+    max_buckets: usize,
+    snapshots: u64,
+    next_due_secs: f64,
+}
+
+/// A point-in-time description of the attached metrics sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSinkStatus {
+    /// JSONL file being appended to.
+    pub path: PathBuf,
+    /// Virtual-clock seconds between snapshots.
+    pub interval_secs: f64,
+    /// Histogram bucket budget per streamed line.
+    pub max_buckets: usize,
+    /// Snapshots written since attach.
+    pub snapshots: u64,
+}
+
+static METRICS_SINK: Mutex<Option<MetricsSink>> = Mutex::new(None);
+
+/// `f64::INFINITY.to_bits()`: the "no snapshot due" sentinel for the
+/// lock-free deadline pre-check.
+const NEVER_DUE_BITS: u64 = 0x7ff0_0000_0000_0000;
+
+static NEXT_DUE_BITS: AtomicU64 = AtomicU64::new(NEVER_DUE_BITS);
+
+/// Attaches a periodic metrics-JSONL sink: every `interval_secs` of
+/// virtual time (measured at [`metrics_tick`] call sites), the full
+/// registry is appended as one snapshot — one line per metric, each with
+/// a `"t"` field and histograms downsampled to `max_buckets`. The first
+/// snapshot is written by the first tick.
+pub fn attach_metrics_sink(
+    path: impl AsRef<Path>,
+    interval_secs: f64,
+    max_buckets: usize,
+) -> Result<(), ExportError> {
+    let path = path.as_ref();
+    let file = File::create(path).map_err(|source| ExportError {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let mut guard = METRICS_SINK.lock().expect("metrics sink poisoned");
+    *guard = Some(MetricsSink {
+        file,
+        path: path.to_path_buf(),
+        interval_secs: interval_secs.max(0.0),
+        max_buckets: max_buckets.max(1),
+        snapshots: 0,
+        next_due_secs: 0.0,
+    });
+    // relaxed: the deadline is a hint re-checked under the sink mutex;
+    // a stale read only delays or duplicates one cheap due-check.
+    NEXT_DUE_BITS.store(0.0f64.to_bits(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Whether a streaming metrics sink is currently attached.
+#[must_use]
+pub fn metrics_sink_attached() -> bool {
+    METRICS_SINK
+        .lock()
+        .expect("metrics sink poisoned")
+        .is_some()
+}
+
+/// The attached metrics sink's path and progress, if any.
+#[must_use]
+pub fn metrics_sink_status() -> Option<MetricsSinkStatus> {
+    METRICS_SINK
+        .lock()
+        .expect("metrics sink poisoned")
+        .as_ref()
+        .map(|s| MetricsSinkStatus {
+            path: s.path.clone(),
+            interval_secs: s.interval_secs,
+            max_buckets: s.max_buckets,
+            snapshots: s.snapshots,
+        })
+}
+
+/// Offers the current virtual time to the metrics sink; a snapshot is
+/// appended when the interval has elapsed. Cheap enough for event loops:
+/// one relaxed atomic load when nothing is due (or no sink is attached).
+#[inline]
+pub fn metrics_tick(now_secs: f64) {
+    // relaxed: monotone deadline pre-check only; writers re-check and
+    // advance the deadline under the sink mutex.
+    if now_secs < f64::from_bits(NEXT_DUE_BITS.load(Ordering::Relaxed)) {
+        return;
+    }
+    let _ = write_metrics_snapshot(now_secs, false);
+}
+
+/// Appends a snapshot immediately, regardless of the interval (the
+/// `POST /v1/obs` flush action and finalization use this).
+pub fn force_metrics_snapshot(now_secs: f64) -> Result<bool, ExportError> {
+    write_metrics_snapshot(now_secs, true)
+}
+
+fn write_metrics_snapshot(now_secs: f64, force: bool) -> Result<bool, ExportError> {
+    let mut guard = METRICS_SINK.lock().expect("metrics sink poisoned");
+    let Some(sink) = guard.as_mut() else {
+        return Ok(false);
+    };
+    if !force && now_secs < sink.next_due_secs {
+        return Ok(false);
+    }
+    let block = metrics_jsonl_at(Some(now_secs), Some(sink.max_buckets));
+    let result = sink.file.write_all(block.as_bytes());
+    match result {
+        Ok(()) => {
+            sink.snapshots += 1;
+            sink.next_due_secs = now_secs + sink.interval_secs;
+            // relaxed: hint only, see attach_metrics_sink.
+            NEXT_DUE_BITS.store(sink.next_due_secs.to_bits(), Ordering::Relaxed);
+            METRICS_SNAPSHOTS.inc();
+            BYTES_WRITTEN.add(block.len() as u64);
+            Ok(true)
+        }
+        Err(source) => {
+            WRITE_ERRORS.inc();
+            let path = sink.path.clone();
+            *guard = None;
+            // relaxed: hint only, see attach_metrics_sink.
+            NEXT_DUE_BITS.store(NEVER_DUE_BITS, Ordering::Relaxed);
+            Err(ExportError { path, source })
+        }
+    }
+}
+
+/// Writes a final snapshot at `now_secs`, syncs, and detaches the metrics
+/// sink. Returns the file's path, or `None` when no sink was attached.
+pub fn finalize_metrics_sink(now_secs: f64) -> Result<Option<PathBuf>, ExportError> {
+    let mut guard = METRICS_SINK.lock().expect("metrics sink poisoned");
+    let Some(mut sink) = guard.take() else {
+        return Ok(None);
+    };
+    // relaxed: hint only, see attach_metrics_sink.
+    NEXT_DUE_BITS.store(NEVER_DUE_BITS, Ordering::Relaxed);
+    let block = metrics_jsonl_at(Some(now_secs), Some(sink.max_buckets));
+    sink.file
+        .write_all(block.as_bytes())
+        .and_then(|()| sink.file.sync_all())
+        .map_err(|source| ExportError {
+            path: sink.path.clone(),
+            source,
+        })?;
+    METRICS_SNAPSHOTS.inc();
+    BYTES_WRITTEN.add(block.len() as u64);
+    Ok(Some(sink.path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotated_paths_number_siblings() {
+        assert_eq!(
+            rotated_path(Path::new("/tmp/trace.json"), 1),
+            Path::new("/tmp/trace.1.json")
+        );
+        assert_eq!(
+            rotated_path(Path::new("/tmp/trace.json"), 2),
+            Path::new("/tmp/trace.2.json")
+        );
+        assert_eq!(rotated_path(Path::new("trace"), 1), Path::new("trace.1"));
+    }
+}

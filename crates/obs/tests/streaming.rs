@@ -1,0 +1,322 @@
+//! Streaming-sink tests: byte-equivalence between the in-memory and
+//! chunked Chrome-trace writers, crash-safe mid-stream validity, the
+//! drain-vs-drop recorder accounting, rotation, and the periodic
+//! metrics-JSONL snapshots with downsampled histograms.
+//!
+//! These run in their own process (integration test binary), so flipping
+//! the process-global level and attaching process-global sinks here
+//! cannot disturb other test binaries.
+
+use ones_sync::Mutex;
+use serde_json::Value;
+use std::path::PathBuf;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> ones_sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(ones_sync::PoisonError::into_inner)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ones-obs-streaming-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn counter_value(key: &'static str) -> u64 {
+    ones_obs::counter(key).value()
+}
+
+/// A deterministic batch of virtual-clock events.
+fn fixture_events(n: usize) -> Vec<ones_obs::SpanEvent> {
+    ones_obs::set_level(ones_obs::ObsLevel::Full);
+    ones_obs::reset();
+    for i in 0..n {
+        let t = i as f64;
+        ones_obs::virtual_span(
+            "epoch",
+            "simulator",
+            (i % 7) as u64,
+            t,
+            t + 0.5,
+            vec![("batch", (64 + i as u64).into())],
+        );
+        ones_obs::virtual_instant("deploy", "simulator", (i % 3) as u64, t + 0.25, vec![]);
+    }
+    ones_obs::spans_snapshot()
+}
+
+#[test]
+fn chunked_writer_is_byte_equivalent_to_in_memory() {
+    let _g = lock();
+    let events = fixture_events(100);
+    let in_memory = ones_obs::chrome_trace_json();
+
+    // Replay the exact same events through a chunked sink with a chunk
+    // size that forces many partial flushes plus a non-empty tail.
+    ones_obs::clear_spans();
+    let path = temp_path("equiv.json");
+    ones_obs::attach_trace_sink(&path, 7).unwrap();
+    for event in events {
+        ones_obs::record_event(event);
+    }
+    ones_obs::finalize_trace_sink().unwrap();
+    let streamed = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        streamed, in_memory,
+        "chunked file must be byte-identical to the in-memory serialisation"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn file_is_valid_json_at_every_flush_boundary() {
+    let _g = lock();
+    ones_obs::set_level(ones_obs::ObsLevel::Full);
+    ones_obs::reset();
+    let path = temp_path("midstream.json");
+    ones_obs::attach_trace_sink(&path, 5).unwrap();
+
+    // 12 events: two full chunks flushed, two still buffered.
+    for i in 0..12u64 {
+        ones_obs::virtual_instant("mark", "obs.test", i, i as f64, vec![]);
+    }
+    let mid: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap())
+        .expect("file must parse without finalize — this is the crash-safety guarantee");
+    let mid_events = mid.get("traceEvents").and_then(Value::as_array).unwrap();
+    // 2 metadata records + 10 flushed events; the buffered tail is absent.
+    assert_eq!(mid_events.len(), 12);
+
+    ones_obs::finalize_trace_sink().unwrap();
+    let done: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(
+        done.get("traceEvents")
+            .and_then(Value::as_array)
+            .unwrap()
+            .len(),
+        14
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn attached_sink_drains_instead_of_dropping_past_the_cap() {
+    let _g = lock();
+    ones_obs::set_level(ones_obs::ObsLevel::Full);
+    ones_obs::reset();
+    ones_obs::set_recorder_cap_for_tests(10);
+    let path = temp_path("drain.json");
+    ones_obs::attach_trace_sink(&path, 8).unwrap();
+
+    let recorded_before = counter_value("obs.recorder.recorded_spans");
+    let dropped_before = counter_value("obs.recorder.dropped_spans");
+    let written_before = counter_value("obs.sink.events_written");
+    for i in 0..1000u64 {
+        ones_obs::virtual_instant("mark", "obs.test", 0, i as f64, vec![]);
+    }
+    ones_obs::finalize_trace_sink().unwrap();
+    ones_obs::reset_recorder_cap_for_tests();
+
+    let recorded = counter_value("obs.recorder.recorded_spans") - recorded_before;
+    let dropped = counter_value("obs.recorder.dropped_spans") - dropped_before;
+    let written = counter_value("obs.sink.events_written") - written_before;
+    assert_eq!(recorded, 1000);
+    assert_eq!(dropped, 0, "a draining sink must never drop");
+    assert_eq!(
+        written + dropped,
+        recorded,
+        "emitted + dropped must equal recorded"
+    );
+    // Peak buffer stays at the chunk size, far below the cap.
+    let high_water = ones_obs::gauge("obs.recorder.buffer_high_water").value();
+    assert!(high_water <= 8.0, "high water {high_water} exceeds chunk");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn no_sink_configuration_keeps_the_cap_and_accounts_for_drops() {
+    let _g = lock();
+    ones_obs::set_level(ones_obs::ObsLevel::Full);
+    ones_obs::reset();
+    ones_obs::set_recorder_cap_for_tests(10);
+
+    let recorded_before = counter_value("obs.recorder.recorded_spans");
+    let dropped_before = counter_value("obs.recorder.dropped_spans");
+    for i in 0..25u64 {
+        ones_obs::virtual_instant("mark", "obs.test", 0, i as f64, vec![]);
+    }
+    let buffered = ones_obs::spans_snapshot().len() as u64;
+    let recorded = counter_value("obs.recorder.recorded_spans") - recorded_before;
+    let dropped = counter_value("obs.recorder.dropped_spans") - dropped_before;
+    ones_obs::reset_recorder_cap_for_tests();
+    ones_obs::clear_spans();
+
+    assert_eq!((buffered, dropped, recorded), (10, 15, 25));
+    assert_eq!(
+        buffered + dropped,
+        recorded,
+        "emitted + dropped must equal recorded"
+    );
+}
+
+#[test]
+fn rotation_seals_each_file_independently() {
+    let _g = lock();
+    ones_obs::set_level(ones_obs::ObsLevel::Full);
+    ones_obs::reset();
+    let path = temp_path("rotate.json");
+    ones_obs::attach_trace_sink(&path, 4).unwrap();
+    for i in 0..6u64 {
+        ones_obs::virtual_instant("m", "obs.test", 0, i as f64, vec![]);
+    }
+    let sealed = ones_obs::rotate_trace_sink().unwrap().unwrap();
+    assert_eq!(sealed, path);
+    for i in 6..9u64 {
+        ones_obs::virtual_instant("m", "obs.test", 0, i as f64, vec![]);
+    }
+    let status = ones_obs::trace_sink_status().unwrap();
+    assert_eq!(status.rotations, 1);
+    let second = status.path.clone();
+    assert_ne!(second, path);
+    ones_obs::finalize_trace_sink().unwrap();
+
+    let first: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let next: Value = serde_json::from_str(&std::fs::read_to_string(&second).unwrap()).unwrap();
+    // 2 metadata + 6 events, then 2 metadata + 3 events.
+    assert_eq!(
+        first
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .unwrap()
+            .len(),
+        8
+    );
+    assert_eq!(
+        next.get("traceEvents")
+            .and_then(Value::as_array)
+            .unwrap()
+            .len(),
+        5
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&second);
+}
+
+#[test]
+fn metrics_snapshots_stream_at_the_interval_and_downsample() {
+    let _g = lock();
+    ones_obs::set_level(ones_obs::ObsLevel::Counters);
+    ones_obs::reset();
+    let h = ones_obs::histogram("obs.test.stream_hist");
+    for i in 1..=1000 {
+        h.observe(f64::from(i) * 37.0);
+    }
+    let path = temp_path("metrics.jsonl");
+    ones_obs::attach_metrics_sink(&path, 10.0, 6).unwrap();
+    ones_obs::metrics_tick(0.0); // due immediately
+    ones_obs::metrics_tick(5.0); // not due
+    ones_obs::metrics_tick(10.0); // due
+    ones_obs::finalize_metrics_sink(12.0).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut stamps = std::collections::BTreeSet::new();
+    let mut hist_lines = 0;
+    for line in text.lines() {
+        let v: Value = serde_json::from_str(line).expect("valid JSONL line");
+        let t = v
+            .get("t")
+            .and_then(Value::as_f64)
+            .expect("every streamed line carries t");
+        stamps.insert(t.to_bits());
+        if v.get("key").and_then(Value::as_str) == Some("obs.test.stream_hist") {
+            hist_lines += 1;
+            let buckets = v.get("buckets").and_then(Value::as_array).unwrap();
+            assert!(
+                buckets.len() <= 6,
+                "downsampled line has {} buckets",
+                buckets.len()
+            );
+            assert_eq!(
+                buckets.last().unwrap().get("le").and_then(Value::as_str),
+                Some("+Inf")
+            );
+        }
+    }
+    assert_eq!(
+        stamps.len(),
+        3,
+        "expected snapshots at t=0, t=10 and the final t=12"
+    );
+    assert_eq!(hist_lines, 3);
+    assert!(!ones_obs::metrics_sink_attached());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Re-interpolates a quantile from a (possibly downsampled) cumulative
+/// bucket array, mirroring the rule in `Histogram::snapshot`.
+fn quantile_from_buckets(s: &ones_obs::HistogramSnapshot, q: f64) -> f64 {
+    if s.count == 0 {
+        return 0.0;
+    }
+    let target = q * s.count as f64;
+    let mut seen = 0.0f64;
+    let mut lo = s.min;
+    for (i, &(bound, cum)) in s.buckets.iter().enumerate() {
+        let c = cum as f64 - seen;
+        let hi = if bound.is_finite() { bound } else { s.max };
+        if c > 0.0 {
+            if cum as f64 >= target {
+                let frac = ((target - seen) / c).clamp(0.0, 1.0);
+                return (lo + frac * (hi - lo)).clamp(s.min, s.max);
+            }
+            seen = cum as f64;
+        }
+        let _ = i;
+        lo = hi;
+    }
+    s.max
+}
+
+#[test]
+fn downsampled_quantiles_stay_within_one_bucket_of_exact() {
+    let _g = lock();
+    ones_obs::set_level(ones_obs::ObsLevel::Counters);
+    ones_obs::reset();
+    let h = ones_obs::histogram("obs.test.downsample_hist");
+    // A heavy-tailed spread across many of the 1–2–5 buckets.
+    for i in 1..=5000u32 {
+        h.observe(f64::from(i) * f64::from(i) * 0.01);
+    }
+    let full = h.snapshot();
+    for max_buckets in [4usize, 6, 8, 12] {
+        let down = full.downsample(max_buckets);
+        assert!(down.buckets.len() <= max_buckets.max(7));
+        for (q, exact) in [(0.50, full.p50), (0.95, full.p95), (0.99, full.p99)] {
+            let approx = quantile_from_buckets(&down, q);
+            // The containing bucket's width bounds the error; keeping both
+            // of its edges makes the estimate exact, which is stricter.
+            let containing_width = containing_bucket_width(&full, exact);
+            assert!(
+                (approx - exact).abs() <= containing_width,
+                "q{q}: approx {approx} vs exact {exact} (width {containing_width})"
+            );
+            assert!(
+                (approx - exact).abs() < 1e-9,
+                "edge-preserving downsampling should reproduce q{q} exactly"
+            );
+        }
+    }
+}
+
+fn containing_bucket_width(s: &ones_obs::HistogramSnapshot, v: f64) -> f64 {
+    let mut lo = s.min;
+    for &(bound, _) in &s.buckets {
+        let hi = if bound.is_finite() { bound } else { s.max };
+        if v <= hi {
+            return (hi - lo).abs().max(1e-12);
+        }
+        lo = hi;
+    }
+    (s.max - lo).abs().max(1e-12)
+}

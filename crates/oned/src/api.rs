@@ -289,6 +289,128 @@ pub struct ConfigReply {
     pub paused: bool,
 }
 
+/// `POST /v1/obs` body: live observability control. Every key is
+/// optional; an empty object is a no-op that still returns the current
+/// level.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ObsRequest {
+    /// New observability level: `off`, `counters` or `full`.
+    pub level: Option<String>,
+    /// Flush buffered spans through the attached streaming trace sink.
+    pub flush_trace: Option<bool>,
+    /// Finalize the current trace file and continue streaming into a
+    /// numbered sibling (`trace.json` → `trace.1.json`).
+    pub rotate_trace: Option<bool>,
+    /// Append a metrics snapshot to the streaming metrics sink now.
+    pub metrics_snapshot: Option<bool>,
+}
+
+impl Deserialize for ObsRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(obj) = value else {
+            return Err(DeError::custom(format!(
+                "expected obs object, got {}",
+                value.kind()
+            )));
+        };
+        Ok(ObsRequest {
+            level: opt_field(obj, "level")?,
+            flush_trace: opt_field(obj, "flush_trace")?,
+            rotate_trace: opt_field(obj, "rotate_trace")?,
+            metrics_snapshot: opt_field(obj, "metrics_snapshot")?,
+        })
+    }
+}
+
+/// `POST /v1/obs` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsReply {
+    /// Observability level after the request.
+    pub level: String,
+    /// Whether buffered spans were flushed through an attached sink.
+    pub flushed: bool,
+    /// Path of the trace file sealed by a rotation, if one happened.
+    pub rotated_to: Option<String>,
+    /// Whether a metrics snapshot was appended.
+    pub snapshotted: bool,
+    /// Errors from individual actions (the rest still apply).
+    pub errors: Vec<String>,
+}
+
+/// Streaming trace sink slice of `GET /v1/obs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSinkView {
+    /// File currently being appended to.
+    pub path: String,
+    /// Buffered events per flushed chunk.
+    pub chunk_events: u64,
+    /// Events flushed to this sink since attach (across rotations).
+    pub events_written: u64,
+    /// Completed rotations.
+    pub rotations: u64,
+}
+
+/// Streaming metrics sink slice of `GET /v1/obs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSinkView {
+    /// JSONL file being appended to.
+    pub path: String,
+    /// Virtual-clock seconds between snapshots.
+    pub interval_secs: f64,
+    /// Histogram bucket budget per streamed line.
+    pub max_buckets: u64,
+    /// Snapshots written since attach.
+    pub snapshots: u64,
+}
+
+/// `GET /v1/obs` body: the recorder's conservation accounting
+/// (`written + buffered + dropped == recorded`) plus sink progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsStatusResponse {
+    /// Current observability level.
+    pub level: String,
+    /// Spans ever recorded by this process.
+    pub recorded_spans: u64,
+    /// Spans dropped past the in-memory cap (no-sink configuration).
+    pub dropped_spans: u64,
+    /// Spans currently buffered in memory.
+    pub buffered_spans: u64,
+    /// Largest in-memory buffer length observed.
+    pub buffer_high_water: u64,
+    /// Spans flushed to streaming trace sinks.
+    pub events_written: u64,
+    /// The attached streaming trace sink, if any.
+    pub trace_sink: Option<TraceSinkView>,
+    /// The attached streaming metrics sink, if any.
+    pub metrics_sink: Option<MetricsSinkView>,
+}
+
+/// Snapshot of the process-wide observability state.
+#[must_use]
+pub fn obs_status() -> ObsStatusResponse {
+    let recorder = ones_obs::recorder_status();
+    ObsStatusResponse {
+        level: ones_obs::level().name().to_string(),
+        recorded_spans: ones_obs::counter("obs.recorder.recorded_spans").value(),
+        dropped_spans: ones_obs::counter("obs.recorder.dropped_spans").value(),
+        buffered_spans: recorder.buffered as u64,
+        buffer_high_water: recorder.high_water as u64,
+        events_written: ones_obs::counter("obs.sink.events_written").value(),
+        trace_sink: ones_obs::trace_sink_status().map(|s| TraceSinkView {
+            path: s.path.display().to_string(),
+            chunk_events: s.chunk_events as u64,
+            events_written: s.events_written,
+            rotations: u64::from(s.rotations),
+        }),
+        metrics_sink: ones_obs::metrics_sink_status().map(|s| MetricsSinkView {
+            path: s.path.display().to_string(),
+            interval_secs: s.interval_secs,
+            max_buckets: s.max_buckets as u64,
+            snapshots: s.snapshots,
+        }),
+    }
+}
+
 /// `POST /v1/drain` reply.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DrainReply {
@@ -358,6 +480,25 @@ mod tests {
 
         assert!(serde_json::from_str::<ConfigRequest>("[3]").is_err());
         assert!(serde_json::from_str::<ConfigRequest>(r#"{"population": "x"}"#).is_err());
+    }
+
+    #[test]
+    fn obs_request_tolerates_partial_bodies() {
+        let req: ObsRequest = serde_json::from_str(r#"{"level": "full"}"#).unwrap();
+        assert_eq!(req.level.as_deref(), Some("full"));
+        assert_eq!(req.flush_trace, None);
+        assert_eq!(req.metrics_snapshot, None);
+
+        let req: ObsRequest =
+            serde_json::from_str(r#"{"rotate_trace": true, "level": null}"#).unwrap();
+        assert_eq!(req.rotate_trace, Some(true));
+        assert_eq!(req.level, None);
+
+        let req: ObsRequest = serde_json::from_str("{}").unwrap();
+        assert_eq!(req, ObsRequest::default());
+
+        assert!(serde_json::from_str::<ObsRequest>("[]").is_err());
+        assert!(serde_json::from_str::<ObsRequest>(r#"{"flush_trace": "yes"}"#).is_err());
     }
 
     #[test]

@@ -30,6 +30,9 @@ fn usage() -> ! {
          \tconfig [--generations N] [--population N] [--mutation-rate F]\n\
          \t       [--crossover-pairs N] [--pause true|false]\n\
          \tdrain\t\trefuse new jobs, finish in-flight ones\n\
+         \tobs [--level off|counters|full] [--flush-trace true]\n\
+         \t    [--rotate-trace true] [--snapshot true]\n\
+         \t    \t\tshow (no flags) or change observability state\n\
          \tmetrics\t\tPrometheus text exposition\n\
          \thealth\t\tliveness probe"
     );
@@ -125,6 +128,25 @@ fn main() {
             client.post("/v1/config", &format!("{{{}}}", fields.join(", ")))
         }
         "drain" => client.post("/v1/drain", "{}"),
+        "obs" => {
+            let mut fields = Vec::new();
+            if let Some(level) = args.get("level") {
+                fields.push(format!("\"level\": \"{level}\""));
+            }
+            let mut push_bool = |wire: &str, flag: &str| {
+                if let Some(v) = args.get(flag) {
+                    fields.push(format!("\"{wire}\": {v}"));
+                }
+            };
+            push_bool("flush_trace", "flush-trace");
+            push_bool("rotate_trace", "rotate-trace");
+            push_bool("metrics_snapshot", "snapshot");
+            if fields.is_empty() {
+                client.get("/v1/obs")
+            } else {
+                client.post("/v1/obs", &format!("{{{}}}", fields.join(", ")))
+            }
+        }
         "metrics" => client.get("/metrics"),
         "health" => client.get("/healthz"),
         _ => usage(),

@@ -27,14 +27,21 @@ fn usage() -> ! {
          \t[--jobs N] [--rate-secs SECONDS] [--seed N] [--kill-fraction F]\n\
          \t[--paused] [--step-delay-ms MS] [--events-per-batch N]\n\
          \t[--obs off|counters|full] [--trace-out FILE] [--metrics-out FILE]\n\
+         \t[--trace-chunk-events N] [--metrics-interval SECS]\n\
          \n\
          Serves the ONES scheduler control plane on 127.0.0.1 (port 0 =\n\
          ephemeral; the chosen address is printed on stdout). With a\n\
          --trace-source other than `none` the daemon preloads that trace\n\
          and replays it; jobs can always be added live via POST /v1/jobs.\n\
          --step-delay-ms throttles virtual time so wall-clock observers\n\
-         can watch a replay. On SIGTERM/SIGINT the daemon drains in-flight\n\
-         requests, flushes --trace-out/--metrics-out and exits 0."
+         can watch a replay. --trace-out streams spans to disk in\n\
+         --trace-chunk-events chunks (default 65536; 0 keeps the trace in\n\
+         memory until exit) and --metrics-out appends a snapshot every\n\
+         --metrics-interval virtual seconds (default 300; 0 writes once at\n\
+         exit); GET/POST /v1/obs inspects and controls both live. On\n\
+         SIGTERM/SIGINT the daemon drains in-flight requests, finalizes\n\
+         --trace-out/--metrics-out and exits 0; a chunk-streamed trace\n\
+         file is valid JSON even if the daemon is killed outright."
     );
     std::process::exit(2);
 }
@@ -148,6 +155,39 @@ fn main() {
     };
     ones_obs::set_level(obs_level);
 
+    // Streaming sinks (DESIGN.md §5): attach before serving so spans and
+    // metrics stream to disk as the daemon runs. Chunked trace files are
+    // valid JSON at every flush, so even SIGKILL loses at most the
+    // unflushed tail.
+    let chunk_events = args
+        .get("trace-chunk-events")
+        .map(|v| v.parse::<usize>().unwrap_or_else(|_| usage()))
+        .unwrap_or(ones_obs::DEFAULT_TRACE_CHUNK_EVENTS);
+    let metrics_interval = get("metrics-interval", ones_obs::DEFAULT_METRICS_INTERVAL_SECS);
+    if metrics_interval < 0.0 {
+        usage();
+    }
+    if let Some(path) = args.get("trace-out") {
+        if chunk_events > 0 {
+            if let Err(e) = ones_obs::attach_trace_sink(path, chunk_events) {
+                eprintln!("cannot open trace sink: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = args.get("metrics-out") {
+        if metrics_interval > 0.0 {
+            if let Err(e) = ones_obs::attach_metrics_sink(
+                path,
+                metrics_interval,
+                ones_obs::DEFAULT_METRICS_MAX_BUCKETS,
+            ) {
+                eprintln!("cannot open metrics sink: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let trace = match &source {
         Some(source) => source.materialise().unwrap_or_else(|e| {
             eprintln!("{e}");
@@ -196,17 +236,32 @@ fn main() {
     }
 
     eprintln!("ones-d: shutdown requested, draining in-flight requests");
-    drop(handle.shutdown_and_wait());
+    let backend = handle.shutdown_and_wait();
+    let final_vt = backend.as_ref().map_or(0.0, |b| b.now_secs());
     if let Some(path) = args.get("trace-out") {
-        match ones_obs::write_chrome_trace(path) {
-            Ok(()) => eprintln!("ones-d: chrome trace written to {path}"),
-            Err(e) => eprintln!("ones-d: cannot write {path}: {e}"),
+        if ones_obs::trace_sink_attached() {
+            match ones_obs::finalize_trace_sink() {
+                Ok(_) => eprintln!("ones-d: chrome trace streamed to {path}"),
+                Err(e) => eprintln!("ones-d: cannot finalize {path}: {e}"),
+            }
+        } else {
+            match ones_obs::write_chrome_trace(path) {
+                Ok(()) => eprintln!("ones-d: chrome trace written to {path}"),
+                Err(e) => eprintln!("ones-d: cannot write {path}: {e}"),
+            }
         }
     }
     if let Some(path) = args.get("metrics-out") {
-        match ones_obs::write_metrics_jsonl(path) {
-            Ok(()) => eprintln!("ones-d: metrics snapshot written to {path}"),
-            Err(e) => eprintln!("ones-d: cannot write {path}: {e}"),
+        if ones_obs::metrics_sink_attached() {
+            match ones_obs::finalize_metrics_sink(final_vt) {
+                Ok(_) => eprintln!("ones-d: metrics series streamed to {path}"),
+                Err(e) => eprintln!("ones-d: cannot finalize {path}: {e}"),
+            }
+        } else {
+            match ones_obs::write_metrics_jsonl(path) {
+                Ok(()) => eprintln!("ones-d: metrics snapshot written to {path}"),
+                Err(e) => eprintln!("ones-d: cannot write {path}: {e}"),
+            }
         }
     }
     eprintln!("ones-d: stopped");

@@ -6,7 +6,7 @@
 //! stepping virtual time in bounded batches, republishing the shared
 //! [`ServiceState`] after every batch so readers stay close to live.
 
-use crate::api::{ConfigReply, ConfigRequest, JobView, SubmitReply};
+use crate::api::{ConfigReply, ConfigRequest, JobView, ObsReply, ObsRequest, SubmitReply};
 use crate::state::SharedState;
 use ones_simulator::{BackendEventKind, BackendPhase, ClusterBackend};
 use ones_sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
@@ -33,6 +33,16 @@ pub enum CoreMsg {
     Drain {
         /// Reply channel carrying the number of unfinished jobs.
         reply: SyncSender<u64>,
+    },
+    /// Apply a live observability change (level, sink flush/rotate,
+    /// metrics snapshot). Runs on the core thread so sink file IO is
+    /// serialised with stepping and snapshots are stamped with the
+    /// backend's virtual clock.
+    Obs {
+        /// The parsed request.
+        req: ObsRequest,
+        /// Reply channel (bounded, size 1).
+        reply: SyncSender<ObsReply>,
     },
     /// Terminate the core loop after one final publish.
     Stop,
@@ -223,7 +233,51 @@ fn handle(
             let _ = reply.send(outstanding);
             Verdict::Continue
         }
+        CoreMsg::Obs { req, reply } => {
+            let _ = reply.send(apply_obs(&req, backend.now_secs()));
+            Verdict::Continue
+        }
         CoreMsg::Stop => Verdict::Stop,
+    }
+}
+
+/// Applies each requested observability action independently, collecting
+/// per-action errors instead of aborting on the first.
+fn apply_obs(req: &ObsRequest, now_secs: f64) -> ObsReply {
+    let mut errors = Vec::new();
+    if let Some(level) = &req.level {
+        match ones_obs::ObsLevel::parse(level) {
+            Some(l) => ones_obs::set_level(l),
+            None => errors.push(format!("unknown obs level {level:?}")),
+        }
+    }
+    let mut flushed = false;
+    if req.flush_trace == Some(true) {
+        match ones_obs::flush_trace_sink() {
+            Ok(did) => flushed = did,
+            Err(e) => errors.push(e.to_string()),
+        }
+    }
+    let mut rotated_to = None;
+    if req.rotate_trace == Some(true) {
+        match ones_obs::rotate_trace_sink() {
+            Ok(sealed) => rotated_to = sealed.map(|p| p.display().to_string()),
+            Err(e) => errors.push(e.to_string()),
+        }
+    }
+    let mut snapshotted = false;
+    if req.metrics_snapshot == Some(true) {
+        match ones_obs::force_metrics_snapshot(now_secs) {
+            Ok(did) => snapshotted = did,
+            Err(e) => errors.push(e.to_string()),
+        }
+    }
+    ObsReply {
+        level: ones_obs::level().name().to_string(),
+        flushed,
+        rotated_to,
+        snapshotted,
+        errors,
     }
 }
 

@@ -7,7 +7,10 @@
 //! exit on peer close), then stops the scheduler core with one final
 //! state publish.
 
-use crate::api::{ConfigReply, ConfigRequest, DrainReply, ErrorBody, JobsResponse, SubmitReply};
+use crate::api::{
+    ConfigReply, ConfigRequest, DrainReply, ErrorBody, JobsResponse, ObsReply, ObsRequest,
+    SubmitReply,
+};
 use crate::core::{run_core, CoreMsg, CoreOptions};
 use crate::http::{read_request, ReadError, Response};
 use crate::state::{shared, SharedState};
@@ -346,6 +349,42 @@ pub fn route(
             if core_tx
                 .send(CoreMsg::Config {
                     req: config,
+                    reply: tx,
+                })
+                .is_err()
+            {
+                return Response::json(503, ErrorBody::json("scheduler core stopped"));
+            }
+            match recv_reply(&rx) {
+                Ok(reply) => json_ok(200, &reply),
+                Err(resp) => resp,
+            }
+        }
+        ("GET", "/v1/obs") => json_ok(200, &crate::api::obs_status()),
+        ("POST", "/v1/obs") => {
+            let body = match req.body_str() {
+                Ok(b) => b,
+                Err(e) => return Response::json(400, ErrorBody::json(e)),
+            };
+            let parsed: Result<ObsRequest, _> = serde_json::from_str(body);
+            let obs_req = match parsed {
+                Ok(r) => r,
+                Err(e) => return Response::json(400, ErrorBody::json(e.to_string())),
+            };
+            // Reject a bad level before bothering the core: a typo must
+            // 400, not half-apply.
+            if let Some(level) = &obs_req.level {
+                if ones_obs::ObsLevel::parse(level).is_none() {
+                    return Response::json(
+                        400,
+                        ErrorBody::json(format!("unknown obs level {level:?} (off|counters|full)")),
+                    );
+                }
+            }
+            let (tx, rx) = reply_channel::<ObsReply>();
+            if core_tx
+                .send(CoreMsg::Obs {
+                    req: obs_req,
                     reply: tx,
                 })
                 .is_err()

@@ -249,6 +249,35 @@ fn api_surfaces_errors_and_lifecycle_controls() {
     assert_eq!(status, 200);
     assert!(body.contains("\"paused\":false"), "{body}");
 
+    // Observability control plane: status reads, level changes apply,
+    // typos 400 without half-applying, no-sink flush/rotate are no-ops.
+    let obs = client.get_json("/v1/obs").expect("obs status");
+    assert_eq!(
+        obs.get("level").and_then(|v| v.as_str()),
+        Some("counters"),
+        "{obs:?}"
+    );
+    assert!(matches!(
+        obs.get("trace_sink"),
+        Some(serde_json::Value::Null)
+    ));
+    let (status, body) = client.post("/v1/obs", r#"{"level": "full"}"#).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"level\":\"full\""), "{body}");
+    assert_eq!(ones_obs::level(), ones_obs::ObsLevel::Full);
+    let (status, body) = client.post("/v1/obs", r#"{"level": "verbose"}"#).unwrap();
+    assert_eq!(status, 400, "unknown level must 400: {body}");
+    assert_eq!(ones_obs::level(), ones_obs::ObsLevel::Full);
+    let (status, body) = client
+        .post("/v1/obs", r#"{"flush_trace": true, "rotate_trace": true}"#)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"flushed\":false"), "{body}");
+    assert!(body.contains("\"rotated_to\":null"), "{body}");
+    let (status, _) = client.post("/v1/obs", r#"{"level": "counters"}"#).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ones_obs::level(), ones_obs::ObsLevel::Counters);
+
     // Drain: acknowledged, then new submissions are refused with 409.
     let (status, body) = client.post("/v1/drain", "{}").unwrap();
     assert_eq!(status, 200, "{body}");

@@ -68,10 +68,8 @@ proptest! {
                 resp.next_seq - *cursor,
                 "response must tile [cursor, next_seq)"
             );
-            let mut expect = *cursor + resp.dropped;
-            for e in &resp.events {
+            for (expect, e) in (*cursor + resp.dropped..).zip(resp.events.iter()) {
                 prop_assert_eq!(e.seq, expect, "gap or duplicate in stream");
-                expect += 1;
             }
             *seen += resp.events.len() as u64;
             *dropped += resp.dropped;

@@ -1,7 +1,9 @@
-//! Graceful-shutdown test against the real `ones-d` binary: SIGTERM a
-//! daemon mid-replay and assert it exits 0 with parseable observability
-//! exports (the Chrome trace must still be valid JSON — satellite
-//! criterion for the shutdown path flushing `--trace-out`).
+//! Shutdown tests against the real `ones-d` binary: SIGTERM a daemon
+//! mid-replay and assert it exits 0 with parseable observability exports
+//! (the Chrome trace must still be valid JSON — satellite criterion for
+//! the shutdown path flushing `--trace-out`), and SIGKILL one mid-stream
+//! to prove a chunked trace file is Perfetto-loadable even when no
+//! finalization ever ran (DESIGN.md §5 crash-safety).
 
 use ones_d::Client;
 use std::io::{BufRead, BufReader};
@@ -160,4 +162,142 @@ fn sigterm_mid_replay_exits_zero_and_flushes_exports() {
         saw_simulator_series,
         "metrics snapshot misses simulator.* series"
     );
+}
+
+/// A chunk-streamed trace must be loadable even when the daemon dies
+/// without any shutdown path at all: flush at least one chunk, exercise
+/// `GET`/`POST /v1/obs` over live HTTP, then SIGKILL and parse the file.
+#[test]
+fn sigkill_mid_stream_leaves_a_parseable_chunked_trace() {
+    let dir = TempDir::new("sigkill");
+    let trace_out = dir.file("trace.json");
+    let metrics_out = dir.file("metrics.jsonl");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ones-d"))
+        .args([
+            "--port",
+            "0",
+            "--gpus",
+            "16",
+            "--scheduler",
+            "tiresias",
+            "--trace-source",
+            "philly",
+            "--jobs",
+            "12",
+            "--rate-secs",
+            "10",
+            "--seed",
+            "7",
+            "--step-delay-ms",
+            "25",
+            "--events-per-batch",
+            "4",
+            "--trace-out",
+            trace_out.to_str().unwrap(),
+            "--trace-chunk-events",
+            "32",
+            "--metrics-out",
+            metrics_out.to_str().unwrap(),
+            "--metrics-interval",
+            "60",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ones-d");
+
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("ones-d closed stdout before announcing its address")
+            .expect("read stdout");
+        if let Some(rest) = line.strip_prefix("ones-d listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    // Wait until at least one chunk hit the disk, reading progress off
+    // the live obs endpoint.
+    let mut client = Client::connect(addr.as_str()).expect("resolve daemon address");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(obs) = client.get_json("/v1/obs") {
+            assert_eq!(
+                obs.get("level").and_then(|v| v.as_str()),
+                Some("full"),
+                "--trace-out must imply the full level"
+            );
+            let written = obs
+                .get("trace_sink")
+                .and_then(|s| s.get("events_written"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0);
+            if written > 0 {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no trace chunk was flushed within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Live control: force a flush and a metrics snapshot through the
+    // POST endpoint so the on-disk state is as fresh as the API allows.
+    let (status, body) = client
+        .post(
+            "/v1/obs",
+            r#"{"flush_trace": true, "metrics_snapshot": true}"#,
+        )
+        .expect("post obs");
+    assert_eq!(status, 200, "obs control failed: {body}");
+    let reply: serde_json::Value = serde_json::from_str(&body).expect("obs reply parses");
+    assert_eq!(reply.get("flushed").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        reply.get("snapshotted").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+
+    // SIGKILL: no drain, no finalize, no atexit. The seek-back chunk
+    // format must leave the file valid anyway.
+    child.kill().expect("SIGKILL ones-d");
+    let _ = child.wait();
+
+    let trace_text = std::fs::read_to_string(&trace_out).expect("trace-out written");
+    let trace: serde_json::Value =
+        serde_json::from_str(&trace_text).expect("killed daemon's chunked trace parses as JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array present");
+    assert!(
+        events.len() > 32,
+        "expected at least one full chunk of events, got {}",
+        events.len()
+    );
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").and_then(|v| v.as_str()) == Some("scheduling_round")
+                && e.get("args")
+                    .and_then(|a| a.get("scheduler"))
+                    .and_then(|v| v.as_str())
+                    == Some("Tiresias")
+        }),
+        "baseline scheduling_round spans missing from the streamed trace"
+    );
+
+    // The forced snapshot means the metrics JSONL has at least one line,
+    // every line standalone JSON with a "t" stamp.
+    let metrics_text = std::fs::read_to_string(&metrics_out).expect("metrics-out written");
+    let mut snapshot_lines = 0;
+    for line in metrics_text.lines().filter(|l| !l.trim().is_empty()) {
+        let sample: serde_json::Value = serde_json::from_str(line).expect("JSONL line parses");
+        assert!(sample.get("t").and_then(|v| v.as_f64()).is_some());
+        snapshot_lines += 1;
+    }
+    assert!(snapshot_lines > 0, "no metrics lines were streamed");
 }

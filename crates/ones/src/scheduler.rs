@@ -38,15 +38,6 @@ static BATCH_INCREASES: LazyLock<&'static ones_obs::Counter> =
 static BATCH_DECREASES: LazyLock<&'static ones_obs::Counter> =
     LazyLock::new(|| ones_obs::counter("ones.scheduler.batch_decreases"));
 
-fn event_kind(event: SchedEvent) -> &'static str {
-    match event {
-        SchedEvent::JobArrived(_) => "arrival",
-        SchedEvent::EpochEnded(_) => "epoch_end",
-        SchedEvent::JobCompleted(_) => "completion",
-        SchedEvent::Tick => "tick",
-    }
-}
-
 /// ONES configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnesConfig {
@@ -296,7 +287,7 @@ impl Scheduler for OnesScheduler {
 
     fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
         let _round_span = ones_obs::span!("ones", "scheduling_round")
-            .with_arg("event", event_kind(event))
+            .with_arg("event", event.kind())
             .with_arg("vt", view.now.as_secs());
         ROUNDS.inc();
         self.ingest(event, view);

@@ -45,6 +45,22 @@ pub enum SchedEvent {
     Tick,
 }
 
+impl SchedEvent {
+    /// The event's short name in traces and metrics — the shared span
+    /// taxonomy (DESIGN.md §5) every scheduler's `scheduling_round` span
+    /// tags its `event` argument with, so cross-scheduler Perfetto traces
+    /// compare like-for-like.
+    #[must_use]
+    pub fn kind(self) -> &'static str {
+        match self {
+            SchedEvent::JobArrived(_) => "arrival",
+            SchedEvent::EpochEnded(_) => "epoch_end",
+            SchedEvent::JobCompleted(_) => "completion",
+            SchedEvent::Tick => "tick",
+        }
+    }
+}
+
 /// Read-only snapshot the scheduler decides against.
 #[derive(Debug)]
 pub struct ClusterView<'a> {

@@ -23,6 +23,7 @@ fn usage() -> ! {
          \t[--diurnal-period-secs S] [--duration-sigma F]\n\
          \t[--json] [--list-schedulers] [--dump-trace FILE]\n\
          \t[--obs off|counters|full] [--trace-out FILE] [--metrics-out FILE]\n\
+         \t[--trace-chunk-events N] [--metrics-interval SECS]\n\
          \n\
          Runs one simulated experiment and reports per-scheduler metrics.\n\
          GPUs must be a positive multiple of 4 (whole Longhorn nodes).\n\
@@ -34,8 +35,13 @@ fn usage() -> ! {
          `file` ingests --trace-file (.csv schema or JSON, see\n\
          EXPERIMENTS.md).\n\
          --trace-out writes a Chrome-trace JSON (open in ui.perfetto.dev)\n\
-         and implies --obs full; --metrics-out writes a JSONL metrics\n\
-         snapshot. Observability never changes scheduling decisions."
+         and implies --obs full; spans stream to disk in\n\
+         --trace-chunk-events chunks (default 65536; 0 keeps the whole\n\
+         trace in memory and drops spans past the recorder cap).\n\
+         --metrics-out writes a JSONL metrics series sampled every\n\
+         --metrics-interval virtual seconds (default 300; 0 writes one\n\
+         snapshot at exit). Observability never changes scheduling\n\
+         decisions."
     );
     std::process::exit(2);
 }
@@ -158,6 +164,33 @@ fn main() {
     };
     ones_obs::set_level(obs_level);
 
+    // Streaming sinks (DESIGN.md §5): attach before the run so chunks
+    // flush incrementally. `--trace-chunk-events 0` / `--metrics-interval
+    // 0` select the legacy whole-in-memory writers.
+    let chunk_events = args
+        .get("trace-chunk-events")
+        .map(|v| v.parse::<usize>().unwrap_or_else(|_| usage()))
+        .unwrap_or(ones_obs::DEFAULT_TRACE_CHUNK_EVENTS);
+    let metrics_interval = get("metrics-interval", ones_obs::DEFAULT_METRICS_INTERVAL_SECS);
+    if metrics_interval < 0.0 {
+        usage();
+    }
+    if let Some(path) = args.get("trace-out") {
+        if chunk_events > 0 {
+            ones_obs::attach_trace_sink(path, chunk_events).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+    if let Some(path) = args.get("metrics-out") {
+        if metrics_interval > 0.0 {
+            ones_obs::attach_metrics_sink(
+                path,
+                metrics_interval,
+                ones_obs::DEFAULT_METRICS_MAX_BUCKETS,
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
     // Ingestion errors (malformed rows, invalid jobs) are user input
     // errors, not bugs: report and exit instead of panicking later.
     if let TraceSource::File(_) = &config.source {
@@ -180,12 +213,29 @@ fn main() {
 
     let result = run_experiment(config.clone());
     if let Some(path) = args.get("trace-out") {
-        ones_obs::write_chrome_trace(path).unwrap_or_else(|e| panic!("{e}"));
-        eprintln!("chrome trace written to {path}");
+        if ones_obs::trace_sink_attached() {
+            ones_obs::finalize_trace_sink().unwrap_or_else(|e| panic!("{e}"));
+            eprintln!("chrome trace streamed to {path}");
+        } else {
+            ones_obs::write_chrome_trace(path).unwrap_or_else(|e| panic!("{e}"));
+            let dropped = ones_obs::counter("obs.recorder.dropped_spans").value();
+            if dropped > 0 {
+                eprintln!(
+                    "warning: in-memory trace writer dropped {dropped} spans past the \
+                     recorder cap; use --trace-chunk-events > 0 to stream the full trace"
+                );
+            }
+            eprintln!("chrome trace written to {path}");
+        }
     }
     if let Some(path) = args.get("metrics-out") {
-        ones_obs::write_metrics_jsonl(path).unwrap_or_else(|e| panic!("{e}"));
-        eprintln!("metrics snapshot written to {path}");
+        if ones_obs::metrics_sink_attached() {
+            ones_obs::finalize_metrics_sink(result.makespan).unwrap_or_else(|e| panic!("{e}"));
+            eprintln!("metrics series streamed to {path}");
+        } else {
+            ones_obs::write_metrics_jsonl(path).unwrap_or_else(|e| panic!("{e}"));
+            eprintln!("metrics snapshot written to {path}");
+        }
     }
     if flags.iter().any(|f| f == "json") {
         let json = serde_json::json!({

@@ -445,6 +445,10 @@ impl Simulation {
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
         EVENTS.inc();
+        // Drive periodic metrics snapshots off the virtual clock so
+        // streamed series are reproducible across replays of the same
+        // seed (a cheap atomic pre-check when no metrics sink is attached).
+        ones_obs::metrics_tick(now.as_secs());
         let _event_span = ones_obs::span!("simulator", "event")
             .with_arg(
                 "kind",
@@ -920,7 +924,7 @@ mod tests {
         let spec = ClusterSpec::longhorn_subset(16);
         let scheduler = SchedulerKind::Ones.build(&spec, &trace, &DetRng::seed(11));
         let batch = Simulation::new(
-            PerfModel::new(spec.clone()),
+            PerfModel::new(spec),
             &trace,
             scheduler,
             SimConfig::default(),
@@ -930,7 +934,7 @@ mod tests {
         // Same jobs, but fed through inject() before stepping, the way the
         // daemon submits a pre-loaded trace while paused.
         let empty = Trace {
-            config: trace.config.clone(),
+            config: trace.config,
             jobs: Vec::new(),
         };
         let scheduler = SchedulerKind::Ones.build(&spec, &trace, &DetRng::seed(11));
@@ -960,7 +964,7 @@ mod tests {
         let spec = ClusterSpec::longhorn_subset(16);
         let scheduler = SchedulerKind::Fifo.build(&spec, &trace, &DetRng::seed(11));
         let empty = Trace {
-            config: trace.config.clone(),
+            config: trace.config,
             jobs: Vec::new(),
         };
         let mut sim = Simulation::new(

@@ -1,0 +1,113 @@
+//! Streaming observability over real simulator runs. Own test binary: it
+//! flips the process-global obs level and attaches recorder sinks, which
+//! must not disturb other tests' processes.
+//!
+//! Covers two acceptance criteria at the integration level:
+//! - the chunked trace writer is byte-identical to the in-memory
+//!   `chrome_trace_json` exporter on the same seeded span stream, and
+//! - a trace covering a Tiresias run and an ONES run carries
+//!   `scheduling_round` spans from both under the shared taxonomy
+//!   (same span name, `event`/`vt` args; baselines add `scheduler`).
+
+use ones_cluster::ClusterSpec;
+use ones_dlperf::PerfModel;
+use ones_simcore::DetRng;
+use ones_simulator::experiment::SchedulerKind;
+use ones_simulator::{SimConfig, Simulation};
+use ones_workload::{Trace, TraceConfig};
+use serde_json::Value;
+use std::collections::BTreeSet;
+
+fn run(kind: SchedulerKind) {
+    let trace = Trace::generate(TraceConfig {
+        num_jobs: 10,
+        arrival_rate: 1.0 / 12.0,
+        seed: 11,
+        kill_fraction: 0.1,
+    });
+    let spec = ClusterSpec::longhorn_subset(16);
+    let scheduler = kind.build(&spec, &trace, &DetRng::seed(1));
+    let _ = Simulation::new(
+        PerfModel::new(spec),
+        &trace,
+        scheduler,
+        SimConfig::default(),
+    )
+    .run();
+}
+
+#[test]
+fn chunked_stream_of_real_runs_matches_in_memory_and_spans_both_schedulers() {
+    ones_obs::set_level(ones_obs::ObsLevel::Full);
+    ones_obs::clear_spans();
+    run(SchedulerKind::Tiresias);
+    run(SchedulerKind::Ones);
+
+    let events = ones_obs::spans_snapshot();
+    assert!(
+        events.len() > 100,
+        "two full-level runs produced only {} spans",
+        events.len()
+    );
+    let in_memory = ones_obs::chrome_trace_json();
+
+    // Replay the captured stream through a small-chunk sink: the final
+    // file must be byte-identical to the in-memory exporter's output.
+    let dir = std::env::temp_dir().join(format!("ones-sim-streaming-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    ones_obs::clear_spans();
+    ones_obs::attach_trace_sink(&path, 64).unwrap();
+    for event in events {
+        ones_obs::record_event(event);
+    }
+    ones_obs::finalize_trace_sink().unwrap();
+    let streamed = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        streamed, in_memory,
+        "chunked trace file differs from the in-memory writer"
+    );
+
+    // Shared taxonomy: every scheduler's round is the same span name with
+    // `event` and `vt` args; the category separates ones from baselines,
+    // and baselines name the concrete policy.
+    let trace: Value = serde_json::from_str(&streamed).unwrap();
+    let events = trace
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let mut round_cats: BTreeSet<String> = BTreeSet::new();
+    let mut baseline_names: BTreeSet<String> = BTreeSet::new();
+    for e in events {
+        if e.get("name").and_then(Value::as_str) != Some("scheduling_round") {
+            continue;
+        }
+        let args = e.get("args").expect("round span has args");
+        assert!(
+            args.get("event").and_then(Value::as_str).is_some(),
+            "round span misses the `event` arg: {e:?}"
+        );
+        assert!(
+            args.get("vt").and_then(Value::as_f64).is_some(),
+            "round span misses the `vt` arg: {e:?}"
+        );
+        let cat = e.get("cat").and_then(Value::as_str).expect("cat");
+        round_cats.insert(cat.to_string());
+        if cat == "baselines" {
+            let sched = args
+                .get("scheduler")
+                .and_then(Value::as_str)
+                .expect("baseline round names its scheduler");
+            baseline_names.insert(sched.to_string());
+        }
+    }
+    assert!(
+        round_cats.contains("ones") && round_cats.contains("baselines"),
+        "need rounds from both ONES and a baseline, got {round_cats:?}"
+    );
+    assert!(
+        baseline_names.contains("Tiresias"),
+        "Tiresias rounds missing: {baseline_names:?}"
+    );
+}
