@@ -37,6 +37,7 @@ pub const RULES: &[&str] = &[
     "wall-clock-in-det",
     "unwrap-in-request-path",
     "signal-handler-safety",
+    "deployed-mutation",
 ];
 
 /// Crates whose scheduling decisions must be reproducible from a seed:
@@ -58,12 +59,19 @@ const SELECTION_PREFIXES: &[&str] = &[
 ];
 
 /// Daemon files on the request path: a panic here kills a connection
-/// handler and, with it, the client's request.
+/// handler and, with it, the client's request. `core.rs` is included
+/// because the core thread holds the shared-state write lock — a panic
+/// there poisons every handler's read.
 const REQUEST_PATH_FILES: &[&str] = &[
     "crates/oned/src/server.rs",
     "crates/oned/src/http.rs",
     "crates/oned/src/api.rs",
+    "crates/oned/src/core.rs",
 ];
+
+/// The one module allowed to mutate a deployed [`Schedule`] directly:
+/// everything else must go through the reconciler's typed operations.
+const RECONCILER_FILE: &str = "crates/schedcore/src/reconcile.rs";
 
 /// Runs every applicable rule over one file.
 pub fn check_file(path: &str, lx: &Lexed) -> Vec<Finding> {
@@ -78,6 +86,7 @@ pub fn check_file(path: &str, lx: &Lexed) -> Vec<Finding> {
     rule_wall_clock(path, lx, &in_test, &mut out);
     rule_unwrap_request_path(path, lx, &in_test, &mut out);
     rule_signal_handler(path, lx, &mut out);
+    rule_deployed_mutation(path, lx, &in_test, &mut out);
     out
 }
 
@@ -343,6 +352,58 @@ fn rule_signal_handler(path: &str, lx: &Lexed, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// deployed-mutation
+// ---------------------------------------------------------------------
+
+/// Mutating [`Schedule`] methods; calling one on a binding or field named
+/// `deployed` bypasses the reconciliation layer.
+const SCHEDULE_MUTATORS: &[&str] = &["assign", "evict", "clear"];
+
+fn rule_deployed_mutation(
+    path: &str,
+    lx: &Lexed,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if !path.starts_with("crates/") || !path.contains("/src/") || path == RECONCILER_FILE {
+        return;
+    }
+    for (i, t) in lx.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "deployed" || in_test(i) {
+            continue;
+        }
+        // `deployed.assign(…)` / `.evict(…)` / `.clear(…)`.
+        let mutating_call = lx.toks.get(i + 1).is_some_and(|d| d.text == ".")
+            && lx.toks.get(i + 2).is_some_and(|m| {
+                m.kind == TokKind::Ident && SCHEDULE_MUTATORS.contains(&m.text.as_str())
+            });
+        // `deployed = …` — plain assignment, not `==` and not a `let`
+        // binding that merely *reads* the deployed schedule.
+        let is_let_binding = i > 0
+            && lx
+                .toks
+                .get(i - 1)
+                .is_some_and(|p| p.text == "let" || p.text == "mut");
+        let assignment = !is_let_binding
+            && lx.toks.get(i + 1).is_some_and(|e| e.text == "=")
+            && lx.toks.get(i + 2).is_none_or(|n| n.text != "=");
+        if mutating_call || assignment {
+            out.push(Finding {
+                rule: "deployed-mutation",
+                path: path.to_string(),
+                line: t.line,
+                msg: "the deployed Schedule may only change through the \
+                      reconciler (ones_schedcore::reconcile): plan typed \
+                      ScalingOps and commit them, so lifecycle phases, \
+                      scaling costs and persisted recovery state stay \
+                      consistent with what is actually running"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // #[cfg(test)] / #[test] region detection
 // ---------------------------------------------------------------------
 
@@ -478,6 +539,44 @@ mod tests {
             }
         "#;
         assert!(findings("crates/x/src/a.rs", safe).is_empty());
+    }
+
+    #[test]
+    fn core_thread_is_on_the_request_path() {
+        let src = r#"fn run() { state.write().expect("state lock"); }"#;
+        let f = findings("crates/oned/src/core.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unwrap-in-request-path");
+    }
+
+    #[test]
+    fn deployed_schedule_mutations_outside_the_reconciler_are_flagged() {
+        // Direct mutation in production code: flagged.
+        for src in [
+            "fn f() { self.deployed.assign(g, j, b); }",
+            "fn f() { self.deployed.evict(j); }",
+            "fn f() { self.deployed.clear(g); }",
+            "fn f() { self.deployed = next; }",
+        ] {
+            let f = findings("crates/simulator/src/engine.rs", src);
+            assert_eq!(f.len(), 1, "{src}: {f:?}");
+            assert_eq!(f[0].rule, "deployed-mutation");
+        }
+        // Reads, bindings, comparisons and struct fields: clean.
+        for src in [
+            "fn f() { let deployed = self.recon.actual(); }",
+            "fn f() { let x = view.deployed.placement(j); }",
+            "fn f() { if deployed == desired { return; } }",
+            "fn f() { ClusterView { deployed: self.recon.actual() }; }",
+        ] {
+            let f = findings("crates/simulator/src/engine.rs", src);
+            assert!(f.is_empty(), "{src}: {f:?}");
+        }
+        // The reconciler itself and test code are exempt.
+        let mutate = "fn f() { self.deployed.evict(j); }";
+        assert!(findings("crates/schedcore/src/reconcile.rs", mutate).is_empty());
+        let in_test = "#[cfg(test)]\nmod t { fn f(h: &mut H) { h.deployed.evict(j); } }";
+        assert!(findings("crates/ones/src/scheduler.rs", in_test).is_empty());
     }
 
     #[test]

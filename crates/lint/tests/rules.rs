@@ -79,8 +79,16 @@ fn unwrap_fires_on_request_path_files_outside_tests() {
         "unwrap_or_else and tests are clean"
     );
 
-    // The same code elsewhere in the daemon is not on the request path.
-    assert!(lint_fixture("unwrap_request.rs", "crates/oned/src/core.rs").is_empty());
+    // The core thread holds the shared-state write lock, so it is on
+    // the request path too; binaries are not.
+    assert_eq!(
+        rules_of(&lint_fixture(
+            "unwrap_request.rs",
+            "crates/oned/src/core.rs"
+        )),
+        ["unwrap-in-request-path", "unwrap-in-request-path"],
+    );
+    assert!(lint_fixture("unwrap_request.rs", "crates/oned/src/bin/ones-ctl.rs").is_empty());
 }
 
 #[test]

@@ -112,7 +112,7 @@ pub struct EventRecord {
     /// Job id concerned.
     pub job: u64,
     /// `arrived`, `started`, `resized`, `preempted`, `epoch_ended`,
-    /// `completed` or `killed`.
+    /// `completed`, `killed` or `rejected`.
     pub kind: String,
     /// Global batch size (on `started` / `resized`).
     pub batch: Option<u32>,
@@ -197,6 +197,9 @@ pub struct ClusterResponse {
     pub completed: u64,
     /// Jobs that ended abnormally.
     pub killed: u64,
+    /// Submissions refused with a recorded outcome (e.g. they raced a
+    /// drain).
+    pub rejected: u64,
     /// Next event sequence number (the event stream's write head).
     pub events_next_seq: u64,
 }

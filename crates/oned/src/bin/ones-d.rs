@@ -28,6 +28,7 @@ fn usage() -> ! {
          \t[--paused] [--step-delay-ms MS] [--events-per-batch N]\n\
          \t[--obs off|counters|full] [--trace-out FILE] [--metrics-out FILE]\n\
          \t[--trace-chunk-events N] [--metrics-interval SECS]\n\
+         \t[--state-file FILE]\n\
          \n\
          Serves the ONES scheduler control plane on 127.0.0.1 (port 0 =\n\
          ephemeral; the chosen address is printed on stdout). With a\n\
@@ -41,7 +42,12 @@ fn usage() -> ! {
          exit); GET/POST /v1/obs inspects and controls both live. On\n\
          SIGTERM/SIGINT the daemon drains in-flight requests, finalizes\n\
          --trace-out/--metrics-out and exits 0; a chunk-streamed trace\n\
-         file is valid JSON even if the daemon is killed outright."
+         file is valid JSON even if the daemon is killed outright.\n\
+         --state-file FILE persists a recovery snapshot (atomically,\n\
+         after every step batch) and, when FILE already exists at boot,\n\
+         recovers from it: the persisted job log replaces the preload\n\
+         trace and is replayed deterministically to the same fixpoint\n\
+         the interrupted run was heading for."
     );
     std::process::exit(2);
 }
@@ -188,7 +194,7 @@ fn main() {
         }
     }
 
-    let trace = match &source {
+    let mut trace = match &source {
         Some(source) => source.materialise().unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(1);
@@ -206,6 +212,37 @@ fn main() {
         },
     };
 
+    // Crash recovery (DESIGN.md §10): a readable state file overrides
+    // the preload — its job log already contains the trace jobs plus any
+    // live submissions, each with its effective arrival time. Stepping
+    // is deterministic for a fixed job log and seed, so replaying from
+    // t=0 reaches the same fixpoint the interrupted run was heading for.
+    let state_file = args.get("state-file").map(std::path::PathBuf::from);
+    let mut recovered_draining = false;
+    if let Some(path) = &state_file {
+        if path.exists() {
+            match ones_d::persist::load(path) {
+                Ok(saved) => {
+                    if saved.total_gpus != gpus {
+                        eprintln!(
+                            "ones-d: state file has {} GPUs, flags say {gpus}; using the flags",
+                            saved.total_gpus
+                        );
+                    }
+                    eprintln!(
+                        "ones-d: recovering {} job(s) from {} (vt {:.1}s at snapshot)",
+                        saved.jobs.len(),
+                        path.display(),
+                        saved.now_secs
+                    );
+                    trace.jobs = saved.jobs;
+                    recovered_draining = saved.draining;
+                }
+                Err(e) => eprintln!("ones-d: starting fresh: {e}"),
+            }
+        }
+    }
+
     let spec = ClusterSpec::longhorn_subset(gpus);
     let sched = scheduler.build(&spec, &trace, &DetRng::seed(sched_seed));
     let backend = SimBackend::new(spec, &trace, sched, ones_simulator::SimConfig::default());
@@ -213,16 +250,23 @@ fn main() {
     let opts = ServeOptions {
         port: get("port", 8080.0) as u16,
         paused: flags.iter().any(|f| f == "paused"),
+        draining: recovered_draining,
         step_delay: Duration::from_millis(get("step-delay-ms", 0.0) as u64),
         events_per_batch: get("events-per-batch", 64.0) as u64,
+        state_file,
     };
     install_signal_handlers();
+    let port = opts.port;
     let handle = serve(Box::new(backend), opts).unwrap_or_else(|e| {
-        eprintln!("cannot bind 127.0.0.1:{}: {e}", opts.port);
+        eprintln!("cannot bind 127.0.0.1:{port}: {e}");
         std::process::exit(1);
     });
     println!("ones-d listening on {}", handle.local_addr());
-    println!(
+    // Best-effort banner: a supervisor that only reads the address line
+    // may have closed the pipe already, and an EPIPE here must not kill
+    // the daemon (println! panics on a failed write).
+    let _ = writeln!(
+        std::io::stdout(),
         "ones-d: {} on {} GPUs, {} preloaded job(s), obs {}",
         scheduler.name(),
         gpus,

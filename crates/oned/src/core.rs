@@ -7,10 +7,12 @@
 //! [`ServiceState`] after every batch so readers stay close to live.
 
 use crate::api::{ConfigReply, ConfigRequest, JobView, ObsReply, ObsRequest, SubmitReply};
-use crate::state::SharedState;
-use ones_simulator::{BackendEventKind, BackendPhase, ClusterBackend};
+use crate::persist::PersistedState;
+use crate::state::{write_state, SharedState};
+use ones_simulator::{BackendEvent, BackendEventKind, BackendPhase, ClusterBackend};
 use ones_sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
-use ones_workload::WireJobSpec;
+use ones_workload::{JobId, WireJobSpec};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Control messages from HTTP handlers to the core thread.
@@ -49,24 +51,32 @@ pub enum CoreMsg {
 }
 
 /// Tunables for the core loop.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CoreOptions {
     /// Start paused: queue submissions but do not advance virtual time.
     pub paused: bool,
+    /// Start draining: refuse new submissions from the first message on
+    /// (set when recovery restores a drained snapshot).
+    pub draining: bool,
     /// Host-time sleep between step batches (throttles replay so wall
     /// clock observers can watch; zero = run flat out).
     pub step_delay: Duration,
     /// Scheduling events advanced per batch between control-message
     /// polls.
     pub events_per_batch: u64,
+    /// Where to persist recovery snapshots after every step batch and
+    /// control message; `None` disables persistence.
+    pub state_file: Option<PathBuf>,
 }
 
 impl Default for CoreOptions {
     fn default() -> Self {
         CoreOptions {
             paused: false,
+            draining: false,
             step_delay: Duration::ZERO,
             events_per_batch: 64,
+            state_file: None,
         }
     }
 }
@@ -83,7 +93,7 @@ pub fn run_core(
     opts: CoreOptions,
 ) -> Box<dyn ClusterBackend> {
     let mut paused = opts.paused;
-    let mut draining = false;
+    let mut draining = opts.draining;
     let mut phase = BackendPhase::Active;
     let mut next_id = backend
         .job_statuses()
@@ -93,16 +103,20 @@ pub fn run_core(
     // Jobs preloaded from a trace count as submitted.
     let preloaded = backend.job_statuses().len() as u64;
     {
-        let mut st = state.write().expect("state lock");
+        let mut st = write_state(&state);
         st.submitted = preloaded;
         st.paused = paused;
+        st.draining = draining;
     }
     publish(backend.as_mut(), &state, phase, paused, draining);
+    persist_snapshot(backend.as_ref(), draining, opts.state_file.as_deref());
 
     loop {
         // Drain every pending control message before stepping again.
         let mut stop = false;
+        let mut handled = false;
         while let Ok(msg) = rx.try_recv() {
+            handled = true;
             match handle(
                 msg,
                 backend.as_mut(),
@@ -118,30 +132,43 @@ pub fn run_core(
         }
         if stop {
             publish(backend.as_mut(), &state, phase, paused, draining);
+            persist_snapshot(backend.as_ref(), draining, opts.state_file.as_deref());
             return backend;
+        }
+        if handled {
+            persist_snapshot(backend.as_ref(), draining, opts.state_file.as_deref());
         }
 
         if paused || phase != BackendPhase::Active {
             // Nothing to step: block on the channel instead of spinning.
             match rx.recv_timeout(IDLE_POLL) {
-                Ok(msg) => match handle(
-                    msg,
-                    backend.as_mut(),
-                    &state,
-                    &mut paused,
-                    &mut draining,
-                    &mut next_id,
-                ) {
-                    Verdict::Continue => {}
-                    Verdict::Woke => phase = BackendPhase::Active,
-                    Verdict::Stop => {
-                        publish(backend.as_mut(), &state, phase, paused, draining);
-                        return backend;
+                Ok(msg) => {
+                    match handle(
+                        msg,
+                        backend.as_mut(),
+                        &state,
+                        &mut paused,
+                        &mut draining,
+                        &mut next_id,
+                    ) {
+                        Verdict::Continue => {}
+                        Verdict::Woke => phase = BackendPhase::Active,
+                        Verdict::Stop => {
+                            publish(backend.as_mut(), &state, phase, paused, draining);
+                            persist_snapshot(
+                                backend.as_ref(),
+                                draining,
+                                opts.state_file.as_deref(),
+                            );
+                            return backend;
+                        }
                     }
-                },
+                    persist_snapshot(backend.as_ref(), draining, opts.state_file.as_deref());
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     publish(backend.as_mut(), &state, phase, paused, draining);
+                    persist_snapshot(backend.as_ref(), draining, opts.state_file.as_deref());
                     return backend;
                 }
             }
@@ -151,7 +178,7 @@ pub fn run_core(
         let (events, next_phase) = backend.step(opts.events_per_batch);
         phase = next_phase;
         {
-            let mut st = state.write().expect("state lock");
+            let mut st = write_state(&state);
             for event in &events {
                 st.events.push(event);
                 match event.kind {
@@ -162,9 +189,21 @@ pub fn run_core(
             }
         }
         publish(backend.as_mut(), &state, phase, paused, draining);
+        persist_snapshot(backend.as_ref(), draining, opts.state_file.as_deref());
         if !opts.step_delay.is_zero() {
             std::thread::sleep(opts.step_delay);
         }
+    }
+}
+
+/// Persists a recovery snapshot if a state file is configured. Failures
+/// are reported, not fatal: a full disk must degrade crash recovery, not
+/// stop scheduling.
+fn persist_snapshot(backend: &dyn ClusterBackend, draining: bool, path: Option<&std::path::Path>) {
+    let Some(path) = path else { return };
+    let snapshot = PersistedState::snapshot(backend, draining);
+    if let Err(e) = crate::persist::save(path, &snapshot) {
+        eprintln!("ones-d: cannot persist state to {}: {e}", path.display());
     }
 }
 
@@ -186,6 +225,22 @@ fn handle(
     match msg {
         CoreMsg::Submit { wire, reply } => {
             let result = if *draining {
+                // A submit that lost the race with a drain. Burn an id
+                // and record the refusal in the event stream so the
+                // outcome is auditable, not just one client's error
+                // string: the caller's 409 and the cluster's `rejected`
+                // counter always agree.
+                let id = *next_id;
+                *next_id += 1;
+                {
+                    let mut st = write_state(state);
+                    st.rejected += 1;
+                    st.events.push(&BackendEvent {
+                        vt_secs: backend.now_secs(),
+                        job: JobId(id),
+                        kind: BackendEventKind::Rejected,
+                    });
+                }
                 Err("daemon is draining; not accepting new jobs".to_string())
             } else {
                 submit(wire, backend, next_id)
@@ -194,7 +249,7 @@ fn handle(
             let _ = reply.send(result);
             if woke {
                 publish(backend, state, BackendPhase::Active, *paused, *draining);
-                let mut st = state.write().expect("state lock");
+                let mut st = write_state(state);
                 st.submitted += 1;
                 Verdict::Woke
             } else {
@@ -214,7 +269,7 @@ fn handle(
                 paused: *paused,
             });
             {
-                let mut st = state.write().expect("state lock");
+                let mut st = write_state(state);
                 st.paused = *paused;
             }
             if woke {
@@ -226,7 +281,7 @@ fn handle(
         CoreMsg::Drain { reply } => {
             *draining = true;
             let outstanding = {
-                let mut st = state.write().expect("state lock");
+                let mut st = write_state(state);
                 st.draining = true;
                 st.outstanding()
             };
@@ -309,7 +364,7 @@ fn publish(
     let now = backend.now_secs();
     let jobs = backend.job_statuses();
     let occupancy = backend.occupancy();
-    let mut st = state.write().expect("state lock");
+    let mut st = write_state(state);
     st.now_secs = now;
     st.phase = phase;
     st.paused = paused;

@@ -23,6 +23,7 @@ pub mod api;
 pub mod client;
 pub mod core;
 pub mod http;
+pub mod persist;
 pub mod server;
 pub mod state;
 
@@ -31,6 +32,7 @@ pub use api::{
     EventsResponse, JobView, JobsResponse, NodeView, SubmitReply,
 };
 pub use client::Client;
-pub use core::{CoreMsg, CoreOptions};
+pub use core::{run_core, CoreMsg, CoreOptions};
+pub use persist::PersistedState;
 pub use server::{serve, ServeOptions, ServerHandle};
 pub use state::{EventLog, ServiceState, SharedState};

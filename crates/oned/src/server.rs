@@ -13,7 +13,7 @@ use crate::api::{
 };
 use crate::core::{run_core, CoreMsg, CoreOptions};
 use crate::http::{read_request, ReadError, Response};
-use crate::state::{shared, SharedState};
+use crate::state::{read_state, shared, SharedState};
 use ones_simulator::ClusterBackend;
 use ones_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use ones_sync::mpsc::{self, Receiver, SyncSender};
@@ -25,16 +25,20 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How the daemon is served.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// TCP port on 127.0.0.1; 0 picks an ephemeral port.
     pub port: u16,
     /// Start with the core loop paused.
     pub paused: bool,
+    /// Start draining (recovery from a drained snapshot).
+    pub draining: bool,
     /// Host-time sleep between step batches.
     pub step_delay: Duration,
     /// Scheduling events advanced per core batch.
     pub events_per_batch: u64,
+    /// Recovery snapshot file; `None` disables persistence.
+    pub state_file: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -42,8 +46,10 @@ impl Default for ServeOptions {
         ServeOptions {
             port: 0,
             paused: false,
+            draining: false,
             step_delay: Duration::ZERO,
             events_per_batch: 64,
+            state_file: None,
         }
     }
 }
@@ -124,8 +130,10 @@ pub fn serve(
     let (core_tx, core_rx) = mpsc::channel::<CoreMsg>();
     let core_opts = CoreOptions {
         paused: opts.paused,
+        draining: opts.draining,
         step_delay: opts.step_delay,
         events_per_batch: opts.events_per_batch.max(1),
+        state_file: opts.state_file.clone(),
     };
     let core_state = Arc::clone(&state);
     let core_join = std::thread::Builder::new()
@@ -246,17 +254,6 @@ fn reply_channel<T>() -> (SyncSender<T>, Receiver<T>) {
     mpsc::sync_channel(1)
 }
 
-/// Reads the shared state, recovering from lock poisoning.
-///
-/// A handler thread that panicked while holding the write lock must cost
-/// one degraded snapshot, not convert every later request into a panic —
-/// the `unwrap-in-request-path` lint rule bans `.expect` here.
-fn read_state(state: &SharedState) -> ones_sync::RwLockReadGuard<'_, crate::state::ServiceState> {
-    state
-        .read()
-        .unwrap_or_else(ones_sync::PoisonError::into_inner)
-}
-
 fn json_ok<T: serde::Serialize>(status: u16, body: &T) -> Response {
     match serde_json::to_string(body) {
         Ok(text) => Response::json(status, text),
@@ -291,9 +288,11 @@ pub fn route(
             }
         }
         ("POST", "/v1/jobs") => {
-            if read_state(state).draining {
-                return Response::json(409, ErrorBody::json("daemon is draining"));
-            }
+            // No drain fast path here: the core thread is the single
+            // authority on draining, so a submit racing a drain is
+            // rejected *by the core* with a recorded `rejected` event —
+            // a handler-side check would answer 409 without leaving a
+            // trace in the event stream.
             let body = match req.body_str() {
                 Ok(b) => b,
                 Err(e) => return Response::json(400, ErrorBody::json(e)),

@@ -101,6 +101,8 @@ pub struct ServiceState {
     pub completed: u64,
     /// Jobs that ended abnormally.
     pub killed: u64,
+    /// Submissions refused with a recorded outcome (drain races).
+    pub rejected: u64,
 }
 
 impl ServiceState {
@@ -119,6 +121,7 @@ impl ServiceState {
             submitted: 0,
             completed: 0,
             killed: 0,
+            rejected: 0,
         }
     }
 
@@ -140,6 +143,7 @@ impl ServiceState {
             submitted: self.submitted,
             completed: self.completed,
             killed: self.killed,
+            rejected: self.rejected,
             events_next_seq: self.events.next_seq(),
         }
     }
@@ -161,6 +165,26 @@ pub type SharedState = Arc<RwLock<ServiceState>>;
 #[must_use]
 pub fn shared(scheduler: String, occupancy: Occupancy, paused: bool) -> SharedState {
     Arc::new(RwLock::new(ServiceState::new(scheduler, occupancy, paused)))
+}
+
+/// Read lock that recovers from poisoning: a panicked holder must not
+/// take the whole daemon down — the state is republished wholesale after
+/// every step batch, so the worst a poisoned snapshot can be is stale.
+#[must_use]
+pub fn read_state(state: &SharedState) -> ones_sync::RwLockReadGuard<'_, ServiceState> {
+    state
+        .read()
+        .unwrap_or_else(ones_sync::PoisonError::into_inner)
+}
+
+/// Write lock with the same poison recovery as [`read_state`]: the core
+/// thread is the only writer, and its next publish overwrites whatever a
+/// poisoned writer left half-done.
+#[must_use]
+pub fn write_state(state: &SharedState) -> ones_sync::RwLockWriteGuard<'_, ServiceState> {
+    state
+        .write()
+        .unwrap_or_else(ones_sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

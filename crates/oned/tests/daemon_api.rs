@@ -202,6 +202,83 @@ fn daemon_replay_matches_offline_experiment() {
     drop(handle.shutdown_and_wait());
 }
 
+/// The drain race, pinned deterministically at the core: a submit already
+/// in flight when the drain lands is adjudicated *after* it, and must be
+/// explicitly rejected with a recorded outcome — not dropped, not
+/// silently accepted into a draining cluster.
+#[test]
+fn a_submit_racing_a_drain_is_rejected_with_a_recorded_outcome() {
+    use ones_d::{run_core, CoreMsg, CoreOptions};
+    use ones_simulator::ClusterBackend;
+    use ones_sync::mpsc;
+
+    ones_obs::set_level(ones_obs::ObsLevel::Counters);
+    let trace = Trace::generate(ones_workload::TraceConfig {
+        num_jobs: 2,
+        arrival_rate: 1.0 / 5.0,
+        seed: 11,
+        kill_fraction: 0.0,
+    });
+    let spec = ClusterSpec::longhorn_subset(16);
+    let scheduler = SchedulerKind::Ones.build(&spec, &trace, &DetRng::seed(5));
+    let empty = Trace {
+        config: trace.config,
+        jobs: Vec::new(),
+    };
+    let backend = SimBackend::new(spec, &empty, scheduler, SimConfig::default());
+    let state = ones_d::state::shared("ones".to_string(), backend.occupancy(), true);
+
+    // Pre-queue the exact race interleaving: both submits are in the
+    // channel around the drain, and the core processes them in arrival
+    // order — the HTTP front end cannot force this ordering, the core
+    // channel can.
+    let (tx, rx) = mpsc::channel::<CoreMsg>();
+    let (accept_tx, accept_rx) = mpsc::sync_channel(1);
+    let (drain_tx, drain_rx) = mpsc::sync_channel(1);
+    let (reject_tx, reject_rx) = mpsc::sync_channel(1);
+    tx.send(CoreMsg::Submit {
+        wire: WireJobSpec::from_spec(&trace.jobs[0]),
+        reply: accept_tx,
+    })
+    .unwrap();
+    tx.send(CoreMsg::Drain { reply: drain_tx }).unwrap();
+    tx.send(CoreMsg::Submit {
+        wire: WireJobSpec::from_spec(&trace.jobs[1]),
+        reply: reject_tx,
+    })
+    .unwrap();
+    tx.send(CoreMsg::Stop).unwrap();
+    let backend = run_core(
+        Box::new(backend),
+        ones_sync::Arc::clone(&state),
+        &rx,
+        CoreOptions {
+            paused: true,
+            ..CoreOptions::default()
+        },
+    );
+
+    assert!(
+        accept_rx.recv().unwrap().is_ok(),
+        "pre-drain submit accepted"
+    );
+    assert_eq!(drain_rx.recv().unwrap(), 1, "one job outstanding at drain");
+    let rejected = reject_rx.recv().unwrap();
+    let err = rejected.expect_err("post-drain submit must be refused");
+    assert!(err.contains("draining"), "{err}");
+
+    let st = ones_d::state::read_state(&state);
+    assert_eq!(st.submitted, 1);
+    assert_eq!(st.rejected, 1);
+    let recorded = st.events.since(0);
+    assert!(
+        recorded.events.iter().any(|e| e.kind == "rejected"),
+        "rejection must appear in the event stream"
+    );
+    // The refused job never reached the backend.
+    assert_eq!(backend.job_statuses().len(), 1);
+}
+
 #[test]
 fn api_surfaces_errors_and_lifecycle_controls() {
     ones_obs::set_level(ones_obs::ObsLevel::Counters);
@@ -285,6 +362,24 @@ fn api_surfaces_errors_and_lifecycle_controls() {
     let wire2 = WireJobSpec::from_spec(&trace.jobs[1]);
     let (status, _) = client.post("/v1/jobs", &wire2.to_json()).unwrap();
     assert_eq!(status, 409);
+
+    // The refusal is a recorded outcome, not just one client's error
+    // string: the event stream carries a `rejected` event and the
+    // cluster counter agrees.
+    let events = client.get_json("/v1/events?since=0").unwrap();
+    let kinds: Vec<String> = match events.get("events") {
+        Some(serde_json::Value::Array(items)) => items
+            .iter()
+            .filter_map(|e| e.get("kind").and_then(|v| v.as_str()).map(String::from))
+            .collect(),
+        other => panic!("bad events body: {other:?}"),
+    };
+    assert!(
+        kinds.iter().any(|k| k == "rejected"),
+        "no rejected event in {kinds:?}"
+    );
+    let cluster = client.get_json("/v1/cluster").unwrap();
+    assert_eq!(cluster.get("rejected").and_then(|v| v.as_u64()), Some(1));
 
     // The in-flight job still runs to completion after drain.
     let deadline = Instant::now() + Duration::from_secs(120);

@@ -19,6 +19,7 @@
 
 use ones_cluster::{AllReduceModel, Placement};
 use ones_dlperf::ModelProfile;
+use ones_schedcore::PhasePlan;
 use serde::{Deserialize, Serialize};
 
 /// Tunable constants of both mechanisms.
@@ -58,10 +59,34 @@ impl Default for ScalingCostModel {
 }
 
 impl ScalingCostModel {
-    /// Cost of an elastic re-configuration of one job (seconds): how long
-    /// the *existing* workers are paused. New-worker initialisation is
-    /// overlapped with prior training (Figure 12) and therefore free; the
-    /// parameter broadcast is only paid when workers join.
+    /// Phase durations of an elastic re-configuration of one job: how long
+    /// the *existing* workers are paused in each phase. New-worker
+    /// initialisation is overlapped with prior training (Figure 12) and
+    /// therefore free; the parameter broadcast is only paid when workers
+    /// join.
+    #[must_use]
+    pub fn elastic_plan(
+        &self,
+        profile: &ModelProfile,
+        allreduce: &AllReduceModel,
+        new_placement: &Placement,
+        workers_joined: bool,
+    ) -> PhasePlan {
+        let n = new_placement.len() as f64;
+        PhasePlan {
+            drain: self.step_drain,
+            resize: self.module_resize,
+            nccl: self.nccl_base + self.nccl_per_worker * n,
+            broadcast: if workers_joined {
+                allreduce.broadcast_time(new_placement, profile.grad_bytes())
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Cost of an elastic re-configuration of one job (seconds):
+    /// [`ScalingCostModel::elastic_plan`] summed.
     #[must_use]
     pub fn elastic_cost(
         &self,
@@ -70,39 +95,74 @@ impl ScalingCostModel {
         new_placement: &Placement,
         workers_joined: bool,
     ) -> f64 {
-        let n = new_placement.len() as f64;
-        let mut cost =
-            self.step_drain + self.module_resize + self.nccl_base + self.nccl_per_worker * n;
-        if workers_joined {
-            cost += allreduce.broadcast_time(new_placement, profile.grad_bytes());
-        }
-        cost
+        self.elastic_plan(profile, allreduce, new_placement, workers_joined)
+            .total()
     }
 
-    /// Cost of a checkpoint-based migration of one job (seconds): the job
-    /// is fully stopped for the whole duration.
+    /// Phase durations of a checkpoint-based migration: the drain phase
+    /// covers writing the checkpoint; the resize phase restarts the
+    /// worker processes, rebuilds the input pipeline and reloads the
+    /// saved state. No NCCL reuse, no broadcast — the job is fully
+    /// stopped for the whole duration.
     #[must_use]
-    pub fn checkpoint_cost(&self, profile: &ModelProfile) -> f64 {
+    pub fn checkpoint_plan(&self, profile: &ModelProfile) -> PhasePlan {
         let ckpt = profile.checkpoint_bytes();
         let save = ckpt / self.storage_bw;
         let load = ckpt / self.storage_bw + ckpt / self.h2d_bw;
-        save + self.process_restart + self.data_pipeline + load
+        PhasePlan {
+            drain: save,
+            resize: self.process_restart + self.data_pipeline + load,
+            nccl: 0.0,
+            broadcast: 0.0,
+        }
+    }
+
+    /// Cost of a checkpoint-based migration of one job (seconds):
+    /// [`ScalingCostModel::checkpoint_plan`] summed.
+    #[must_use]
+    pub fn checkpoint_cost(&self, profile: &ModelProfile) -> f64 {
+        self.checkpoint_plan(profile).total()
+    }
+
+    /// Phase durations of initially starting a job: nothing to drain,
+    /// everything in the resize phase (process spawn + data pipeline).
+    #[must_use]
+    pub fn cold_start_plan(&self) -> PhasePlan {
+        PhasePlan {
+            drain: 0.0,
+            resize: self.process_restart + self.data_pipeline,
+            nccl: 0.0,
+            broadcast: 0.0,
+        }
     }
 
     /// Cost of initially starting a job (both mechanisms pay this, but it
     /// does not stop any *other* job): process spawn + data pipeline.
     #[must_use]
     pub fn cold_start_cost(&self) -> f64 {
-        self.process_restart + self.data_pipeline
+        self.cold_start_plan().total()
     }
 
-    /// Cost of a Gandiva-style suspend/resume cycle: drain the in-flight
-    /// step, swap GPU state through host memory (PCIe both ways), no
-    /// process restart and no input-pipeline rebuild.
+    /// Phase durations of a Gandiva-style suspend/resume cycle: drain the
+    /// in-flight step and swap GPU state out to host memory, then swap it
+    /// back in and resize the modules — no process restart and no
+    /// input-pipeline rebuild.
+    #[must_use]
+    pub fn suspend_resume_plan(&self, profile: &ModelProfile) -> PhasePlan {
+        let state = profile.checkpoint_bytes();
+        PhasePlan {
+            drain: self.step_drain + state / self.h2d_bw,
+            resize: state / self.h2d_bw + self.module_resize,
+            nccl: 0.0,
+            broadcast: 0.0,
+        }
+    }
+
+    /// Cost of a Gandiva-style suspend/resume cycle (seconds):
+    /// [`ScalingCostModel::suspend_resume_plan`] summed.
     #[must_use]
     pub fn suspend_resume_cost(&self, profile: &ModelProfile) -> f64 {
-        let state = profile.checkpoint_bytes();
-        self.step_drain + 2.0 * state / self.h2d_bw + self.module_resize
+        self.suspend_resume_plan(profile).total()
     }
 }
 
@@ -201,6 +261,31 @@ mod tests {
             assert!(sr < 2.0, "{kind}: suspend/resume {sr}s over 2 s");
             assert!(sr > elastic * 0.1, "{kind}: implausibly cheap");
         }
+    }
+
+    #[test]
+    fn phase_plans_sum_to_their_costs() {
+        let (cost, ar) = model();
+        let prof = ModelKind::Vgg16.profile();
+        let place = Placement::contiguous(0, 4);
+        for joined in [true, false] {
+            let plan = cost.elastic_plan(&prof, &ar, &place, joined);
+            assert_eq!(plan.total(), cost.elastic_cost(&prof, &ar, &place, joined));
+            // Broadcast phase exists exactly when workers joined.
+            assert_eq!(plan.broadcast > 0.0, joined);
+        }
+        assert_eq!(
+            cost.checkpoint_plan(&prof).total(),
+            cost.checkpoint_cost(&prof)
+        );
+        assert_eq!(cost.cold_start_plan().total(), cost.cold_start_cost());
+        assert_eq!(cost.cold_start_plan().drain, 0.0);
+        assert_eq!(
+            cost.suspend_resume_plan(&prof).total(),
+            cost.suspend_resume_cost(&prof)
+        );
+        // Checkpointing mechanisms never rebuild NCCL incrementally.
+        assert_eq!(cost.checkpoint_plan(&prof).nccl, 0.0);
     }
 
     #[test]

@@ -309,7 +309,10 @@ impl Scheduler for OnesScheduler {
         // froze around a completion), admit them on the spot.
         ones_evo::ops::admit_waiting(&ctx, &mut best, &mut self.fill_rng);
 
-        if &best == view.deployed {
+        // Reconciler-diff emptiness, not value equality: a candidate that
+        // only re-splits unchanged (placement, global batch) pairs would
+        // deploy as zero operations, so proposing it is pure churn.
+        if ones_schedcore::reconcile::diff(&best, view.deployed).is_empty() {
             return None;
         }
 
@@ -340,7 +343,7 @@ impl Scheduler for OnesScheduler {
                     }
                 }
             }
-            if &best == view.deployed {
+            if ones_schedcore::reconcile::diff(&best, view.deployed).is_empty() {
                 return None;
             }
         }

@@ -16,11 +16,19 @@
 //!   [`schedule::Schedule`]; the simulator executes the diff with
 //!   mechanism-dependent costs (elastic NCCL scaling vs checkpoint
 //!   restart).
+//! * [`reconcile`] — the desired-vs-actual loop: a scheduler's desired
+//!   schedule is diffed against the cluster's actual one into typed,
+//!   idempotent [`reconcile::ScalingOp`]s, each a
+//!   [`reconcile::ScalingPhase`] state machine whose phase durations come
+//!   from the scaling cost model. The simulator executes these ops
+//!   instead of mutating the deployed schedule imperatively.
 
+pub mod reconcile;
 pub mod schedule;
 pub mod scheduler;
 pub mod status;
 
+pub use reconcile::{OpKind, PhasePlan, Reconciler, ScalingOp, ScalingPhase, SlotAssign};
 pub use schedule::{DirtySet, JobRun, JobSignature, Schedule, Slot};
 pub use scheduler::{
     ClusterView, ScalingMechanism, SchedEvent, SchedTuning, Scheduler, SchedulerPerfCounters,

@@ -1,0 +1,660 @@
+//! Desired-vs-actual reconciliation of schedules (ROADMAP: typed
+//! reconciliation loop).
+//!
+//! The evolutionary search produces a *desired* [`Schedule`]; the cluster
+//! has an *actual* one. A [`Reconciler`] diffs the two into typed,
+//! idempotent [`ScalingOp`]s — Kubernetes-controller style — instead of
+//! mutating the deployed schedule imperatively inside the event loop.
+//! Each operation is a [`ScalingPhase`] state machine
+//!
+//! ```text
+//! Requested → Draining → Resizing → RebuildingNccl → Broadcasting → Done
+//!                  \______________________↓______________________/
+//!                                 Failed { retryable }
+//! ```
+//!
+//! whose phase durations come from a [`PhasePlan`] (built by the scaling
+//! cost model in `ones-sched`; this crate only defines the shape so the
+//! dependency keeps pointing `ones → schedcore`). Zero-duration phases
+//! pass through instantly — e.g. the broadcast phase only exists when new
+//! workers joined, and a preemption has no phases at all.
+//!
+//! The contract the proptests pin down:
+//!
+//! * **Idempotence** — after [`Reconciler::reconcile`] commits a plan,
+//!   planning the same desired schedule again yields no operations.
+//! * **Convergence** — committing every planned op makes the actual
+//!   schedule equal to the desired one for every changed job, while jobs
+//!   whose `(placement set, global batch)` did not change keep their old
+//!   slots verbatim (no spurious re-configuration, no epoch-counter
+//!   reset).
+//! * **Recovery** — a reconciler rebuilt from its serialised form plans
+//!   exactly the ops the live one would; replaying them reaches the same
+//!   fixpoint.
+
+use crate::schedule::Schedule;
+use ones_cluster::GpuId;
+use ones_workload::JobId;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Durations of each phase of one scaling operation, seconds.
+///
+/// Built from the scaling cost model; the engine charges
+/// [`PhasePlan::total`] as the job's re-configuration overhead and emits
+/// one observability span per non-zero phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhasePlan {
+    /// Draining the in-flight training step (and, for checkpointing
+    /// mechanisms, writing the checkpoint).
+    pub drain: f64,
+    /// Resizing modules / restarting processes / reloading state.
+    pub resize: f64,
+    /// NCCL communicator (re)construction.
+    pub nccl: f64,
+    /// Parameter broadcast to joined workers (zero when none joined).
+    pub broadcast: f64,
+}
+
+impl PhasePlan {
+    /// The all-zero plan (preemptions: releasing GPUs is free).
+    pub const ZERO: PhasePlan = PhasePlan {
+        drain: 0.0,
+        resize: 0.0,
+        nccl: 0.0,
+        broadcast: 0.0,
+    };
+
+    /// Total overhead of the operation, summed in fixed phase order.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.drain + self.resize + self.nccl + self.broadcast
+    }
+
+    /// Duration of one phase under this plan (zero for phases that do no
+    /// timed work).
+    #[must_use]
+    pub fn duration_of(&self, phase: ScalingPhase) -> f64 {
+        match phase {
+            ScalingPhase::Draining => self.drain,
+            ScalingPhase::Resizing => self.resize,
+            ScalingPhase::RebuildingNccl => self.nccl,
+            ScalingPhase::Broadcasting => self.broadcast,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Where one scaling operation stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingPhase {
+    /// Planned, nothing executed yet.
+    Requested,
+    /// Pausing the in-flight training step.
+    Draining,
+    /// Resizing modules / restarting worker processes.
+    Resizing,
+    /// Rebuilding the NCCL communicator topology.
+    RebuildingNccl,
+    /// Broadcasting parameters to newly joined workers.
+    Broadcasting,
+    /// The operation took effect.
+    Done,
+    /// The operation aborted; `retryable` says whether re-requesting it
+    /// can succeed.
+    Failed {
+        /// Whether a retry may succeed (transient failure).
+        retryable: bool,
+    },
+}
+
+impl ScalingPhase {
+    /// Stable wire name (observability span/counter suffix).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalingPhase::Requested => "requested",
+            ScalingPhase::Draining => "draining",
+            ScalingPhase::Resizing => "resizing",
+            ScalingPhase::RebuildingNccl => "rebuilding_nccl",
+            ScalingPhase::Broadcasting => "broadcasting",
+            ScalingPhase::Done => "done",
+            ScalingPhase::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether the state machine can advance no further.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, ScalingPhase::Done | ScalingPhase::Failed { .. })
+    }
+}
+
+// The serde shim's derive cannot express struct-like enum variants
+// (`Failed { retryable }`), so the impls are written by hand, following
+// the derive's conventions: unit variants encode as their name, payload
+// variants as a one-key object.
+impl Serialize for ScalingPhase {
+    fn to_value(&self) -> Value {
+        match self {
+            ScalingPhase::Failed { retryable } => {
+                Value::Object(vec![(String::from("Failed"), Value::Bool(*retryable))])
+            }
+            unit => Value::Str(String::from(match unit {
+                ScalingPhase::Requested => "Requested",
+                ScalingPhase::Draining => "Draining",
+                ScalingPhase::Resizing => "Resizing",
+                ScalingPhase::RebuildingNccl => "RebuildingNccl",
+                ScalingPhase::Broadcasting => "Broadcasting",
+                ScalingPhase::Done => "Done",
+                ScalingPhase::Failed { .. } => unreachable!(),
+            })),
+        }
+    }
+}
+
+impl Deserialize for ScalingPhase {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "Requested" => Ok(ScalingPhase::Requested),
+                "Draining" => Ok(ScalingPhase::Draining),
+                "Resizing" => Ok(ScalingPhase::Resizing),
+                "RebuildingNccl" => Ok(ScalingPhase::RebuildingNccl),
+                "Broadcasting" => Ok(ScalingPhase::Broadcasting),
+                "Done" => Ok(ScalingPhase::Done),
+                other => Err(DeError::custom(format!(
+                    "unknown ScalingPhase variant {other:?}"
+                ))),
+            };
+        }
+        let obj = value
+            .as_object()
+            .ok_or_else(|| DeError::custom("expected string or object for ScalingPhase"))?;
+        match obj {
+            [(key, payload)] if key == "Failed" => Ok(ScalingPhase::Failed {
+                retryable: Deserialize::from_value(payload)?,
+            }),
+            _ => Err(DeError::custom("malformed ScalingPhase object")),
+        }
+    }
+}
+
+/// What a scaling operation does to its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Place a job that currently holds no GPUs.
+    Start,
+    /// Re-configure a running job to a new placement and/or batch split.
+    Scale {
+        /// Whether the new placement has more workers than the old one
+        /// (joined workers must receive a parameter broadcast).
+        workers_joined: bool,
+    },
+    /// Take every GPU away from a running job (back to waiting).
+    Preempt,
+}
+
+impl OpKind {
+    /// Stable wire name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Start => "start",
+            OpKind::Scale { .. } => "scale",
+            OpKind::Preempt => "preempt",
+        }
+    }
+}
+
+impl Serialize for OpKind {
+    fn to_value(&self) -> Value {
+        match self {
+            OpKind::Start => Value::Str(String::from("Start")),
+            OpKind::Preempt => Value::Str(String::from("Preempt")),
+            OpKind::Scale { workers_joined } => {
+                Value::Object(vec![(String::from("Scale"), Value::Bool(*workers_joined))])
+            }
+        }
+    }
+}
+
+impl Deserialize for OpKind {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "Start" => Ok(OpKind::Start),
+                "Preempt" => Ok(OpKind::Preempt),
+                other => Err(DeError::custom(format!("unknown OpKind variant {other:?}"))),
+            };
+        }
+        let obj = value
+            .as_object()
+            .ok_or_else(|| DeError::custom("expected string or object for OpKind"))?;
+        match obj {
+            [(key, payload)] if key == "Scale" => Ok(OpKind::Scale {
+                workers_joined: Deserialize::from_value(payload)?,
+            }),
+            _ => Err(DeError::custom("malformed OpKind object")),
+        }
+    }
+}
+
+/// One GPU of an operation's target assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotAssign {
+    /// GPU index.
+    pub gpu: u32,
+    /// Local batch on that GPU (≥ 1).
+    pub local_batch: u32,
+}
+
+/// One typed, idempotent scheduling operation: bring one job from its
+/// actual assignment to its desired one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingOp {
+    /// The job this operation re-configures.
+    pub job: JobId,
+    /// What kind of change it is.
+    pub kind: OpKind,
+    /// The desired slots, in GPU order. Empty for preemptions.
+    pub target: Vec<SlotAssign>,
+    /// Current position in the state machine.
+    pub phase: ScalingPhase,
+}
+
+impl ScalingOp {
+    /// A start operation placing `job` on `target`.
+    #[must_use]
+    pub fn start(job: JobId, target: Vec<SlotAssign>) -> Self {
+        ScalingOp {
+            job,
+            kind: OpKind::Start,
+            target,
+            phase: ScalingPhase::Requested,
+        }
+    }
+
+    /// A scale operation moving `job` to `target`.
+    #[must_use]
+    pub fn scale(job: JobId, target: Vec<SlotAssign>, workers_joined: bool) -> Self {
+        ScalingOp {
+            job,
+            kind: OpKind::Scale { workers_joined },
+            target,
+            phase: ScalingPhase::Requested,
+        }
+    }
+
+    /// A preemption releasing every GPU `job` holds.
+    #[must_use]
+    pub fn preempt(job: JobId) -> Self {
+        ScalingOp {
+            job,
+            kind: OpKind::Preempt,
+            target: Vec::new(),
+            phase: ScalingPhase::Requested,
+        }
+    }
+
+    /// Desired global batch of the target assignment.
+    #[must_use]
+    pub fn global_batch(&self) -> u32 {
+        self.target.iter().map(|a| a.local_batch).sum()
+    }
+
+    /// Advances to the next phase that does timed work under `plan`,
+    /// returning it with its duration. Zero-duration phases are passed
+    /// through instantly; once every work phase is exhausted the op lands
+    /// on [`ScalingPhase::Done`] and `None` is returned. Terminal states
+    /// never advance.
+    pub fn advance(&mut self, plan: &PhasePlan) -> Option<(ScalingPhase, f64)> {
+        loop {
+            let next = match self.phase {
+                ScalingPhase::Requested => ScalingPhase::Draining,
+                ScalingPhase::Draining => ScalingPhase::Resizing,
+                ScalingPhase::Resizing => ScalingPhase::RebuildingNccl,
+                ScalingPhase::RebuildingNccl => ScalingPhase::Broadcasting,
+                ScalingPhase::Broadcasting => ScalingPhase::Done,
+                ScalingPhase::Done | ScalingPhase::Failed { .. } => return None,
+            };
+            self.phase = next;
+            if next == ScalingPhase::Done {
+                return None;
+            }
+            let duration = plan.duration_of(next);
+            if duration > 0.0 {
+                return Some((next, duration));
+            }
+        }
+    }
+
+    /// Aborts the operation.
+    pub fn fail(&mut self, retryable: bool) {
+        self.phase = ScalingPhase::Failed { retryable };
+    }
+
+    /// Re-requests a retryably failed operation; returns whether the
+    /// retry was accepted (non-retryable failures and live ops refuse).
+    pub fn retry(&mut self) -> bool {
+        if self.phase == (ScalingPhase::Failed { retryable: true }) {
+            self.phase = ScalingPhase::Requested;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the operation has taken effect.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == ScalingPhase::Done
+    }
+}
+
+/// Diffs `desired` against `actual` into the operations that reconcile
+/// them, preemptions first (they free GPUs), then starts/scales in job-id
+/// order — a deterministic plan for a deterministic engine.
+///
+/// A job whose *placement set* and *global batch* are unchanged gets no
+/// operation at all: the actual schedule keeps its old slots (possibly a
+/// different per-GPU batch split), no re-configuration cost is charged and
+/// its epoch counters keep accruing. This is deliberately broader than
+/// exact slot-vector equality — re-splitting the same global batch over
+/// the same GPUs is not an observable change to the job.
+#[must_use]
+pub fn diff(desired: &Schedule, actual: &Schedule) -> Vec<ScalingOp> {
+    let desired_jobs = desired.running_jobs();
+    let actual_jobs = actual.running_jobs();
+    let mut ops = Vec::new();
+    for &job in actual_jobs.keys() {
+        if !desired_jobs.contains_key(&job) {
+            ops.push(ScalingOp::preempt(job));
+        }
+    }
+    for (&job, &(batch, gpus)) in &desired_jobs {
+        let target = target_of(desired, job);
+        match actual_jobs.get(&job) {
+            None => ops.push(ScalingOp::start(job, target)),
+            Some(&(actual_batch, actual_gpus)) => {
+                if batch == actual_batch && desired.placement(job) == actual.placement(job) {
+                    continue;
+                }
+                ops.push(ScalingOp::scale(job, target, gpus > actual_gpus));
+            }
+        }
+    }
+    ops
+}
+
+fn target_of(schedule: &Schedule, job: JobId) -> Vec<SlotAssign> {
+    schedule
+        .slots()
+        .iter()
+        .enumerate()
+        .filter_map(|(gpu, slot)| {
+            slot.filter(|s| s.job == job).map(|s| SlotAssign {
+                gpu: gpu as u32,
+                local_batch: s.local_batch,
+            })
+        })
+        .collect()
+}
+
+/// The reconciliation loop's persistent state: the actual schedule plus
+/// any operations begun but not yet committed. Serialisable so `ones-d`
+/// can persist it and a restarted daemon can resume in-flight work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reconciler {
+    actual: Schedule,
+    in_flight: Vec<ScalingOp>,
+}
+
+impl Reconciler {
+    /// A reconciler over an empty cluster of `total_gpus` devices.
+    #[must_use]
+    pub fn new(total_gpus: u32) -> Self {
+        Reconciler {
+            actual: Schedule::empty(total_gpus),
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// A reconciler adopting an existing actual schedule (recovery).
+    #[must_use]
+    pub fn from_actual(actual: Schedule) -> Self {
+        Reconciler {
+            actual,
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// The actual (currently effective) schedule.
+    #[must_use]
+    pub fn actual(&self) -> &Schedule {
+        &self.actual
+    }
+
+    /// Operations begun but not yet committed.
+    #[must_use]
+    pub fn in_flight(&self) -> &[ScalingOp] {
+        &self.in_flight
+    }
+
+    /// Plans the operations that bring the actual schedule to `desired`.
+    #[must_use]
+    pub fn plan(&self, desired: &Schedule) -> Vec<ScalingOp> {
+        diff(desired, &self.actual)
+    }
+
+    /// Records an operation as begun (persisted as in-flight until its
+    /// [`Reconciler::commit`]). Re-beginning the same job's op replaces
+    /// the stale entry.
+    pub fn begin(&mut self, op: ScalingOp) {
+        self.in_flight.retain(|f| f.job != op.job);
+        self.in_flight.push(op);
+    }
+
+    /// Applies one operation's effect to the actual schedule and clears
+    /// it from the in-flight set. Committing the same op twice is a
+    /// no-op the second time: the slots it establishes are already there.
+    pub fn commit(&mut self, op: &ScalingOp) {
+        self.actual.evict(op.job);
+        if !matches!(op.kind, OpKind::Preempt) {
+            for assign in &op.target {
+                self.actual
+                    .assign(GpuId(assign.gpu), op.job, assign.local_batch);
+            }
+        }
+        self.in_flight.retain(|f| f.job != op.job);
+    }
+
+    /// The cluster removed a job outside any deployment (completion,
+    /// kill): drop its slots and any in-flight operation.
+    pub fn observe_removed(&mut self, job: JobId) {
+        self.actual.evict(job);
+        self.in_flight.retain(|f| f.job != job);
+    }
+
+    /// Plans and immediately commits every operation, returning the plan
+    /// (each op's phase driven straight to `Done`). Callers that need to
+    /// interleave phase execution use [`Reconciler::plan`] /
+    /// [`Reconciler::begin`] / [`Reconciler::commit`] directly.
+    pub fn reconcile(&mut self, desired: &Schedule) -> Vec<ScalingOp> {
+        let mut ops = self.plan(desired);
+        for op in &mut ops {
+            self.begin(op.clone());
+            while op.advance(&PhasePlan::ZERO).is_some() {}
+            self.commit(op);
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(assigns: &[(u32, u64, u32)]) -> Schedule {
+        let mut s = Schedule::empty(8);
+        for &(gpu, job, batch) in assigns {
+            s.assign(GpuId(gpu), JobId(job), batch);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_diff_for_identical_schedules() {
+        let s = sched(&[(0, 1, 128), (1, 1, 128), (2, 2, 64)]);
+        assert!(diff(&s, &s).is_empty());
+    }
+
+    #[test]
+    fn same_placement_set_and_batch_is_a_noop() {
+        // Same GPUs, same global batch, different split: no op.
+        let actual = sched(&[(0, 1, 96), (1, 1, 160)]);
+        let desired = sched(&[(0, 1, 128), (1, 1, 128)]);
+        assert!(diff(&desired, &actual).is_empty());
+        // ... but a different split over *different* GPUs is a scale.
+        let moved = sched(&[(0, 1, 128), (2, 1, 128)]);
+        let ops = diff(&moved, &actual);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(
+            ops[0].kind,
+            OpKind::Scale {
+                workers_joined: false
+            }
+        );
+    }
+
+    #[test]
+    fn diff_orders_preempts_before_starts() {
+        let actual = sched(&[(0, 1, 128)]);
+        let desired = sched(&[(0, 2, 128)]);
+        let ops = diff(&desired, &actual);
+        assert_eq!(ops.len(), 2);
+        assert_eq!((ops[0].job, ops[0].kind), (JobId(1), OpKind::Preempt));
+        assert_eq!((ops[1].job, ops[1].kind), (JobId(2), OpKind::Start));
+    }
+
+    #[test]
+    fn workers_joined_tracks_gpu_growth() {
+        let actual = sched(&[(0, 1, 128)]);
+        let grown = sched(&[(0, 1, 128), (1, 1, 128)]);
+        let ops = diff(&grown, &actual);
+        assert_eq!(
+            ops[0].kind,
+            OpKind::Scale {
+                workers_joined: true
+            }
+        );
+        let shrunk = diff(&actual, &grown);
+        assert_eq!(
+            shrunk[0].kind,
+            OpKind::Scale {
+                workers_joined: false
+            }
+        );
+    }
+
+    #[test]
+    fn phase_machine_walks_in_order_and_skips_zero_phases() {
+        let mut op = ScalingOp::scale(
+            JobId(1),
+            vec![SlotAssign {
+                gpu: 0,
+                local_batch: 128,
+            }],
+            false,
+        );
+        let plan = PhasePlan {
+            drain: 0.25,
+            resize: 0.15,
+            nccl: 0.22,
+            broadcast: 0.0, // no workers joined
+        };
+        let mut seen = Vec::new();
+        while let Some((phase, dur)) = op.advance(&plan) {
+            seen.push((phase, dur));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (ScalingPhase::Draining, 0.25),
+                (ScalingPhase::Resizing, 0.15),
+                (ScalingPhase::RebuildingNccl, 0.22),
+            ]
+        );
+        assert!(op.is_done());
+        assert_eq!(seen.iter().map(|(_, d)| d).sum::<f64>(), plan.total());
+    }
+
+    #[test]
+    fn failed_ops_only_retry_when_retryable() {
+        let mut op = ScalingOp::preempt(JobId(3));
+        op.fail(false);
+        assert!(!op.retry());
+        assert!(op.advance(&PhasePlan::ZERO).is_none());
+        op.fail(true);
+        assert!(op.retry());
+        assert_eq!(op.phase, ScalingPhase::Requested);
+    }
+
+    #[test]
+    fn reconcile_converges_and_is_idempotent() {
+        let mut recon = Reconciler::new(8);
+        let desired = sched(&[(0, 1, 128), (1, 1, 128), (2, 2, 64)]);
+        let ops = recon.reconcile(&desired);
+        assert_eq!(ops.len(), 2);
+        assert!(ops.iter().all(ScalingOp::is_done));
+        assert_eq!(recon.actual(), &desired);
+        assert!(recon.reconcile(&desired).is_empty());
+        assert!(recon.in_flight().is_empty());
+    }
+
+    #[test]
+    fn noop_jobs_keep_their_old_slots_through_reconcile() {
+        let actual = sched(&[(0, 1, 96), (1, 1, 160)]);
+        let mut recon = Reconciler::from_actual(actual.clone());
+        // Job 1 unchanged (set + batch), job 2 starts on GPU 3.
+        let desired = sched(&[(0, 1, 128), (1, 1, 128), (3, 2, 64)]);
+        recon.reconcile(&desired);
+        // Job 1's split survives; job 2 landed.
+        assert_eq!(recon.actual().local_batches(JobId(1)), vec![96, 160]);
+        assert_eq!(recon.actual().global_batch(JobId(2)), 64);
+    }
+
+    #[test]
+    fn serde_round_trips_the_whole_reconciler() {
+        let mut recon = Reconciler::from_actual(sched(&[(0, 1, 128)]));
+        let mut op = ScalingOp::scale(
+            JobId(1),
+            vec![
+                SlotAssign {
+                    gpu: 0,
+                    local_batch: 64,
+                },
+                SlotAssign {
+                    gpu: 1,
+                    local_batch: 64,
+                },
+            ],
+            true,
+        );
+        op.advance(&PhasePlan {
+            drain: 0.1,
+            resize: 0.1,
+            nccl: 0.1,
+            broadcast: 0.1,
+        });
+        recon.begin(op);
+        let json = serde_json::to_string(&recon).expect("serialise");
+        let back: Reconciler = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, recon);
+        // Failed{retryable} survives the round trip too.
+        let mut failed = ScalingOp::preempt(JobId(2));
+        failed.fail(true);
+        let j = serde_json::to_string(&failed).expect("serialise");
+        let b: ScalingOp = serde_json::from_str(&j).expect("deserialise");
+        assert_eq!(b.phase, ScalingPhase::Failed { retryable: true });
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the reconciliation layer (DESIGN.md §10): the
+//! event-loop invariants the typed operation machine must uphold.
+//!
+//! * **Convergence / liveness** — one `reconcile` pass places every
+//!   desired job and removes every undesired one: a job handed to the
+//!   reconciler is scheduled, a job dropped from the desired schedule is
+//!   preempted. Nothing is left half-done.
+//! * **Idempotence** — reconciling the same desired schedule again plans
+//!   zero operations.
+//! * **Recovery** — a reconciler serialised mid-flight (operations begun
+//!   but not committed, phases partially advanced) and deserialised
+//!   reaches exactly the same fixpoint as the uninterrupted one.
+//! * **Phase machine** — every operation walks its phases in order and
+//!   the walked durations sum to the plan's total cost.
+
+use ones_cluster::GpuId;
+use ones_schedcore::reconcile::diff;
+use ones_schedcore::{PhasePlan, Reconciler, ScalingOp, ScalingPhase, Schedule};
+use ones_workload::JobId;
+use proptest::prelude::*;
+
+const GPUS: u32 = 8;
+const JOBS: u64 = 5;
+
+fn schedule_of(slots: &[Option<(u64, u32)>]) -> Schedule {
+    let mut s = Schedule::empty(GPUS);
+    for (g, slot) in slots.iter().enumerate() {
+        if let Some((job, batch)) = slot {
+            s.assign(GpuId(g as u32), JobId(*job), *batch);
+        }
+    }
+    s
+}
+
+fn slot_strategy() -> impl Strategy<Value = Vec<Option<(u64, u32)>>> {
+    proptest::collection::vec(proptest::option::of((0u64..JOBS, 1u32..64)), GPUS as usize)
+}
+
+/// Rank of a phase in the forward walk; terminal states sort last.
+fn rank(phase: ScalingPhase) -> u32 {
+    match phase {
+        ScalingPhase::Requested => 0,
+        ScalingPhase::Draining => 1,
+        ScalingPhase::Resizing => 2,
+        ScalingPhase::RebuildingNccl => 3,
+        ScalingPhase::Broadcasting => 4,
+        ScalingPhase::Done | ScalingPhase::Failed { .. } => 5,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Invariants (a) + (b): one pass schedules every desired job,
+    /// removes every undesired one, and a second pass plans nothing.
+    #[test]
+    fn reconcile_converges_in_one_pass_and_is_idempotent(
+        actual0 in slot_strategy(),
+        desired in slot_strategy(),
+    ) {
+        let actual0 = schedule_of(&actual0);
+        let desired = schedule_of(&desired);
+        let mut r = Reconciler::from_actual(actual0.clone());
+        r.reconcile(&desired);
+
+        // Every desired job is placed exactly as desired (or kept as a
+        // no-op with the same placement and global batch); every job
+        // only present before is gone.
+        prop_assert!(diff(&desired, r.actual()).is_empty(),
+            "reconcile left a non-empty diff");
+        for (job, _) in actual0.running_jobs() {
+            let still_desired = !desired.placement(job).is_empty();
+            prop_assert_eq!(!r.actual().placement(job).is_empty(), still_desired,
+                "job {} not preempted/kept correctly", job);
+        }
+        // Idempotence: the fixpoint plans no further work.
+        prop_assert!(r.plan(&desired).is_empty());
+        prop_assert!(r.in_flight().is_empty());
+        let fixpoint = r.actual().clone();
+        r.reconcile(&desired);
+        prop_assert_eq!(r.actual(), &fixpoint, "second reconcile moved the schedule");
+    }
+
+    /// Invariant (c): recovery from any persisted mid-flight state
+    /// reaches the same fixpoint as the uninterrupted reconciler.
+    #[test]
+    fn recovery_from_any_persisted_state_reaches_the_same_fixpoint(
+        actual0 in slot_strategy(),
+        desired in slot_strategy(),
+        begun in 0usize..9,
+        advanced in 0u32..6,
+    ) {
+        let actual0 = schedule_of(&actual0);
+        let desired = schedule_of(&desired);
+        let mut live = Reconciler::from_actual(actual0);
+
+        // Interrupt mid-flight: begin a prefix of the planned operations
+        // and advance their phase machines partway, commit nothing.
+        let plan = PhasePlan { drain: 1.0, resize: 2.0, nccl: 0.5, broadcast: 0.25 };
+        let ops: Vec<ScalingOp> = live.plan(&desired);
+        for op in ops.iter().take(begun) {
+            let mut op = op.clone();
+            for _ in 0..advanced {
+                let _ = op.advance(&plan);
+            }
+            live.begin(op);
+        }
+
+        // Persist + recover (the daemon's snapshot path uses the same
+        // serde derives).
+        let json = serde_json::to_string(&live).expect("serialise reconciler");
+        let mut recovered: Reconciler = serde_json::from_str(&json).expect("recover reconciler");
+        prop_assert_eq!(&recovered, &live);
+
+        live.reconcile(&desired);
+        recovered.reconcile(&desired);
+        prop_assert_eq!(live.actual(), recovered.actual(),
+            "recovered fixpoint diverged from the uninterrupted one");
+        prop_assert!(recovered.plan(&desired).is_empty());
+        prop_assert!(recovered.in_flight().is_empty());
+    }
+
+    /// A fixpoint is reached after *every* deployment in a sequence, not
+    /// just the first: the reconciler never accumulates drift.
+    #[test]
+    fn every_deployment_in_a_sequence_reaches_a_fixpoint(
+        first in slot_strategy(),
+        second in slot_strategy(),
+        third in slot_strategy(),
+    ) {
+        let mut r = Reconciler::new(GPUS);
+        for desired in [schedule_of(&first), schedule_of(&second), schedule_of(&third)] {
+            r.reconcile(&desired);
+            prop_assert!(diff(&desired, r.actual()).is_empty());
+            prop_assert!(r.plan(&desired).is_empty());
+        }
+    }
+
+    /// The phase machine walks strictly forward and its emitted durations
+    /// sum to the plan's total scaling cost.
+    #[test]
+    fn phase_walk_is_ordered_and_sums_to_the_plan_total(
+        drain in 0.0f64..10.0,
+        resize in 0.0f64..10.0,
+        nccl in 0.0f64..10.0,
+        broadcast in 0.0f64..10.0,
+    ) {
+        let plan = PhasePlan { drain, resize, nccl, broadcast };
+        let mut op = ScalingOp::start(JobId(0), vec![]);
+        let mut walked = 0.0f64;
+        let mut last_rank = rank(ScalingPhase::Requested);
+        while let Some((phase, duration)) = op.advance(&plan) {
+            prop_assert!(rank(phase) > last_rank, "phase walked backwards");
+            last_rank = rank(phase);
+            prop_assert!(duration > 0.0, "zero-duration phase was emitted");
+            walked += duration;
+        }
+        prop_assert!(op.is_done());
+        prop_assert!((walked - plan.total()).abs() < 1e-12,
+            "walked {} != plan total {}", walked, plan.total());
+    }
+}

@@ -52,6 +52,9 @@ pub enum BackendEventKind {
     Completed,
     /// The job ended abnormally (owner kill / crash).
     Killed,
+    /// The submission was refused with a recorded reason (e.g. it raced a
+    /// drain): the service never silently drops an accepted request.
+    Rejected,
 }
 
 impl BackendEventKind {
@@ -66,6 +69,7 @@ impl BackendEventKind {
             BackendEventKind::EpochEnded { .. } => "epoch_ended",
             BackendEventKind::Completed => "completed",
             BackendEventKind::Killed => "killed",
+            BackendEventKind::Rejected => "rejected",
         }
     }
 }
@@ -150,6 +154,13 @@ pub trait ClusterBackend: Send {
     /// Forwards a live tuning change to the scheduler; returns whether
     /// anything was applied.
     fn reconfigure(&mut self, tuning: &SchedTuning) -> bool;
+
+    /// Snapshot of the backend's reconciliation state (actual schedule +
+    /// in-flight scaling operations), for persistence by a long-running
+    /// service. Backends without a reconciler return `None`.
+    fn reconcile_state(&self) -> Option<ones_schedcore::Reconciler> {
+        None
+    }
 }
 
 /// Compact per-job shadow state used to diff consecutive snapshots.
@@ -343,6 +354,10 @@ impl ClusterBackend for SimBackend {
 
     fn reconfigure(&mut self, tuning: &SchedTuning) -> bool {
         self.sim.reconfigure_scheduler(tuning)
+    }
+
+    fn reconcile_state(&self) -> Option<ones_schedcore::Reconciler> {
+        Some(self.sim.reconciler().clone())
     }
 }
 

@@ -11,8 +11,8 @@ use ones_cluster::Placement;
 use ones_dlperf::{ConvergenceState, PerfModel};
 use ones_sched::ScalingCostModel;
 use ones_schedcore::{
-    ClusterView, JobPhase, JobStatus, ScalingMechanism, SchedEvent, Schedule, Scheduler,
-    SchedulerPerfCounters, Slot,
+    ClusterView, JobPhase, JobStatus, OpKind, PhasePlan, Reconciler, ScalingMechanism, ScalingOp,
+    SchedEvent, Schedule, Scheduler, SchedulerPerfCounters,
 };
 use ones_simcore::{EventQueue, SimTime, TraceLog};
 use ones_sync::LazyLock;
@@ -38,6 +38,12 @@ static WAITING_JOBS: LazyLock<&'static ones_obs::Gauge> =
     LazyLock::new(|| ones_obs::gauge("simulator.engine.waiting_jobs"));
 static OVERHEAD_S: LazyLock<&'static ones_obs::Histogram> =
     LazyLock::new(|| ones_obs::histogram("simulator.engine.transition_overhead_s"));
+static RECONCILE_OPS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("simulator.reconcile.ops"));
+static RECONCILE_NOOP_DEPLOYS: LazyLock<&'static ones_obs::Counter> =
+    LazyLock::new(|| ones_obs::counter("simulator.reconcile.noop_deploys"));
+static RECONCILE_PHASE_S: LazyLock<&'static ones_obs::Histogram> =
+    LazyLock::new(|| ones_obs::histogram("simulator.reconcile.phase_s"));
 
 /// Engine tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -201,7 +207,9 @@ pub struct Simulation {
     pending: BTreeMap<JobId, ones_workload::JobSpec>,
     /// Jobs that have arrived (what schedulers can see).
     jobs: BTreeMap<JobId, SimJob>,
-    deployed: Schedule,
+    /// Desired-vs-actual reconciliation state; its actual schedule is the
+    /// single source of truth for what is deployed.
+    recon: Reconciler,
     statuses: BTreeMap<JobId, JobStatus>,
     trace_log: TraceLog,
     next_tick: Option<SimTime>,
@@ -237,7 +245,7 @@ impl Simulation {
             cost: ScalingCostModel::default(),
             scheduler,
             queue,
-            deployed: Schedule::empty(total_gpus),
+            recon: Reconciler::new(total_gpus),
             statuses: BTreeMap::new(),
             trace_log: TraceLog::new(),
             next_tick: None,
@@ -332,10 +340,17 @@ impl Simulation {
         self.events_processed
     }
 
-    /// The currently deployed schedule.
+    /// The currently deployed (actual) schedule.
     #[must_use]
     pub fn deployed(&self) -> &Schedule {
-        &self.deployed
+        self.recon.actual()
+    }
+
+    /// The reconciliation state (actual schedule + in-flight operations),
+    /// for persistence by long-running services.
+    #[must_use]
+    pub fn reconciler(&self) -> &Reconciler {
+        &self.recon
     }
 
     /// The cluster this simulation runs on.
@@ -512,7 +527,7 @@ impl Simulation {
                 spec: self.perf.spec(),
                 perf: &self.perf,
                 jobs: &self.statuses,
-                deployed: &self.deployed,
+                deployed: self.recon.actual(),
             };
             self.scheduler.on_event(event, &view)
         };
@@ -556,7 +571,7 @@ impl Simulation {
         job.status.completion = Some(now);
         job.status.current_batch = 0;
         job.status.current_gpus = 0;
-        self.deployed.evict(id);
+        self.recon.observe_removed(id);
         self.record(now, "job", id.0, "killed");
         Some(SchedEvent::JobCompleted(id))
     }
@@ -606,7 +621,7 @@ impl Simulation {
             job.status.current_gpus = 0;
             job.segment = None;
             job.epoch_seq += 1;
-            self.deployed.evict(id);
+            self.recon.observe_removed(id);
             self.record(now, "job", id.0, "complete");
             Some(SchedEvent::JobCompleted(id))
         } else {
@@ -622,7 +637,12 @@ impl Simulation {
         }
     }
 
-    /// Executes a schedule transition at `now`.
+    /// Reconciles the desired `schedule` against the actual one at `now`:
+    /// the diff becomes typed [`ScalingOp`]s, each executed as a
+    /// [`ones_schedcore::ScalingPhase`] state machine and committed into
+    /// the reconciler's actual schedule. Jobs whose `(placement set,
+    /// global batch)` did not change get no operation: their slots, epoch
+    /// counters and running segments are left untouched.
     fn deploy(&mut self, now: SimTime, schedule: Schedule) {
         schedule
             .validate(self.perf.spec(), |j| {
@@ -658,30 +678,33 @@ impl Simulation {
             self.record(now, "sched", 0, &d);
         }
 
-        let all_ids: Vec<JobId> = self.jobs.keys().copied().collect();
-        for id in all_ids {
-            let old: Vec<Option<Slot>> = slots_of(&self.deployed, id);
-            let new: Vec<Option<Slot>> = slots_of(&schedule, id);
-            if old == new {
-                continue;
-            }
-            self.transition_job(now, id, &schedule);
+        let ops = self.recon.plan(&schedule);
+        if ops.is_empty() {
+            RECONCILE_NOOP_DEPLOYS.inc();
+            return;
         }
-        self.deployed = schedule;
+        for mut op in ops {
+            RECONCILE_OPS.inc();
+            self.recon.begin(op.clone());
+            self.execute_op(now, &mut op, &schedule);
+            self.recon.commit(&op);
+        }
     }
 
-    /// Re-configures one job whose slots changed.
-    fn transition_job(&mut self, now: SimTime, id: JobId, schedule: &Schedule) {
+    /// Executes one scaling operation: winds down the job's current
+    /// segment, walks the op's phase machine (charging the phase plan's
+    /// total as re-configuration overhead) and starts the new segment.
+    fn execute_op(&mut self, now: SimTime, op: &mut ScalingOp, schedule: &Schedule) {
         let mechanism = self.scheduler.mechanism();
         let scales = self.scheduler.scales_batch_sizes();
         let allreduce = *self.perf.allreduce();
         let perf = self.perf;
         let cost_model = self.cost;
+        let id = op.job;
         let job = self.jobs.get_mut(&id).expect("known job");
 
         // Wind down the current segment (pro-rated partial epoch).
         let was_running = job.segment.is_some();
-        let old_gpus = job.status.current_gpus;
         if let Some(segment) = job.segment.take() {
             let held = now - segment.last_accrual;
             job.status.exec_time += held;
@@ -697,9 +720,9 @@ impl Simulation {
         }
         job.epoch_seq += 1;
 
-        let placement = schedule.placement(id);
-        if placement.is_empty() {
-            // Preempted (or simply not selected).
+        if matches!(op.kind, OpKind::Preempt) {
+            // Releasing GPUs is free: every phase is zero-duration.
+            while op.advance(&PhasePlan::ZERO).is_some() {}
             job.status.phase = JobPhase::Waiting;
             job.status.current_batch = 0;
             job.status.current_gpus = 0;
@@ -713,32 +736,55 @@ impl Simulation {
         }
 
         // (Re)start under the new configuration.
+        let placement = schedule.placement(id);
         let batches = schedule.local_batches(id);
         let global_batch = schedule.global_batch(id);
         let profile = job.status.spec.profile();
-        let overhead = if !was_running {
+        let plan = if !was_running {
             match (mechanism, job.status.first_start.is_some()) {
                 // Fresh start: spawn processes, build the input pipeline.
-                (_, false) => cost_model.cold_start_cost(),
+                (_, false) => cost_model.cold_start_plan(),
                 // Resume: elastic re-spawns workers; checkpointed systems
                 // additionally reload the saved state; suspend/resume
                 // swaps it back from host memory.
-                (ScalingMechanism::ElasticNccl, true) => cost_model.cold_start_cost(),
-                (ScalingMechanism::CheckpointRestart, true) => cost_model.checkpoint_cost(&profile),
-                (ScalingMechanism::SuspendResume, true) => cost_model.suspend_resume_cost(&profile),
+                (ScalingMechanism::ElasticNccl, true) => cost_model.cold_start_plan(),
+                (ScalingMechanism::CheckpointRestart, true) => cost_model.checkpoint_plan(&profile),
+                (ScalingMechanism::SuspendResume, true) => cost_model.suspend_resume_plan(&profile),
             }
         } else {
+            let workers_joined = matches!(
+                op.kind,
+                OpKind::Scale {
+                    workers_joined: true
+                }
+            );
             match mechanism {
-                ScalingMechanism::ElasticNccl => cost_model.elastic_cost(
-                    &profile,
-                    &allreduce,
-                    &placement,
-                    placement.len() as u32 > old_gpus,
-                ),
-                ScalingMechanism::CheckpointRestart => cost_model.checkpoint_cost(&profile),
-                ScalingMechanism::SuspendResume => cost_model.suspend_resume_cost(&profile),
+                ScalingMechanism::ElasticNccl => {
+                    cost_model.elastic_plan(&profile, &allreduce, &placement, workers_joined)
+                }
+                ScalingMechanism::CheckpointRestart => cost_model.checkpoint_plan(&profile),
+                ScalingMechanism::SuspendResume => cost_model.suspend_resume_plan(&profile),
             }
         };
+        let overhead = plan.total();
+
+        // Walk the phase machine: one observability span per timed phase,
+        // laid end to end over the overhead window.
+        let mut phase_start = now.as_secs();
+        while let Some((phase, duration)) = op.advance(&plan) {
+            RECONCILE_PHASE_S.observe(duration);
+            if ones_obs::spans_enabled() {
+                ones_obs::virtual_span(
+                    phase.name(),
+                    "simulator",
+                    id.0,
+                    phase_start,
+                    phase_start + duration,
+                    vec![("op", op.kind.name().into())],
+                );
+            }
+            phase_start += duration;
+        }
         self.total_overhead += overhead;
         self.transitions += 1;
         TRANSITIONS.inc();
@@ -782,14 +828,6 @@ impl Simulation {
             );
         }
     }
-}
-
-fn slots_of(schedule: &Schedule, id: JobId) -> Vec<Option<Slot>> {
-    schedule
-        .slots()
-        .iter()
-        .map(|s| s.filter(|slot| slot.job == id))
-        .collect()
 }
 
 #[cfg(test)]

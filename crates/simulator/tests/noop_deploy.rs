@@ -1,0 +1,103 @@
+//! Regression test: a deployment that leaves a running job's
+//! `(placement, global_batch)` unchanged is a **no-op** — no scaling
+//! cost, no transition, no restart of the current schedule's epoch
+//! accounting. Before the reconciliation layer, every redeploy went
+//! through `transition_job` and reset `epochs_in_current_schedule`, so a
+//! scheduler that re-emitted its current schedule (with a cosmetically
+//! different local-batch split) silently paid a scaling cost each time.
+
+use ones_cluster::{ClusterSpec, GpuId};
+use ones_dlperf::PerfModel;
+use ones_sched::ScalingCostModel;
+use ones_schedcore::{ClusterView, ScalingMechanism, SchedEvent, Schedule, Scheduler};
+use ones_simcore::SimTime;
+use ones_simulator::{SimConfig, Simulation};
+use ones_workload::{Trace, TraceConfig};
+
+/// Redeploys the single job on the same two GPUs with the same global
+/// batch on *every* event, but alternates the local split — the kind of
+/// cosmetic churn an evolutionary search emits when two genomes encode
+/// the same configuration differently.
+struct SplitShuffler {
+    deploys: u32,
+}
+
+impl Scheduler for SplitShuffler {
+    fn name(&self) -> &'static str {
+        "split-shuffler"
+    }
+
+    fn mechanism(&self) -> ScalingMechanism {
+        ScalingMechanism::ElasticNccl
+    }
+
+    fn on_event(&mut self, event: SchedEvent, view: &ClusterView<'_>) -> Option<Schedule> {
+        let job = match event {
+            SchedEvent::JobArrived(id) | SchedEvent::EpochEnded(id) => id,
+            SchedEvent::JobCompleted(_) | SchedEvent::Tick => return None,
+        };
+        if view.jobs.get(&job).is_some_and(|j| j.is_completed()) {
+            return None;
+        }
+        self.deploys += 1;
+        // Same placement {gpu0, gpu1}, same global batch 256 — only the
+        // split differs between redeploys.
+        let (a, b) = if self.deploys % 2 == 1 {
+            (128, 128)
+        } else {
+            (64, 192)
+        };
+        let mut s = Schedule::empty(view.spec.total_gpus());
+        s.assign(GpuId(0), job, a);
+        s.assign(GpuId(1), job, b);
+        Some(s)
+    }
+
+    fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
+        None
+    }
+}
+
+#[test]
+fn redeploying_the_same_placement_and_global_batch_is_free() {
+    let trace = Trace::generate(TraceConfig {
+        num_jobs: 1,
+        arrival_rate: 1.0 / 10.0,
+        seed: 21,
+        kill_fraction: 0.0,
+    });
+    let spec = ClusterSpec::longhorn_subset(8);
+    let result = Simulation::new(
+        PerfModel::new(spec),
+        &trace,
+        Box::new(SplitShuffler { deploys: 0 }),
+        SimConfig::default(),
+    )
+    .run();
+
+    assert!(result.all_completed, "job did not complete");
+    let job = result.jobs.values().next().expect("one job");
+    assert!(job.epochs_done > 1, "job must train across several epochs");
+
+    // Every epoch end redeployed (arrival + one per epoch-end while
+    // running), yet only the initial start was a real transition.
+    assert!(
+        result.deployments > 1,
+        "scheduler must have redeployed more than once, got {}",
+        result.deployments
+    );
+    assert_eq!(
+        result.transitions, 1,
+        "cosmetic redeploys must not transition the job"
+    );
+
+    // The only scaling cost ever charged is the initial cold start —
+    // epoch accounting was never reset, no drain/resize was paid.
+    let cold_start = ScalingCostModel::default().cold_start_cost();
+    assert!(
+        (result.total_overhead - cold_start).abs() < 1e-9,
+        "overhead {} != one cold start {}",
+        result.total_overhead,
+        cold_start
+    );
+}

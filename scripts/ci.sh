@@ -96,6 +96,69 @@ trap - EXIT
 rm -f "$DLOG"
 echo "    ones-d OK ($ADDR)"
 
+echo "==> crash-recovery smoke (SIGKILL ones-d mid-replay, restart from --state-file)"
+CRASH_DIR="$(mktemp -d)"
+CLOG="$CRASH_DIR/ones-d.log"
+STATE="$CRASH_DIR/state.json"
+run_replay() { # extra args...
+    ./target/release/ones-d --port 0 --gpus 16 --scheduler ones \
+        --trace-source philly --jobs 12 --rate-secs 10 --seed 7 --sched-seed 1 \
+        --state-file "$STATE" "$@" >"$CLOG" 2>&1 &
+    DPID=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$CLOG" && break
+        sleep 0.1
+    done
+    ADDR="$(sed -n 's/.*listening on //p' "$CLOG" | head -1)"
+    if [[ -z "$ADDR" ]]; then
+        echo "FAIL: ones-d never reported a listen address" >&2
+        cat "$CLOG" >&2
+        exit 1
+    fi
+    CTL="./target/release/ones-ctl --addr $ADDR"
+}
+# Throttled victim: let a few events land, then SIGKILL mid-replay.
+run_replay --step-delay-ms 25 --events-per-batch 4
+trap 'kill -9 "$DPID" 2>/dev/null || true; rm -rf "$CRASH_DIR"' EXIT
+for _ in $(seq 1 200); do
+    $CTL cluster 2>/dev/null | grep -qE '"events_next_seq":[1-9]' && break
+    sleep 0.05
+done
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+if [[ ! -s "$STATE" ]]; then
+    echo "FAIL: no persisted state file after SIGKILL" >&2
+    exit 1
+fi
+# Restart from the snapshot and replay to the fixpoint.
+run_replay
+trap 'kill -9 "$DPID" 2>/dev/null || true; rm -rf "$CRASH_DIR"' EXIT
+grep -q 'recovering 12 job(s)' "$CLOG" || {
+    echo "FAIL: restart did not recover from the state file" >&2
+    cat "$CLOG" >&2
+    exit 1
+}
+DONE=0
+for _ in $(seq 1 600); do
+    C="$($CTL cluster 2>/dev/null || true)"
+    COMPLETED="$(echo "$C" | grep -o '"completed":[0-9]*' | grep -o '[0-9]*$' || echo 0)"
+    KILLED="$(echo "$C" | grep -o '"killed":[0-9]*' | grep -o '[0-9]*$' || echo 0)"
+    if [[ $((COMPLETED + KILLED)) -eq 12 ]]; then
+        DONE=1
+        break
+    fi
+    sleep 0.1
+done
+if [[ "$DONE" != "1" ]]; then
+    echo "FAIL: recovered replay never reached the fixpoint" >&2
+    exit 1
+fi
+kill -9 "$DPID" 2>/dev/null || true
+wait "$DPID" 2>/dev/null || true
+trap - EXIT
+rm -rf "$CRASH_DIR"
+echo "    crash recovery OK ($COMPLETED completed, $KILLED killed after restart)"
+
 if [[ "${RUN_LOOM:-0}" == "1" ]]; then
     echo "==> loom model checking (RUSTFLAGS=--cfg ones_loom)"
     # Each test explores every thread interleaving of its protocol up to
